@@ -1,0 +1,68 @@
+/// Ablation: merge-step scheduling policy (Sec 4.1). "The traditional
+/// policy for merging runs chooses the smallest remaining runs ... In a top
+/// operation, however, each merge step should choose the runs with the
+/// lowest keys, i.e., the runs produced most recently." A tiny fan-in
+/// forces many intermediate steps so the policy difference is visible in
+/// merge traffic and time.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace topk;
+  using namespace topk::bench;
+  PrintHeader("Ablation: merge policy for intermediate merge steps");
+
+  const uint64_t input_rows = Scaled(1500000);
+  const uint64_t k = Scaled(50000);
+  const uint64_t memory_rows = Scaled(10000);
+  const size_t payload = 56;
+  const size_t row_bytes = sizeof(Row) + payload + 32;
+
+  BenchDir dir("ab_policy");
+  DatasetSpec spec;
+  spec.WithRows(input_rows).WithPayload(payload, payload).WithSeed(17);
+
+  TopKOptions options;
+  options.k = k;
+  options.memory_limit_bytes = memory_rows * row_bytes;
+  options.merge_fan_in = 3;  // force multi-step merges
+  StorageEnv env;
+  options.env = &env;
+
+  std::printf(
+      "N=%llu, k=%llu, memory=%llu rows, merge fan-in 3 (forces multi-step "
+      "merges).\n\n",
+      static_cast<unsigned long long>(input_rows),
+      static_cast<unsigned long long>(k),
+      static_cast<unsigned long long>(memory_rows));
+  std::printf("%-20s | %-8s %-12s %-12s\n", "policy", "time_s",
+              "merge_write", "merge_read");
+
+  for (MergePolicy policy :
+       {MergePolicy::kLowestKeysFirst, MergePolicy::kSmallestRunsFirst}) {
+    options.merge_policy = policy;
+    options.spill_dir =
+        dir.Sub(policy == MergePolicy::kLowestKeysFirst ? "low" : "small");
+    RunResult result = MeasureTopK(TopKAlgorithm::kHistogram, options, spec);
+    std::printf("%-20s | %-8.3f %-12llu %-12llu\n",
+                policy == MergePolicy::kLowestKeysFirst
+                    ? "lowest-keys-first"
+                    : "smallest-runs-first",
+                result.seconds,
+                static_cast<unsigned long long>(
+                    result.stats.merge_rows_written),
+                static_cast<unsigned long long>(
+                    result.stats.merge_rows_read));
+  }
+  std::printf(
+      "\nSec 4.1 argues for lowest-keys-first (it refines the cutoff "
+      "fastest and merges the rows likeliest to reach the output). The "
+      "measured trade-off: when the cutoff is already sharp after run "
+      "generation, lowest-keys-first re-consumes its own intermediate "
+      "output (which still holds the lowest keys) and rewrites the hottest "
+      "rows repeatedly, while smallest-runs-first minimizes bytes merged. "
+      "The policy is a TopKOptions knob; the default follows the paper.\n");
+  return 0;
+}

@@ -1,0 +1,115 @@
+#ifndef TOPK_BENCH_BENCH_UTIL_H_
+#define TOPK_BENCH_BENCH_UTIL_H_
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "gen/generator.h"
+#include "io/storage_env.h"
+#include "topk/operator_factory.h"
+
+namespace topk {
+namespace bench {
+
+/// Scale knob: TOPK_BENCH_SCALE multiplies every row count (default 1.0).
+/// TOPK_BENCH_SCALE=0.1 gives a quick smoke pass; =10 approaches paper
+/// scale if you have the time and disk.
+inline double Scale() {
+  static const double scale = [] {
+    const char* env = std::getenv("TOPK_BENCH_SCALE");
+    if (env == nullptr) return 1.0;
+    const double v = std::atof(env);
+    return v > 0 ? v : 1.0;
+  }();
+  return scale;
+}
+
+inline uint64_t Scaled(uint64_t rows) {
+  const double scaled = static_cast<double>(rows) * Scale();
+  return scaled < 1.0 ? 1 : static_cast<uint64_t>(scaled);
+}
+
+/// Scratch directory for one bench process; removed at exit.
+class BenchDir {
+ public:
+  explicit BenchDir(const std::string& name) {
+    path_ = std::filesystem::temp_directory_path() /
+            ("topk_bench_" + name + "_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(path_);
+  }
+  ~BenchDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+  std::string Sub(const std::string& sub) const {
+    return (path_ / sub).string();
+  }
+
+ private:
+  std::filesystem::path path_;
+};
+
+/// Result of one measured operator execution.
+struct RunResult {
+  double seconds = 0.0;
+  OperatorStats stats;
+  uint64_t result_rows = 0;
+  double first_key = 0.0;
+  double last_key = 0.0;
+};
+
+/// Streams `spec`'s rows through a fresh operator of `algorithm` and
+/// measures wall time end-to-end (consume + finish). Aborts the process on
+/// error — benches have no recovery story.
+inline RunResult MeasureTopK(TopKAlgorithm algorithm,
+                             const TopKOptions& options,
+                             const DatasetSpec& spec) {
+  auto op = MakeTopKOperator(algorithm, options);
+  TOPK_CHECK(op.ok()) << op.status().ToString();
+  RowGenerator gen(spec);
+  Row row;
+  Stopwatch watch;
+  while (gen.Next(&row)) {
+    Status status = (*op)->Consume(std::move(row));
+    TOPK_CHECK(status.ok()) << status.ToString();
+  }
+  auto result = (*op)->Finish();
+  TOPK_CHECK(result.ok()) << result.status().ToString();
+  RunResult out;
+  out.seconds = watch.ElapsedSeconds();
+  out.stats = (*op)->stats();
+  out.result_rows = result->size();
+  if (!result->empty()) {
+    out.first_key = result->front().key;
+    out.last_key = result->back().key;
+  }
+  return out;
+}
+
+/// Rows written to secondary storage by a run (spills + intermediate merge
+/// output) — the paper's "spilled rows" metric for Figures 2-5.
+inline uint64_t RowsWritten(const RunResult& result) {
+  return result.stats.rows_spilled + result.stats.merge_rows_written;
+}
+
+inline double Ratio(double base, double ours) {
+  return ours > 0 ? base / ours : 0.0;
+}
+
+inline void PrintHeader(const char* title) {
+  std::printf("\n=== %s ===\n", title);
+  if (Scale() != 1.0) {
+    std::printf("(TOPK_BENCH_SCALE=%.3g)\n", Scale());
+  }
+}
+
+}  // namespace bench
+}  // namespace topk
+
+#endif  // TOPK_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,99 @@
+/// Regenerates Figure 2: speedup and spilled-row reduction of the histogram
+/// algorithm over F1's previous top-k operator while the requested output
+/// size k is varied, on uniform and fal(1.25) key distributions.
+///
+/// The measured baseline is the optimized external sort of Sec 2.5 in the
+/// regime the paper reports: once k exceeds the memory (and the run size),
+/// it has no effective cutoff and "externally sorts the entire input"
+/// (Sec 5.2). The [14] early-merge variant, which does establish a cutoff
+/// at the price of extra merge I/O, is reported as a third line for
+/// context; `bench/ablation_early_merge` isolates that comparison.
+///
+/// Paper scale: 2B input rows, 1 GB memory (7M rows), k = 2M..1.5B.
+/// Laptop scale (ratios preserved): 2M input rows, memory for 14k rows,
+/// k = 7k..800k. Override with TOPK_BENCH_SCALE.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace topk;
+  using namespace topk::bench;
+  PrintHeader("Figure 2: varying output size (real execution)");
+
+  const uint64_t input_rows = Scaled(2000000);
+  const uint64_t memory_rows = Scaled(14000);
+  const size_t payload = 56;  // ~104B rows + bookkeeping
+  const size_t row_bytes = sizeof(Row) + payload + 32;
+  // The first k fits in operator memory (both adaptive operators stay
+  // in-memory); the rest exceed it by growing factors.
+  const uint64_t ks[] = {Scaled(7000),   Scaled(20000),  Scaled(50000),
+                         Scaled(100000), Scaled(200000), Scaled(400000),
+                         Scaled(800000)};
+
+  BenchDir dir("fig2");
+  std::printf(
+      "N=%llu rows, memory=%llu rows. base = optimized external sort "
+      "(F1's previous operator), em = with [14] early merge.\n\n",
+      static_cast<unsigned long long>(input_rows),
+      static_cast<unsigned long long>(memory_rows));
+  std::printf(
+      "%-8s %-8s | %-8s %-8s %-8s %-8s | %-10s %-10s %-10s | %-8s %-9s\n",
+      "dist", "k", "base_s", "em_s", "hist_s", "speedup", "base_rows",
+      "em_rows", "hist_rows", "redn", "em_redn");
+
+  int run_id = 0;
+  for (const char* dist_name : {"uniform", "fal"}) {
+    for (uint64_t k : ks) {
+      DatasetSpec spec;
+      spec.WithRows(input_rows).WithPayload(payload, payload).WithSeed(k);
+      if (std::string(dist_name) == "fal") {
+        spec.WithFalShape(1.25);
+      }
+
+      TopKOptions options;
+      options.k = k;
+      options.memory_limit_bytes = memory_rows * row_bytes;
+      StorageEnv env;
+      options.env = &env;
+
+      options.enable_early_merge = false;
+      options.spill_dir = dir.Sub("base" + std::to_string(run_id));
+      RunResult base =
+          MeasureTopK(TopKAlgorithm::kOptimizedExternal, options, spec);
+
+      options.enable_early_merge = true;
+      options.spill_dir = dir.Sub("em" + std::to_string(run_id));
+      RunResult em =
+          MeasureTopK(TopKAlgorithm::kOptimizedExternal, options, spec);
+
+      options.spill_dir = dir.Sub("hist" + std::to_string(run_id));
+      RunResult hist = MeasureTopK(TopKAlgorithm::kHistogram, options, spec);
+      ++run_id;
+
+      TOPK_CHECK(base.result_rows == hist.result_rows);
+      TOPK_CHECK(base.last_key == hist.last_key)
+          << base.last_key << " vs " << hist.last_key;
+      TOPK_CHECK(em.last_key == hist.last_key);
+
+      std::printf(
+          "%-8s %-8llu | %-8.3f %-8.3f %-8.3f %-8.2f | %-10llu %-10llu "
+          "%-10llu | %-8.2f %-9.2f\n",
+          dist_name, static_cast<unsigned long long>(k), base.seconds,
+          em.seconds, hist.seconds, Ratio(base.seconds, hist.seconds),
+          static_cast<unsigned long long>(RowsWritten(base)),
+          static_cast<unsigned long long>(RowsWritten(em)),
+          static_cast<unsigned long long>(RowsWritten(hist)),
+          Ratio(static_cast<double>(RowsWritten(base)),
+                static_cast<double>(RowsWritten(hist))),
+          Ratio(static_cast<double>(RowsWritten(em)),
+                static_cast<double>(RowsWritten(hist))));
+    }
+  }
+  std::printf(
+      "\nPaper shape: ~1x while k fits in memory, rising to ~11x, then "
+      "declining as k approaches the input size; reduction tracks speedup; "
+      "distribution-insensitive.\n");
+  return 0;
+}

@@ -1,0 +1,92 @@
+/// Regenerates Figure 3: speedup and spilled-row reduction of the histogram
+/// algorithm over the optimized baseline while the input size is varied,
+/// for six key distributions (uniform, lognormal, fal with shapes 0.5,
+/// 1.05, 1.25, 1.5).
+///
+/// Paper scale: k=30M, N=50M..2B, memory 7M rows. Laptop scale: k=60k,
+/// N=100k..4M, memory 14k rows.
+
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace topk;
+  using namespace topk::bench;
+  PrintHeader("Figure 3: varying input size (real execution)");
+
+  const uint64_t k = Scaled(60000);
+  const uint64_t memory_rows = Scaled(14000);
+  const size_t payload = 56;
+  const size_t row_bytes = sizeof(Row) + payload + 32;
+  const uint64_t inputs[] = {Scaled(100000), Scaled(200000), Scaled(400000),
+                             Scaled(1000000), Scaled(2000000),
+                             Scaled(4000000)};
+
+  struct Dist {
+    const char* name;
+    KeyDistribution kind;
+    double shape;
+  };
+  const Dist dists[] = {
+      {"uniform", KeyDistribution::kUniform, 0},
+      {"lognormal", KeyDistribution::kLogNormal, 0},
+      {"fal-0.5", KeyDistribution::kFal, 0.5},
+      {"fal-1.05", KeyDistribution::kFal, 1.05},
+      {"fal-1.25", KeyDistribution::kFal, 1.25},
+      {"fal-1.5", KeyDistribution::kFal, 1.5},
+  };
+
+  BenchDir dir("fig3");
+  std::printf("k=%llu rows, memory=%llu rows.\n\n",
+              static_cast<unsigned long long>(k),
+              static_cast<unsigned long long>(memory_rows));
+  std::printf("%-10s %-9s | %-9s %-9s %-8s | %-11s %-11s %-9s\n", "dist",
+              "N", "base_s", "hist_s", "speedup", "base_rows", "hist_rows",
+              "reduction");
+
+  int run_id = 0;
+  for (const Dist& dist : dists) {
+    for (uint64_t input_rows : inputs) {
+      DatasetSpec spec;
+      spec.WithRows(input_rows).WithPayload(payload, payload);
+      spec.WithSeed(input_rows ^ 0xabcd);
+      spec.keys.distribution = dist.kind;
+      if (dist.kind == KeyDistribution::kFal) {
+        spec.keys.fal_shape = dist.shape;
+      }
+
+      TopKOptions options;
+      options.k = k;
+      options.memory_limit_bytes = memory_rows * row_bytes;
+      StorageEnv env;
+      options.env = &env;
+      options.enable_early_merge = false;  // the paper's measured baseline
+
+      options.spill_dir = dir.Sub("base" + std::to_string(run_id));
+      RunResult base =
+          MeasureTopK(TopKAlgorithm::kOptimizedExternal, options, spec);
+      options.spill_dir = dir.Sub("hist" + std::to_string(run_id));
+      RunResult hist = MeasureTopK(TopKAlgorithm::kHistogram, options, spec);
+      ++run_id;
+
+      TOPK_CHECK(base.result_rows == hist.result_rows);
+      TOPK_CHECK(base.last_key == hist.last_key);
+
+      std::printf(
+          "%-10s %-9llu | %-9.3f %-9.3f %-8.2f | %-11llu %-11llu %-9.2f\n",
+          dist.name, static_cast<unsigned long long>(input_rows),
+          base.seconds, hist.seconds, Ratio(base.seconds, hist.seconds),
+          static_cast<unsigned long long>(RowsWritten(base)),
+          static_cast<unsigned long long>(RowsWritten(hist)),
+          Ratio(static_cast<double>(RowsWritten(base)),
+                static_cast<double>(RowsWritten(hist))));
+    }
+  }
+  std::printf(
+      "\nPaper shape: ~1.1x when N barely exceeds k, rising steeply with N "
+      "(up to ~11x / 13x reduction); nearly identical across "
+      "distributions.\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+/// Regenerates Figure 5: speedup and spill reduction as the histogram size
+/// (buckets per run) varies on a fixed workload. A histogram of size 0
+/// eliminates nothing; benefits saturate around 50 buckets.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace topk;
+  using namespace topk::bench;
+  PrintHeader("Figure 5: varying histogram size (real execution)");
+
+  const uint64_t input_rows = Scaled(2000000);
+  const uint64_t k = Scaled(60000);
+  const uint64_t memory_rows = Scaled(14000);
+  const size_t payload = 56;
+  const size_t row_bytes = sizeof(Row) + payload + 32;
+  const uint64_t bucket_configs[] = {0, 1, 5, 10, 20, 50, 100};
+
+  BenchDir dir("fig5");
+  DatasetSpec spec;
+  spec.WithRows(input_rows).WithPayload(payload, payload).WithSeed(5);
+
+  TopKOptions options;
+  options.k = k;
+  options.memory_limit_bytes = memory_rows * row_bytes;
+  StorageEnv env;
+  options.env = &env;
+  options.enable_early_merge = false;  // the paper's measured baseline
+
+  options.spill_dir = dir.Sub("base");
+  RunResult base =
+      MeasureTopK(TopKAlgorithm::kOptimizedExternal, options, spec);
+  std::printf(
+      "N=%llu, k=%llu, memory=%llu rows, uniform keys. Baseline: optimized "
+      "external sort, %.3fs, %llu rows written.\n\n",
+      static_cast<unsigned long long>(input_rows),
+      static_cast<unsigned long long>(k),
+      static_cast<unsigned long long>(memory_rows), base.seconds,
+      static_cast<unsigned long long>(RowsWritten(base)));
+  std::printf("%-9s | %-9s %-8s | %-11s %-9s\n", "#Buckets", "hist_s",
+              "speedup", "hist_rows", "reduction");
+
+  for (uint64_t buckets : bucket_configs) {
+    options.histogram_buckets_per_run = buckets;
+    options.spill_dir = dir.Sub("hist" + std::to_string(buckets));
+    RunResult hist = MeasureTopK(TopKAlgorithm::kHistogram, options, spec);
+    TOPK_CHECK(base.last_key == hist.last_key);
+    std::printf("%-9llu | %-9.3f %-8.2f | %-11llu %-9.2f\n",
+                static_cast<unsigned long long>(buckets), hist.seconds,
+                Ratio(base.seconds, hist.seconds),
+                static_cast<unsigned long long>(RowsWritten(hist)),
+                Ratio(static_cast<double>(RowsWritten(base)),
+                      static_cast<double>(RowsWritten(hist))));
+  }
+  std::printf(
+      "\nPaper shape: 0 buckets = no benefit; benefit grows quickly and "
+      "saturates near 50 buckets (going 50 -> 100 adds <0.1x).\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+/// Regenerates Figure 6 (Sec 5.6): the resource-utilization cost study.
+/// Cost = memory size x time used (pay-as-you-go). The histogram operator
+/// runs with a small fixed budget; the in-memory priority-queue operator is
+/// granted enough memory for the whole output. The in-memory operator is
+/// faster, but the histogram operator is substantially cheaper — and the
+/// gap grows with the input.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace topk;
+  using namespace topk::bench;
+  PrintHeader("Figure 6: cost of resource utilization (real execution)");
+
+  const uint64_t k = Scaled(100000);
+  const uint64_t memory_rows = Scaled(14000);
+  const size_t payload = 56;
+  const size_t row_bytes = sizeof(Row) + payload + 32;
+  const uint64_t inputs[] = {Scaled(200000), Scaled(400000),
+                             Scaled(1000000), Scaled(2000000),
+                             Scaled(4000000)};
+
+  BenchDir dir("fig6");
+  std::printf(
+      "k=%llu. Histogram op: %llu-row budget. In-memory op: output-sized "
+      "memory. cost = peak_memory_bytes x seconds.\n\n",
+      static_cast<unsigned long long>(k),
+      static_cast<unsigned long long>(memory_rows));
+  std::printf("%-9s | %-9s %-9s %-10s | %-12s %-12s %-10s\n", "N", "mem_s",
+              "hist_s", "slowdown", "mem_cost", "hist_cost",
+              "cost_gain");
+
+  int run_id = 0;
+  for (uint64_t input_rows : inputs) {
+    DatasetSpec spec;
+    spec.WithRows(input_rows).WithPayload(payload, payload);
+    spec.WithSeed(input_rows ^ 0xfeed);
+
+    TopKOptions heap_options;
+    heap_options.k = k;
+    heap_options.memory_limit_bytes = (k + 16) * row_bytes;
+    heap_options.allow_unbounded_memory = true;
+    StorageEnv env;
+    heap_options.env = &env;
+    RunResult mem = MeasureTopK(TopKAlgorithm::kHeap, heap_options, spec);
+
+    TopKOptions hist_options = heap_options;
+    hist_options.allow_unbounded_memory = false;
+    hist_options.memory_limit_bytes = memory_rows * row_bytes;
+    hist_options.spill_dir = dir.Sub("hist" + std::to_string(run_id++));
+    RunResult hist =
+        MeasureTopK(TopKAlgorithm::kHistogram, hist_options, spec);
+
+    TOPK_CHECK(mem.result_rows == hist.result_rows);
+    TOPK_CHECK(mem.last_key == hist.last_key);
+
+    const double mem_cost =
+        static_cast<double>(mem.stats.peak_memory_bytes) * mem.seconds;
+    const double hist_cost =
+        static_cast<double>(
+            std::max(hist.stats.peak_memory_bytes,
+                     hist_options.memory_limit_bytes)) *
+        hist.seconds;
+    std::printf("%-9llu | %-9.3f %-9.3f %-10.2f | %-12.3g %-12.3g %-10.2f\n",
+                static_cast<unsigned long long>(input_rows), mem.seconds,
+                hist.seconds, Ratio(hist.seconds, mem.seconds) > 0
+                                  ? hist.seconds / mem.seconds
+                                  : 0.0,
+                mem_cost, hist_cost, Ratio(mem_cost, hist_cost));
+  }
+  std::printf(
+      "\nPaper shape: in-memory up to ~4x faster but up to ~3x more "
+      "expensive; the time gap narrows with larger inputs (1.59x at the "
+      "largest) while the cost gap persists.\n");
+  return 0;
+}

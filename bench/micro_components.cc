@@ -1,0 +1,162 @@
+/// Google-benchmark microbenchmarks for the library's hot components: the
+/// cutoff filter's per-row operations, the loser tree, replacement
+/// selection, and row (de)serialization.
+
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+#include <vector>
+
+#include "common/crc32.h"
+#include "common/logging.h"
+#include "common/random.h"
+#include "histogram/cutoff_filter.h"
+#include "io/spill_manager.h"
+#include "row/serialization.h"
+#include "sort/loser_tree.h"
+#include "sort/replacement_selection.h"
+
+namespace topk {
+namespace {
+
+void BM_CutoffFilterEliminate(benchmark::State& state) {
+  CutoffFilter::Options options;
+  options.k = 10000;
+  options.target_buckets_per_run = 50;
+  options.target_run_rows = 20000;
+  CutoffFilter filter(options);
+  Random rng(1);
+  std::vector<double> keys(20000);
+  for (double& key : keys) key = rng.NextDouble();
+  std::sort(keys.begin(), keys.end());
+  for (double key : keys) filter.RowSpilled(key);
+  filter.RunFinished();
+
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(filter.EliminateKey(keys[i]));
+    i = (i + 1) % keys.size();
+  }
+}
+BENCHMARK(BM_CutoffFilterEliminate);
+
+void BM_CutoffFilterRowSpilled(benchmark::State& state) {
+  CutoffFilter::Options options;
+  options.k = 1 << 20;
+  options.target_buckets_per_run = static_cast<uint64_t>(state.range(0));
+  options.target_run_rows = 100000;
+  CutoffFilter filter(options);
+  Random rng(2);
+  double key = 0.0;
+  for (auto _ : state) {
+    key += rng.NextDouble() * 1e-9;  // keep run order ascending
+    filter.RowSpilled(key);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CutoffFilterRowSpilled)->Arg(1)->Arg(50)->Arg(1000);
+
+void BM_LoserTreeReplay(benchmark::State& state) {
+  const size_t ways = static_cast<size_t>(state.range(0));
+  Random rng(3);
+  std::vector<double> current(ways);
+  for (double& v : current) v = rng.NextDouble();
+  LoserTree tree(ways, [&](size_t a, size_t b) {
+    return current[a] < current[b];
+  });
+  tree.Build();
+  for (auto _ : state) {
+    const size_t w = tree.winner();
+    current[w] += rng.NextDouble();  // advance the winning way
+    tree.ReplayWinner();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LoserTreeReplay)->Arg(2)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_RowSerialize(benchmark::State& state) {
+  Row row(0.5, 42, std::string(static_cast<size_t>(state.range(0)), 'x'));
+  std::string buf;
+  for (auto _ : state) {
+    buf.clear();
+    SerializeRow(row, &buf);
+    benchmark::DoNotOptimize(buf);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(row.SerializedSize()));
+}
+BENCHMARK(BM_RowSerialize)->Arg(0)->Arg(64)->Arg(512);
+
+void BM_RowDeserialize(benchmark::State& state) {
+  Row row(0.5, 42, std::string(static_cast<size_t>(state.range(0)), 'x'));
+  std::string buf;
+  SerializeRow(row, &buf);
+  Row out;
+  for (auto _ : state) {
+    size_t offset = 0;
+    benchmark::DoNotOptimize(
+        DeserializeRow(buf.data(), buf.size(), &offset, &out));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(buf.size()));
+}
+BENCHMARK(BM_RowDeserialize)->Arg(0)->Arg(64)->Arg(512);
+
+void BM_ReplacementSelectionAdd(benchmark::State& state) {
+  const std::string dir = "/tmp/topk_micro_rs";
+  std::filesystem::create_directories(dir);
+  StorageEnv env;
+  auto spill = SpillManager::Create(&env, dir);
+  TOPK_CHECK(spill.ok());
+  RunGeneratorOptions options;
+  options.memory_limit_bytes = 4 << 20;
+  ReplacementSelectionRunGenerator gen(spill->get(), RowComparator(),
+                                       options);
+  Random rng(7);
+  std::string payload(static_cast<size_t>(state.range(0)), 'b');
+  for (auto _ : state) {
+    Status status = gen.Add(Row(rng.NextDouble(), 0, payload));
+    TOPK_CHECK(status.ok());
+  }
+  TOPK_CHECK(gen.Flush().ok());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ReplacementSelectionAdd)->Arg(0)->Arg(64)->Arg(256);
+
+void BM_RunWriterAppend(benchmark::State& state) {
+  const std::string dir = "/tmp/topk_micro_rw";
+  std::filesystem::create_directories(dir);
+  StorageEnv env;
+  auto writer = RunWriter::Create(&env, dir + "/run", 0, RowComparator());
+  TOPK_CHECK(writer.ok());
+  std::string payload(static_cast<size_t>(state.range(0)), 'c');
+  double key = 0;
+  uint64_t id = 0;
+  for (auto _ : state) {
+    key += 1.0;
+    Status status = (*writer)->Append(Row(key, id++, payload));
+    TOPK_CHECK(status.ok());
+  }
+  TOPK_CHECK((*writer)->Finish().ok());
+  state.SetBytesProcessed(
+      state.iterations() *
+      static_cast<int64_t>(kRowHeaderBytes + payload.size()));
+}
+BENCHMARK(BM_RunWriterAppend)->Arg(0)->Arg(64)->Arg(256);
+
+void BM_Crc32c(benchmark::State& state) {
+  std::string data(static_cast<size_t>(state.range(0)), 'd');
+  uint32_t crc = 0;
+  for (auto _ : state) {
+    crc = Crc32c(crc, data.data(), data.size());
+    benchmark::DoNotOptimize(crc);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(data.size()));
+}
+BENCHMARK(BM_Crc32c)->Arg(64)->Arg(4096);
+
+}  // namespace
+}  // namespace topk
+
+BENCHMARK_MAIN();

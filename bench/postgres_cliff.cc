@@ -1,0 +1,78 @@
+/// Reproduces the Sec 5.2 PostgreSQL observation: with a traditional
+/// external-merge-sort top-k (quicksort runs, no run-size limit, no
+/// filtering — how PostgreSQL 10 executes ORDER BY .. LIMIT), execution
+/// time jumps by an order of magnitude the moment k no longer fits in
+/// memory, because the whole input is suddenly sorted externally. The
+/// histogram operator removes the cliff: its cost grows smoothly with k.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace topk;
+  using namespace topk::bench;
+  PrintHeader("Sec 5.2: the performance cliff (PostgreSQL-style top-k)");
+
+  const uint64_t input_rows = Scaled(1000000);
+  const uint64_t memory_rows = Scaled(20000);
+  const size_t payload = 56;
+  const size_t row_bytes = sizeof(Row) + payload + 32;
+  // k sweeps across the memory boundary (memory_rows).
+  const uint64_t ks[] = {Scaled(2000),  Scaled(8000),  Scaled(16000),
+                         Scaled(24000), Scaled(40000), Scaled(80000)};
+
+  BenchDir dir("cliff");
+  std::printf(
+      "N=%llu rows, memory=%llu rows. traditional = quicksort runs, no "
+      "filter (PostgreSQL-style; falls back from the in-memory heap).\n\n",
+      static_cast<unsigned long long>(input_rows),
+      static_cast<unsigned long long>(memory_rows));
+  std::printf("%-9s %-7s | %-9s %-12s | %-9s %-12s\n", "k", "fits?",
+              "trad_s", "trad_spill", "hist_s", "hist_spill");
+
+  int run_id = 0;
+  for (uint64_t k : ks) {
+    DatasetSpec spec;
+    spec.WithRows(input_rows).WithPayload(payload, payload).WithSeed(k);
+
+    TopKOptions options;
+    options.k = k;
+    options.memory_limit_bytes = memory_rows * row_bytes;
+    options.run_generation = RunGenerationKind::kQuicksort;
+    StorageEnv env;
+    options.env = &env;
+
+    // PostgreSQL-style: heap while it fits, traditional external otherwise.
+    const bool fits = k < memory_rows;
+    RunResult trad;
+    if (fits) {
+      TopKOptions heap_options = options;
+      heap_options.allow_unbounded_memory = false;
+      trad = MeasureTopK(TopKAlgorithm::kHeap, heap_options, spec);
+    } else {
+      options.spill_dir = dir.Sub("trad" + std::to_string(run_id));
+      trad = MeasureTopK(TopKAlgorithm::kTraditionalExternal, options, spec);
+    }
+
+    TopKOptions hist_options = options;
+    hist_options.run_generation = RunGenerationKind::kReplacementSelection;
+    hist_options.spill_dir = dir.Sub("hist" + std::to_string(run_id));
+    RunResult hist = MeasureTopK(TopKAlgorithm::kHistogram, hist_options, spec);
+    ++run_id;
+
+    TOPK_CHECK(trad.last_key == hist.last_key);
+    std::printf("%-9llu %-7s | %-9.3f %-12llu | %-9.3f %-12llu\n",
+                static_cast<unsigned long long>(k), fits ? "yes" : "NO",
+                trad.seconds,
+                static_cast<unsigned long long>(RowsWritten(trad)),
+                hist.seconds,
+                static_cast<unsigned long long>(RowsWritten(hist)));
+  }
+  std::printf(
+      "\nPaper observation: an order-of-magnitude jump for the traditional "
+      "algorithm at the memory boundary; the histogram operator degrades "
+      "smoothly (\"the drop in performance ... is proportional to the size "
+      "of the filtered input\", Sec 1).\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+/// Regenerates Table 1 of the paper: the run-by-run trace of the histogram
+/// algorithm on a top-5,000 query over 1,000,000 uniform rows with memory
+/// for 1,000 rows and decile histograms. Every column of the paper's table
+/// is reproduced: remaining input rows, the cutoff key in force before each
+/// run, and the run's surviving decile keys.
+
+#include <cstdio>
+#include <optional>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "model/analytic_model.h"
+
+namespace {
+
+std::string Fmt(std::optional<double> value) {
+  if (!value.has_value()) return "-";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", *value);
+  return buf;
+}
+
+}  // namespace
+
+int main() {
+  using namespace topk;
+  bench::PrintHeader(
+      "Table 1: approximate quantiles and cutoff keys (analytic model)");
+
+  AnalyticModelConfig config;
+  config.input_rows = 1000000;
+  config.k = 5000;
+  config.memory_rows = 1000;
+  config.buckets_per_run = 9;  // deciles 10%..90%
+  const AnalyticModelResult result = RunAnalyticModel(config);
+
+  std::printf("%-4s %-12s %-12s %-10s %-10s %-10s %-10s %-10s %-10s\n",
+              "Run", "RemainInput", "CutoffBefore", "10%", "20%", "30%",
+              "70%", "80%", "90%");
+  for (const AnalyticRunRecord& run : result.runs) {
+    std::printf(
+        "%-4llu %-12llu %-12s %-10s %-10s %-10s %-10s %-10s %-10s\n",
+        static_cast<unsigned long long>(run.run_index),
+        static_cast<unsigned long long>(run.remaining_before),
+        Fmt(run.cutoff_before).c_str(), Fmt(run.decile_keys[0]).c_str(),
+        Fmt(run.decile_keys[1]).c_str(), Fmt(run.decile_keys[2]).c_str(),
+        Fmt(run.decile_keys[6]).c_str(), Fmt(run.decile_keys[7]).c_str(),
+        Fmt(run.decile_keys[8]).c_str());
+  }
+  std::printf(
+      "\nTotals: %llu runs, %llu rows spilled (paper: 39 runs, <35,000 "
+      "rows)\n",
+      static_cast<unsigned long long>(result.total_runs),
+      static_cast<unsigned long long>(result.total_rows_spilled));
+  std::printf(
+      "Final cutoff %.6g, ideal %.6g, ratio %.2f (paper: 0.0063, 0.005, "
+      "1.26)\n",
+      result.final_cutoff.value_or(1.0), result.ideal_cutoff,
+      result.ratio());
+
+  // Sec 3.2.1's closing comparison: "our algorithm will write to secondary
+  // storage 12x less input rows compared to the optimized external merge
+  // sort and 28x fewer rows than the traditional external merge sort".
+  const BaselineAnalysis baselines = AnalyzeBaselines(config);
+  std::printf(
+      "\nBaselines under the same model: traditional spills %llu rows "
+      "(%.0fx ours), optimized [14] spills %llu rows (%.0fx ours, cutoff "
+      "%.3g). Paper: 28x and 12x.\n",
+      static_cast<unsigned long long>(baselines.traditional_rows_spilled),
+      static_cast<double>(baselines.traditional_rows_spilled) /
+          static_cast<double>(result.total_rows_spilled),
+      static_cast<unsigned long long>(baselines.optimized_rows_spilled),
+      static_cast<double>(baselines.optimized_rows_spilled) /
+          static_cast<double>(result.total_rows_spilled),
+      baselines.optimized_cutoff);
+  return 0;
+}

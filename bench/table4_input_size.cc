@@ -1,0 +1,50 @@
+/// Regenerates Table 4: the effect of the input size with decile
+/// histograms. Top 5,000, memory for 1,000 rows, uniform keys.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "model/analytic_model.h"
+
+int main() {
+  using namespace topk;
+  bench::PrintHeader("Table 4: varying input size (analytic model)");
+
+  struct PaperRow {
+    uint64_t input;
+    uint64_t runs;
+    uint64_t rows;
+  };
+  const PaperRow paper[] = {
+      {6000, 6, 5900},          {7000, 7, 6699},
+      {10000, 9, 8332},         {20000, 13, 11840},
+      {50000, 19, 16690},       {100000, 24, 20627},
+      {200000, 28, 24638},      {500000, 35, 30008},
+      {1000000, 39, 34077},     {2000000, 44, 38188},
+      {5000000, 50, 43565},     {10000000, 55, 47683},
+      {20000000, 60, 51735},    {50000000, 66, 57182},
+      {100000000, 71, 61235},
+  };
+
+  std::printf("%-11s | %-5s %-8s %-10s %-10s %-6s | paper: %-5s %-8s\n",
+              "Input size", "Runs", "Rows", "Cutoff", "Ideal", "Ratio",
+              "Runs", "Rows");
+  for (const PaperRow& row : paper) {
+    AnalyticModelConfig config;
+    config.input_rows = row.input;
+    config.k = 5000;
+    config.memory_rows = 1000;
+    config.buckets_per_run = 9;
+    const AnalyticModelResult result = RunAnalyticModel(config);
+    std::printf(
+        "%-11llu | %-5llu %-8llu %-10.6g %-10.6g %-6.2f | paper: %-5llu "
+        "%-8llu\n",
+        static_cast<unsigned long long>(row.input),
+        static_cast<unsigned long long>(result.total_runs),
+        static_cast<unsigned long long>(result.total_rows_spilled),
+        result.final_cutoff.value_or(1.0), result.ideal_cutoff,
+        result.ratio(), static_cast<unsigned long long>(row.runs),
+        static_cast<unsigned long long>(row.rows));
+  }
+  return 0;
+}

@@ -1,0 +1,53 @@
+/// Regenerates Table 5: varying input size with *minimal* histograms (one
+/// median bucket per run). Top 5,000, memory for 1,000 rows, uniform keys.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "model/analytic_model.h"
+
+int main() {
+  using namespace topk;
+  bench::PrintHeader(
+      "Table 5: varying input size, minimal histograms (analytic model)");
+
+  struct PaperRow {
+    uint64_t input;
+    uint64_t runs;
+    uint64_t rows;
+  };
+  const PaperRow paper[] = {
+      {6000, 6, 6000},         {7000, 7, 7000},
+      {10000, 10, 9500},       {20000, 15, 14500},
+      {50000, 25, 24000},      {100000, 34, 32250},
+      {200000, 44, 41125},     {500000, 56, 53437},
+      {1000000, 66, 62781},    {2000000, 76, 72203},
+      {5000000, 90, 85499},    {10000000, 100, 94999},
+      {20000000, 110, 104500}, {50000000, 123, 116209},
+      {100000000, 133, 125708},
+  };
+
+  std::printf("%-11s | %-5s %-8s %-10s %-6s | paper: %-5s %-8s\n",
+              "Input size", "Runs", "Rows", "Cutoff", "Ratio", "Runs",
+              "Rows");
+  for (const PaperRow& row : paper) {
+    AnalyticModelConfig config;
+    config.input_rows = row.input;
+    config.k = 5000;
+    config.memory_rows = 1000;
+    config.buckets_per_run = 1;
+    const AnalyticModelResult result = RunAnalyticModel(config);
+    std::printf(
+        "%-11llu | %-5llu %-8llu %-10.6g %-6.2f | paper: %-5llu %-8llu\n",
+        static_cast<unsigned long long>(row.input),
+        static_cast<unsigned long long>(result.total_runs),
+        static_cast<unsigned long long>(result.total_rows_spilled),
+        result.final_cutoff.value_or(1.0), result.ratio(),
+        static_cast<unsigned long long>(row.runs),
+        static_cast<unsigned long long>(row.rows));
+  }
+  std::printf(
+      "\nNote: even the minimal histogram spills ~1/8%% of a 100M-row "
+      "input vs 100%% for a traditional external sort.\n");
+  return 0;
+}

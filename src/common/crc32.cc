@@ -1,0 +1,35 @@
+#include "common/crc32.h"
+
+namespace topk {
+
+namespace {
+
+/// Table-driven CRC-32C; the table is built once at first use.
+struct Crc32cTable {
+  uint32_t entries[256];
+
+  Crc32cTable() {
+    constexpr uint32_t kPolynomial = 0x82f63b78u;  // reflected Castagnoli
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1) ? kPolynomial : 0);
+      }
+      entries[i] = crc;
+    }
+  }
+};
+
+}  // namespace
+
+uint32_t Crc32c(uint32_t crc, const void* data, size_t n) {
+  static const Crc32cTable table;
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  crc = ~crc;
+  for (size_t i = 0; i < n; ++i) {
+    crc = (crc >> 8) ^ table.entries[(crc ^ bytes[i]) & 0xff];
+  }
+  return ~crc;
+}
+
+}  // namespace topk

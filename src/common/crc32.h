@@ -1,0 +1,16 @@
+#ifndef TOPK_COMMON_CRC32_H_
+#define TOPK_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace topk {
+
+/// Incremental CRC-32C (Castagnoli) over `data`. Start with `crc = 0` and
+/// chain calls for streaming data. Used to checksum run files so that
+/// storage corruption is detected before wrong rows reach a query result.
+uint32_t Crc32c(uint32_t crc, const void* data, size_t n);
+
+}  // namespace topk
+
+#endif  // TOPK_COMMON_CRC32_H_

@@ -1,0 +1,98 @@
+#include "common/flags.h"
+
+#include <cstdlib>
+
+namespace topk {
+
+Result<Flags> Flags::Parse(int argc, const char* const* argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      flags.positional_.push_back(arg);
+      continue;
+    }
+    std::string body = arg.substr(2);
+    if (body.empty()) {
+      return Status::InvalidArgument("bare '--' is not a valid flag");
+    }
+    const size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      flags.values_[body.substr(0, eq)] = body.substr(eq + 1);
+      continue;
+    }
+    // "--name value" when the next token is not itself a flag; otherwise a
+    // boolean "--name".
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      flags.values_[body] = argv[i + 1];
+      ++i;
+    } else {
+      flags.values_[body] = "true";
+    }
+  }
+  return flags;
+}
+
+bool Flags::Has(const std::string& name) const {
+  return values_.count(name) > 0;
+}
+
+std::string Flags::GetString(const std::string& name,
+                             const std::string& default_value) const {
+  read_[name] = true;
+  auto it = values_.find(name);
+  return it == values_.end() ? default_value : it->second;
+}
+
+Result<int64_t> Flags::GetInt(const std::string& name,
+                              int64_t default_value) const {
+  read_[name] = true;
+  auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  char* end = nullptr;
+  // Accept scientific notation for row counts ("--n=2e9").
+  const double parsed = std::strtod(it->second.c_str(), &end);
+  if (end == it->second.c_str() || *end != '\0') {
+    return Status::InvalidArgument("flag --" + name +
+                                   " expects an integer, got '" +
+                                   it->second + "'");
+  }
+  return static_cast<int64_t>(parsed);
+}
+
+Result<double> Flags::GetDouble(const std::string& name,
+                                double default_value) const {
+  read_[name] = true;
+  auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  char* end = nullptr;
+  const double parsed = std::strtod(it->second.c_str(), &end);
+  if (end == it->second.c_str() || *end != '\0') {
+    return Status::InvalidArgument("flag --" + name +
+                                   " expects a number, got '" + it->second +
+                                   "'");
+  }
+  return parsed;
+}
+
+Result<bool> Flags::GetBool(const std::string& name,
+                            bool default_value) const {
+  read_[name] = true;
+  auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  const std::string& v = it->second;
+  if (v == "true" || v == "1" || v == "yes") return true;
+  if (v == "false" || v == "0" || v == "no") return false;
+  return Status::InvalidArgument("flag --" + name +
+                                 " expects a boolean, got '" + v + "'");
+}
+
+std::vector<std::string> Flags::UnreadFlags() const {
+  std::vector<std::string> unread;
+  for (const auto& [name, value] : values_) {
+    if (!read_.count(name)) unread.push_back(name);
+  }
+  return unread;
+}
+
+}  // namespace topk

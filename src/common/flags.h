@@ -1,0 +1,45 @@
+#ifndef TOPK_COMMON_FLAGS_H_
+#define TOPK_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace topk {
+
+/// Minimal command-line flag parser for the CLI driver and ad-hoc tools:
+/// understands `--name=value` and `--name value`; bare `--name` is treated
+/// as boolean true; everything else is a positional argument.
+class Flags {
+ public:
+  /// Parses argv; fails on malformed arguments (e.g. "--" alone).
+  static Result<Flags> Parse(int argc, const char* const* argv);
+
+  bool Has(const std::string& name) const;
+
+  std::string GetString(const std::string& name,
+                        const std::string& default_value) const;
+  Result<int64_t> GetInt(const std::string& name, int64_t default_value) const;
+  Result<double> GetDouble(const std::string& name,
+                           double default_value) const;
+  Result<bool> GetBool(const std::string& name, bool default_value) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Flags present on the command line that were never read by any Get*()
+  /// call — used to reject typos.
+  std::vector<std::string> UnreadFlags() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> read_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace topk
+
+#endif  // TOPK_COMMON_FLAGS_H_

@@ -1,0 +1,70 @@
+#ifndef TOPK_COMMON_LOGGING_H_
+#define TOPK_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace topk {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the minimum level that is emitted to stderr. Default: kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log line; emits on destruction. Used via the TOPK_LOG macro.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Aborts the process after printing the message; used by TOPK_CHECK.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line, const char* condition);
+  [[noreturn]] ~FatalLogMessage();
+
+  template <typename T>
+  FatalLogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define TOPK_LOG(level)                                                  \
+  ::topk::internal::LogMessage(::topk::LogLevel::k##level, __FILE__, \
+                               __LINE__)
+
+/// Invariant check: aborts (with file/line and message) when `cond` is false.
+/// Used for programming errors, never for recoverable conditions.
+#define TOPK_CHECK(cond)                                             \
+  if (!(cond))                                                       \
+  ::topk::internal::FatalLogMessage(__FILE__, __LINE__, #cond)
+
+#define TOPK_DCHECK(cond) TOPK_CHECK(cond)
+
+}  // namespace topk
+
+#endif  // TOPK_COMMON_LOGGING_H_

@@ -1,0 +1,37 @@
+#ifndef TOPK_COMMON_RANDOM_H_
+#define TOPK_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+namespace topk {
+
+/// Deterministic, fast pseudo-random generator (xoshiro256**). Used by all
+/// workload generators so experiments are reproducible from a seed.
+class Random {
+ public:
+  explicit Random(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Uniform 64-bit value.
+  uint64_t NextUint64();
+
+  /// Uniform in [0, bound). `bound` must be > 0.
+  uint64_t NextUint64(uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Standard normal variate (Box-Muller, deterministic for a given seed).
+  double NextGaussian();
+
+  /// Log-normal variate with the given log-space mean and sigma.
+  double NextLogNormal(double mu, double sigma);
+
+ private:
+  uint64_t s_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace topk
+
+#endif  // TOPK_COMMON_RANDOM_H_

@@ -1,0 +1,71 @@
+#ifndef TOPK_COMMON_RESULT_H_
+#define TOPK_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace topk {
+
+/// A value-or-error type (StatusOr-lite). Holds either a T or a non-OK
+/// Status. Accessing the value of an errored Result is a programming error
+/// and asserts in debug builds.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from an error status. Must not be OK.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(repr_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The status: OK if a value is held.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+/// Assigns the value of a Result expression to `lhs`, or returns its error
+/// status from the enclosing function.
+#define TOPK_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value()
+
+#define TOPK_ASSIGN_OR_RETURN_CONCAT(a, b) a##b
+#define TOPK_ASSIGN_OR_RETURN_NAME(a, b) TOPK_ASSIGN_OR_RETURN_CONCAT(a, b)
+#define TOPK_ASSIGN_OR_RETURN(lhs, expr)                                     \
+  TOPK_ASSIGN_OR_RETURN_IMPL(                                                \
+      TOPK_ASSIGN_OR_RETURN_NAME(_topk_result_, __LINE__), lhs, expr)
+
+}  // namespace topk
+
+#endif  // TOPK_COMMON_RESULT_H_

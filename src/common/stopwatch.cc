@@ -1,0 +1,5 @@
+#include "common/stopwatch.h"
+
+// Stopwatch and PhaseTimer are header-only; this translation unit exists so
+// the build file can list the module and future non-inline helpers have a
+// home.

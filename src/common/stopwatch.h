@@ -1,0 +1,64 @@
+#ifndef TOPK_COMMON_STOPWATCH_H_
+#define TOPK_COMMON_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace topk {
+
+/// Monotonic wall-clock stopwatch used for phase timings in operator stats
+/// and benchmark harnesses.
+class Stopwatch {
+ public:
+  Stopwatch() { Restart(); }
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Nanoseconds since construction or the last Restart().
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedNanos()) * 1e-9;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates elapsed time across start/stop intervals (phase timer).
+class PhaseTimer {
+ public:
+  void Start() {
+    watch_.Restart();
+    running_ = true;
+  }
+
+  void Stop() {
+    if (running_) {
+      total_nanos_ += watch_.ElapsedNanos();
+      running_ = false;
+    }
+  }
+
+  int64_t TotalNanos() const {
+    return total_nanos_ + (running_ ? watch_.ElapsedNanos() : 0);
+  }
+
+  double TotalSeconds() const {
+    return static_cast<double>(TotalNanos()) * 1e-9;
+  }
+
+ private:
+  Stopwatch watch_;
+  int64_t total_nanos_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace topk
+
+#endif  // TOPK_COMMON_STOPWATCH_H_

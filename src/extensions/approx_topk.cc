@@ -1,0 +1,38 @@
+#include "extensions/approx_topk.h"
+
+#include <cmath>
+
+namespace topk {
+
+ApproxTopK::ApproxTopK(std::unique_ptr<HistogramTopK> inner,
+                       uint64_t requested_k, uint64_t reduced_k)
+    : inner_(std::move(inner)),
+      requested_k_(requested_k),
+      reduced_k_(reduced_k) {}
+
+Result<std::unique_ptr<ApproxTopK>> ApproxTopK::Make(
+    const TopKOptions& options, double tolerance) {
+  if (tolerance < 0.0 || tolerance >= 1.0) {
+    return Status::InvalidArgument("tolerance must be in [0, 1)");
+  }
+  const uint64_t reduced_k = std::max<uint64_t>(
+      1, static_cast<uint64_t>(
+             std::ceil(static_cast<double>(options.k) * (1.0 - tolerance))));
+  TopKOptions approx_options = options;
+  approx_options.approx_filter_k = reduced_k + options.offset;
+  std::unique_ptr<HistogramTopK> inner;
+  TOPK_ASSIGN_OR_RETURN(inner, HistogramTopK::Make(approx_options));
+  return std::unique_ptr<ApproxTopK>(
+      new ApproxTopK(std::move(inner), options.k, reduced_k));
+}
+
+Status ApproxTopK::Consume(Row row) { return inner_->Consume(std::move(row)); }
+
+Result<std::vector<Row>> ApproxTopK::Finish() {
+  std::vector<Row> rows;
+  TOPK_ASSIGN_OR_RETURN(rows, inner_->Finish());
+  stats_ = inner_->stats();
+  return rows;
+}
+
+}  // namespace topk

@@ -1,0 +1,46 @@
+#ifndef TOPK_EXTENSIONS_APPROX_TOPK_H_
+#define TOPK_EXTENSIONS_APPROX_TOPK_H_
+
+#include <memory>
+#include <vector>
+
+#include "topk/histogram_topk.h"
+#include "topk/topk_operator.h"
+
+namespace topk {
+
+/// Approximate top-k (Sec 4.5, first form: "the row count may be
+/// approximate ... a 'top 100' request may produce 90, 100, or 110 rows").
+///
+/// The cutoff filter is configured with a reduced target
+/// k' = ceil(k * (1 - tolerance)), so the cutoff is established earlier and
+/// sharpened more aggressively; rows of the true top k beyond the sharper
+/// cutoff may be discarded. What survives is still an exact *prefix* of the
+/// global order, so the result is the true top-m for some m in [k', k]:
+/// fewer rows, never wrong rows. The paper's caution applies verbatim:
+/// "even a conservatively estimated final cutoff key may lead to fewer
+/// final result rows than requested".
+class ApproxTopK : public TopKOperator {
+ public:
+  /// `tolerance` in [0, 1): the acceptable shortfall fraction of k.
+  static Result<std::unique_ptr<ApproxTopK>> Make(const TopKOptions& options,
+                                                  double tolerance);
+
+  Status Consume(Row row) override;
+  Result<std::vector<Row>> Finish() override;
+  std::string name() const override { return "approx-histogram"; }
+
+  uint64_t guaranteed_rows() const { return reduced_k_; }
+
+ private:
+  ApproxTopK(std::unique_ptr<HistogramTopK> inner, uint64_t requested_k,
+             uint64_t reduced_k);
+
+  std::unique_ptr<HistogramTopK> inner_;
+  uint64_t requested_k_;
+  uint64_t reduced_k_;
+};
+
+}  // namespace topk
+
+#endif  // TOPK_EXTENSIONS_APPROX_TOPK_H_

@@ -1,0 +1,105 @@
+#include "extensions/offset_skip.h"
+
+#include <algorithm>
+
+namespace topk {
+
+namespace {
+
+/// Upper bound on the rows of `run` whose keys sort at-or-before `key`:
+/// one less than the position of the first index entry strictly beyond
+/// `key` (that entry's row is already beyond), or the whole run if no
+/// entry is beyond.
+uint64_t UpperBoundRowsAtOrBefore(const RunMeta& run, double key,
+                                  const RowComparator& comparator) {
+  for (const RunIndexEntry& entry : run.index) {
+    if (comparator.KeyBeyond(entry.key, key)) {
+      return entry.rows - 1;
+    }
+  }
+  return run.rows;
+}
+
+/// The last index entry of `run` whose key sorts at-or-before `key`
+/// (every row up to it is safely skippable), or nullptr.
+const RunIndexEntry* LastEntryAtOrBefore(const RunMeta& run, double key,
+                                         const RowComparator& comparator) {
+  const RunIndexEntry* best = nullptr;
+  for (const RunIndexEntry& entry : run.index) {
+    if (comparator.KeyBeyond(entry.key, key)) break;
+    best = &entry;
+  }
+  return best;
+}
+
+}  // namespace
+
+OffsetSkipPlan PlanOffsetSkip(const std::vector<RunMeta>& runs,
+                              uint64_t offset,
+                              const RowComparator& comparator) {
+  OffsetSkipPlan plan;
+  plan.skip_rows.assign(runs.size(), 0);
+  plan.skip_bytes.assign(runs.size(), 0);
+  if (offset == 0 || runs.empty()) return plan;
+
+  // Candidate skip keys: every index entry key, best-first in query order.
+  std::vector<double> candidates;
+  for (const RunMeta& run : runs) {
+    for (const RunIndexEntry& entry : run.index) {
+      candidates.push_back(entry.key);
+    }
+  }
+  if (candidates.empty()) return plan;
+  std::sort(candidates.begin(), candidates.end(),
+            [&](double a, double b) { return comparator.KeyLess(a, b); });
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+
+  // The largest candidate K whose total at-or-before upper bound still
+  // fits inside the offset: every row with key <=q K is then provably one
+  // of the first `offset` merged rows. The bound is monotone in K, so scan
+  // best-first and keep the last safe candidate.
+  bool found = false;
+  double skip_key = 0.0;
+  for (double candidate : candidates) {
+    uint64_t upper = 0;
+    for (const RunMeta& run : runs) {
+      upper += UpperBoundRowsAtOrBefore(run, candidate, comparator);
+    }
+    if (upper > offset) break;
+    skip_key = candidate;
+    found = true;
+  }
+  if (!found) return plan;
+
+  plan.has_skip = true;
+  plan.skip_key = skip_key;
+  for (size_t i = 0; i < runs.size(); ++i) {
+    const RunIndexEntry* entry =
+        LastEntryAtOrBefore(runs[i], skip_key, comparator);
+    if (entry != nullptr) {
+      plan.skip_rows[i] = entry->rows;
+      plan.skip_bytes[i] = entry->bytes;
+      plan.rows_skipped += entry->rows;
+    }
+  }
+  return plan;
+}
+
+Result<MergeStats> MergeRunsWithOffsetSkip(SpillManager* spill,
+                                           const std::vector<RunMeta>& runs,
+                                           const RowComparator& comparator,
+                                           const MergeOptions& options,
+                                           const RowSink& sink,
+                                           OffsetSkipPlan* plan_out) {
+  OffsetSkipPlan plan = PlanOffsetSkip(runs, options.skip, comparator);
+  MergeOptions seek_options = options;
+  if (plan.has_skip) {
+    seek_options.seek_bytes = plan.skip_bytes;
+    seek_options.seek_rows_total = plan.rows_skipped;
+  }
+  if (plan_out != nullptr) *plan_out = plan;
+  return MergeRuns(spill, runs, comparator, seek_options, sink);
+}
+
+}  // namespace topk

@@ -1,0 +1,57 @@
+#ifndef TOPK_EXTENSIONS_OFFSET_SKIP_H_
+#define TOPK_EXTENSIONS_OFFSET_SKIP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "io/spill_manager.h"
+#include "row/row.h"
+#include "sort/merger.h"
+
+namespace topk {
+
+/// Histogram-guided OFFSET support (Sec 4.1): "The combined histogram from
+/// all runs can determine the highest key value with a rank lower than the
+/// offset; this is the key value where the merge logic should start.
+/// [...] If runs are stored in search structures this search is quite
+/// efficient." Our runs carry a sparse seek index (RunMeta::index), so each
+/// merge input can begin mid-run, behind a prefix of rows that provably
+/// belong to the skipped offset.
+
+/// Per-run skip decision for one merge.
+struct OffsetSkipPlan {
+  /// For each run (parallel to the planned run list): rows and bytes of
+  /// the run's prefix that are skipped via a seek instead of being read.
+  std::vector<uint64_t> skip_rows;
+  std::vector<uint64_t> skip_bytes;
+  /// Total rows skipped by seeks; the merge must still discard
+  /// `offset - rows_skipped` rows the slow way.
+  uint64_t rows_skipped = 0;
+  /// The skip key chosen from the combined index (for diagnostics).
+  double skip_key = 0.0;
+  bool has_skip = false;
+};
+
+/// Chooses the sharpest safe skip: the largest indexed key K such that the
+/// total number of rows with keys at-or-before K (upper-bounded via each
+/// run's index) cannot exceed `offset`. Every row skipped is then provably
+/// among the first `offset` rows of the merged order, regardless of tie
+/// interleaving.
+OffsetSkipPlan PlanOffsetSkip(const std::vector<RunMeta>& runs,
+                              uint64_t offset,
+                              const RowComparator& comparator);
+
+/// Merges `runs` like MergeRuns, but first seeks each input past the
+/// offset prefix chosen by PlanOffsetSkip. `options.skip` must be the full
+/// offset; the residual (offset - seeked rows) is discarded row-by-row.
+Result<MergeStats> MergeRunsWithOffsetSkip(SpillManager* spill,
+                                           const std::vector<RunMeta>& runs,
+                                           const RowComparator& comparator,
+                                           const MergeOptions& options,
+                                           const RowSink& sink,
+                                           OffsetSkipPlan* plan_out = nullptr);
+
+}  // namespace topk
+
+#endif  // TOPK_EXTENSIONS_OFFSET_SKIP_H_

@@ -1,0 +1,119 @@
+#ifndef TOPK_EXTENSIONS_PARALLEL_TOPK_H_
+#define TOPK_EXTENSIONS_PARALLEL_TOPK_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "histogram/cutoff_filter.h"
+#include "io/spill_manager.h"
+#include "sort/run_generation.h"
+#include "topk/topk_operator.h"
+
+namespace topk {
+
+/// Thread-safe facade over a CutoffFilter, shared by parallel workers
+/// (Sec 4.4: "If the participating threads share an address space, they may
+/// share a histogram priority queue. Such a group of threads retains
+/// basically the same number of input rows as a single thread.").
+///
+/// Eliminate() is lock-free (the cutoff is mirrored into atomics — it is
+/// the hot path, called for every input row); mutations take a mutex.
+class SharedCutoffFilter {
+ public:
+  explicit SharedCutoffFilter(const CutoffFilter::Options& options);
+
+  bool Eliminate(const Row& row) const { return EliminateKey(row.key); }
+  bool EliminateKey(double key) const;
+
+  void RowSpilled(double key);
+  std::vector<HistogramBucket> RunFinished();
+  void ProposeCutoff(double key);
+  /// Inserts a complete bucket built by a worker-local histogram builder.
+  void InsertBucket(HistogramBucket bucket);
+
+  std::optional<double> cutoff() const;
+  const RowComparator& comparator() const { return comparator_; }
+
+ private:
+  void PublishCutoff();
+
+  RowComparator comparator_;
+  mutable std::mutex mu_;
+  CutoffFilter filter_;
+  std::atomic<bool> has_cutoff_{false};
+  std::atomic<double> cutoff_{0.0};
+};
+
+/// Parallel top-k (Sec 4.4): worker threads each run replacement selection
+/// over their share of the input, all filtering through one shared cutoff
+/// filter and spilling into one shared SpillManager. The final result is a
+/// single merge of every worker's runs.
+///
+/// Each worker collects its own per-run histograms (its spills interleave
+/// with nobody: runs are per-worker), but every bucket lands in the shared
+/// model, so the combined filter sharpens as fast as a single thread's
+/// would — the paper's key observation about shared-address-space
+/// parallelism.
+class ParallelTopK {
+ public:
+  struct Options {
+    TopKOptions base;
+    size_t num_workers = 4;
+    /// Rows buffered per worker queue before Consume blocks.
+    size_t queue_capacity = 4096;
+    /// Share one cutoff filter across workers (Sec 4.4: threads in one
+    /// address space "may share a histogram priority queue. Such a group
+    /// of threads retains basically the same number of input rows as a
+    /// single thread."). false = each worker filters independently, the
+    /// degraded behaviour the paper contrasts against (every worker must
+    /// prove k rows on its own slice before eliminating anything).
+    bool share_filter = true;
+  };
+
+  static Result<std::unique_ptr<ParallelTopK>> Make(const Options& options);
+  ~ParallelTopK();
+
+  ParallelTopK(const ParallelTopK&) = delete;
+  ParallelTopK& operator=(const ParallelTopK&) = delete;
+
+  /// Thread-compatible (single producer): dispatches rows to workers
+  /// round-robin. Rows already beyond the shared cutoff are dropped here,
+  /// on the producer side (the flow-control idea of Sec 4.4).
+  Status Consume(Row row);
+
+  /// Drains the queues, joins the workers, merges all runs.
+  Result<std::vector<Row>> Finish();
+
+  const OperatorStats& stats() const { return stats_; }
+  /// The shared filter (null when share_filter is false).
+  const SharedCutoffFilter* filter() const { return filter_.get(); }
+
+ private:
+  struct Worker;
+
+  /// The filter a given worker eliminates through.
+  SharedCutoffFilter* WorkerFilter(Worker* worker) const;
+
+  explicit ParallelTopK(const Options& options);
+  Status Start();
+  void WorkerLoop(Worker* worker);
+
+  Options options_;
+  RowComparator comparator_;
+  std::unique_ptr<StorageEnv> owned_env_;  // unused; env comes from options
+  std::unique_ptr<SpillManager> spill_;
+  std::unique_ptr<SharedCutoffFilter> filter_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  size_t next_worker_ = 0;
+  OperatorStats stats_;
+  bool finished_ = false;
+};
+
+}  // namespace topk
+
+#endif  // TOPK_EXTENSIONS_PARALLEL_TOPK_H_

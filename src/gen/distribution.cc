@@ -1,0 +1,132 @@
+#include "gen/distribution.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace topk {
+
+bool ParseKeyDistribution(const std::string& name, KeyDistribution* out) {
+  if (name == "uniform") {
+    *out = KeyDistribution::kUniform;
+  } else if (name == "fal") {
+    *out = KeyDistribution::kFal;
+  } else if (name == "lognormal") {
+    *out = KeyDistribution::kLogNormal;
+  } else if (name == "ascending") {
+    *out = KeyDistribution::kAscending;
+  } else if (name == "descending") {
+    *out = KeyDistribution::kDescending;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+std::string KeyDistributionName(KeyDistribution dist) {
+  switch (dist) {
+    case KeyDistribution::kUniform:
+      return "uniform";
+    case KeyDistribution::kFal:
+      return "fal";
+    case KeyDistribution::kLogNormal:
+      return "lognormal";
+    case KeyDistribution::kAscending:
+      return "ascending";
+    case KeyDistribution::kDescending:
+      return "descending";
+  }
+  return "unknown";
+}
+
+namespace {
+
+class UniformKeyGenerator : public KeyGenerator {
+ public:
+  explicit UniformKeyGenerator(uint64_t seed) : rng_(seed) {}
+  double Next() override { return rng_.NextDouble(); }
+
+ private:
+  Random rng_;
+};
+
+// fal: value(r) = N / r^z with rank r drawn uniformly from [1, N]. The
+// original generator (Faloutsos & Jagadish 1992) enumerates ranks 1..N and
+// shuffles; drawing ranks with replacement yields the same distribution for
+// a streamed dataset and needs no O(N) state.
+class FalKeyGenerator : public KeyGenerator {
+ public:
+  FalKeyGenerator(uint64_t n, double shape, uint64_t seed)
+      : rng_(seed), n_(n > 0 ? n : 1), shape_(shape) {}
+
+  double Next() override {
+    const uint64_t rank = rng_.NextUint64(n_) + 1;
+    return static_cast<double>(n_) /
+           std::pow(static_cast<double>(rank), shape_);
+  }
+
+ private:
+  Random rng_;
+  uint64_t n_;
+  double shape_;
+};
+
+class LogNormalKeyGenerator : public KeyGenerator {
+ public:
+  LogNormalKeyGenerator(double mu, double sigma, uint64_t seed)
+      : rng_(seed), mu_(mu), sigma_(sigma) {}
+
+  double Next() override { return rng_.NextLogNormal(mu_, sigma_); }
+
+ private:
+  Random rng_;
+  double mu_;
+  double sigma_;
+};
+
+// Monotone streams. A tiny uniform jitter inside each step keeps keys
+// distinct without breaking monotonicity.
+class MonotoneKeyGenerator : public KeyGenerator {
+ public:
+  MonotoneKeyGenerator(bool ascending, uint64_t num_rows, uint64_t seed)
+      : rng_(seed), ascending_(ascending), num_rows_(num_rows) {}
+
+  double Next() override {
+    const double step = 1.0 / static_cast<double>(num_rows_ + 1);
+    const double base = static_cast<double>(next_index_++) * step;
+    const double jitter = rng_.NextDouble() * step * 0.5;
+    const double v = base + jitter;
+    return ascending_ ? v : 1.0 - v;
+  }
+
+ private:
+  Random rng_;
+  bool ascending_;
+  uint64_t num_rows_;
+  uint64_t next_index_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<KeyGenerator> MakeKeyGenerator(const KeyGeneratorSpec& spec) {
+  switch (spec.distribution) {
+    case KeyDistribution::kUniform:
+      return std::make_unique<UniformKeyGenerator>(spec.seed);
+    case KeyDistribution::kFal:
+      return std::make_unique<FalKeyGenerator>(spec.num_rows, spec.fal_shape,
+                                               spec.seed);
+    case KeyDistribution::kLogNormal:
+      return std::make_unique<LogNormalKeyGenerator>(
+          spec.lognormal_mu, spec.lognormal_sigma, spec.seed);
+    case KeyDistribution::kAscending:
+      return std::make_unique<MonotoneKeyGenerator>(true, spec.num_rows,
+                                                    spec.seed);
+    case KeyDistribution::kDescending:
+      return std::make_unique<MonotoneKeyGenerator>(false, spec.num_rows,
+                                                    spec.seed);
+  }
+  TOPK_CHECK(false) << "unreachable distribution";
+  return nullptr;
+}
+
+}  // namespace topk

@@ -1,0 +1,59 @@
+#ifndef TOPK_GEN_DISTRIBUTION_H_
+#define TOPK_GEN_DISTRIBUTION_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/random.h"
+
+namespace topk {
+
+/// Key distributions used by the paper's evaluation (Sec 5.1.4):
+///  * kUniform    — uniform keys (the paper uses L_ORDERKEY of an unsorted
+///                  Lineitem table; uniform over the key domain).
+///  * kFal        — the Faloutsos–Jagadish generator: value(r) = N / r^z for
+///                  rank r in [1, N]; shape z sweeps uniform-ish to
+///                  hyperbolic (Zipf-like).
+///  * kLogNormal  — log-normal with mu=0, sigma=2 (as in the paper).
+///  * kAscending  — already sorted in query order (best case, trivial).
+///  * kDescending — reverse-sorted: for an ascending top-k this is the
+///                  adversarial input of Sec 5.5 (every row is admitted, the
+///                  filter sharpens constantly but never eliminates).
+enum class KeyDistribution {
+  kUniform,
+  kFal,
+  kLogNormal,
+  kAscending,
+  kDescending,
+};
+
+/// Parses "uniform", "fal", "lognormal", "ascending", "descending".
+bool ParseKeyDistribution(const std::string& name, KeyDistribution* out);
+std::string KeyDistributionName(KeyDistribution dist);
+
+/// Produces a stream of sort keys following one distribution. Deterministic
+/// for a given seed.
+class KeyGenerator {
+ public:
+  virtual ~KeyGenerator() = default;
+  virtual double Next() = 0;
+};
+
+struct KeyGeneratorSpec {
+  KeyDistribution distribution = KeyDistribution::kUniform;
+  /// Domain size: uniform draws from [0, 1); fal uses this as N.
+  uint64_t num_rows = 1000000;
+  /// Shape parameter z for kFal (paper uses 0.5, 1.05, 1.25, 1.5).
+  double fal_shape = 1.25;
+  /// Log-normal parameters (paper: mu=0, sigma=2).
+  double lognormal_mu = 0.0;
+  double lognormal_sigma = 2.0;
+  uint64_t seed = 42;
+};
+
+std::unique_ptr<KeyGenerator> MakeKeyGenerator(const KeyGeneratorSpec& spec);
+
+}  // namespace topk
+
+#endif  // TOPK_GEN_DISTRIBUTION_H_

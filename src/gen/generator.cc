@@ -1,0 +1,46 @@
+#include "gen/generator.h"
+
+#include <cstring>
+
+namespace topk {
+
+RowGenerator::RowGenerator(const DatasetSpec& spec)
+    : spec_(spec),
+      keys_(MakeKeyGenerator(spec.keys)),
+      payload_rng_(spec.seed ^ 0x9d2c5680u) {}
+
+void RowGenerator::Reset() {
+  keys_ = MakeKeyGenerator(spec_.keys);
+  payload_rng_ = Random(spec_.seed ^ 0x9d2c5680u);
+  produced_ = 0;
+}
+
+bool RowGenerator::Next(Row* row) {
+  if (produced_ >= spec_.num_rows) return false;
+  row->key = keys_->Next();
+  row->id = produced_;
+  FillPayload(row);
+  ++produced_;
+  return true;
+}
+
+void RowGenerator::FillPayload(Row* row) {
+  const size_t min = spec_.payload_min_bytes;
+  const size_t max = spec_.payload_max_bytes;
+  size_t size = min;
+  if (max > min) {
+    size = min + static_cast<size_t>(payload_rng_.NextUint64(max - min + 1));
+  }
+  row->payload.resize(size);
+  // Cheap deterministic filler: 8 bytes of RNG repeated. Content is opaque
+  // to the operators; only its size matters.
+  size_t i = 0;
+  while (i + 8 <= size) {
+    const uint64_t v = payload_rng_.NextUint64();
+    std::memcpy(row->payload.data() + i, &v, 8);
+    i += 8;
+  }
+  for (; i < size; ++i) row->payload[i] = 'x';
+}
+
+}  // namespace topk

@@ -1,0 +1,78 @@
+#ifndef TOPK_GEN_GENERATOR_H_
+#define TOPK_GEN_GENERATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/random.h"
+#include "gen/distribution.h"
+#include "row/row.h"
+
+namespace topk {
+
+/// Describes a synthetic dataset: row count, key distribution, and payload
+/// shape. Payload sizes may vary per row (uniform in [min,max]) to exercise
+/// variable-size-row handling in run generation.
+struct DatasetSpec {
+  uint64_t num_rows = 1000000;
+  KeyGeneratorSpec keys;
+  size_t payload_min_bytes = 0;
+  size_t payload_max_bytes = 0;
+  uint64_t seed = 42;
+
+  DatasetSpec& WithRows(uint64_t n) {
+    num_rows = n;
+    keys.num_rows = n;
+    return *this;
+  }
+  DatasetSpec& WithDistribution(KeyDistribution d) {
+    keys.distribution = d;
+    return *this;
+  }
+  DatasetSpec& WithFalShape(double z) {
+    keys.distribution = KeyDistribution::kFal;
+    keys.fal_shape = z;
+    return *this;
+  }
+  DatasetSpec& WithPayload(size_t min_bytes, size_t max_bytes) {
+    payload_min_bytes = min_bytes;
+    payload_max_bytes = max_bytes;
+    return *this;
+  }
+  DatasetSpec& WithSeed(uint64_t s) {
+    seed = s;
+    keys.seed = s ^ 0x5bf0a8b1u;
+    return *this;
+  }
+};
+
+/// Streams the rows of a DatasetSpec. Row ids are the 0-based sequence
+/// numbers, so any generated dataset has a unique deterministic answer for
+/// any top-k query over it.
+class RowGenerator {
+ public:
+  explicit RowGenerator(const DatasetSpec& spec);
+
+  /// Produces the next row; returns false when `num_rows` were produced.
+  bool Next(Row* row);
+
+  /// Rows produced so far.
+  uint64_t produced() const { return produced_; }
+  uint64_t num_rows() const { return spec_.num_rows; }
+
+  /// Restarts the stream from the beginning (same seed, same rows).
+  void Reset();
+
+ private:
+  void FillPayload(Row* row);
+
+  DatasetSpec spec_;
+  std::unique_ptr<KeyGenerator> keys_;
+  Random payload_rng_;
+  uint64_t produced_ = 0;
+};
+
+}  // namespace topk
+
+#endif  // TOPK_GEN_GENERATOR_H_

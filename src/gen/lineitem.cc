@@ -1,0 +1,130 @@
+#include "gen/lineitem.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace topk {
+
+namespace {
+
+constexpr const char* kShipInstructs[] = {
+    "DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"};
+constexpr const char* kShipModes[] = {"REG AIR", "AIR",  "RAIL", "SHIP",
+                                      "TRUCK",   "MAIL", "FOB"};
+constexpr const char* kCommentWords[] = {
+    "carefully", "quickly", "furiously", "slyly",    "blithely", "packages",
+    "deposits",  "requests", "accounts", "pending",  "ironic",   "express",
+    "final",     "regular",  "special",  "unusual",  "bold",     "even"};
+
+template <typename T>
+void AppendRaw(const T& v, std::string* out) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+bool ReadRaw(const std::string& in, size_t* offset, T* v) {
+  if (*offset + sizeof(T) > in.size()) return false;
+  std::memcpy(v, in.data() + *offset, sizeof(T));
+  *offset += sizeof(T);
+  return true;
+}
+
+}  // namespace
+
+LineitemGenerator::LineitemGenerator(uint64_t num_rows, uint64_t seed)
+    : num_rows_(num_rows), rng_(seed) {}
+
+void LineitemGenerator::FillItem(Lineitem* item) {
+  item->orderkey =
+      static_cast<int64_t>(rng_.NextUint64(num_rows_ * 4 + 1)) + 1;
+  item->partkey = static_cast<int64_t>(rng_.NextUint64(200000)) + 1;
+  item->suppkey = static_cast<int64_t>(rng_.NextUint64(10000)) + 1;
+  item->linenumber = static_cast<int32_t>(rng_.NextUint64(7)) + 1;
+  item->quantity = 1.0 + static_cast<double>(rng_.NextUint64(50));
+  item->extendedprice = 900.0 + rng_.NextDouble() * 104000.0;
+  item->discount = static_cast<double>(rng_.NextUint64(11)) / 100.0;
+  item->tax = static_cast<double>(rng_.NextUint64(9)) / 100.0;
+  item->returnflag = "RAN"[rng_.NextUint64(3)];
+  item->linestatus = "OF"[rng_.NextUint64(2)];
+  item->shipdate = 8400 + static_cast<int32_t>(rng_.NextUint64(2500));
+  item->commitdate = item->shipdate + static_cast<int32_t>(rng_.NextUint64(60));
+  item->receiptdate = item->shipdate + static_cast<int32_t>(rng_.NextUint64(30));
+  std::snprintf(item->shipinstruct, sizeof(item->shipinstruct), "%s",
+                kShipInstructs[rng_.NextUint64(4)]);
+  std::snprintf(item->shipmode, sizeof(item->shipmode), "%s",
+                kShipModes[rng_.NextUint64(7)]);
+  item->comment.clear();
+  const uint64_t words = 2 + rng_.NextUint64(5);
+  for (uint64_t w = 0; w < words; ++w) {
+    if (w > 0) item->comment += ' ';
+    item->comment += kCommentWords[rng_.NextUint64(
+        sizeof(kCommentWords) / sizeof(kCommentWords[0]))];
+  }
+}
+
+bool LineitemGenerator::Next(Row* row) {
+  if (produced_ >= num_rows_) return false;
+  Lineitem item;
+  FillItem(&item);
+  row->key = static_cast<double>(item.orderkey);
+  row->id = produced_;
+  SerializeLineitemPayload(item, &row->payload);
+  ++produced_;
+  return true;
+}
+
+void SerializeLineitemPayload(const Lineitem& item, std::string* out) {
+  out->clear();
+  AppendRaw(item.partkey, out);
+  AppendRaw(item.suppkey, out);
+  AppendRaw(item.linenumber, out);
+  AppendRaw(item.quantity, out);
+  AppendRaw(item.extendedprice, out);
+  AppendRaw(item.discount, out);
+  AppendRaw(item.tax, out);
+  AppendRaw(item.returnflag, out);
+  AppendRaw(item.linestatus, out);
+  AppendRaw(item.shipdate, out);
+  AppendRaw(item.commitdate, out);
+  AppendRaw(item.receiptdate, out);
+  out->append(item.shipinstruct, sizeof(item.shipinstruct));
+  out->append(item.shipmode, sizeof(item.shipmode));
+  const uint32_t comment_len = static_cast<uint32_t>(item.comment.size());
+  AppendRaw(comment_len, out);
+  out->append(item.comment);
+}
+
+bool ParseLineitemPayload(const std::string& payload, Lineitem* item) {
+  size_t offset = 0;
+  if (!ReadRaw(payload, &offset, &item->partkey) ||
+      !ReadRaw(payload, &offset, &item->suppkey) ||
+      !ReadRaw(payload, &offset, &item->linenumber) ||
+      !ReadRaw(payload, &offset, &item->quantity) ||
+      !ReadRaw(payload, &offset, &item->extendedprice) ||
+      !ReadRaw(payload, &offset, &item->discount) ||
+      !ReadRaw(payload, &offset, &item->tax) ||
+      !ReadRaw(payload, &offset, &item->returnflag) ||
+      !ReadRaw(payload, &offset, &item->linestatus) ||
+      !ReadRaw(payload, &offset, &item->shipdate) ||
+      !ReadRaw(payload, &offset, &item->commitdate) ||
+      !ReadRaw(payload, &offset, &item->receiptdate)) {
+    return false;
+  }
+  if (offset + sizeof(item->shipinstruct) + sizeof(item->shipmode) >
+      payload.size()) {
+    return false;
+  }
+  std::memcpy(item->shipinstruct, payload.data() + offset,
+              sizeof(item->shipinstruct));
+  offset += sizeof(item->shipinstruct);
+  std::memcpy(item->shipmode, payload.data() + offset,
+              sizeof(item->shipmode));
+  offset += sizeof(item->shipmode);
+  uint32_t comment_len = 0;
+  if (!ReadRaw(payload, &offset, &comment_len)) return false;
+  if (offset + comment_len > payload.size()) return false;
+  item->comment.assign(payload.data() + offset, comment_len);
+  return true;
+}
+
+}  // namespace topk

@@ -1,0 +1,69 @@
+#ifndef TOPK_GEN_LINEITEM_H_
+#define TOPK_GEN_LINEITEM_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/random.h"
+#include "row/row.h"
+
+namespace topk {
+
+/// A TPC-H Lineitem-shaped record. The paper's evaluation query is
+///   SELECT L_ORDERKEY, ..., L_COMMENT FROM LINEITEM
+///   ORDER BY L_ORDERKEY LIMIT K;
+/// i.e. it sorts on L_ORDERKEY and carries every other column as payload.
+/// We reproduce the schema shape: the sort key is L_ORDERKEY, the remaining
+/// columns are serialized into the row payload (~120 bytes on average,
+/// variable because of the comment string).
+struct Lineitem {
+  int64_t orderkey;
+  int64_t partkey;
+  int64_t suppkey;
+  int32_t linenumber;
+  double quantity;
+  double extendedprice;
+  double discount;
+  double tax;
+  char returnflag;
+  char linestatus;
+  int32_t shipdate;    // days since epoch
+  int32_t commitdate;
+  int32_t receiptdate;
+  char shipinstruct[25];
+  char shipmode[10];
+  std::string comment;  // 10..43 chars, variable
+};
+
+/// Generates `num_rows` Lineitem rows in random L_ORDERKEY order. Orderkeys
+/// are unique-ish uniform draws from [1, num_rows * 4] like TPC-H's sparse
+/// orderkey domain.
+class LineitemGenerator {
+ public:
+  LineitemGenerator(uint64_t num_rows, uint64_t seed);
+
+  /// Produces the next lineitem row packed into a topk::Row (key =
+  /// L_ORDERKEY, payload = remaining columns). Returns false at end.
+  bool Next(Row* row);
+
+  uint64_t num_rows() const { return num_rows_; }
+
+ private:
+  void FillItem(Lineitem* item);
+
+  uint64_t num_rows_;
+  uint64_t produced_ = 0;
+  Random rng_;
+  std::string scratch_;
+};
+
+/// Serializes the non-key columns of `item` into `out` (cleared first).
+void SerializeLineitemPayload(const Lineitem& item, std::string* out);
+
+/// Parses a payload produced by SerializeLineitemPayload. Returns false on
+/// malformed input.
+bool ParseLineitemPayload(const std::string& payload, Lineitem* item);
+
+}  // namespace topk
+
+#endif  // TOPK_GEN_LINEITEM_H_

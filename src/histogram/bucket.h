@@ -1,0 +1,29 @@
+#ifndef TOPK_HISTOGRAM_BUCKET_H_
+#define TOPK_HISTOGRAM_BUCKET_H_
+
+#include <cstdint>
+
+namespace topk {
+
+/// One histogram bucket (Sec 3.1.2): `count` rows whose keys all sort at or
+/// before `boundary` (in the query direction) and after the previous
+/// bucket's boundary within the same run. Buckets from all runs are combined
+/// in the cutoff filter's priority queue; together they are the concise
+/// model of the input.
+struct HistogramBucket {
+  /// The maximum (for ascending queries) key among the rows this bucket
+  /// represents.
+  double boundary = 0.0;
+  /// Number of spilled rows the bucket represents. Variable per bucket: the
+  /// sizing policy decides it (Sec 3.1.2 "the size of each bucket is
+  /// variable").
+  uint64_t count = 0;
+
+  bool operator==(const HistogramBucket& other) const {
+    return boundary == other.boundary && count == other.count;
+  }
+};
+
+}  // namespace topk
+
+#endif  // TOPK_HISTOGRAM_BUCKET_H_

@@ -1,0 +1,101 @@
+#include "histogram/cutoff_filter.h"
+
+#include "common/logging.h"
+
+namespace topk {
+
+CutoffFilter::CutoffFilter(const Options& options)
+    : k_(options.k),
+      comparator_(options.direction),
+      memory_limit_bytes_(options.memory_limit_bytes),
+      consolidation_(options.consolidation),
+      policy_(options.target_buckets_per_run, options.target_run_rows),
+      builder_(policy_),
+      queue_(BucketWorse{comparator_}) {
+  TOPK_CHECK(options.k > 0) << "cutoff filter requires k > 0";
+}
+
+void CutoffFilter::RowSpilled(double key) {
+  std::optional<HistogramBucket> bucket = builder_.AddSpilledRow(key);
+  if (bucket.has_value()) {
+    InsertBucket(*bucket);
+  }
+}
+
+std::vector<HistogramBucket> CutoffFilter::RunFinished() {
+  return builder_.FinishRun();
+}
+
+void CutoffFilter::InsertBucket(HistogramBucket bucket) {
+  if (bucket.count == 0) return;
+  // A bucket entirely beyond the cutoff proves nothing new and would only
+  // be popped again; skip it (keeps the queue small on adversarial inputs).
+  if (has_cutoff_ && comparator_.KeyBeyond(bucket.boundary, cutoff_)) {
+    return;
+  }
+  queue_.push(bucket);
+  tracked_rows_ += bucket.count;
+  ++buckets_inserted_;
+  Refine();
+  MaybeConsolidate();
+}
+
+void CutoffFilter::Refine() {
+  if (tracked_rows_ < k_) return;
+  // Established: the top boundary is a valid cutoff. Sharpen while the
+  // model still proves k rows without the top bucket.
+  while (!queue_.empty() && tracked_rows_ - queue_.top().count >= k_) {
+    tracked_rows_ -= queue_.top().count;
+    queue_.pop();
+    ++buckets_popped_;
+  }
+  TOPK_DCHECK(!queue_.empty());
+  const double top_boundary = queue_.top().boundary;
+  if (!has_cutoff_ || comparator_.KeyLess(top_boundary, cutoff_)) {
+    has_cutoff_ = true;
+    cutoff_ = top_boundary;
+  }
+}
+
+void CutoffFilter::ProposeCutoff(double key) {
+  if (!has_cutoff_ || comparator_.KeyLess(key, cutoff_)) {
+    has_cutoff_ = true;
+    cutoff_ = key;
+  }
+}
+
+size_t CutoffFilter::memory_bytes() const {
+  return queue_.size() * sizeof(HistogramBucket);
+}
+
+void CutoffFilter::MaybeConsolidate() {
+  if (memory_bytes() <= memory_limit_bytes_) return;
+  ++consolidations_;
+  if (consolidation_ == ConsolidationPolicy::kFull) {
+    // Replace every bucket with a single one: boundary = current top
+    // boundary, count = sum of all counts (Sec 5.1.2). Guarantee
+    // preserved: all tracked rows sort at or before the top boundary.
+    const double boundary = queue_.top().boundary;
+    const uint64_t total = tracked_rows_;
+    while (!queue_.empty()) queue_.pop();
+    queue_.push(HistogramBucket{boundary, total});
+    return;
+  }
+  // kAdaptive: pop the worst-boundary half and merge it into one bucket.
+  // The merged bucket keeps the worst popped boundary, so every merged row
+  // still sorts at or before it. Also coarsen the bucket width: with a
+  // bounded queue the *unmerged* buckets must eventually represent k rows
+  // for anything to be poppable, which needs width >= ~k / queue capacity.
+  builder_.CoarsenWidth();
+  const size_t to_merge = queue_.size() / 2;
+  if (to_merge < 2) return;  // nothing meaningful to merge
+  double boundary = queue_.top().boundary;
+  uint64_t merged = 0;
+  for (size_t i = 0; i < to_merge; ++i) {
+    merged += queue_.top().count;
+    queue_.pop();
+  }
+  queue_.push(HistogramBucket{boundary, merged});
+}
+
+}  // namespace topk

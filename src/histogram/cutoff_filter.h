@@ -1,0 +1,155 @@
+#ifndef TOPK_HISTOGRAM_CUTOFF_FILTER_H_
+#define TOPK_HISTOGRAM_CUTOFF_FILTER_H_
+
+#include <cstdint>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "histogram/bucket.h"
+#include "histogram/sizing_policy.h"
+#include "row/row.h"
+
+namespace topk {
+
+/// The paper's core contribution (Sec 3.1.2): a concise model of the input
+/// built from per-run histograms, from which a cutoff key is derived and
+/// continuously sharpened while runs are still being written.
+///
+/// Mechanics (ascending query; descending is symmetric):
+///  * As rows are spilled to a run, the sizing policy closes buckets
+///    (boundary key, row count) which are pushed into a priority queue
+///    ordered by boundary *descending* — the inverse of the query order.
+///  * A cutoff key exists once the bucket counts in the queue sum to >= k:
+///    the buckets then prove that at least k rows sort at or before the
+///    queue's top boundary, so any row strictly beyond it cannot be in the
+///    output. The cutoff is that top boundary.
+///  * After every insertion the filter pops while `sum - top.count >= k`,
+///    which sharpens the cutoff to the next smaller boundary.
+///  * Because buckets are inserted while the current run is still being
+///    written, the sharpened cutoff can truncate the very run that produced
+///    it.
+///
+/// Memory is bounded (Sec 5.1.2): when the queue exceeds its budget, a
+/// consolidation step replaces all buckets with a single bucket whose
+/// boundary is the current top boundary and whose count is the sum — the
+/// cost of one insertion, and the filter's guarantee is preserved.
+class CutoffFilter {
+ public:
+  /// What happens when the bucket queue exceeds its memory budget.
+  enum class ConsolidationPolicy {
+    /// The paper's policy (Sec 5.1.2): replace every bucket with a single
+    /// one. Simple, but if the merged count dominates the queue the big
+    /// bucket can never be popped (popping needs the *other* buckets to
+    /// prove k rows), freezing the cutoff when the budget is far below
+    /// k-rows-worth of buckets.
+    kFull,
+    /// Merge only the worst half of the queue into one bucket AND double
+    /// the bucket width for future runs (the paper's "sizing policy
+    /// determines the new buckets" adaptively). The sharp low-boundary
+    /// buckets survive, and coarser future buckets let a bounded queue
+    /// still accumulate k provable rows, so the cutoff keeps refining
+    /// under tiny budgets (see bench/ablation_consolidation). Same
+    /// validity argument as kFull.
+    kAdaptive,
+  };
+
+  struct Options {
+    /// Requested output size (LIMIT k plus any OFFSET).
+    uint64_t k = 0;
+    SortDirection direction = SortDirection::kAscending;
+    /// Target histogram buckets collected per run (paper default: 50).
+    /// 0 disables filtering entirely.
+    uint64_t target_buckets_per_run = 50;
+    /// Expected run size in rows, used to derive the bucket width.
+    uint64_t target_run_rows = 0;
+    /// Memory budget for the bucket priority queue (paper default: 1 MB).
+    size_t memory_limit_bytes = 1 << 20;
+    ConsolidationPolicy consolidation = ConsolidationPolicy::kFull;
+  };
+
+  explicit CutoffFilter(const Options& options);
+
+  /// True when `row` provably cannot be in the top-k output. Always false
+  /// until a cutoff key is established. Rows whose key equals the cutoff are
+  /// never eliminated (ties with the kth key may be needed).
+  bool Eliminate(const Row& row) const { return EliminateKey(row.key); }
+  bool EliminateKey(double key) const {
+    return has_cutoff_ && comparator_.KeyBeyond(key, cutoff_);
+  }
+
+  /// Accounts a row that was written to the current run (Algorithm 1's
+  /// rowSpilled). May close a bucket, insert it into the model, and sharpen
+  /// the cutoff.
+  void RowSpilled(double key);
+
+  /// Marks the end of the current run; returns the histogram collected from
+  /// it (for RunMeta). The partial tail bucket is discarded.
+  std::vector<HistogramBucket> RunFinished();
+
+  /// Inserts an externally produced bucket (merge-step refinement, Sec 4.1,
+  /// or a peer's buckets in parallel execution, Sec 4.4).
+  void InsertBucket(HistogramBucket bucket);
+
+  /// Directly proposes a cutoff candidate known to be valid (e.g. the kth
+  /// key of a merge output). Adopted only if sharper than the current one.
+  void ProposeCutoff(double key);
+
+  /// The current cutoff key, if established.
+  std::optional<double> cutoff() const {
+    if (!has_cutoff_) return std::nullopt;
+    return cutoff_;
+  }
+
+  // --- introspection (tests, stats, benchmarks) ---
+  uint64_t k() const { return k_; }
+  size_t bucket_count() const { return queue_.size(); }
+  /// Sum of bucket counts currently in the model.
+  uint64_t tracked_rows() const { return tracked_rows_; }
+  uint64_t consolidations() const { return consolidations_; }
+  uint64_t buckets_inserted() const { return buckets_inserted_; }
+  uint64_t buckets_popped() const { return buckets_popped_; }
+  size_t memory_bytes() const;
+  const RowComparator& comparator() const { return comparator_; }
+
+ private:
+  /// Pops buckets while the model still proves k rows without the top
+  /// bucket; updates the cutoff.
+  void Refine();
+  void MaybeConsolidate();
+
+  /// Orders the priority queue inversely to the query direction: the top
+  /// bucket carries the *worst* boundary (largest, for ascending queries).
+  struct BucketWorse {
+    RowComparator comparator;
+    bool operator()(const HistogramBucket& a,
+                    const HistogramBucket& b) const {
+      if (a.boundary != b.boundary) {
+        return comparator.KeyLess(a.boundary, b.boundary);
+      }
+      return a.count < b.count;
+    }
+  };
+
+  uint64_t k_;
+  RowComparator comparator_;
+  size_t memory_limit_bytes_;
+  ConsolidationPolicy consolidation_;
+  BucketSizingPolicy policy_;
+  RunHistogramBuilder builder_;
+
+  std::priority_queue<HistogramBucket, std::vector<HistogramBucket>,
+                      BucketWorse>
+      queue_;
+  uint64_t tracked_rows_ = 0;
+  bool has_cutoff_ = false;
+  double cutoff_ = 0.0;
+
+  uint64_t consolidations_ = 0;
+  uint64_t buckets_inserted_ = 0;
+  uint64_t buckets_popped_ = 0;
+};
+
+}  // namespace topk
+
+#endif  // TOPK_HISTOGRAM_CUTOFF_FILTER_H_

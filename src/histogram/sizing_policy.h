@@ -1,0 +1,73 @@
+#ifndef TOPK_HISTOGRAM_SIZING_POLICY_H_
+#define TOPK_HISTOGRAM_SIZING_POLICY_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "histogram/bucket.h"
+
+namespace topk {
+
+/// Decides how many rows each histogram bucket represents. With a target of
+/// B buckets for a run of R rows, a bucket closes every
+/// max(1, round(R / (B + 1))) spilled rows. The divisor B+1 reproduces the
+/// paper's two anchor policies exactly:
+///   * B = 1 tracks the run's median key with a bucket of R/2 rows
+///     ("only one bucket ... which has the median key as a boundary key",
+///     Sec 3.2.2);
+///   * B = 9 tracks the run's deciles 10%..90% with buckets of R/10 rows
+///     (the Table 1 configuration).
+/// A partial tail segment produces no bucket: the filter's guarantee only
+/// needs lower bounds on how many rows sort at-or-before each boundary.
+class BucketSizingPolicy {
+ public:
+  /// `target_buckets` == 0 disables histogram collection entirely (the
+  /// Table 2 "#Buckets = 0" configuration: no cutoff is ever established).
+  BucketSizingPolicy(uint64_t target_buckets, uint64_t target_run_rows);
+
+  /// Rows per bucket for the configured targets; 0 when disabled.
+  uint64_t rows_per_bucket() const { return rows_per_bucket_; }
+
+  uint64_t target_buckets() const { return target_buckets_; }
+
+ private:
+  uint64_t target_buckets_;
+  uint64_t rows_per_bucket_;
+};
+
+/// Accumulates the spilled rows of one run into histogram buckets according
+/// to a sizing policy. Reset per run.
+class RunHistogramBuilder {
+ public:
+  explicit RunHistogramBuilder(const BucketSizingPolicy& policy);
+
+  /// Accounts one spilled row (keys arrive in run order). Returns the bucket
+  /// that this row closed, if any. At most `target_buckets` buckets are
+  /// produced per run; further rows fall into the (discarded) tail — with
+  /// B=1 this tracks exactly the run's median, with B=9 the deciles
+  /// 10%..90%, matching the paper's anchor policies.
+  std::optional<HistogramBucket> AddSpilledRow(double key);
+
+  /// Ends the current run: the in-progress partial bucket is discarded and
+  /// the builder is ready for the next run. Returns the buckets collected
+  /// from the finished run (also suitable for RunMeta::histogram).
+  std::vector<HistogramBucket> FinishRun();
+
+  /// Doubles the bucket width (adaptive sizing under memory pressure:
+  /// fewer, coarser buckets so a bounded queue can still prove k rows).
+  void CoarsenWidth();
+
+  uint64_t rows_in_current_bucket() const { return rows_in_bucket_; }
+  uint64_t rows_per_bucket() const { return rows_per_bucket_; }
+
+ private:
+  BucketSizingPolicy policy_;
+  uint64_t rows_per_bucket_;
+  uint64_t rows_in_bucket_ = 0;
+  std::vector<HistogramBucket> run_buckets_;
+};
+
+}  // namespace topk
+
+#endif  // TOPK_HISTOGRAM_SIZING_POLICY_H_

@@ -1,0 +1,105 @@
+#include "io/block_io.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace topk {
+
+BlockWriter::BlockWriter(std::unique_ptr<WritableFile> file,
+                         size_t block_bytes)
+    : file_(std::move(file)), block_bytes_(block_bytes) {
+  buffer_.reserve(block_bytes_);
+}
+
+BlockWriter::~BlockWriter() {
+  // Best effort; callers that care about errors must Close() explicitly.
+  if (!closed_) Close();
+}
+
+Status BlockWriter::Append(std::string_view data) {
+  if (closed_) {
+    return Status::FailedPrecondition("append to closed BlockWriter");
+  }
+  bytes_appended_ += data.size();
+  while (!data.empty()) {
+    const size_t room = block_bytes_ - buffer_.size();
+    const size_t take = std::min(room, data.size());
+    buffer_.append(data.data(), take);
+    data.remove_prefix(take);
+    if (buffer_.size() == block_bytes_) {
+      TOPK_RETURN_NOT_OK(FlushBuffer());
+    }
+  }
+  return Status::OK();
+}
+
+Status BlockWriter::FlushBuffer() {
+  if (buffer_.empty()) return Status::OK();
+  TOPK_RETURN_NOT_OK(file_->Append(buffer_));
+  buffer_.clear();
+  return Status::OK();
+}
+
+Status BlockWriter::Close() {
+  if (closed_) return Status::OK();
+  closed_ = true;
+  TOPK_RETURN_NOT_OK(FlushBuffer());
+  TOPK_RETURN_NOT_OK(file_->Flush());
+  return file_->Close();
+}
+
+BlockReader::BlockReader(std::unique_ptr<SequentialFile> file,
+                         size_t block_bytes)
+    : file_(std::move(file)), block_bytes_(block_bytes) {
+  buffer_.resize(block_bytes_);
+}
+
+Status BlockReader::Refill() {
+  pos_ = 0;
+  limit_ = 0;
+  if (at_eof_) return Status::OK();
+  size_t got = 0;
+  TOPK_RETURN_NOT_OK(file_->Read(block_bytes_, buffer_.data(), &got));
+  limit_ = got;
+  if (got == 0) at_eof_ = true;
+  return Status::OK();
+}
+
+Status BlockReader::ReadExact(size_t n, char* out, bool* eof) {
+  *eof = false;
+  size_t produced = 0;
+  while (produced < n) {
+    if (pos_ == limit_) {
+      TOPK_RETURN_NOT_OK(Refill());
+      if (limit_ == 0) {
+        if (produced == 0) {
+          *eof = true;
+          return Status::OK();
+        }
+        return Status::Corruption("file truncated mid-record");
+      }
+    }
+    const size_t take = std::min(n - produced, limit_ - pos_);
+    std::memcpy(out + produced, buffer_.data() + pos_, take);
+    pos_ += take;
+    produced += take;
+  }
+  bytes_consumed_ += n;
+  return Status::OK();
+}
+
+Status BlockReader::Skip(uint64_t n) {
+  const uint64_t buffered = limit_ - pos_;
+  if (n <= buffered) {
+    pos_ += n;
+  } else {
+    const uint64_t beyond = n - buffered;
+    pos_ = 0;
+    limit_ = 0;
+    TOPK_RETURN_NOT_OK(file_->Skip(beyond));
+  }
+  bytes_consumed_ += n;
+  return Status::OK();
+}
+
+}  // namespace topk

@@ -1,0 +1,20 @@
+#include "io/io_stats.h"
+
+#include <cstdio>
+
+namespace topk {
+
+std::string IoStats::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "written=%.2f MiB (%llu calls) read=%.2f MiB (%llu calls) "
+                "files=%llu",
+                static_cast<double>(bytes_written()) / (1024.0 * 1024.0),
+                static_cast<unsigned long long>(write_calls()),
+                static_cast<double>(bytes_read()) / (1024.0 * 1024.0),
+                static_cast<unsigned long long>(read_calls()),
+                static_cast<unsigned long long>(files_created()));
+  return buf;
+}
+
+}  // namespace topk

@@ -1,0 +1,73 @@
+#ifndef TOPK_IO_IO_STATS_H_
+#define TOPK_IO_IO_STATS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace topk {
+
+/// Counters for secondary-storage traffic. The paper's principal metric is
+/// the amount of data written to (and re-read from) secondary storage
+/// ("With input and output sizes fixed, the size of the required secondary
+/// storage determines overall performance", Sec 1), so every byte that moves
+/// through the storage substrate is accounted here. Thread-safe: parallel
+/// operators share one instance.
+class IoStats {
+ public:
+  void RecordWrite(uint64_t bytes, int64_t nanos) {
+    bytes_written_.fetch_add(bytes, std::memory_order_relaxed);
+    write_calls_.fetch_add(1, std::memory_order_relaxed);
+    write_nanos_.fetch_add(nanos, std::memory_order_relaxed);
+  }
+
+  void RecordRead(uint64_t bytes, int64_t nanos) {
+    bytes_read_.fetch_add(bytes, std::memory_order_relaxed);
+    read_calls_.fetch_add(1, std::memory_order_relaxed);
+    read_nanos_.fetch_add(nanos, std::memory_order_relaxed);
+  }
+
+  void RecordFileCreated() {
+    files_created_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void RecordFileDeleted() {
+    files_deleted_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  uint64_t bytes_written() const { return bytes_written_.load(); }
+  uint64_t bytes_read() const { return bytes_read_.load(); }
+  uint64_t write_calls() const { return write_calls_.load(); }
+  uint64_t read_calls() const { return read_calls_.load(); }
+  int64_t write_nanos() const { return write_nanos_.load(); }
+  int64_t read_nanos() const { return read_nanos_.load(); }
+  uint64_t files_created() const { return files_created_.load(); }
+  uint64_t files_deleted() const { return files_deleted_.load(); }
+
+  void Reset() {
+    bytes_written_ = 0;
+    bytes_read_ = 0;
+    write_calls_ = 0;
+    read_calls_ = 0;
+    write_nanos_ = 0;
+    read_nanos_ = 0;
+    files_created_ = 0;
+    files_deleted_ = 0;
+  }
+
+  /// One-line human-readable summary for logs and bench output.
+  std::string ToString() const;
+
+ private:
+  std::atomic<uint64_t> bytes_written_{0};
+  std::atomic<uint64_t> bytes_read_{0};
+  std::atomic<uint64_t> write_calls_{0};
+  std::atomic<uint64_t> read_calls_{0};
+  std::atomic<int64_t> write_nanos_{0};
+  std::atomic<int64_t> read_nanos_{0};
+  std::atomic<uint64_t> files_created_{0};
+  std::atomic<uint64_t> files_deleted_{0};
+};
+
+}  // namespace topk
+
+#endif  // TOPK_IO_IO_STATS_H_

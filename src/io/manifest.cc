@@ -1,0 +1,152 @@
+#include "io/manifest.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <sstream>
+
+namespace topk {
+
+namespace {
+
+constexpr char kHeader[] = "topk-manifest v1";
+
+void AppendRunLine(const RunMeta& run, std::string* out) {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "run %" PRIu64 " %" PRIu64 " %" PRIu64 " %.17g %.17g %u ",
+                run.id, run.rows, run.bytes, run.first_key, run.last_key,
+                run.crc32c);
+  *out += buf;
+  *out += run.path;  // last field: may contain spaces in theory? no — keep
+                     // paths space-free (SpillManager guarantees it)
+  *out += '\n';
+  for (const HistogramBucket& bucket : run.histogram) {
+    std::snprintf(buf, sizeof(buf), "hist %" PRIu64 " %.17g %" PRIu64 "\n",
+                  run.id, bucket.boundary, bucket.count);
+    *out += buf;
+  }
+  for (const RunIndexEntry& entry : run.index) {
+    std::snprintf(buf, sizeof(buf),
+                  "index %" PRIu64 " %.17g %" PRIu64 " %" PRIu64 "\n",
+                  run.id, entry.key, entry.rows, entry.bytes);
+    *out += buf;
+  }
+}
+
+}  // namespace
+
+Status WriteManifest(StorageEnv* env, const std::string& path,
+                     const std::vector<RunMeta>& runs) {
+  std::string content(kHeader);
+  content += '\n';
+  for (const RunMeta& run : runs) {
+    if (run.path.find_first_of(" \n") != std::string::npos) {
+      return Status::InvalidArgument("run path contains whitespace: " +
+                                     run.path);
+    }
+    AppendRunLine(run, &content);
+  }
+  content += "end " + std::to_string(runs.size()) + "\n";
+
+  std::unique_ptr<WritableFile> file;
+  TOPK_ASSIGN_OR_RETURN(file, env->NewWritableFile(path));
+  TOPK_RETURN_NOT_OK(file->Append(content));
+  TOPK_RETURN_NOT_OK(file->Flush());
+  return file->Close();
+}
+
+Result<std::vector<RunMeta>> ReadManifest(StorageEnv* env,
+                                          const std::string& path) {
+  std::unique_ptr<SequentialFile> file;
+  TOPK_ASSIGN_OR_RETURN(file, env->NewSequentialFile(path));
+  std::string content;
+  char buf[64 * 1024];
+  for (;;) {
+    size_t got = 0;
+    TOPK_RETURN_NOT_OK(file->Read(sizeof(buf), buf, &got));
+    if (got == 0) break;
+    content.append(buf, got);
+  }
+
+  std::istringstream in(content);
+  std::string line;
+  if (!std::getline(in, line) || line != kHeader) {
+    return Status::Corruption("not a topk manifest: " + path);
+  }
+
+  std::vector<RunMeta> runs;
+  std::map<uint64_t, size_t> run_position;
+  bool saw_end = false;
+  uint64_t declared_count = 0;
+  size_t line_number = 1;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    if (saw_end) {
+      return Status::Corruption("content after end record");
+    }
+    std::istringstream fields(line);
+    std::string kind;
+    fields >> kind;
+    if (kind == "run") {
+      RunMeta run;
+      fields >> run.id >> run.rows >> run.bytes >> run.first_key >>
+          run.last_key >> run.crc32c >> run.path;
+      if (fields.fail() || run.path.empty()) {
+        return Status::Corruption("malformed run record at line " +
+                                  std::to_string(line_number));
+      }
+      if (run_position.count(run.id) > 0) {
+        return Status::Corruption("duplicate run id " +
+                                  std::to_string(run.id));
+      }
+      run_position[run.id] = runs.size();
+      runs.push_back(std::move(run));
+    } else if (kind == "hist" || kind == "index") {
+      uint64_t id = 0;
+      fields >> id;
+      auto it = run_position.find(id);
+      if (fields.fail() || it == run_position.end()) {
+        return Status::Corruption("record for unknown run at line " +
+                                  std::to_string(line_number));
+      }
+      if (kind == "hist") {
+        HistogramBucket bucket;
+        fields >> bucket.boundary >> bucket.count;
+        if (fields.fail()) {
+          return Status::Corruption("malformed hist record at line " +
+                                    std::to_string(line_number));
+        }
+        runs[it->second].histogram.push_back(bucket);
+      } else {
+        RunIndexEntry entry;
+        fields >> entry.key >> entry.rows >> entry.bytes;
+        if (fields.fail()) {
+          return Status::Corruption("malformed index record at line " +
+                                    std::to_string(line_number));
+        }
+        runs[it->second].index.push_back(entry);
+      }
+    } else if (kind == "end") {
+      fields >> declared_count;
+      if (fields.fail()) {
+        return Status::Corruption("malformed end record");
+      }
+      saw_end = true;
+    } else {
+      return Status::Corruption("unknown record '" + kind + "' at line " +
+                                std::to_string(line_number));
+    }
+  }
+  if (!saw_end) {
+    return Status::Corruption("manifest truncated (no end record)");
+  }
+  if (declared_count != runs.size()) {
+    return Status::Corruption("manifest run count mismatch");
+  }
+  return runs;
+}
+
+}  // namespace topk

@@ -1,0 +1,41 @@
+#ifndef TOPK_IO_MANIFEST_H_
+#define TOPK_IO_MANIFEST_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "io/run_file.h"
+#include "io/storage_env.h"
+
+namespace topk {
+
+/// Spill-state manifests: a durable, human-readable record of a spill
+/// directory's run registry (paths, row counts, key ranges, checksums,
+/// per-run histograms and seek indexes). The paper's principle of
+/// "retain any information once gained" (Sec 2.1) applied across process
+/// boundaries: with a manifest, a spilled operator's state can be
+/// inspected, verified, or resumed by a different process — e.g. restart
+/// the merge phase after a crash without regenerating runs.
+///
+/// Format (text, one record per line):
+///   topk-manifest v1
+///   run <id> <rows> <bytes> <first_key> <last_key> <crc32c> <path>
+///   hist <id> <boundary> <count>
+///   index <id> <key> <rows> <bytes>
+///   end <run count>
+/// Keys are printed with %.17g and round-trip exactly.
+
+/// Writes `runs` as a manifest file at `path`.
+Status WriteManifest(StorageEnv* env, const std::string& path,
+                     const std::vector<RunMeta>& runs);
+
+/// Parses a manifest. Fails with Corruption on any malformed or truncated
+/// content (including a missing `end` record or run-count mismatch).
+Result<std::vector<RunMeta>> ReadManifest(StorageEnv* env,
+                                          const std::string& path);
+
+}  // namespace topk
+
+#endif  // TOPK_IO_MANIFEST_H_

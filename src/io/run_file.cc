@@ -1,0 +1,128 @@
+#include "io/run_file.h"
+
+#include <cstring>
+
+#include "common/crc32.h"
+#include "common/logging.h"
+#include "row/serialization.h"
+
+namespace topk {
+
+RunWriter::RunWriter(std::unique_ptr<BlockWriter> writer, std::string path,
+                     uint64_t run_id, const RowComparator& comparator,
+                     uint64_t index_stride)
+    : writer_(std::move(writer)),
+      comparator_(comparator),
+      index_stride_(index_stride) {
+  meta_.id = run_id;
+  meta_.path = std::move(path);
+}
+
+Result<std::unique_ptr<RunWriter>> RunWriter::Create(
+    StorageEnv* env, std::string path, uint64_t run_id,
+    const RowComparator& comparator, size_t block_bytes,
+    uint64_t index_stride) {
+  std::unique_ptr<WritableFile> file;
+  TOPK_ASSIGN_OR_RETURN(file, env->NewWritableFile(path));
+  auto block_writer =
+      std::make_unique<BlockWriter>(std::move(file), block_bytes);
+  TOPK_RETURN_NOT_OK(
+      block_writer->Append(std::string_view(kRunFileMagic, 8)));
+  return std::unique_ptr<RunWriter>(
+      new RunWriter(std::move(block_writer), std::move(path), run_id,
+                    comparator, index_stride));
+}
+
+Status RunWriter::Append(const Row& row) {
+  if (finished_) {
+    return Status::FailedPrecondition("append to finished run");
+  }
+  if (meta_.rows > 0 && comparator_.Less(row, last_row_)) {
+    return Status::InvalidArgument(
+        "rows must be appended to a run in sorted order");
+  }
+  if (row.payload.size() > kMaxRowPayloadBytes) {
+    return Status::InvalidArgument("row payload exceeds the format limit");
+  }
+  scratch_.clear();
+  SerializeRow(row, &scratch_);
+  TOPK_RETURN_NOT_OK(writer_->Append(scratch_));
+  meta_.crc32c = Crc32c(meta_.crc32c, scratch_.data(), scratch_.size());
+  if (meta_.rows == 0) meta_.first_key = row.key;
+  meta_.last_key = row.key;
+  last_row_ = row;
+  ++meta_.rows;
+  if (index_stride_ > 0 && meta_.rows % index_stride_ == 0) {
+    // Position after this row, relative to the start of row data (i.e.
+    // excluding the file magic) — exactly what RunReader::SkipToByte wants.
+    meta_.index.push_back(RunIndexEntry{
+        row.key, meta_.rows, writer_->bytes_appended() - sizeof(kRunFileMagic)});
+  }
+  return Status::OK();
+}
+
+Result<RunMeta> RunWriter::Finish() {
+  if (finished_) {
+    return Status::FailedPrecondition("run already finished");
+  }
+  finished_ = true;
+  TOPK_RETURN_NOT_OK(writer_->Close());
+  meta_.bytes = writer_->bytes_appended();
+  return meta_;
+}
+
+RunReader::RunReader(std::unique_ptr<BlockReader> reader)
+    : reader_(std::move(reader)) {
+  scratch_.resize(kRowHeaderBytes);
+}
+
+Result<std::unique_ptr<RunReader>> RunReader::Open(StorageEnv* env,
+                                                   const std::string& path,
+                                                   size_t block_bytes) {
+  std::unique_ptr<SequentialFile> file;
+  TOPK_ASSIGN_OR_RETURN(file, env->NewSequentialFile(path));
+  auto block_reader =
+      std::make_unique<BlockReader>(std::move(file), block_bytes);
+  char magic[8];
+  bool eof = false;
+  TOPK_RETURN_NOT_OK(block_reader->ReadExact(8, magic, &eof));
+  if (eof || std::memcmp(magic, kRunFileMagic, 8) != 0) {
+    return Status::Corruption("not a run file: " + path);
+  }
+  return std::unique_ptr<RunReader>(new RunReader(std::move(block_reader)));
+}
+
+Status RunReader::SkipToByte(uint64_t bytes) {
+  return reader_->Skip(bytes);
+}
+
+Status RunReader::Next(Row* row, bool* eof) {
+  TOPK_RETURN_NOT_OK(
+      reader_->ReadExact(kRowHeaderBytes, scratch_.data(), eof));
+  if (*eof) return Status::OK();
+  size_t offset = 0;
+  double key = 0.0;
+  uint64_t id = 0;
+  uint32_t len = 0;
+  std::memcpy(&key, scratch_.data(), sizeof(key));
+  offset += sizeof(key);
+  std::memcpy(&id, scratch_.data() + offset, sizeof(id));
+  offset += sizeof(id);
+  std::memcpy(&len, scratch_.data() + offset, sizeof(len));
+  if (len > kMaxRowPayloadBytes) {
+    return Status::Corruption("row payload length " + std::to_string(len) +
+                              " exceeds the format limit");
+  }
+  row->key = key;
+  row->id = id;
+  row->payload.resize(len);
+  if (len > 0) {
+    bool payload_eof = false;
+    TOPK_RETURN_NOT_OK(
+        reader_->ReadExact(len, row->payload.data(), &payload_eof));
+    if (payload_eof) return Status::Corruption("run truncated mid-row");
+  }
+  return Status::OK();
+}
+
+}  // namespace topk

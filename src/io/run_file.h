@@ -1,0 +1,116 @@
+#ifndef TOPK_IO_RUN_FILE_H_
+#define TOPK_IO_RUN_FILE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "histogram/bucket.h"
+#include "io/block_io.h"
+#include "io/storage_env.h"
+#include "row/row.h"
+
+namespace topk {
+
+/// One entry of a run's sparse seek index: after `rows` rows (the last of
+/// which has sort key `key`), the run file position is `bytes`. Runs stored
+/// with such an index act as the paper's "runs stored in search structures"
+/// (Sec 4.1): the merge logic can start mid-run without reading the prefix.
+struct RunIndexEntry {
+  double key = 0.0;
+  uint64_t rows = 0;
+  uint64_t bytes = 0;
+};
+
+/// Metadata describing one sorted run on secondary storage. Kept in memory
+/// by the spill manager ("retain any information once gained", Sec 2.1); the
+/// per-run histogram recorded here powers the merge planner's
+/// lowest-keys-first policy, and the seek index powers the histogram-guided
+/// offset skip of Sec 4.1.
+struct RunMeta {
+  uint64_t id = 0;
+  std::string path;
+  uint64_t rows = 0;
+  uint64_t bytes = 0;
+  /// Keys of the first and last row in run order (= query order).
+  double first_key = 0.0;
+  double last_key = 0.0;
+  /// The histogram collected from this run while it was written. Bucket
+  /// counts sum to at most `rows` (a partial tail segment carries no
+  /// bucket).
+  std::vector<HistogramBucket> histogram;
+  /// Sparse seek index (every RunWriter index_stride rows).
+  std::vector<RunIndexEntry> index;
+  /// CRC-32C over the run's serialized row data (excluding the magic).
+  uint32_t crc32c = 0;
+};
+
+/// Default seek-index granularity (rows between entries).
+inline constexpr uint64_t kDefaultIndexStride = 1024;
+
+/// Writes one sorted run. The caller appends rows in sorted (query) order;
+/// the writer checks that invariant, accounts bytes, and produces RunMeta.
+class RunWriter {
+ public:
+  /// Creates the file eagerly so I/O errors surface before rows are lost.
+  /// `index_stride` > 0 records a RunIndexEntry every that-many rows.
+  static Result<std::unique_ptr<RunWriter>> Create(
+      StorageEnv* env, std::string path, uint64_t run_id,
+      const RowComparator& comparator,
+      size_t block_bytes = kDefaultBlockBytes,
+      uint64_t index_stride = kDefaultIndexStride);
+
+  Status Append(const Row& row);
+
+  /// Flushes, closes the file, and returns the run's metadata (histogram is
+  /// attached by the caller / sizing policy afterwards if desired).
+  Result<RunMeta> Finish();
+
+  uint64_t rows_written() const { return meta_.rows; }
+  uint64_t run_id() const { return meta_.id; }
+
+ private:
+  RunWriter(std::unique_ptr<BlockWriter> writer, std::string path,
+            uint64_t run_id, const RowComparator& comparator,
+            uint64_t index_stride);
+
+  std::unique_ptr<BlockWriter> writer_;
+  RowComparator comparator_;
+  RunMeta meta_;
+  Row last_row_;
+  std::string scratch_;
+  uint64_t index_stride_;
+  bool finished_ = false;
+};
+
+/// Streams rows back from a run file in sorted order.
+class RunReader {
+ public:
+  static Result<std::unique_ptr<RunReader>> Open(
+      StorageEnv* env, const std::string& path,
+      size_t block_bytes = kDefaultBlockBytes);
+
+  /// Reads the next row. Sets `*eof` at end of run.
+  Status Next(Row* row, bool* eof);
+
+  /// Skips `bytes` of row data (must land exactly on a row boundary, e.g.
+  /// a RunIndexEntry position). Only valid before the first Next().
+  Status SkipToByte(uint64_t bytes);
+
+ private:
+  explicit RunReader(std::unique_ptr<BlockReader> reader);
+
+  std::unique_ptr<BlockReader> reader_;
+  std::vector<char> scratch_;
+};
+
+/// Magic bytes at the head of every run file.
+inline constexpr char kRunFileMagic[8] = {'T', 'K', 'R', 'U',
+                                          'N', '0', '1', '\n'};
+
+}  // namespace topk
+
+#endif  // TOPK_IO_RUN_FILE_H_

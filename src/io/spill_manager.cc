@@ -1,0 +1,163 @@
+#include "io/spill_manager.h"
+
+#include <algorithm>
+#include <filesystem>
+
+#include "common/crc32.h"
+#include "io/manifest.h"
+#include "common/logging.h"
+#include "row/serialization.h"
+
+namespace topk {
+
+SpillManager::SpillManager(StorageEnv* env, std::string dir)
+    : env_(env), dir_(std::move(dir)) {}
+
+SpillManager::~SpillManager() {
+  if (!owns_dir_) return;
+  std::error_code ec;
+  std::filesystem::remove_all(dir_, ec);
+  if (ec) {
+    TOPK_LOG(Warning) << "failed to clean spill dir " << dir_ << ": "
+                      << ec.message();
+  }
+}
+
+Result<std::unique_ptr<SpillManager>> SpillManager::Create(StorageEnv* env,
+                                                           std::string dir) {
+  TOPK_RETURN_NOT_OK(env->CreateDirs(dir));
+  return std::unique_ptr<SpillManager>(new SpillManager(env, std::move(dir)));
+}
+
+Result<std::unique_ptr<SpillManager>> SpillManager::Restore(
+    StorageEnv* env, std::string dir, const std::string& manifest_filename,
+    bool verify_runs, const RowComparator& comparator) {
+  auto manager =
+      std::unique_ptr<SpillManager>(new SpillManager(env, std::move(dir)));
+  // A failed restore must leave the directory intact for another attempt.
+  manager->owns_dir_ = false;
+  std::vector<RunMeta> runs;
+  TOPK_ASSIGN_OR_RETURN(
+      runs, ReadManifest(env, manager->dir_ + "/" + manifest_filename));
+  uint64_t max_id = 0;
+  for (RunMeta& run : runs) {
+    if (verify_runs) {
+      TOPK_RETURN_NOT_OK(manager->VerifyRun(run, comparator));
+    }
+    max_id = std::max(max_id, run.id);
+    manager->AddRun(std::move(run));
+  }
+  {
+    std::lock_guard<std::mutex> lock(manager->mu_);
+    manager->next_run_id_ = runs.empty() ? 0 : max_id + 1;
+  }
+  manager->owns_dir_ = true;  // restored successfully: normal lifecycle
+  return manager;
+}
+
+Status SpillManager::SaveManifest(const std::string& manifest_filename) const {
+  return WriteManifest(env_, dir_ + "/" + manifest_filename, runs());
+}
+
+Result<std::unique_ptr<RunWriter>> SpillManager::NewRun(
+    const RowComparator& comparator, uint64_t index_stride) {
+  uint64_t id = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    id = next_run_id_++;
+  }
+  std::string path = dir_ + "/run-" + std::to_string(id) + ".tkr";
+  return RunWriter::Create(env_, std::move(path), id, comparator,
+                           kDefaultBlockBytes, index_stride);
+}
+
+void SpillManager::AddRun(RunMeta meta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  total_rows_spilled_ += meta.rows;
+  total_bytes_spilled_ += meta.bytes;
+  ++total_runs_created_;
+  runs_.push_back(std::move(meta));
+}
+
+Status SpillManager::RemoveRun(uint64_t run_id) {
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = std::find_if(runs_.begin(), runs_.end(),
+                           [&](const RunMeta& m) { return m.id == run_id; });
+    if (it == runs_.end()) {
+      return Status::NotFound("run " + std::to_string(run_id) +
+                              " not registered");
+    }
+    path = it->path;
+    runs_.erase(it);
+  }
+  return env_->DeleteFile(path);
+}
+
+Result<std::unique_ptr<RunReader>> SpillManager::OpenRun(
+    const RunMeta& meta) const {
+  return RunReader::Open(env_, meta.path);
+}
+
+Status SpillManager::VerifyRun(const RunMeta& meta,
+                               const RowComparator& comparator) const {
+  std::unique_ptr<RunReader> reader;
+  TOPK_ASSIGN_OR_RETURN(reader, RunReader::Open(env_, meta.path));
+  Row row, previous;
+  uint64_t rows = 0;
+  uint32_t crc = 0;
+  std::string scratch;
+  for (;;) {
+    bool eof = false;
+    TOPK_RETURN_NOT_OK(reader->Next(&row, &eof));
+    if (eof) break;
+    if (rows > 0 && comparator.Less(row, previous)) {
+      return Status::Corruption("run " + std::to_string(meta.id) +
+                                " is not sorted at row " +
+                                std::to_string(rows));
+    }
+    scratch.clear();
+    SerializeRow(row, &scratch);
+    crc = Crc32c(crc, scratch.data(), scratch.size());
+    previous = row;
+    ++rows;
+  }
+  if (rows != meta.rows) {
+    return Status::Corruption(
+        "run " + std::to_string(meta.id) + " has " + std::to_string(rows) +
+        " rows, expected " + std::to_string(meta.rows));
+  }
+  if (crc != meta.crc32c) {
+    return Status::Corruption("run " + std::to_string(meta.id) +
+                              " CRC mismatch");
+  }
+  return Status::OK();
+}
+
+std::vector<RunMeta> SpillManager::runs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return runs_;
+}
+
+size_t SpillManager::run_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return runs_.size();
+}
+
+uint64_t SpillManager::total_rows_spilled() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_rows_spilled_;
+}
+
+uint64_t SpillManager::total_bytes_spilled() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_bytes_spilled_;
+}
+
+uint64_t SpillManager::total_runs_created() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_runs_created_;
+}
+
+}  // namespace topk

@@ -1,0 +1,200 @@
+#include "io/storage_env.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <thread>
+
+#include "common/stopwatch.h"
+
+namespace topk {
+
+namespace {
+
+void MaybeSleep(int64_t nanos) {
+  if (nanos > 0) {
+    std::this_thread::sleep_for(std::chrono::nanoseconds(nanos));
+  }
+}
+
+std::string ErrnoMessage(const std::string& context) {
+  return context + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+class LocalWritableFile : public WritableFile {
+ public:
+  LocalWritableFile(std::FILE* file, std::string path, StorageEnv* env)
+      : file_(file), path_(std::move(path)), env_(env) {}
+
+  ~LocalWritableFile() override {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+
+  Status Append(std::string_view data) override {
+    if (file_ == nullptr) {
+      return Status::FailedPrecondition("append to closed file " + path_);
+    }
+    if (env_->ShouldFailWrite()) {
+      return Status::IoError("injected write failure on " + path_);
+    }
+    const uint64_t quota = env_->options().max_bytes_written;
+    if (quota > 0 &&
+        env_->stats()->bytes_written() + data.size() > quota) {
+      return Status::ResourceExhausted(
+          "disk quota exceeded writing " + path_ + " (" +
+          std::to_string(quota) + " bytes allowed)");
+    }
+    Stopwatch watch;
+    MaybeSleep(env_->options().write_latency_nanos);
+    const size_t written = std::fwrite(data.data(), 1, data.size(), file_);
+    if (written != data.size()) {
+      return Status::IoError(ErrnoMessage("short write to " + path_));
+    }
+    env_->stats()->RecordWrite(data.size(), watch.ElapsedNanos());
+    return Status::OK();
+  }
+
+  Status Flush() override {
+    if (file_ == nullptr) {
+      return Status::FailedPrecondition("flush of closed file " + path_);
+    }
+    if (std::fflush(file_) != 0) {
+      return Status::IoError(ErrnoMessage("flush failed for " + path_));
+    }
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (file_ == nullptr) return Status::OK();
+    const int rc = std::fclose(file_);
+    file_ = nullptr;
+    if (rc != 0) {
+      return Status::IoError(ErrnoMessage("close failed for " + path_));
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::FILE* file_;
+  std::string path_;
+  StorageEnv* env_;
+};
+
+class LocalSequentialFile : public SequentialFile {
+ public:
+  LocalSequentialFile(std::FILE* file, std::string path, StorageEnv* env)
+      : file_(file), path_(std::move(path)), env_(env) {}
+
+  ~LocalSequentialFile() override {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+
+  Status Read(size_t n, char* scratch, size_t* bytes_read) override {
+    *bytes_read = 0;
+    if (env_->ShouldFailRead()) {
+      return Status::IoError("injected read failure on " + path_);
+    }
+    Stopwatch watch;
+    MaybeSleep(env_->options().read_latency_nanos);
+    const size_t got = std::fread(scratch, 1, n, file_);
+    if (got < n && std::ferror(file_)) {
+      return Status::IoError(ErrnoMessage("read failed for " + path_));
+    }
+    *bytes_read = got;
+    env_->stats()->RecordRead(got, watch.ElapsedNanos());
+    return Status::OK();
+  }
+
+  Status Skip(uint64_t n) override {
+    if (std::fseek(file_, static_cast<long>(n), SEEK_CUR) != 0) {
+      return Status::IoError(ErrnoMessage("seek failed for " + path_));
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::FILE* file_;
+  std::string path_;
+  StorageEnv* env_;
+};
+
+bool StorageEnv::ShouldFailWrite() {
+  const uint64_t target = fail_write_at_.load(std::memory_order_relaxed);
+  if (target == 0) return false;
+  const uint64_t seen =
+      write_calls_seen_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (seen == target) {
+    fail_write_at_.store(0, std::memory_order_relaxed);
+    write_calls_seen_.store(0, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+bool StorageEnv::ShouldFailRead() {
+  const uint64_t target = fail_read_at_.load(std::memory_order_relaxed);
+  if (target == 0) return false;
+  const uint64_t seen =
+      read_calls_seen_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (seen == target) {
+    fail_read_at_.store(0, std::memory_order_relaxed);
+    read_calls_seen_.store(0, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+Result<std::unique_ptr<WritableFile>> StorageEnv::NewWritableFile(
+    const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::IoError(ErrnoMessage("cannot create " + path));
+  }
+  stats_.RecordFileCreated();
+  return std::unique_ptr<WritableFile>(
+      new LocalWritableFile(file, path, this));
+}
+
+Result<std::unique_ptr<SequentialFile>> StorageEnv::NewSequentialFile(
+    const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return Status::IoError(ErrnoMessage("cannot open " + path));
+  }
+  return std::unique_ptr<SequentialFile>(
+      new LocalSequentialFile(file, path, this));
+}
+
+Status StorageEnv::DeleteFile(const std::string& path) {
+  std::error_code ec;
+  if (!std::filesystem::remove(path, ec)) {
+    if (ec) return Status::IoError("cannot delete " + path + ": " + ec.message());
+    return Status::NotFound("no such file: " + path);
+  }
+  stats_.RecordFileDeleted();
+  return Status::OK();
+}
+
+Status StorageEnv::CreateDirs(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::create_directories(path, ec);
+  if (ec) {
+    return Status::IoError("cannot create directory " + path + ": " +
+                           ec.message());
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> StorageEnv::FileSize(const std::string& path) {
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(path, ec);
+  if (ec) {
+    return Status::IoError("cannot stat " + path + ": " + ec.message());
+  }
+  return static_cast<uint64_t>(size);
+}
+
+}  // namespace topk

@@ -1,0 +1,102 @@
+#ifndef TOPK_IO_STORAGE_ENV_H_
+#define TOPK_IO_STORAGE_ENV_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "io/io_stats.h"
+
+namespace topk {
+
+/// Append-only file handle produced by StorageEnv.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+  virtual Status Append(std::string_view data) = 0;
+  virtual Status Flush() = 0;
+  virtual Status Close() = 0;
+};
+
+/// Forward-only file handle produced by StorageEnv.
+class SequentialFile {
+ public:
+  virtual ~SequentialFile() = default;
+
+  /// Reads up to `n` bytes into `scratch`; `*bytes_read == 0` at EOF.
+  virtual Status Read(size_t n, char* scratch, size_t* bytes_read) = 0;
+
+  /// Skips `n` bytes forward (used by histogram-guided offset seeks).
+  virtual Status Skip(uint64_t n) = 0;
+};
+
+/// The storage substrate. In F1 Query storage is disaggregated: every I/O is
+/// a network round trip plus a storage-service invocation plus a disk access
+/// (Sec 2.1 "Late Materialization"). We substitute local files and can
+/// optionally inject a fixed latency per read/write call to emulate the
+/// round trip; the essential property — sequential spills dominate cost,
+/// random I/O is prohibitively expensive — is preserved either way.
+///
+/// The env also supports failure injection (fail the Nth write/read call),
+/// which the tests use to verify that I/O errors propagate as Status through
+/// every operator instead of crashing or corrupting results.
+class StorageEnv {
+ public:
+  struct Options {
+    /// Injected latency added to each write / read call (emulates a
+    /// disaggregated storage round trip). 0 = plain local I/O.
+    int64_t write_latency_nanos = 0;
+    int64_t read_latency_nanos = 0;
+    /// Disk quota: total bytes this env may write (0 = unlimited). Spills
+    /// beyond the quota fail with ResourceExhausted — the operator-level
+    /// equivalent of a full scratch volume.
+    uint64_t max_bytes_written = 0;
+  };
+
+  StorageEnv() = default;
+  explicit StorageEnv(Options options) : options_(options) {}
+
+  StorageEnv(const StorageEnv&) = delete;
+  StorageEnv& operator=(const StorageEnv&) = delete;
+
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path);
+  Result<std::unique_ptr<SequentialFile>> NewSequentialFile(
+      const std::string& path);
+
+  Status DeleteFile(const std::string& path);
+  Status CreateDirs(const std::string& path);
+  Result<uint64_t> FileSize(const std::string& path);
+
+  IoStats* stats() { return &stats_; }
+  const Options& options() const { return options_; }
+
+  /// Failure injection: the `n`th write Append() from now (1-based) fails
+  /// with IoError. 0 disables injection.
+  void InjectWriteFailure(uint64_t nth_call) { fail_write_at_ = nth_call; }
+  /// Same for reads.
+  void InjectReadFailure(uint64_t nth_call) { fail_read_at_ = nth_call; }
+
+ private:
+  friend class LocalWritableFile;
+  friend class LocalSequentialFile;
+
+  /// Returns true when this call should fail (and consumes the trigger).
+  bool ShouldFailWrite();
+  bool ShouldFailRead();
+
+  Options options_;
+  IoStats stats_;
+  std::atomic<uint64_t> fail_write_at_{0};
+  std::atomic<uint64_t> fail_read_at_{0};
+  std::atomic<uint64_t> write_calls_seen_{0};
+  std::atomic<uint64_t> read_calls_seen_{0};
+};
+
+}  // namespace topk
+
+#endif  // TOPK_IO_STORAGE_ENV_H_

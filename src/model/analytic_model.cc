@@ -1,0 +1,132 @@
+#include "model/analytic_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "histogram/cutoff_filter.h"
+
+namespace topk {
+
+AnalyticModelResult RunAnalyticModel(const AnalyticModelConfig& config) {
+  TOPK_CHECK(config.k > 0);
+  TOPK_CHECK(config.memory_rows > 0);
+
+  AnalyticModelResult result;
+  result.ideal_cutoff = static_cast<double>(config.k) /
+                        static_cast<double>(config.input_rows);
+
+  CutoffFilter::Options filter_options;
+  filter_options.k = config.k;
+  filter_options.direction = SortDirection::kAscending;
+  filter_options.target_buckets_per_run = config.buckets_per_run;
+  filter_options.target_run_rows = config.memory_rows;
+  // The model never consolidates: give the queue ample room so the numbers
+  // depend only on the sizing policy, like the paper's analysis.
+  filter_options.memory_limit_bytes = 1 << 30;
+  CutoffFilter filter(filter_options);
+
+  const uint64_t capacity = config.memory_rows;
+  uint64_t remaining = config.input_rows;
+
+  while (remaining > 0) {
+    AnalyticRunRecord record;
+    record.run_index = result.total_runs + 1;
+    record.remaining_before = remaining;
+    record.cutoff_before = filter.cutoff();
+
+    // Fill phase: each remaining input row passes the filter with
+    // probability c (uniform keys), so `capacity` accepted rows consume
+    // floor(capacity / c) input rows.
+    const double fill_cutoff = filter.cutoff().value_or(1.0);
+    uint64_t consumed = remaining;
+    uint64_t accepted = 0;
+    if (fill_cutoff >= 1.0) {
+      consumed = std::min<uint64_t>(remaining, capacity);
+      accepted = consumed;
+    } else {
+      const uint64_t needed = static_cast<uint64_t>(
+          std::floor(static_cast<double>(capacity) / fill_cutoff));
+      if (needed <= remaining) {
+        consumed = needed;
+        accepted = capacity;
+      } else {
+        consumed = remaining;
+        accepted = static_cast<uint64_t>(
+            std::floor(static_cast<double>(remaining) * fill_cutoff));
+        accepted = std::min(accepted, capacity);
+      }
+    }
+    remaining -= consumed;
+    record.rows_consumed = consumed;
+
+    if (accepted == 0) {
+      // Every remaining row was eliminated by the input filter; no run.
+      continue;
+    }
+
+    // Write phase: sorted keys are uniformly spread over [0, fill_cutoff].
+    // Rows are written until one falls beyond the sharpening cutoff; each
+    // written row feeds the filter (and may sharpen the cutoff mid-run).
+    uint64_t written = 0;
+    for (uint64_t j = 1; j <= accepted; ++j) {
+      // The `accepted` buffered keys are uniform over [0, fill_cutoff].
+      const double key = fill_cutoff * static_cast<double>(j) /
+                         static_cast<double>(accepted);
+      if (filter.EliminateKey(key)) break;
+      filter.RowSpilled(key);
+      ++written;
+      // Record Table 1's decile columns: the key at each decile of the
+      // memory load, when that row was actually written.
+      if (capacity >= 10 && j % (capacity / 10) == 0) {
+        const uint64_t decile = j / (capacity / 10);
+        if (decile >= 1 && decile <= 9) {
+          record.decile_keys[decile - 1] = key;
+        }
+      }
+    }
+    filter.RunFinished();
+    record.rows_written = written;
+
+    if (written > 0) {
+      ++result.total_runs;
+      result.total_rows_spilled += written;
+      result.runs.push_back(record);
+    }
+  }
+
+  result.final_cutoff = filter.cutoff();
+  return result;
+}
+
+BaselineAnalysis AnalyzeBaselines(const AnalyticModelConfig& config,
+                                  uint64_t early_merge_runs) {
+  BaselineAnalysis analysis;
+  analysis.traditional_rows_spilled = config.input_rows;
+
+  // Optimized baseline ([14]): write `early_merge_runs` full runs, merge
+  // them (writing min(k, merged) more rows), and take the k-th key of the
+  // merged prefix as the cutoff for all further input. With uniform keys
+  // the k-th key of m merged rows sits at quantile k/m.
+  const uint64_t merged_rows =
+      std::min<uint64_t>(config.input_rows,
+                         early_merge_runs * config.memory_rows);
+  uint64_t spilled = merged_rows;                      // the initial runs
+  spilled += std::min<uint64_t>(config.k, merged_rows);  // merge output
+  double cutoff = 1.0;
+  if (merged_rows >= config.k && merged_rows > 0) {
+    cutoff = static_cast<double>(config.k) / static_cast<double>(merged_rows);
+    const uint64_t remaining =
+        config.input_rows > merged_rows ? config.input_rows - merged_rows : 0;
+    spilled += static_cast<uint64_t>(
+        std::floor(static_cast<double>(remaining) * cutoff));
+  } else {
+    // Never enough rows for a cutoff: everything spills.
+    spilled = config.input_rows + std::min(config.k, config.input_rows);
+  }
+  analysis.optimized_rows_spilled = spilled;
+  analysis.optimized_cutoff = cutoff;
+  return analysis;
+}
+
+}  // namespace topk

@@ -1,0 +1,85 @@
+#ifndef TOPK_MODEL_ANALYTIC_MODEL_H_
+#define TOPK_MODEL_ANALYTIC_MODEL_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace topk {
+
+/// Deterministic simulation of the algorithm on perfectly uniform keys in
+/// [0, 1], exactly as the paper's analysis section does ("These calculations
+/// assume perfectly uniform random distributions", Sec 3.2.1). It drives
+/// the *real* CutoffFilter; only the data is idealized:
+///
+///  * run generation is load-sort-store with `memory_rows` capacity;
+///  * filling memory under cutoff c consumes floor(memory_rows / c) input
+///    rows (each remaining row passes the input filter with probability c);
+///  * the sorted memory load has keys c * j / memory_rows, j = 1..capacity;
+///  * rows are written until a key exceeds the (continuously sharpening)
+///    cutoff, each written row feeding the filter.
+///
+/// Regenerates Tables 1-5 of the paper without materializing any rows.
+struct AnalyticModelConfig {
+  uint64_t input_rows = 1000000;
+  uint64_t k = 5000;
+  uint64_t memory_rows = 1000;
+  /// Histogram buckets per run; 0 = no filtering (traditional sort), 1 =
+  /// run median, 9 = deciles (the Table 1 configuration).
+  uint64_t buckets_per_run = 9;
+};
+
+/// Per-run trace entry (one row of Table 1).
+struct AnalyticRunRecord {
+  uint64_t run_index = 0;  // 1-based
+  /// Input rows not yet consumed before this run started.
+  uint64_t remaining_before = 0;
+  /// Cutoff in force when the run's fill began (nullopt before
+  /// establishment).
+  std::optional<double> cutoff_before;
+  /// Keys at each decile (10%..90%) of the memory load that were actually
+  /// written; nullopt for deciles eliminated by the sharpening cutoff.
+  std::optional<double> decile_keys[9];
+  uint64_t rows_consumed = 0;
+  uint64_t rows_written = 0;
+};
+
+struct AnalyticModelResult {
+  std::vector<AnalyticRunRecord> runs;
+  uint64_t total_runs = 0;
+  /// Input rows written to secondary storage (the paper's "Rows" column).
+  uint64_t total_rows_spilled = 0;
+  /// Final cutoff; nullopt when none was ever established.
+  std::optional<double> final_cutoff;
+  /// k / input_rows: the last key of the true output under uniform keys.
+  double ideal_cutoff = 0.0;
+
+  /// Cutoff / ideal (the "Ratio" column); uses the domain max 1.0 when no
+  /// cutoff was established.
+  double ratio() const {
+    return final_cutoff.value_or(1.0) / ideal_cutoff;
+  }
+};
+
+AnalyticModelResult RunAnalyticModel(const AnalyticModelConfig& config);
+
+/// Idealized spill counts of the two baseline algorithms under the same
+/// uniform model, for the Sec 3.2.1 comparisons:
+///  * traditional external merge sort spills the entire input;
+///  * the optimized external sort ([14]) spills until an early merge of
+///    `early_merge_runs` runs establishes a cutoff (the k-th key of the
+///    merged prefix), then spills only keys below that fixed cutoff; the
+///    intermediate merge output (k rows) is also written.
+struct BaselineAnalysis {
+  uint64_t traditional_rows_spilled = 0;
+  uint64_t optimized_rows_spilled = 0;
+  /// Cutoff the optimized baseline settles on (1.0 when never established).
+  double optimized_cutoff = 1.0;
+};
+
+BaselineAnalysis AnalyzeBaselines(const AnalyticModelConfig& config,
+                                  uint64_t early_merge_runs = 10);
+
+}  // namespace topk
+
+#endif  // TOPK_MODEL_ANALYTIC_MODEL_H_

@@ -1,0 +1,4 @@
+#include "row/row.h"
+
+// Row and RowComparator are header-only; definitions live here if they
+// outgrow the header.

@@ -1,0 +1,87 @@
+#ifndef TOPK_ROW_ROW_H_
+#define TOPK_ROW_ROW_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace topk {
+
+/// Direction of the ORDER BY clause a top-k query sorts on. "Top k" means
+/// the first k rows in this direction (kAscending: the k smallest keys).
+enum class SortDirection { kAscending, kDescending };
+
+/// A row as seen by the top-k operator: a numeric sort key (the score/ORDER
+/// BY expression, already computed upstream per Sec 2 of the paper), a unique
+/// row id used as a deterministic tie-breaker and late-materialization
+/// handle, and an opaque variable-size payload carrying the projected
+/// columns. Variable payload sizes exercise the paper's point that
+/// replacement selection must handle variable-size rows.
+struct Row {
+  double key = 0.0;
+  uint64_t id = 0;
+  std::string payload;
+
+  Row() = default;
+  Row(double k, uint64_t i) : key(k), id(i) {}
+  Row(double k, uint64_t i, std::string p)
+      : key(k), id(i), payload(std::move(p)) {}
+
+  /// Bytes this row occupies in operator memory; used against the memory
+  /// budget. Counts the struct plus the payload heap allocation.
+  size_t MemoryFootprint() const {
+    return sizeof(Row) + (payload.capacity() > sizeof(std::string)
+                              ? payload.capacity()
+                              : 0);
+  }
+
+  /// Bytes this row occupies when serialized to a run file.
+  size_t SerializedSize() const {
+    return sizeof(double) + sizeof(uint64_t) + sizeof(uint32_t) +
+           payload.size();
+  }
+
+  bool operator==(const Row& other) const {
+    return key == other.key && id == other.id && payload == other.payload;
+  }
+};
+
+/// Total order over rows for a given sort direction: by key in the query
+/// direction, ties broken by ascending row id so results are deterministic.
+class RowComparator {
+ public:
+  explicit RowComparator(SortDirection direction = SortDirection::kAscending)
+      : ascending_(direction == SortDirection::kAscending) {}
+
+  SortDirection direction() const {
+    return ascending_ ? SortDirection::kAscending : SortDirection::kDescending;
+  }
+
+  /// True when `a` sorts strictly before `b` in the query order.
+  bool Less(const Row& a, const Row& b) const {
+    if (a.key != b.key) return ascending_ ? a.key < b.key : a.key > b.key;
+    return a.id < b.id;
+  }
+
+  bool operator()(const Row& a, const Row& b) const { return Less(a, b); }
+
+  /// True when key `a` sorts strictly before key `b` (ignoring ties).
+  bool KeyLess(double a, double b) const {
+    return ascending_ ? a < b : a > b;
+  }
+
+  /// True when a row with key `key` lies strictly beyond the cutoff, i.e. it
+  /// can never be part of the top-k output once the cutoff is established.
+  /// Rows whose key equals the cutoff are kept (the kth output row may share
+  /// the cutoff key).
+  bool KeyBeyond(double key, double cutoff) const {
+    return ascending_ ? key > cutoff : key < cutoff;
+  }
+
+ private:
+  bool ascending_;
+};
+
+}  // namespace topk
+
+#endif  // TOPK_ROW_ROW_H_

@@ -1,0 +1,52 @@
+#include "row/serialization.h"
+
+#include <cstring>
+
+namespace topk {
+
+namespace {
+
+template <typename T>
+void AppendRaw(const T& v, std::string* out) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+bool ReadRaw(const char* data, size_t size, size_t* offset, T* v) {
+  if (*offset + sizeof(T) > size) return false;
+  std::memcpy(v, data + *offset, sizeof(T));
+  *offset += sizeof(T);
+  return true;
+}
+
+}  // namespace
+
+void SerializeRow(const Row& row, std::string* out) {
+  AppendRaw(row.key, out);
+  AppendRaw(row.id, out);
+  const uint32_t len = static_cast<uint32_t>(row.payload.size());
+  AppendRaw(len, out);
+  out->append(row.payload);
+}
+
+Status DeserializeRow(const char* data, size_t size, size_t* offset,
+                      Row* row) {
+  double key = 0.0;
+  uint64_t id = 0;
+  uint32_t len = 0;
+  if (!ReadRaw(data, size, offset, &key) ||
+      !ReadRaw(data, size, offset, &id) ||
+      !ReadRaw(data, size, offset, &len)) {
+    return Status::Corruption("row header truncated");
+  }
+  if (*offset + len > size) {
+    return Status::Corruption("row payload truncated");
+  }
+  row->key = key;
+  row->id = id;
+  row->payload.assign(data + *offset, len);
+  *offset += len;
+  return Status::OK();
+}
+
+}  // namespace topk

@@ -1,0 +1,35 @@
+#ifndef TOPK_ROW_SERIALIZATION_H_
+#define TOPK_ROW_SERIALIZATION_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "row/row.h"
+
+namespace topk {
+
+/// Run-file row wire format (little-endian):
+///   [key: f64][id: u64][payload_len: u32][payload bytes]
+/// The format is self-delimiting so runs can hold variable-size rows.
+
+/// Appends the serialized form of `row` to `out`.
+void SerializeRow(const Row& row, std::string* out);
+
+/// Parses one row from `data + *offset`, advancing `*offset`. Returns
+/// Corruption if the buffer is truncated.
+Status DeserializeRow(const char* data, size_t size, size_t* offset, Row* row);
+
+/// Fixed per-row header size of the wire format.
+inline constexpr size_t kRowHeaderBytes =
+    sizeof(double) + sizeof(uint64_t) + sizeof(uint32_t);
+
+/// Hard format limit on a row's payload. Enforced at write time
+/// (InvalidArgument) and at read time (Corruption) — a corrupt length
+/// field must not trigger a multi-gigabyte allocation.
+inline constexpr uint32_t kMaxRowPayloadBytes = 64u << 20;
+
+}  // namespace topk
+
+#endif  // TOPK_ROW_SERIALIZATION_H_

@@ -1,0 +1,69 @@
+#ifndef TOPK_SORT_EXTERNAL_SORTER_H_
+#define TOPK_SORT_EXTERNAL_SORTER_H_
+
+#include <memory>
+#include <vector>
+
+#include "io/spill_manager.h"
+#include "sort/merger.h"
+#include "sort/run_generation.h"
+
+namespace topk {
+
+/// General-purpose external merge sort over the same substrates the top-k
+/// operators use (run generation, merge planner, loser-tree merge). This is
+/// the "vanilla sort" many systems bolt their top-k onto (Sec 2.4) — here
+/// as a clean reusable facade: feed rows, then stream the fully sorted
+/// output. With no LIMIT to exploit, it spills everything; the top-k
+/// operators exist precisely to beat it.
+class ExternalSorter {
+ public:
+  struct Options {
+    size_t memory_limit_bytes = 64 << 20;
+    size_t merge_fan_in = 64;
+    RunGenerationKind run_generation =
+        RunGenerationKind::kReplacementSelection;
+    SortDirection direction = SortDirection::kAscending;
+    StorageEnv* env = nullptr;
+    std::string spill_dir;
+  };
+
+  static Result<std::unique_ptr<ExternalSorter>> Make(const Options& options);
+
+  /// Adds one unsorted row.
+  Status Add(Row row);
+
+  /// Ends the input and streams every row, in sort order, to `sink`.
+  Status Sort(const RowSink& sink);
+
+  /// Convenience: collects the sorted output into a vector (test scale).
+  Result<std::vector<Row>> SortToVector();
+
+  uint64_t rows_added() const { return rows_added_; }
+  uint64_t rows_spilled() const {
+    return generator_ != nullptr ? generator_->stats().rows_spilled : 0;
+  }
+  uint64_t runs_created() const {
+    return spill_ != nullptr ? spill_->total_runs_created() : 0;
+  }
+
+ private:
+  explicit ExternalSorter(const Options& options);
+
+  Status SwitchToExternal();
+
+  Options options_;
+  RowComparator comparator_;
+
+  std::vector<Row> buffer_;
+  size_t buffered_bytes_ = 0;
+  uint64_t rows_added_ = 0;
+
+  std::unique_ptr<SpillManager> spill_;
+  std::unique_ptr<RunGenerator> generator_;
+  bool finished_ = false;
+};
+
+}  // namespace topk
+
+#endif  // TOPK_SORT_EXTERNAL_SORTER_H_

@@ -1,0 +1,52 @@
+#include "sort/loser_tree.h"
+
+#include "common/logging.h"
+
+namespace topk {
+
+LoserTree::LoserTree(size_t ways, LessFn less)
+    : ways_(ways), less_(std::move(less)) {
+  TOPK_CHECK(ways_ > 0) << "loser tree needs at least one way";
+  tree_.assign(ways_ < 2 ? 1 : ways_, 0);
+}
+
+void LoserTree::Build() {
+  if (ways_ == 1) {
+    winner_ = 0;
+    return;
+  }
+  // Bottom-up build: run a knockout tournament. Node i has children that
+  // are either leaves (way indices) or other internal nodes' winners.
+  // We compute winners for all internal nodes, storing losers in tree_.
+  std::vector<size_t> winners(2 * ways_);
+  for (size_t i = 0; i < ways_; ++i) winners[ways_ + i] = i;
+  for (size_t node = ways_ - 1; node >= 1; --node) {
+    const size_t a = winners[2 * node];
+    const size_t b = winners[2 * node + 1];
+    if (less_(b, a)) {
+      winners[node] = b;
+      tree_[node] = a;
+    } else {
+      winners[node] = a;
+      tree_[node] = b;
+    }
+  }
+  winner_ = winners[1];
+}
+
+void LoserTree::ReplayWinner() {
+  if (ways_ == 1) return;
+  size_t node = (ways_ + winner_) / 2;
+  size_t current = winner_;
+  while (node >= 1) {
+    const size_t opponent = tree_[node];
+    if (less_(opponent, current)) {
+      tree_[node] = current;
+      current = opponent;
+    }
+    node /= 2;
+  }
+  winner_ = current;
+}
+
+}  // namespace topk

@@ -1,0 +1,50 @@
+#ifndef TOPK_SORT_LOSER_TREE_H_
+#define TOPK_SORT_LOSER_TREE_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace topk {
+
+/// Classic tree-of-losers selection tree over `ways` input ways, the
+/// workhorse of external merge sort (Knuth Vol. 3). The tree stores loser
+/// indices in internal nodes and the overall winner at the root; replacing
+/// the winner costs one leaf-to-root path of comparisons (log2(ways)), not
+/// the 2*log2 of a binary heap.
+///
+/// The tree does not know what the ways hold: the owner supplies a
+/// comparison over way indices. Exhausted ways must compare as losing to
+/// every non-exhausted way (the owner encodes the "infinity sentinel").
+class LoserTree {
+ public:
+  /// `less(a, b)` returns true when way `a`'s current item sorts strictly
+  /// before way `b`'s. Must be a total preorder; ties may be broken by way
+  /// index for stability.
+  using LessFn = std::function<bool(size_t, size_t)>;
+
+  LoserTree(size_t ways, LessFn less);
+
+  /// (Re)builds the tree from the ways' current items. O(ways) comparisons.
+  void Build();
+
+  /// Index of the winning way.
+  size_t winner() const { return winner_; }
+
+  /// Call after the winner's way advanced to its next item (or became
+  /// exhausted): replays the winner's path. O(log ways).
+  void ReplayWinner();
+
+  size_t ways() const { return ways_; }
+
+ private:
+  size_t ways_;
+  LessFn less_;
+  /// tree_[1..ways_-1] hold loser way indices; tree_[0] unused.
+  std::vector<size_t> tree_;
+  size_t winner_ = 0;
+};
+
+}  // namespace topk
+
+#endif  // TOPK_SORT_LOSER_TREE_H_

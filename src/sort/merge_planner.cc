@@ -1,0 +1,84 @@
+#include "sort/merge_planner.h"
+
+#include <algorithm>
+
+#include "sort/merger.h"
+
+namespace topk {
+
+void OrderRunsForMerge(std::vector<RunMeta>* runs,
+                       const RowComparator& comparator, MergePolicy policy) {
+  switch (policy) {
+    case MergePolicy::kSmallestRunsFirst:
+      std::sort(runs->begin(), runs->end(),
+                [](const RunMeta& a, const RunMeta& b) {
+                  if (a.rows != b.rows) return a.rows < b.rows;
+                  return a.id < b.id;
+                });
+      break;
+    case MergePolicy::kLowestKeysFirst:
+      std::sort(runs->begin(), runs->end(),
+                [&](const RunMeta& a, const RunMeta& b) {
+                  // Best (lowest, for ascending) keys first; compare by the
+                  // run's last key — a recently produced, sharply filtered
+                  // run ends early in the key domain.
+                  if (a.last_key != b.last_key) {
+                    return comparator.KeyLess(a.last_key, b.last_key);
+                  }
+                  if (a.first_key != b.first_key) {
+                    return comparator.KeyLess(a.first_key, b.first_key);
+                  }
+                  return a.id < b.id;
+                });
+      break;
+  }
+}
+
+Result<std::vector<RunMeta>> ReduceRunsForFinalMerge(
+    SpillManager* spill, const RowComparator& comparator,
+    const MergePlannerOptions& options, MergePlanStats* stats) {
+  if (options.fan_in < 2) {
+    return Status::InvalidArgument("merge fan-in must be at least 2");
+  }
+  std::vector<RunMeta> runs = spill->runs();
+  while (runs.size() > options.fan_in) {
+    OrderRunsForMerge(&runs, comparator, options.policy);
+    // Merge enough runs that the final pass can cover the rest: prefer the
+    // largest useful step (full fan-in) unless fewer suffice.
+    const size_t excess = runs.size() - options.fan_in;
+    const size_t step = std::min(options.fan_in, excess + 1);
+    std::vector<RunMeta> inputs(runs.begin(), runs.begin() + step);
+
+    std::unique_ptr<RunWriter> writer;
+    TOPK_ASSIGN_OR_RETURN(writer, spill->NewRun(comparator));
+    MergeOptions merge_options;
+    merge_options.limit = options.intermediate_limit;
+    merge_options.with_ties = options.with_ties;
+    merge_options.stop_filter = options.filter;
+    merge_options.refine_filter = options.filter;
+    MergeStats merge_stats;
+    TOPK_ASSIGN_OR_RETURN(
+        merge_stats,
+        MergeRuns(spill, inputs, comparator, merge_options,
+                  [&](Row&& row) { return writer->Append(row); }));
+    RunMeta merged;
+    TOPK_ASSIGN_OR_RETURN(merged, writer->Finish());
+    for (const RunMeta& consumed : inputs) {
+      TOPK_RETURN_NOT_OK(spill->RemoveRun(consumed.id));
+    }
+    if (merged.rows > 0) {
+      spill->AddRun(merged);
+    } else {
+      TOPK_RETURN_NOT_OK(spill->env()->DeleteFile(merged.path));
+    }
+    if (stats != nullptr) {
+      ++stats->intermediate_steps;
+      stats->intermediate_rows_written += merge_stats.rows_emitted;
+      stats->intermediate_rows_read += merge_stats.rows_read;
+    }
+    runs = spill->runs();
+  }
+  return runs;
+}
+
+}  // namespace topk

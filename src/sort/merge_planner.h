@@ -1,0 +1,63 @@
+#ifndef TOPK_SORT_MERGE_PLANNER_H_
+#define TOPK_SORT_MERGE_PLANNER_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/result.h"
+#include "histogram/cutoff_filter.h"
+#include "io/spill_manager.h"
+#include "row/row.h"
+
+namespace topk {
+
+/// Which runs an intermediate merge step consumes first.
+enum class MergePolicy {
+  /// Classic external sort: merge the smallest remaining runs, minimizing
+  /// the work to reduce the run count.
+  kSmallestRunsFirst,
+  /// Top-k aware (Sec 4.1): "each merge step should choose the runs with
+  /// the lowest keys, i.e., the runs produced most recently" — their rows
+  /// are the likeliest to reach the output, and merging them sharpens the
+  /// cutoff the most.
+  kLowestKeysFirst,
+};
+
+struct MergePlannerOptions {
+  /// Maximum runs merged in one step.
+  size_t fan_in = 64;
+  MergePolicy policy = MergePolicy::kLowestKeysFirst;
+  /// Rows an intermediate run needs at most (k + offset for a top-k: a
+  /// sorted intermediate never contributes beyond its first k+offset rows).
+  uint64_t intermediate_limit = std::numeric_limits<uint64_t>::max();
+  /// When set, intermediate merges stop at this filter's cutoff and propose
+  /// their (k)th key back to it.
+  CutoffFilter* filter = nullptr;
+  /// WITH TIES queries: intermediate runs must keep key-ties of their
+  /// limit-th row or the final merge could lose tied output rows.
+  bool with_ties = false;
+};
+
+struct MergePlanStats {
+  uint64_t intermediate_steps = 0;
+  uint64_t intermediate_rows_written = 0;
+  uint64_t intermediate_rows_read = 0;
+};
+
+/// Reduces the SpillManager's registered runs to at most `fan_in` by
+/// executing intermediate merge steps (consumed runs are deleted, each step
+/// registers its output run). Returns the surviving runs, ready for a final
+/// merge. Statistics about performed steps are added to `*stats` when
+/// non-null.
+Result<std::vector<RunMeta>> ReduceRunsForFinalMerge(
+    SpillManager* spill, const RowComparator& comparator,
+    const MergePlannerOptions& options, MergePlanStats* stats = nullptr);
+
+/// Orders runs by the chosen policy; exposed for tests.
+void OrderRunsForMerge(std::vector<RunMeta>* runs,
+                       const RowComparator& comparator, MergePolicy policy);
+
+}  // namespace topk
+
+#endif  // TOPK_SORT_MERGE_PLANNER_H_

@@ -1,0 +1,125 @@
+#include "sort/merger.h"
+
+#include <memory>
+
+#include "sort/loser_tree.h"
+
+namespace topk {
+
+namespace {
+
+/// One merge input: a run reader with a one-row lookahead buffer.
+struct MergeWay {
+  std::unique_ptr<RunReader> reader;
+  Row current;
+  bool exhausted = false;
+
+  Status Advance(MergeStats* stats) {
+    bool eof = false;
+    TOPK_RETURN_NOT_OK(reader->Next(&current, &eof));
+    if (eof) {
+      exhausted = true;
+    } else {
+      ++stats->rows_read;
+    }
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+Result<MergeStats> MergeRuns(SpillManager* spill,
+                             const std::vector<RunMeta>& runs,
+                             const RowComparator& comparator,
+                             const MergeOptions& options,
+                             const RowSink& sink) {
+  MergeStats stats;
+  if (runs.empty()) {
+    stats.exhausted_inputs = true;
+    return stats;
+  }
+
+  if (!options.seek_bytes.empty() &&
+      options.seek_bytes.size() != runs.size()) {
+    return Status::InvalidArgument(
+        "seek_bytes must be parallel to the run list");
+  }
+  if (options.seek_rows_total > options.skip) {
+    return Status::InvalidArgument("seek skips more rows than the offset");
+  }
+
+  std::vector<MergeWay> ways(runs.size());
+  for (size_t i = 0; i < runs.size(); ++i) {
+    TOPK_ASSIGN_OR_RETURN(ways[i].reader, spill->OpenRun(runs[i]));
+    if (!options.seek_bytes.empty() && options.seek_bytes[i] > 0) {
+      TOPK_RETURN_NOT_OK(ways[i].reader->SkipToByte(options.seek_bytes[i]));
+    }
+    TOPK_RETURN_NOT_OK(ways[i].Advance(&stats));
+  }
+
+  LoserTree tree(ways.size(), [&](size_t a, size_t b) {
+    if (ways[a].exhausted) return false;
+    if (ways[b].exhausted) return true;
+    return comparator.Less(ways[a].current, ways[b].current);
+  });
+  tree.Build();
+
+  // Rows already skipped via seeks count toward the offset.
+  const uint64_t residual_skip = options.skip - options.seek_rows_total;
+  stats.rows_skipped = options.seek_rows_total;
+  const uint64_t kMax = std::numeric_limits<uint64_t>::max();
+  const uint64_t target = (options.limit > kMax - residual_skip)
+                              ? kMax
+                              : residual_skip + options.limit;
+  uint64_t produced = 0;  // skipped + emitted
+  for (;;) {
+    const size_t w = tree.winner();
+    if (produced >= target) {
+      // Limit reached; only key-ties of the last emitted row may follow.
+      if (!options.with_ties || stats.rows_emitted == 0 ||
+          ways[w].exhausted || ways[w].current.key != stats.last_key) {
+        break;
+      }
+    }
+    if (ways[w].exhausted) {
+      stats.exhausted_inputs = true;
+      break;
+    }
+    if (options.stop_filter != nullptr &&
+        options.stop_filter->Eliminate(ways[w].current)) {
+      // Every remaining row in every run sorts at or after this one.
+      break;
+    }
+    Row row = std::move(ways[w].current);
+    TOPK_RETURN_NOT_OK(ways[w].Advance(&stats));
+    tree.ReplayWinner();
+
+    ++produced;
+    if (produced <= residual_skip) {
+      ++stats.rows_skipped;
+      continue;
+    }
+    stats.last_key = row.key;
+    ++stats.rows_emitted;
+    if (options.refine_filter != nullptr &&
+        stats.rows_emitted + stats.rows_skipped ==
+            options.refine_filter->k()) {
+      options.refine_filter->ProposeCutoff(row.key);
+    }
+    TOPK_RETURN_NOT_OK(sink(std::move(row)));
+  }
+  if (!stats.exhausted_inputs) {
+    // Check whether we happened to stop exactly at the end of all inputs.
+    bool all_done = true;
+    for (const MergeWay& way : ways) {
+      if (!way.exhausted) {
+        all_done = false;
+        break;
+      }
+    }
+    stats.exhausted_inputs = all_done;
+  }
+  return stats;
+}
+
+}  // namespace topk

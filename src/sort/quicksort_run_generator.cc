@@ -1,0 +1,81 @@
+#include <algorithm>
+
+#include "sort/run_generation.h"
+
+namespace topk {
+
+QuicksortRunGenerator::QuicksortRunGenerator(
+    SpillManager* spill, const RowComparator& comparator,
+    const RunGeneratorOptions& options)
+    : spill_(spill), comparator_(comparator), options_(options) {}
+
+Status QuicksortRunGenerator::Add(Row row) {
+  const size_t cost = row.MemoryFootprint() + kPerRowOverheadBytes;
+  if (buffered_bytes_ + cost > options_.memory_limit_bytes &&
+      !buffer_.empty()) {
+    TOPK_RETURN_NOT_OK(SortAndSpill());
+  }
+  buffered_bytes_ += cost;
+  buffer_.push_back(std::move(row));
+  ++stats_.rows_added;
+  stats_.rows_in_memory = buffer_.size();
+  stats_.peak_memory_bytes =
+      std::max(stats_.peak_memory_bytes, buffered_bytes_);
+  return Status::OK();
+}
+
+Status QuicksortRunGenerator::SortAndSpill() {
+  std::sort(buffer_.begin(), buffer_.end(), comparator_);
+
+  std::unique_ptr<RunWriter> writer;
+  uint64_t rows_in_run = 0;
+  for (Row& row : buffer_) {
+    if (options_.observer != nullptr &&
+        options_.observer->EliminateAtSpill(row)) {
+      ++stats_.rows_eliminated_at_spill;
+      continue;
+    }
+    if (writer != nullptr && rows_in_run >= options_.run_row_limit) {
+      RunMeta meta;
+      TOPK_ASSIGN_OR_RETURN(meta, writer->Finish());
+      if (options_.observer != nullptr) {
+        meta.histogram = options_.observer->OnRunFinished();
+      }
+      spill_->AddRun(std::move(meta));
+      writer.reset();
+      rows_in_run = 0;
+    }
+    if (writer == nullptr) {
+      TOPK_ASSIGN_OR_RETURN(
+          writer, spill_->NewRun(comparator_, options_.run_index_stride));
+    }
+    TOPK_RETURN_NOT_OK(writer->Append(row));
+    if (options_.observer != nullptr) options_.observer->OnRowSpilled(row);
+    ++stats_.rows_spilled;
+    ++rows_in_run;
+  }
+  if (writer != nullptr) {
+    RunMeta meta;
+    TOPK_ASSIGN_OR_RETURN(meta, writer->Finish());
+    if (options_.observer != nullptr) {
+      meta.histogram = options_.observer->OnRunFinished();
+    }
+    spill_->AddRun(std::move(meta));
+  } else if (options_.observer != nullptr) {
+    // Everything was eliminated; still reset the observer's per-run state.
+    options_.observer->OnRunFinished();
+  }
+  buffer_.clear();
+  buffered_bytes_ = 0;
+  stats_.rows_in_memory = 0;
+  return Status::OK();
+}
+
+Status QuicksortRunGenerator::Flush() {
+  if (!buffer_.empty()) {
+    TOPK_RETURN_NOT_OK(SortAndSpill());
+  }
+  return Status::OK();
+}
+
+}  // namespace topk

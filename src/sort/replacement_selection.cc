@@ -1,0 +1,102 @@
+#include "sort/replacement_selection.h"
+
+#include <algorithm>
+
+namespace topk {
+
+ReplacementSelectionRunGenerator::ReplacementSelectionRunGenerator(
+    SpillManager* spill, const RowComparator& comparator,
+    const RunGeneratorOptions& options)
+    : spill_(spill),
+      comparator_(comparator),
+      options_(options),
+      heap_(EntryGreater{comparator}) {}
+
+Status ReplacementSelectionRunGenerator::Add(Row row) {
+  uint64_t seq = current_seq_;
+  if (has_last_spilled_ && comparator_.Less(row, last_spilled_)) {
+    // Too small to extend the current run in sorted order: defer.
+    seq = current_seq_ + 1;
+  }
+  const size_t cost = row.MemoryFootprint() + kPerRowOverheadBytes;
+  buffered_bytes_ += cost;
+  heap_.push(Entry{seq, std::move(row)});
+  ++stats_.rows_added;
+  stats_.rows_in_memory = heap_.size();
+  stats_.peak_memory_bytes =
+      std::max(stats_.peak_memory_bytes, buffered_bytes_);
+  while (buffered_bytes_ > options_.memory_limit_bytes && heap_.size() > 1) {
+    TOPK_RETURN_NOT_OK(SpillOne());
+  }
+  stats_.rows_in_memory = heap_.size();
+  return Status::OK();
+}
+
+Status ReplacementSelectionRunGenerator::SpillOne() {
+  Entry entry = heap_.top();
+  heap_.pop();
+  buffered_bytes_ -= entry.row.MemoryFootprint() + kPerRowOverheadBytes;
+
+  if (entry.run_seq != current_seq_) {
+    // The current logical run is exhausted; start the next one.
+    TOPK_RETURN_NOT_OK(CloseRun());
+    current_seq_ = entry.run_seq;
+    has_last_spilled_ = false;
+  }
+
+  if (options_.observer != nullptr &&
+      options_.observer->EliminateAtSpill(entry.row)) {
+    ++stats_.rows_eliminated_at_spill;
+    return Status::OK();
+  }
+
+  if (writer_ != nullptr && rows_in_physical_run_ >= options_.run_row_limit) {
+    TOPK_RETURN_NOT_OK(CloseRun());
+  }
+  TOPK_RETURN_NOT_OK(EnsureWriter());
+  TOPK_RETURN_NOT_OK(writer_->Append(entry.row));
+  if (options_.observer != nullptr) {
+    options_.observer->OnRowSpilled(entry.row);
+  }
+  ++stats_.rows_spilled;
+  ++rows_in_physical_run_;
+  last_spilled_ = std::move(entry.row);
+  has_last_spilled_ = true;
+  return Status::OK();
+}
+
+Status ReplacementSelectionRunGenerator::EnsureWriter() {
+  if (writer_ == nullptr) {
+    TOPK_ASSIGN_OR_RETURN(
+        writer_, spill_->NewRun(comparator_, options_.run_index_stride));
+    rows_in_physical_run_ = 0;
+  }
+  return Status::OK();
+}
+
+Status ReplacementSelectionRunGenerator::CloseRun() {
+  std::vector<HistogramBucket> histogram;
+  if (options_.observer != nullptr) {
+    histogram = options_.observer->OnRunFinished();
+  }
+  if (writer_ == nullptr) return Status::OK();
+  RunMeta meta;
+  TOPK_ASSIGN_OR_RETURN(meta, writer_->Finish());
+  meta.histogram = std::move(histogram);
+  spill_->AddRun(std::move(meta));
+  writer_.reset();
+  rows_in_physical_run_ = 0;
+  return Status::OK();
+}
+
+Status ReplacementSelectionRunGenerator::Flush() {
+  while (!heap_.empty()) {
+    TOPK_RETURN_NOT_OK(SpillOne());
+  }
+  TOPK_RETURN_NOT_OK(CloseRun());
+  buffered_bytes_ = 0;
+  stats_.rows_in_memory = 0;
+  return Status::OK();
+}
+
+}  // namespace topk

@@ -1,0 +1,111 @@
+#ifndef TOPK_SORT_RUN_GENERATION_H_
+#define TOPK_SORT_RUN_GENERATION_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/status.h"
+#include "histogram/bucket.h"
+#include "io/spill_manager.h"
+#include "row/row.h"
+
+namespace topk {
+
+/// How an external operator generates its sorted runs.
+enum class RunGenerationKind {
+  kQuicksort,             // load-sort-store (PostgreSQL-style)
+  kReplacementSelection,  // pipelined, the paper's production choice
+};
+
+/// Hook invoked by run generators around every spill. This is how the
+/// cutoff filter logic of Algorithm 1 attaches to any run-generation
+/// algorithm ("the cutoff filter logic ... can be combined with any
+/// run-generation algorithm", Sec 3.1.2): the observer re-checks rows right
+/// before they hit secondary storage (line 11) and accounts written rows
+/// into the input model (line 13).
+class SpillObserver {
+ public:
+  virtual ~SpillObserver() = default;
+
+  /// Returns true when `row` must be dropped instead of written. Called
+  /// with rows in run order.
+  virtual bool EliminateAtSpill(const Row& row) {
+    (void)row;
+    return false;
+  }
+
+  /// `row` was appended to the current run.
+  virtual void OnRowSpilled(const Row& row) { (void)row; }
+
+  /// The current run was closed; returns the histogram collected from it
+  /// (stored into RunMeta::histogram).
+  virtual std::vector<HistogramBucket> OnRunFinished() { return {}; }
+};
+
+struct RunGeneratorOptions {
+  /// Operator memory budget for buffered rows.
+  size_t memory_limit_bytes = 64 << 20;
+  /// Maximum rows per physical run; top-k operators set this to k+offset
+  /// ("limiting the size of each run to the final output size", Sec 2.4).
+  uint64_t run_row_limit = std::numeric_limits<uint64_t>::max();
+  /// Optional spill hook (cutoff filter). Not owned.
+  SpillObserver* observer = nullptr;
+  /// Seek-index granularity of produced runs (rows per RunIndexEntry).
+  uint64_t run_index_stride = kDefaultIndexStride;
+};
+
+struct RunGeneratorStats {
+  uint64_t rows_added = 0;
+  uint64_t rows_eliminated_at_spill = 0;
+  uint64_t rows_spilled = 0;
+  size_t peak_memory_bytes = 0;
+  /// Rows currently buffered in memory.
+  uint64_t rows_in_memory = 0;
+};
+
+/// Fixed extra bytes charged per buffered row (heap/bookkeeping overhead).
+inline constexpr size_t kPerRowOverheadBytes = 32;
+
+/// Produces sorted runs in a SpillManager from an unsorted row stream.
+class RunGenerator {
+ public:
+  virtual ~RunGenerator() = default;
+
+  /// Buffers one row, spilling as needed to respect the memory budget.
+  virtual Status Add(Row row) = 0;
+
+  /// Ends the input: spills everything still buffered and closes the last
+  /// run. After Flush() the SpillManager holds the complete set of runs.
+  virtual Status Flush() = 0;
+
+  virtual const RunGeneratorStats& stats() const = 0;
+};
+
+/// Load-sort-store run generation: fill memory, quicksort, write one run
+/// (split at run_row_limit). Simple and cache-friendly, but consumption of
+/// the input stalls during each sort+spill (the paper's motivation for
+/// replacement selection); runs are at most one memory-load long.
+class QuicksortRunGenerator : public RunGenerator {
+ public:
+  QuicksortRunGenerator(SpillManager* spill, const RowComparator& comparator,
+                        const RunGeneratorOptions& options);
+
+  Status Add(Row row) override;
+  Status Flush() override;
+  const RunGeneratorStats& stats() const override { return stats_; }
+
+ private:
+  Status SortAndSpill();
+
+  SpillManager* spill_;
+  RowComparator comparator_;
+  RunGeneratorOptions options_;
+  RunGeneratorStats stats_;
+  std::vector<Row> buffer_;
+  size_t buffered_bytes_ = 0;
+};
+
+}  // namespace topk
+
+#endif  // TOPK_SORT_RUN_GENERATION_H_

@@ -1,0 +1,129 @@
+#include "topk/heap_topk.h"
+
+#include <algorithm>
+
+namespace topk {
+
+namespace {
+/// Bookkeeping bytes charged per heap entry against the memory budget.
+constexpr size_t kHeapPerRowOverhead = 32;
+}  // namespace
+
+HeapTopK::HeapTopK(const TopKOptions& options)
+    : options_(options),
+      comparator_(options.direction),
+      heap_(comparator_) {}
+
+Result<std::unique_ptr<HeapTopK>> HeapTopK::Make(const TopKOptions& options) {
+  TOPK_RETURN_NOT_OK(ValidateTopKOptions(options, /*requires_storage=*/false));
+  return std::unique_ptr<HeapTopK>(new HeapTopK(options));
+}
+
+std::optional<double> HeapTopK::cutoff() const {
+  if (heap_.size() < options_.output_rows()) return std::nullopt;
+  return heap_.top().key;
+}
+
+Status HeapTopK::Consume(Row row) {
+  if (finished_) {
+    return Status::FailedPrecondition("Consume after Finish");
+  }
+  Stopwatch watch;
+  ++stats_.rows_consumed;
+  const size_t cost = row.MemoryFootprint() + kHeapPerRowOverhead;
+  if (heap_.size() < options_.output_rows()) {
+    heap_bytes_ += cost;
+    if (heap_bytes_ > options_.memory_limit_bytes &&
+        !options_.allow_unbounded_memory) {
+      return Status::OutOfMemory(
+          "requested output does not fit in operator memory (" +
+          std::to_string(heap_.size()) + " rows buffered); an external "
+          "top-k operator is required");
+    }
+    heap_.push(std::move(row));
+  } else if (options_.with_ties && row.key == heap_.top().key) {
+    // A key-tie of the current boundary row must be retained: the number
+    // of duplicates is unknown, so this buffer can grow without bound —
+    // the in-memory algorithm "may unexpectedly fail" (Sec 2.3).
+    heap_bytes_ += cost;
+    if (heap_bytes_ > options_.memory_limit_bytes &&
+        !options_.allow_unbounded_memory) {
+      return Status::OutOfMemory(
+          "WITH TIES duplicates of the boundary key exceed operator "
+          "memory; an external top-k operator is required");
+    }
+    ties_.push_back(std::move(row));
+  } else if (comparator_.Less(row, heap_.top())) {
+    Row evicted = heap_.top();
+    heap_.pop();
+    heap_.push(std::move(row));
+    heap_bytes_ += cost;
+    if (options_.with_ties && evicted.key == heap_.top().key) {
+      // The boundary key is unchanged: the evicted row is now a tie.
+      ties_.push_back(std::move(evicted));
+      if (heap_bytes_ > options_.memory_limit_bytes &&
+          !options_.allow_unbounded_memory) {
+        return Status::OutOfMemory(
+            "WITH TIES duplicates of the boundary key exceed operator "
+            "memory; an external top-k operator is required");
+      }
+    } else {
+      heap_bytes_ -= evicted.MemoryFootprint() + kHeapPerRowOverhead;
+      if (options_.with_ties && !ties_.empty()) {
+        // The boundary key just became sharper: retained ties of the old
+        // boundary are all beyond the output now.
+        for (const Row& tie : ties_) {
+          heap_bytes_ -= tie.MemoryFootprint() + kHeapPerRowOverhead;
+        }
+        stats_.rows_eliminated_input += ties_.size();
+        ties_.clear();
+      }
+    }
+  } else {
+    ++stats_.rows_eliminated_input;
+  }
+  stats_.peak_memory_bytes = std::max(stats_.peak_memory_bytes, heap_bytes_);
+  stats_.consume_nanos += watch.ElapsedNanos();
+  return Status::OK();
+}
+
+Result<std::vector<Row>> HeapTopK::Finish() {
+  if (finished_) {
+    return Status::FailedPrecondition("Finish called twice");
+  }
+  finished_ = true;
+  Stopwatch watch;
+  stats_.final_cutoff = cutoff();
+
+  std::vector<Row> rows;
+  rows.reserve(heap_.size() + ties_.size());
+  while (!heap_.empty()) {
+    rows.push_back(heap_.top());
+    heap_.pop();
+  }
+  std::reverse(rows.begin(), rows.end());  // best-first in query order
+  if (!ties_.empty()) {
+    // Retained boundary-key duplicates; merge them into full query order.
+    rows.insert(rows.end(), std::make_move_iterator(ties_.begin()),
+                std::make_move_iterator(ties_.end()));
+    ties_.clear();
+    std::sort(rows.begin(), rows.end(), comparator_);
+  }
+  if (options_.offset > 0) {
+    const size_t skip = std::min<size_t>(options_.offset, rows.size());
+    rows.erase(rows.begin(), rows.begin() + skip);
+  }
+  if (rows.size() > options_.k) {
+    size_t end = options_.k;
+    if (options_.with_ties) {
+      // Extend past k while rows tie with the kth row's key.
+      const double boundary = rows[options_.k - 1].key;
+      while (end < rows.size() && rows[end].key == boundary) ++end;
+    }
+    rows.resize(end);
+  }
+  stats_.finish_nanos = watch.ElapsedNanos();
+  return rows;
+}
+
+}  // namespace topk

@@ -1,0 +1,298 @@
+#include "topk/histogram_topk.h"
+
+#include <algorithm>
+
+#include "extensions/offset_skip.h"
+#include "sort/merge_planner.h"
+#include "sort/merger.h"
+#include "sort/replacement_selection.h"
+
+namespace topk {
+
+namespace {
+constexpr size_t kHeapPerRowOverhead = 32;
+}  // namespace
+
+/// Bridges the run generator's spill events into the cutoff filter
+/// (Algorithm 1 lines 11-13).
+class HistogramTopK::FilterObserver : public SpillObserver {
+ public:
+  explicit FilterObserver(CutoffFilter* filter) : filter_(filter) {}
+
+  bool EliminateAtSpill(const Row& row) override {
+    return filter_->Eliminate(row);
+  }
+
+  void OnRowSpilled(const Row& row) override {
+    filter_->RowSpilled(row.key);
+  }
+
+  std::vector<HistogramBucket> OnRunFinished() override {
+    return filter_->RunFinished();
+  }
+
+ private:
+  CutoffFilter* filter_;
+};
+
+HistogramTopK::HistogramTopK(const TopKOptions& options)
+    : options_(options),
+      comparator_(options.direction),
+      heap_(comparator_) {}
+
+HistogramTopK::~HistogramTopK() = default;
+
+Result<std::unique_ptr<HistogramTopK>> HistogramTopK::Make(
+    const TopKOptions& options) {
+  TOPK_RETURN_NOT_OK(ValidateTopKOptions(options, /*requires_storage=*/true));
+  return std::unique_ptr<HistogramTopK>(new HistogramTopK(options));
+}
+
+std::optional<double> HistogramTopK::cutoff() const {
+  if (generator_ != nullptr) {
+    return filter_->cutoff();
+  }
+  if (heap_saturated_ && !heap_.empty()) return heap_.top().key;
+  return std::nullopt;
+}
+
+Status HistogramTopK::SwitchToExternal() {
+  TOPK_ASSIGN_OR_RETURN(spill_,
+                        SpillManager::Create(options_.env, options_.spill_dir));
+
+  CutoffFilter::Options filter_options;
+  filter_options.k = options_.approx_filter_k > 0 ? options_.approx_filter_k
+                                                  : options_.output_rows();
+  filter_options.direction = options_.direction;
+  filter_options.target_buckets_per_run = options_.histogram_buckets_per_run;
+  filter_options.memory_limit_bytes = options_.histogram_memory_limit_bytes;
+  filter_options.consolidation = options_.histogram_consolidation;
+  // Bucket width is derived from the expected run length: replacement
+  // selection produces runs near twice the rows that fit in memory,
+  // truncated by the run-size limit ("A best effort is made to decide the
+  // target number of histogram buckets collected from each run",
+  // Sec 5.1.2). The heap size at the moment memory overflowed is our
+  // estimate of rows-per-memory-load.
+  uint64_t expected_run_rows = 2 * std::max<uint64_t>(heap_.size(), 1);
+  if (options_.limit_run_size_to_output) {
+    expected_run_rows = std::min(expected_run_rows, options_.output_rows());
+  }
+  filter_options.target_run_rows = expected_run_rows;
+  filter_ = std::make_unique<CutoffFilter>(filter_options);
+  observer_ = std::make_unique<FilterObserver>(filter_.get());
+
+  RunGeneratorOptions gen_options;
+  gen_options.memory_limit_bytes = options_.memory_limit_bytes;
+  if (options_.limit_run_size_to_output) {
+    gen_options.run_row_limit = options_.output_rows();
+  }
+  gen_options.observer = observer_.get();
+  // Index granularity that yields ~64 seek points per run even when runs
+  // are small (offset skips need entries inside every run).
+  gen_options.run_index_stride = std::max<uint64_t>(16, expected_run_rows / 64);
+  if (options_.run_generation == RunGenerationKind::kReplacementSelection) {
+    generator_ = std::make_unique<ReplacementSelectionRunGenerator>(
+        spill_.get(), comparator_, gen_options);
+  } else {
+    generator_ = std::make_unique<QuicksortRunGenerator>(
+        spill_.get(), comparator_, gen_options);
+  }
+
+  // Hand the buffered rows to run generation; heap order is irrelevant,
+  // replacement selection re-sorts.
+  while (!heap_.empty()) {
+    // std::priority_queue exposes only const top(); moving would break its
+    // invariant anyway since we pop immediately after copying.
+    TOPK_RETURN_NOT_OK(generator_->Add(heap_.top()));
+    heap_.pop();
+  }
+  for (Row& tie : ties_) {
+    TOPK_RETURN_NOT_OK(generator_->Add(std::move(tie)));
+  }
+  ties_.clear();
+  ties_.shrink_to_fit();
+  heap_bytes_ = 0;
+  return Status::OK();
+}
+
+Status HistogramTopK::Consume(Row row) {
+  if (finished_) {
+    return Status::FailedPrecondition("Consume after Finish");
+  }
+  Stopwatch watch;
+  ++stats_.rows_consumed;
+
+  if (generator_ != nullptr) {
+    // External mode: Algorithm 1 line 4.
+    if (filter_->Eliminate(row)) {
+      ++stats_.rows_eliminated_input;
+    } else {
+      TOPK_RETURN_NOT_OK(generator_->Add(std::move(row)));
+    }
+    stats_.consume_nanos += watch.ElapsedNanos();
+    return Status::OK();
+  }
+
+  // In-memory mode: behave exactly like the priority-queue algorithm.
+  if (heap_saturated_) {
+    if (options_.with_ties && row.key == heap_.top().key) {
+      // Boundary-key duplicate: must be retained (Sec 2.3's hazard). When
+      // the duplicates overflow memory we — unlike the bare in-memory
+      // algorithm — simply switch to the external algorithm below.
+      const size_t cost = row.MemoryFootprint() + kHeapPerRowOverhead;
+      if (heap_bytes_ + cost <= options_.memory_limit_bytes) {
+        heap_bytes_ += cost;
+        ties_.push_back(std::move(row));
+        stats_.peak_memory_bytes =
+            std::max(stats_.peak_memory_bytes, heap_bytes_);
+        stats_.consume_nanos += watch.ElapsedNanos();
+        return Status::OK();
+      }
+      // Fall through: spill.
+    } else if (!comparator_.Less(row, heap_.top())) {
+      ++stats_.rows_eliminated_input;
+      stats_.consume_nanos += watch.ElapsedNanos();
+      return Status::OK();
+    } else {
+      const size_t new_cost = row.MemoryFootprint() + kHeapPerRowOverhead;
+      const size_t old_cost =
+          heap_.top().MemoryFootprint() + kHeapPerRowOverhead;
+      if (heap_bytes_ - old_cost + new_cost <=
+          options_.memory_limit_bytes) {
+        Row evicted = heap_.top();
+        heap_.pop();
+        heap_bytes_ = heap_bytes_ - old_cost + new_cost;
+        heap_.push(std::move(row));
+        if (options_.with_ties && evicted.key == heap_.top().key) {
+          // Boundary unchanged: the evicted row is now a retained tie.
+          // This can transiently overshoot the budget by at most the
+          // boundary key's duplicate count already in the heap; the next
+          // duplicate arrival takes the checked path and switches to
+          // external mode.
+          heap_bytes_ += old_cost;
+          ties_.push_back(std::move(evicted));
+        } else if (options_.with_ties && !ties_.empty()) {
+          // Boundary sharpened: old boundary ties fell out of the output.
+          for (const Row& tie : ties_) {
+            heap_bytes_ -= tie.MemoryFootprint() + kHeapPerRowOverhead;
+          }
+          stats_.rows_eliminated_input += ties_.size();
+          ties_.clear();
+        }
+        stats_.peak_memory_bytes =
+            std::max(stats_.peak_memory_bytes, heap_bytes_);
+        stats_.consume_nanos += watch.ElapsedNanos();
+        return Status::OK();
+      }
+      // Replacement row does not fit (variable-size rows): spill.
+    }
+  } else {
+    const size_t cost = row.MemoryFootprint() + kHeapPerRowOverhead;
+    if (heap_bytes_ + cost <= options_.memory_limit_bytes) {
+      heap_bytes_ += cost;
+      heap_.push(std::move(row));
+      heap_saturated_ = heap_.size() >= options_.output_rows();
+      stats_.peak_memory_bytes =
+          std::max(stats_.peak_memory_bytes, heap_bytes_);
+      stats_.consume_nanos += watch.ElapsedNanos();
+      return Status::OK();
+    }
+    // Memory overflowed before k+offset rows were buffered: the output
+    // does not fit, switch to the external algorithm.
+  }
+  TOPK_RETURN_NOT_OK(SwitchToExternal());
+  TOPK_RETURN_NOT_OK(generator_->Add(std::move(row)));
+  stats_.consume_nanos += watch.ElapsedNanos();
+  return Status::OK();
+}
+
+Result<std::vector<Row>> HistogramTopK::Finish() {
+  if (finished_) {
+    return Status::FailedPrecondition("Finish called twice");
+  }
+  finished_ = true;
+  Stopwatch watch;
+  std::vector<Row> result;
+
+  if (generator_ == nullptr) {
+    // Pure in-memory execution.
+    stats_.final_cutoff = cutoff();
+    std::vector<Row> rows;
+    rows.reserve(heap_.size() + ties_.size());
+    while (!heap_.empty()) {
+      rows.push_back(heap_.top());
+      heap_.pop();
+    }
+    std::reverse(rows.begin(), rows.end());
+    if (!ties_.empty()) {
+      rows.insert(rows.end(), std::make_move_iterator(ties_.begin()),
+                  std::make_move_iterator(ties_.end()));
+      ties_.clear();
+      std::sort(rows.begin(), rows.end(), comparator_);
+    }
+    const size_t begin = std::min<size_t>(options_.offset, rows.size());
+    size_t end = std::min<size_t>(begin + options_.k, rows.size());
+    if (options_.with_ties && end > begin && end < rows.size()) {
+      const double boundary = rows[end - 1].key;
+      while (end < rows.size() && rows[end].key == boundary) ++end;
+    }
+    result.assign(std::make_move_iterator(rows.begin() + begin),
+                  std::make_move_iterator(rows.begin() + end));
+    stats_.finish_nanos = watch.ElapsedNanos();
+    return result;
+  }
+
+  TOPK_RETURN_NOT_OK(generator_->Flush());
+  stats_.rows_eliminated_spill = generator_->stats().rows_eliminated_at_spill;
+  stats_.rows_spilled = generator_->stats().rows_spilled;
+  stats_.runs_created = spill_->total_runs_created();
+  stats_.peak_memory_bytes = std::max(stats_.peak_memory_bytes,
+                                      generator_->stats().peak_memory_bytes);
+
+  MergePlannerOptions planner_options;
+  planner_options.fan_in = options_.merge_fan_in;
+  planner_options.policy = options_.merge_policy;
+  planner_options.intermediate_limit = options_.output_rows();
+  planner_options.with_ties = options_.with_ties;
+  planner_options.filter = filter_.get();
+  MergePlanStats plan_stats;
+  std::vector<RunMeta> final_runs;
+  TOPK_ASSIGN_OR_RETURN(
+      final_runs, ReduceRunsForFinalMerge(spill_.get(), comparator_,
+                                          planner_options, &plan_stats));
+  stats_.merge_rows_written = plan_stats.intermediate_rows_written;
+
+  MergeOptions merge_options;
+  merge_options.limit = options_.k;
+  merge_options.skip = options_.offset;
+  merge_options.with_ties = options_.with_ties;
+  MergeStats merge_stats;
+  const RowSink collect = [&](Row&& row) {
+    result.push_back(std::move(row));
+    return Status::OK();
+  };
+  if (options_.offset > 0 && options_.histogram_offset_skip) {
+    // Sec 4.1: start the merge at the highest key with rank below the
+    // offset, seeking past each run's skippable prefix.
+    OffsetSkipPlan plan;
+    TOPK_ASSIGN_OR_RETURN(
+        merge_stats, MergeRunsWithOffsetSkip(spill_.get(), final_runs,
+                                             comparator_, merge_options,
+                                             collect, &plan));
+    stats_.offset_rows_seek_skipped = plan.rows_skipped;
+  } else {
+    TOPK_ASSIGN_OR_RETURN(merge_stats,
+                          MergeRuns(spill_.get(), final_runs, comparator_,
+                                    merge_options, collect));
+  }
+  stats_.merge_rows_read =
+      plan_stats.intermediate_rows_read + merge_stats.rows_read;
+  stats_.bytes_spilled = spill_->total_bytes_spilled();
+  stats_.final_cutoff = filter_->cutoff();
+  stats_.filter_buckets_inserted = filter_->buckets_inserted();
+  stats_.filter_consolidations = filter_->consolidations();
+  stats_.finish_nanos = watch.ElapsedNanos();
+  return result;
+}
+
+}  // namespace topk

@@ -1,0 +1,84 @@
+#ifndef TOPK_TOPK_HISTOGRAM_TOPK_H_
+#define TOPK_TOPK_HISTOGRAM_TOPK_H_
+
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "histogram/cutoff_filter.h"
+#include "io/spill_manager.h"
+#include "sort/run_generation.h"
+#include "topk/topk_operator.h"
+
+namespace topk {
+
+/// The paper's algorithm (Sec 3): top-k by external merge sort with eager
+/// input filtering guided by histograms.
+///
+/// Adaptive behaviour (Sec 3.1.1): while the requested output fits in the
+/// memory budget the operator is exactly the in-memory priority-queue
+/// algorithm and never touches storage; the moment memory overflows before
+/// k+offset rows are buffered, it switches to run generation. From then on:
+///
+///  * every arriving row is tested against the cutoff key (Algorithm 1,
+///    line 4) and dropped if it provably cannot reach the output;
+///  * surviving rows enter replacement selection; rows leaving memory for a
+///    run are tested again (line 11) because the cutoff may have sharpened
+///    since they were admitted;
+///  * each spilled row feeds the cutoff filter's histogram (line 13),
+///    which continuously sharpens the cutoff — even mid-run.
+///
+/// The final result is produced by merging the surviving runs until k rows
+/// are emitted, with lowest-keys-first intermediate merges that stop at the
+/// cutoff and refine it (Sec 4.1).
+class HistogramTopK : public TopKOperator {
+ public:
+  static Result<std::unique_ptr<HistogramTopK>> Make(
+      const TopKOptions& options);
+
+  ~HistogramTopK() override;  // out-of-line: FilterObserver is incomplete
+                              // here
+
+  Status Consume(Row row) override;
+  Result<std::vector<Row>> Finish() override;
+  std::string name() const override { return "histogram"; }
+
+  /// Current cutoff key (from the heap top in in-memory mode, from the
+  /// histogram model in external mode).
+  std::optional<double> cutoff() const;
+
+  /// True once the operator switched to external (spilling) mode.
+  bool is_external() const { return generator_ != nullptr; }
+
+  /// The cutoff filter (valid in external mode; for tests/benchmarks).
+  const CutoffFilter* filter() const { return filter_.get(); }
+
+ private:
+  class FilterObserver;
+
+  explicit HistogramTopK(const TopKOptions& options);
+
+  Status SwitchToExternal();
+
+  TopKOptions options_;
+  RowComparator comparator_;
+
+  /// In-memory phase: query-order max-heap (top = worst kept row).
+  std::priority_queue<Row, std::vector<Row>, RowComparator> heap_;
+  /// WITH TIES, in-memory phase: boundary-key duplicates beyond the heap.
+  std::vector<Row> ties_;
+  size_t heap_bytes_ = 0;
+  bool heap_saturated_ = false;  // holds k+offset rows; acts as HeapTopK
+
+  /// External phase.
+  std::unique_ptr<SpillManager> spill_;
+  std::unique_ptr<CutoffFilter> filter_;
+  std::unique_ptr<FilterObserver> observer_;
+  std::unique_ptr<RunGenerator> generator_;
+
+  bool finished_ = false;
+};
+
+}  // namespace topk
+
+#endif  // TOPK_TOPK_HISTOGRAM_TOPK_H_

@@ -1,0 +1,66 @@
+#include "topk/operator_factory.h"
+
+#include "topk/heap_topk.h"
+#include "topk/histogram_topk.h"
+#include "topk/optimized_external_topk.h"
+#include "topk/traditional_external_topk.h"
+
+namespace topk {
+
+std::string TopKAlgorithmName(TopKAlgorithm algorithm) {
+  switch (algorithm) {
+    case TopKAlgorithm::kHeap:
+      return "heap";
+    case TopKAlgorithm::kTraditionalExternal:
+      return "traditional-external";
+    case TopKAlgorithm::kOptimizedExternal:
+      return "optimized-external";
+    case TopKAlgorithm::kHistogram:
+      return "histogram";
+  }
+  return "unknown";
+}
+
+bool ParseTopKAlgorithm(const std::string& name, TopKAlgorithm* out) {
+  if (name == "heap") {
+    *out = TopKAlgorithm::kHeap;
+  } else if (name == "traditional-external" || name == "traditional") {
+    *out = TopKAlgorithm::kTraditionalExternal;
+  } else if (name == "optimized-external" || name == "optimized") {
+    *out = TopKAlgorithm::kOptimizedExternal;
+  } else if (name == "histogram") {
+    *out = TopKAlgorithm::kHistogram;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+Result<std::unique_ptr<TopKOperator>> MakeTopKOperator(
+    TopKAlgorithm algorithm, const TopKOptions& options) {
+  switch (algorithm) {
+    case TopKAlgorithm::kHeap: {
+      std::unique_ptr<HeapTopK> op;
+      TOPK_ASSIGN_OR_RETURN(op, HeapTopK::Make(options));
+      return std::unique_ptr<TopKOperator>(std::move(op));
+    }
+    case TopKAlgorithm::kTraditionalExternal: {
+      std::unique_ptr<TraditionalExternalTopK> op;
+      TOPK_ASSIGN_OR_RETURN(op, TraditionalExternalTopK::Make(options));
+      return std::unique_ptr<TopKOperator>(std::move(op));
+    }
+    case TopKAlgorithm::kOptimizedExternal: {
+      std::unique_ptr<OptimizedExternalTopK> op;
+      TOPK_ASSIGN_OR_RETURN(op, OptimizedExternalTopK::Make(options));
+      return std::unique_ptr<TopKOperator>(std::move(op));
+    }
+    case TopKAlgorithm::kHistogram: {
+      std::unique_ptr<HistogramTopK> op;
+      TOPK_ASSIGN_OR_RETURN(op, HistogramTopK::Make(options));
+      return std::unique_ptr<TopKOperator>(std::move(op));
+    }
+  }
+  return Status::InvalidArgument("unknown top-k algorithm");
+}
+
+}  // namespace topk

@@ -1,0 +1,29 @@
+#ifndef TOPK_TOPK_OPERATOR_FACTORY_H_
+#define TOPK_TOPK_OPERATOR_FACTORY_H_
+
+#include <memory>
+#include <string>
+
+#include "topk/topk_operator.h"
+
+namespace topk {
+
+/// The top-k execution strategies the library implements (Sec 2.3-2.5 and
+/// Sec 3 of the paper).
+enum class TopKAlgorithm {
+  kHeap,                 // in-memory priority queue (Sec 2.3)
+  kTraditionalExternal,  // full external sort (Sec 2.4)
+  kOptimizedExternal,    // Graefe 2008 baseline (Sec 2.5)
+  kHistogram,            // the paper's algorithm (Sec 3)
+};
+
+std::string TopKAlgorithmName(TopKAlgorithm algorithm);
+bool ParseTopKAlgorithm(const std::string& name, TopKAlgorithm* out);
+
+/// Creates the requested operator, validating `options` for it.
+Result<std::unique_ptr<TopKOperator>> MakeTopKOperator(
+    TopKAlgorithm algorithm, const TopKOptions& options);
+
+}  // namespace topk
+
+#endif  // TOPK_TOPK_OPERATOR_FACTORY_H_

@@ -1,0 +1,225 @@
+#include "topk/optimized_external_topk.h"
+
+#include <algorithm>
+
+#include "sort/merge_planner.h"
+#include "sort/merger.h"
+#include "sort/replacement_selection.h"
+
+namespace topk {
+
+/// Spill hook implementing the [14] filter: drops rows beyond the cutoff at
+/// spill time and proposes the (k+offset)th key of every physical run as a
+/// new cutoff.
+class OptimizedExternalTopK::KthKeyObserver : public SpillObserver {
+ public:
+  KthKeyObserver(OptimizedExternalTopK* op, uint64_t kth)
+      : op_(op), kth_(kth) {}
+
+  bool EliminateAtSpill(const Row& row) override {
+    return op_->EliminateAtInput(row);
+  }
+
+  void OnRowSpilled(const Row& row) override {
+    ++rows_in_run_;
+    if (rows_in_run_ == kth_) {
+      // This run alone proves k+offset rows at or before row.key.
+      op_->ProposeCutoff(row.key);
+    }
+  }
+
+  std::vector<HistogramBucket> OnRunFinished() override {
+    rows_in_run_ = 0;
+    return {};
+  }
+
+ private:
+  OptimizedExternalTopK* op_;
+  uint64_t kth_;
+  uint64_t rows_in_run_ = 0;
+};
+
+OptimizedExternalTopK::OptimizedExternalTopK(const TopKOptions& options)
+    : options_(options), comparator_(options.direction) {}
+
+OptimizedExternalTopK::~OptimizedExternalTopK() = default;
+
+Result<std::unique_ptr<OptimizedExternalTopK>> OptimizedExternalTopK::Make(
+    const TopKOptions& options) {
+  TOPK_RETURN_NOT_OK(ValidateTopKOptions(options, /*requires_storage=*/true));
+  if (options.early_merge_fan_in < 2) {
+    return Status::InvalidArgument("early merge fan-in must be at least 2");
+  }
+  return std::unique_ptr<OptimizedExternalTopK>(
+      new OptimizedExternalTopK(options));
+}
+
+bool OptimizedExternalTopK::EliminateAtInput(const Row& row) const {
+  return cutoff_.has_value() && comparator_.KeyBeyond(row.key, *cutoff_);
+}
+
+void OptimizedExternalTopK::ProposeCutoff(double key) {
+  if (!cutoff_.has_value() || comparator_.KeyLess(key, *cutoff_)) {
+    cutoff_ = key;
+  }
+}
+
+Status OptimizedExternalTopK::SwitchToExternal() {
+  TOPK_ASSIGN_OR_RETURN(spill_,
+                        SpillManager::Create(options_.env, options_.spill_dir));
+  observer_ =
+      std::make_unique<KthKeyObserver>(this, options_.output_rows());
+  RunGeneratorOptions gen_options;
+  gen_options.memory_limit_bytes = options_.memory_limit_bytes;
+  if (options_.limit_run_size_to_output) {
+    gen_options.run_row_limit = options_.output_rows();
+  }
+  gen_options.observer = observer_.get();
+  if (options_.run_generation == RunGenerationKind::kReplacementSelection) {
+    generator_ = std::make_unique<ReplacementSelectionRunGenerator>(
+        spill_.get(), comparator_, gen_options);
+  } else {
+    generator_ = std::make_unique<QuicksortRunGenerator>(
+        spill_.get(), comparator_, gen_options);
+  }
+  for (Row& row : buffer_) {
+    TOPK_RETURN_NOT_OK(generator_->Add(std::move(row)));
+  }
+  buffer_.clear();
+  buffer_.shrink_to_fit();
+  buffered_bytes_ = 0;
+  return Status::OK();
+}
+
+Status OptimizedExternalTopK::MaybeEarlyMerge() {
+  // An early merge only helps while no cutoff exists (k exceeds run sizes):
+  // merging `early_merge_fan_in` runs can prove k rows and yield a cutoff
+  // much earlier than waiting for the final merge. It interrupts run
+  // generation and performs a low-fan-in merge — the cost the histogram
+  // algorithm avoids.
+  if (!options_.enable_early_merge) return Status::OK();
+  if (cutoff_.has_value()) return Status::OK();
+  if (spill_->run_count() < options_.early_merge_fan_in) return Status::OK();
+
+  std::vector<RunMeta> inputs = spill_->runs();
+  std::unique_ptr<RunWriter> writer;
+  TOPK_ASSIGN_OR_RETURN(writer, spill_->NewRun(comparator_));
+  MergeOptions merge_options;
+  merge_options.limit = options_.output_rows();
+  merge_options.with_ties = options_.with_ties;
+  MergeStats merge_stats;
+  TOPK_ASSIGN_OR_RETURN(
+      merge_stats, MergeRuns(spill_.get(), inputs, comparator_, merge_options,
+                             [&](Row&& row) { return writer->Append(row); }));
+  RunMeta merged;
+  TOPK_ASSIGN_OR_RETURN(merged, writer->Finish());
+  for (const RunMeta& consumed : inputs) {
+    TOPK_RETURN_NOT_OK(spill_->RemoveRun(consumed.id));
+  }
+  if (merged.rows > 0) {
+    spill_->AddRun(merged);
+    ++early_merge_runs_registered_;
+  } else {
+    TOPK_RETURN_NOT_OK(spill_->env()->DeleteFile(merged.path));
+  }
+  stats_.merge_rows_written += merge_stats.rows_emitted;
+  stats_.merge_rows_read += merge_stats.rows_read;
+  ++early_merges_done_;
+  if (merge_stats.rows_emitted >= options_.output_rows()) {
+    ProposeCutoff(merge_stats.last_key);
+  }
+  return Status::OK();
+}
+
+Status OptimizedExternalTopK::Consume(Row row) {
+  if (finished_) {
+    return Status::FailedPrecondition("Consume after Finish");
+  }
+  Stopwatch watch;
+  ++stats_.rows_consumed;
+  if (EliminateAtInput(row)) {
+    ++stats_.rows_eliminated_input;
+    stats_.consume_nanos += watch.ElapsedNanos();
+    return Status::OK();
+  }
+  if (generator_ == nullptr) {
+    const size_t cost = row.MemoryFootprint() + kPerRowOverheadBytes;
+    if (buffered_bytes_ + cost <= options_.memory_limit_bytes) {
+      buffered_bytes_ += cost;
+      stats_.peak_memory_bytes =
+          std::max(stats_.peak_memory_bytes, buffered_bytes_);
+      buffer_.push_back(std::move(row));
+      stats_.consume_nanos += watch.ElapsedNanos();
+      return Status::OK();
+    }
+    TOPK_RETURN_NOT_OK(SwitchToExternal());
+  }
+  TOPK_RETURN_NOT_OK(generator_->Add(std::move(row)));
+  TOPK_RETURN_NOT_OK(MaybeEarlyMerge());
+  stats_.consume_nanos += watch.ElapsedNanos();
+  return Status::OK();
+}
+
+Result<std::vector<Row>> OptimizedExternalTopK::Finish() {
+  if (finished_) {
+    return Status::FailedPrecondition("Finish called twice");
+  }
+  finished_ = true;
+  Stopwatch watch;
+  std::vector<Row> result;
+
+  if (generator_ == nullptr) {
+    std::sort(buffer_.begin(), buffer_.end(), comparator_);
+    const size_t begin = std::min<size_t>(options_.offset, buffer_.size());
+    size_t end = std::min<size_t>(begin + options_.k, buffer_.size());
+    if (options_.with_ties && end > begin && end < buffer_.size()) {
+      const double boundary = buffer_[end - 1].key;
+      while (end < buffer_.size() && buffer_[end].key == boundary) ++end;
+    }
+    result.assign(std::make_move_iterator(buffer_.begin() + begin),
+                  std::make_move_iterator(buffer_.begin() + end));
+    buffer_.clear();
+    stats_.finish_nanos = watch.ElapsedNanos();
+    return result;
+  }
+
+  TOPK_RETURN_NOT_OK(generator_->Flush());
+  stats_.rows_eliminated_spill = generator_->stats().rows_eliminated_at_spill;
+  stats_.rows_spilled = generator_->stats().rows_spilled;
+  stats_.runs_created =
+      spill_->total_runs_created() - early_merge_runs_registered_;
+  stats_.peak_memory_bytes = std::max(stats_.peak_memory_bytes,
+                                      generator_->stats().peak_memory_bytes);
+  stats_.final_cutoff = cutoff_;
+
+  MergePlannerOptions planner_options;
+  planner_options.fan_in = options_.merge_fan_in;
+  planner_options.policy = options_.merge_policy;
+  planner_options.intermediate_limit = options_.output_rows();
+  planner_options.with_ties = options_.with_ties;
+  MergePlanStats plan_stats;
+  std::vector<RunMeta> final_runs;
+  TOPK_ASSIGN_OR_RETURN(
+      final_runs, ReduceRunsForFinalMerge(spill_.get(), comparator_,
+                                          planner_options, &plan_stats));
+  stats_.merge_rows_written += plan_stats.intermediate_rows_written;
+
+  MergeOptions merge_options;
+  merge_options.limit = options_.k;
+  merge_options.skip = options_.offset;
+  merge_options.with_ties = options_.with_ties;
+  MergeStats merge_stats;
+  TOPK_ASSIGN_OR_RETURN(merge_stats,
+                        MergeRuns(spill_.get(), final_runs, comparator_,
+                                  merge_options, [&](Row&& row) {
+                                    result.push_back(std::move(row));
+                                    return Status::OK();
+                                  }));
+  stats_.merge_rows_read +=
+      plan_stats.intermediate_rows_read + merge_stats.rows_read;
+  stats_.bytes_spilled = spill_->total_bytes_spilled();
+  stats_.finish_nanos = watch.ElapsedNanos();
+  return result;
+}
+
+}  // namespace topk

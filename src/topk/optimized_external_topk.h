@@ -1,0 +1,78 @@
+#ifndef TOPK_TOPK_OPTIMIZED_EXTERNAL_TOPK_H_
+#define TOPK_TOPK_OPTIMIZED_EXTERNAL_TOPK_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "io/spill_manager.h"
+#include "sort/run_generation.h"
+#include "topk/topk_operator.h"
+
+namespace topk {
+
+/// The paper's baseline (Sec 2.5): external merge sort optimized for top
+/// queries per Graefe 2008 ("A general and efficient algorithm for 'top'
+/// queries"). Run generation uses replacement selection with run sizes
+/// limited to k+offset, and the input is filtered by a single cutoff key
+/// obtained two ways:
+///
+///  * k fits in a run: the (k+offset)th key of each run is a valid cutoff
+///    (that run alone proves k rows at or before it) — the "incrementally
+///    sharpening filter" of [14]. With the run-size limit, this is exactly
+///    the key that truncates each run.
+///  * k larger than a run: once `early_merge_fan_in` runs exist, an early
+///    merge step combines them into an intermediate run of at most
+///    k+offset rows; if it reaches k+offset rows, its last key becomes the
+///    cutoff. Early merges repeat as runs accumulate, so the cutoff keeps
+///    sharpening — at the price of sub-optimal merge steps and interrupted
+///    run generation, the drawbacks Sec 2.5 calls out and the histogram
+///    algorithm removes.
+///
+/// This was F1 Query's production operator before the histogram algorithm.
+class OptimizedExternalTopK : public TopKOperator {
+ public:
+  static Result<std::unique_ptr<OptimizedExternalTopK>> Make(
+      const TopKOptions& options);
+
+  ~OptimizedExternalTopK() override;  // out-of-line: KthKeyObserver is
+                                      // incomplete here
+
+  Status Consume(Row row) override;
+  Result<std::vector<Row>> Finish() override;
+  std::string name() const override { return "optimized-external"; }
+
+  std::optional<double> cutoff() const { return cutoff_; }
+
+ private:
+  class KthKeyObserver;
+
+  explicit OptimizedExternalTopK(const TopKOptions& options);
+
+  Status SwitchToExternal();
+  Status MaybeEarlyMerge();
+  bool EliminateAtInput(const Row& row) const;
+  void ProposeCutoff(double key);
+
+  TopKOptions options_;
+  RowComparator comparator_;
+
+  /// In-memory phase buffer.
+  std::vector<Row> buffer_;
+  size_t buffered_bytes_ = 0;
+
+  /// External phase.
+  std::unique_ptr<SpillManager> spill_;
+  std::unique_ptr<KthKeyObserver> observer_;
+  std::unique_ptr<RunGenerator> generator_;
+
+  std::optional<double> cutoff_;
+  uint64_t early_merges_done_ = 0;
+  uint64_t early_merge_runs_registered_ = 0;
+
+  bool finished_ = false;
+};
+
+}  // namespace topk
+
+#endif  // TOPK_TOPK_OPTIMIZED_EXTERNAL_TOPK_H_

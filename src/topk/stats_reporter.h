@@ -1,0 +1,23 @@
+#ifndef TOPK_TOPK_STATS_REPORTER_H_
+#define TOPK_TOPK_STATS_REPORTER_H_
+
+#include <string>
+
+#include "topk/topk_operator.h"
+
+namespace topk {
+
+/// Multi-line human-readable report of an operator execution, used by the
+/// CLI driver and handy in tests/examples:
+///
+///   rows consumed            2,000,000
+///   eliminated at input        1,709,409 (85.5%)
+///   ...
+std::string FormatOperatorStats(const OperatorStats& stats);
+
+/// Formats `n` with thousands separators ("1,234,567").
+std::string FormatCount(uint64_t n);
+
+}  // namespace topk
+
+#endif  // TOPK_TOPK_STATS_REPORTER_H_

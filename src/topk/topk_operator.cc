@@ -1,0 +1,29 @@
+#include "topk/topk_operator.h"
+
+namespace topk {
+
+Status ValidateTopKOptions(const TopKOptions& options,
+                           bool requires_storage) {
+  if (options.k == 0) {
+    return Status::InvalidArgument("k must be positive");
+  }
+  if (options.memory_limit_bytes == 0 && !options.allow_unbounded_memory) {
+    return Status::InvalidArgument("memory limit must be positive");
+  }
+  if (requires_storage) {
+    if (options.env == nullptr) {
+      return Status::InvalidArgument(
+          "external top-k operators need a StorageEnv");
+    }
+    if (options.spill_dir.empty()) {
+      return Status::InvalidArgument(
+          "external top-k operators need a spill directory");
+    }
+    if (options.merge_fan_in < 2) {
+      return Status::InvalidArgument("merge fan-in must be at least 2");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace topk

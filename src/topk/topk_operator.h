@@ -1,0 +1,180 @@
+#ifndef TOPK_TOPK_TOPK_OPERATOR_H_
+#define TOPK_TOPK_TOPK_OPERATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/stopwatch.h"
+#include "io/storage_env.h"
+#include "row/row.h"
+#include "sort/merge_planner.h"
+#include "sort/run_generation.h"
+
+namespace topk {
+
+/// Configuration shared by every top-k operator. Mirrors the paper's
+/// experimental knobs (Sec 5.1.2): memory budget, histogram sizing, run-size
+/// limit, plus the storage substrate to spill into.
+struct TopKOptions {
+  /// LIMIT: number of output rows.
+  uint64_t k = 0;
+  /// OFFSET: rows of the sorted stream to skip before the output
+  /// (pause-and-resume paging, Sec 2.7).
+  uint64_t offset = 0;
+  /// SQL FETCH FIRST k ROWS WITH TIES: also return every row whose key
+  /// equals the kth output row's key. The number of tied duplicates is
+  /// unbounded and unknown in advance — exactly the robustness hazard
+  /// Sec 2.3 raises for the in-memory algorithm; the external operators
+  /// handle it naturally because the cutoff filter never eliminates
+  /// key-ties.
+  bool with_ties = false;
+  SortDirection direction = SortDirection::kAscending;
+
+  /// Operator memory budget in bytes (paper default: 1 GB; experiments use
+  /// much smaller budgets).
+  size_t memory_limit_bytes = 64 << 20;
+
+  /// Target histogram buckets collected per run (paper default: 50; 0
+  /// disables the filter).
+  uint64_t histogram_buckets_per_run = 50;
+  /// Memory budget of the histogram priority queue (paper default: 1 MB).
+  size_t histogram_memory_limit_bytes = 1 << 20;
+  /// Fallback when the queue outgrows its budget (paper: full
+  /// consolidation; kAdaptive degrades more gracefully under tiny
+  /// budgets — see bench/ablation_consolidation).
+  CutoffFilter::ConsolidationPolicy histogram_consolidation =
+      CutoffFilter::ConsolidationPolicy::kFull;
+
+  /// Maximum runs merged per step.
+  size_t merge_fan_in = 64;
+  /// Which runs multi-step merges consume first (Sec 4.1 recommends
+  /// lowest-keys-first for top operations; used by the histogram and
+  /// optimized operators).
+  MergePolicy merge_policy = MergePolicy::kLowestKeysFirst;
+  /// Number of initial runs an early merge step combines to establish a
+  /// cutoff in the optimized baseline (Sec 2.5; the paper's example uses
+  /// 10).
+  size_t early_merge_fan_in = 10;
+
+  /// OptimizedExternalTopK: force an early merge step to establish a
+  /// cutoff when k exceeds the run size (the [14] recommendation). The
+  /// paper's *measured* baseline lacks an effective cutoff in that regime
+  /// ("the baseline algorithm externally sorts the entire input", Sec
+  /// 5.2), so figure benches disable this to match it.
+  bool enable_early_merge = true;
+
+  /// Limit run sizes to k + offset (Sec 2.4 optimization). On by default
+  /// for the external top-k operators.
+  bool limit_run_size_to_output = true;
+
+  RunGenerationKind run_generation = RunGenerationKind::kReplacementSelection;
+
+  /// Storage substrate; required by the external operators. Not owned.
+  StorageEnv* env = nullptr;
+  /// Directory for spill files; required by the external operators.
+  std::string spill_dir;
+
+  /// Histogram-guided OFFSET skip (Sec 4.1): when true (default) and the
+  /// query has an offset, the final merge seeks each run past the prefix
+  /// that provably belongs to the skipped rows instead of reading it.
+  bool histogram_offset_skip = true;
+
+  /// Approximate mode (Sec 4.5, used via ApproxTopK): when non-zero, the
+  /// cutoff filter targets this many rows instead of k + offset, trading a
+  /// possible shortfall of output rows for earlier, sharper cutoffs. Must
+  /// be <= k + offset.
+  uint64_t approx_filter_k = 0;
+
+  /// HeapTopK only: allow the heap to grow past memory_limit_bytes instead
+  /// of failing (used by the Figure 6 cost study where the in-memory
+  /// operator is deliberately granted output-sized memory).
+  bool allow_unbounded_memory = false;
+
+  /// Total rows the operator must keep to answer the query.
+  uint64_t output_rows() const { return k + offset; }
+};
+
+/// Uniform observability across operators; the evaluation (Sec 5) is driven
+/// entirely off these counters.
+struct OperatorStats {
+  uint64_t rows_consumed = 0;
+  /// Rows dropped by the cutoff before entering the sort (Algorithm 1,
+  /// line 4).
+  uint64_t rows_eliminated_input = 0;
+  /// Rows dropped right before being written to a run (line 11).
+  uint64_t rows_eliminated_spill = 0;
+  /// Input rows written to runs during run generation — the paper's "Rows"
+  /// column and its principal cost metric.
+  uint64_t rows_spilled = 0;
+  /// Physical runs created during run generation (the "Runs" column).
+  uint64_t runs_created = 0;
+  /// Total run-file bytes written to secondary storage, including
+  /// intermediate merge output.
+  uint64_t bytes_spilled = 0;
+  /// Rows written by intermediate merge steps (extra secondary-storage
+  /// traffic beyond run generation).
+  uint64_t merge_rows_written = 0;
+  /// Rows read back by all merge steps.
+  uint64_t merge_rows_read = 0;
+  /// Offset rows skipped via index seeks instead of reads (Sec 4.1).
+  uint64_t offset_rows_seek_skipped = 0;
+  /// Peak operator memory across the row buffer.
+  size_t peak_memory_bytes = 0;
+
+  /// Final cutoff key, when one was established.
+  std::optional<double> final_cutoff;
+  /// Cutoff-filter internals (histogram operator only).
+  uint64_t filter_buckets_inserted = 0;
+  uint64_t filter_consolidations = 0;
+
+  /// Wall time inside Consume() / Finish().
+  int64_t consume_nanos = 0;
+  int64_t finish_nanos = 0;
+
+  double total_seconds() const {
+    return static_cast<double>(consume_nanos + finish_nanos) * 1e-9;
+  }
+  /// Total rows that touched secondary storage (spills + merge output).
+  uint64_t total_rows_written() const {
+    return rows_spilled + merge_rows_written;
+  }
+};
+
+/// A top-k operator: push rows in any order, then Finish() returns the k
+/// top rows (after `offset`) in query order. Single-use.
+class TopKOperator {
+ public:
+  virtual ~TopKOperator() = default;
+
+  virtual Status Consume(Row row) = 0;
+
+  /// Consumes a whole batch (convenience; same semantics as repeated
+  /// Consume).
+  Status ConsumeBatch(std::vector<Row> rows) {
+    for (Row& row : rows) {
+      TOPK_RETURN_NOT_OK(Consume(std::move(row)));
+    }
+    return Status::OK();
+  }
+
+  /// Ends the input and produces the result. Must be called exactly once.
+  virtual Result<std::vector<Row>> Finish() = 0;
+
+  virtual std::string name() const = 0;
+  const OperatorStats& stats() const { return stats_; }
+
+ protected:
+  OperatorStats stats_;
+};
+
+/// Validates option combinations common to all operators.
+Status ValidateTopKOptions(const TopKOptions& options, bool requires_storage);
+
+}  // namespace topk
+
+#endif  // TOPK_TOPK_TOPK_OPERATOR_H_

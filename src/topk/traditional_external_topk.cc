@@ -1,0 +1,124 @@
+#include "topk/traditional_external_topk.h"
+
+#include <algorithm>
+
+#include "sort/merge_planner.h"
+#include "sort/merger.h"
+#include "sort/replacement_selection.h"
+
+namespace topk {
+
+TraditionalExternalTopK::TraditionalExternalTopK(const TopKOptions& options)
+    : options_(options), comparator_(options.direction) {}
+
+Result<std::unique_ptr<TraditionalExternalTopK>> TraditionalExternalTopK::Make(
+    const TopKOptions& options) {
+  TOPK_RETURN_NOT_OK(ValidateTopKOptions(options, /*requires_storage=*/true));
+  return std::unique_ptr<TraditionalExternalTopK>(
+      new TraditionalExternalTopK(options));
+}
+
+Status TraditionalExternalTopK::SwitchToExternal() {
+  TOPK_ASSIGN_OR_RETURN(spill_,
+                        SpillManager::Create(options_.env, options_.spill_dir));
+  RunGeneratorOptions gen_options;
+  gen_options.memory_limit_bytes = options_.memory_limit_bytes;
+  // Vanilla sort: no run-size limit, no filtering.
+  if (options_.run_generation == RunGenerationKind::kReplacementSelection) {
+    generator_ = std::make_unique<ReplacementSelectionRunGenerator>(
+        spill_.get(), comparator_, gen_options);
+  } else {
+    generator_ = std::make_unique<QuicksortRunGenerator>(
+        spill_.get(), comparator_, gen_options);
+  }
+  for (Row& row : buffer_) {
+    TOPK_RETURN_NOT_OK(generator_->Add(std::move(row)));
+  }
+  buffer_.clear();
+  buffer_.shrink_to_fit();
+  buffered_bytes_ = 0;
+  return Status::OK();
+}
+
+Status TraditionalExternalTopK::Consume(Row row) {
+  if (finished_) {
+    return Status::FailedPrecondition("Consume after Finish");
+  }
+  Stopwatch watch;
+  ++stats_.rows_consumed;
+  if (generator_ == nullptr) {
+    const size_t cost = row.MemoryFootprint() + kPerRowOverheadBytes;
+    if (buffered_bytes_ + cost <= options_.memory_limit_bytes) {
+      buffered_bytes_ += cost;
+      stats_.peak_memory_bytes =
+          std::max(stats_.peak_memory_bytes, buffered_bytes_);
+      buffer_.push_back(std::move(row));
+      stats_.consume_nanos += watch.ElapsedNanos();
+      return Status::OK();
+    }
+    TOPK_RETURN_NOT_OK(SwitchToExternal());
+  }
+  Status status = generator_->Add(std::move(row));
+  stats_.consume_nanos += watch.ElapsedNanos();
+  return status;
+}
+
+Result<std::vector<Row>> TraditionalExternalTopK::Finish() {
+  if (finished_) {
+    return Status::FailedPrecondition("Finish called twice");
+  }
+  finished_ = true;
+  Stopwatch watch;
+  std::vector<Row> result;
+
+  if (generator_ == nullptr) {
+    // The input fit in memory: sort and slice.
+    std::sort(buffer_.begin(), buffer_.end(), comparator_);
+    const size_t begin = std::min<size_t>(options_.offset, buffer_.size());
+    size_t end = std::min<size_t>(begin + options_.k, buffer_.size());
+    if (options_.with_ties && end > begin && end < buffer_.size()) {
+      const double boundary = buffer_[end - 1].key;
+      while (end < buffer_.size() && buffer_[end].key == boundary) ++end;
+    }
+    result.assign(std::make_move_iterator(buffer_.begin() + begin),
+                  std::make_move_iterator(buffer_.begin() + end));
+    buffer_.clear();
+    stats_.finish_nanos = watch.ElapsedNanos();
+    return result;
+  }
+
+  TOPK_RETURN_NOT_OK(generator_->Flush());
+  stats_.rows_spilled = generator_->stats().rows_spilled;
+  stats_.runs_created = spill_->total_runs_created();
+  stats_.peak_memory_bytes =
+      std::max(stats_.peak_memory_bytes, generator_->stats().peak_memory_bytes);
+
+  MergePlannerOptions planner_options;
+  planner_options.fan_in = options_.merge_fan_in;
+  planner_options.policy = MergePolicy::kSmallestRunsFirst;
+  MergePlanStats plan_stats;
+  std::vector<RunMeta> final_runs;
+  TOPK_ASSIGN_OR_RETURN(
+      final_runs, ReduceRunsForFinalMerge(spill_.get(), comparator_,
+                                          planner_options, &plan_stats));
+  stats_.merge_rows_written = plan_stats.intermediate_rows_written;
+
+  MergeOptions merge_options;
+  merge_options.limit = options_.k;
+  merge_options.skip = options_.offset;
+  merge_options.with_ties = options_.with_ties;
+  MergeStats merge_stats;
+  TOPK_ASSIGN_OR_RETURN(merge_stats,
+                        MergeRuns(spill_.get(), final_runs, comparator_,
+                                  merge_options, [&](Row&& row) {
+                                    result.push_back(std::move(row));
+                                    return Status::OK();
+                                  }));
+  stats_.merge_rows_read =
+      plan_stats.intermediate_rows_read + merge_stats.rows_read;
+  stats_.bytes_spilled = spill_->total_bytes_spilled();
+  stats_.finish_nanos = watch.ElapsedNanos();
+  return result;
+}
+
+}  // namespace topk

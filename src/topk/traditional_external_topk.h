@@ -1,0 +1,52 @@
+#ifndef TOPK_TOPK_TRADITIONAL_EXTERNAL_TOPK_H_
+#define TOPK_TOPK_TRADITIONAL_EXTERNAL_TOPK_H_
+
+#include <memory>
+#include <vector>
+
+#include "io/spill_manager.h"
+#include "sort/run_generation.h"
+#include "topk/topk_operator.h"
+
+namespace topk {
+
+/// The traditional fallback algorithm (Sec 2.4), as found in e.g.
+/// PostgreSQL: once the input exceeds memory, externally sort *all* of it —
+/// quicksort memory loads into full-size runs with no input filtering and
+/// no run-size limit — then merge and stop after k rows. Its cost is
+/// proportional to the input, which is precisely the performance cliff the
+/// paper sets out to remove.
+///
+/// If the whole input happens to fit in memory, it is sorted in place and
+/// nothing spills.
+class TraditionalExternalTopK : public TopKOperator {
+ public:
+  static Result<std::unique_ptr<TraditionalExternalTopK>> Make(
+      const TopKOptions& options);
+
+  Status Consume(Row row) override;
+  Result<std::vector<Row>> Finish() override;
+  std::string name() const override { return "traditional-external"; }
+
+ private:
+  explicit TraditionalExternalTopK(const TopKOptions& options);
+
+  Status SwitchToExternal();
+
+  TopKOptions options_;
+  RowComparator comparator_;
+
+  /// In-memory phase.
+  std::vector<Row> buffer_;
+  size_t buffered_bytes_ = 0;
+
+  /// External phase (created on first overflow).
+  std::unique_ptr<SpillManager> spill_;
+  std::unique_ptr<RunGenerator> generator_;
+
+  bool finished_ = false;
+};
+
+}  // namespace topk
+
+#endif  // TOPK_TOPK_TRADITIONAL_EXTERNAL_TOPK_H_

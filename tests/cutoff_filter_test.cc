@@ -1,0 +1,302 @@
+#include "histogram/cutoff_filter.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace topk {
+namespace {
+
+CutoffFilter::Options MakeOptions(uint64_t k, uint64_t buckets = 9,
+                                  uint64_t run_rows = 1000) {
+  CutoffFilter::Options options;
+  options.k = k;
+  options.target_buckets_per_run = buckets;
+  options.target_run_rows = run_rows;
+  return options;
+}
+
+TEST(CutoffFilterTest, NoCutoffUntilModelProvesKRows) {
+  CutoffFilter filter(MakeOptions(8));
+  EXPECT_FALSE(filter.cutoff().has_value());
+  EXPECT_FALSE(filter.Eliminate(Row(1e18, 0)));  // nothing eliminated yet
+
+  filter.InsertBucket({10.0, 2});
+  filter.InsertBucket({20.0, 2});
+  EXPECT_FALSE(filter.cutoff().has_value());
+  filter.InsertBucket({15.0, 2});
+  EXPECT_FALSE(filter.cutoff().has_value());
+  filter.InsertBucket({70.0, 2});
+  // Four buckets of size 2 sum to 8 >= k: cutoff = worst boundary = 70.
+  ASSERT_TRUE(filter.cutoff().has_value());
+  EXPECT_EQ(*filter.cutoff(), 70.0);
+}
+
+TEST(CutoffFilterTest, Figure1Example) {
+  // Figure 1 of the paper: k=8, bucket size 2, runs of 4 rows. After run 2
+  // the cutoff is 70 and keys 200 and 170 are eliminated.
+  CutoffFilter filter(MakeOptions(8, /*buckets=*/2, /*run_rows=*/5));
+  // Run 1 (keys 5 25 33 51): buckets (25,2), (51,2).
+  for (double key : {5, 25, 33, 51}) filter.RowSpilled(key);
+  filter.RunFinished();
+  EXPECT_FALSE(filter.cutoff().has_value());
+  // Run 2 (keys 12 41 70 90 -> buckets (41,2), (90,2))... use 70 as the
+  // figure's cutoff value: keys 14 41 55 70.
+  for (double key : {14, 41, 55, 70}) filter.RowSpilled(key);
+  filter.RunFinished();
+  ASSERT_TRUE(filter.cutoff().has_value());
+  EXPECT_EQ(*filter.cutoff(), 70.0);
+  EXPECT_TRUE(filter.Eliminate(Row(200.0, 1)));
+  EXPECT_TRUE(filter.Eliminate(Row(170.0, 2)));
+  EXPECT_FALSE(filter.Eliminate(Row(70.0, 3)));  // equal to cutoff: kept
+  EXPECT_FALSE(filter.Eliminate(Row(12.0, 4)));
+}
+
+TEST(CutoffFilterTest, RefinementPopsWorstBuckets) {
+  CutoffFilter filter(MakeOptions(4));
+  filter.InsertBucket({10.0, 2});
+  filter.InsertBucket({20.0, 2});
+  ASSERT_TRUE(filter.cutoff().has_value());
+  EXPECT_EQ(*filter.cutoff(), 20.0);
+  // Adding 2 more rows below 10 lets the filter pop (20,2).
+  filter.InsertBucket({5.0, 2});
+  EXPECT_EQ(*filter.cutoff(), 10.0);
+  filter.InsertBucket({2.0, 2});
+  EXPECT_EQ(*filter.cutoff(), 5.0);
+}
+
+TEST(CutoffFilterTest, CutoffNeverLoosens) {
+  CutoffFilter filter(MakeOptions(4));
+  filter.InsertBucket({10.0, 4});
+  EXPECT_EQ(*filter.cutoff(), 10.0);
+  // A worse bucket arrives late: cutoff must stay 10.
+  filter.InsertBucket({50.0, 4});
+  EXPECT_EQ(*filter.cutoff(), 10.0);
+}
+
+TEST(CutoffFilterTest, BucketBeyondCutoffIsDiscarded) {
+  CutoffFilter filter(MakeOptions(4));
+  filter.InsertBucket({10.0, 4});
+  const size_t before = filter.bucket_count();
+  filter.InsertBucket({99.0, 7});
+  EXPECT_EQ(filter.bucket_count(), before);  // dropped, not queued
+}
+
+TEST(CutoffFilterTest, DescendingDirection) {
+  CutoffFilter::Options options = MakeOptions(4);
+  options.direction = SortDirection::kDescending;
+  CutoffFilter filter(options);
+  // Descending top-k keeps the largest keys; boundaries are minima.
+  filter.InsertBucket({90.0, 2});
+  filter.InsertBucket({80.0, 2});
+  ASSERT_TRUE(filter.cutoff().has_value());
+  EXPECT_EQ(*filter.cutoff(), 80.0);
+  EXPECT_TRUE(filter.Eliminate(Row(50.0, 1)));
+  EXPECT_FALSE(filter.Eliminate(Row(95.0, 2)));
+  filter.InsertBucket({95.0, 2});
+  EXPECT_EQ(*filter.cutoff(), 90.0);
+}
+
+TEST(CutoffFilterTest, RowSpilledBuildsBucketsViaPolicy) {
+  // Runs of 10 rows, 4 buckets: width round(10/5) = 2.
+  CutoffFilter filter(MakeOptions(8, /*buckets=*/4, /*run_rows=*/10));
+  for (int i = 1; i <= 10; ++i) {
+    filter.RowSpilled(i * 1.0);
+  }
+  auto histogram = filter.RunFinished();
+  ASSERT_EQ(histogram.size(), 4u);
+  EXPECT_EQ(histogram[0].boundary, 2.0);
+  EXPECT_EQ(histogram[3].boundary, 8.0);
+  EXPECT_EQ(filter.tracked_rows(), 8u);
+  ASSERT_TRUE(filter.cutoff().has_value());
+  EXPECT_EQ(*filter.cutoff(), 8.0);
+}
+
+TEST(CutoffFilterTest, SharpensWithinTheRunBeingWritten) {
+  // k=4; first run proves 4 rows <= 4; the second run's early buckets
+  // sharpen the cutoff while it is still being written.
+  CutoffFilter filter(MakeOptions(4, /*buckets=*/4, /*run_rows=*/8));
+  for (int i = 1; i <= 8; ++i) filter.RowSpilled(i);  // buckets 2,4,6,8
+  filter.RunFinished();
+  EXPECT_EQ(*filter.cutoff(), 4.0);
+  // Second run: keys 0.5, 1.0, 1.5, 2.0 -> buckets (1.0,2), (2.0,2) pop
+  // the old ones.
+  filter.RowSpilled(0.5);
+  filter.RowSpilled(1.0);
+  EXPECT_EQ(*filter.cutoff(), 2.0);
+  filter.RowSpilled(1.5);
+  filter.RowSpilled(2.0);
+  EXPECT_EQ(*filter.cutoff(), 2.0);
+  filter.RunFinished();
+}
+
+TEST(CutoffFilterTest, ProposeCutoffAdoptsOnlySharper) {
+  CutoffFilter filter(MakeOptions(4));
+  filter.ProposeCutoff(10.0);
+  EXPECT_EQ(*filter.cutoff(), 10.0);
+  filter.ProposeCutoff(20.0);
+  EXPECT_EQ(*filter.cutoff(), 10.0);
+  filter.ProposeCutoff(5.0);
+  EXPECT_EQ(*filter.cutoff(), 5.0);
+}
+
+TEST(CutoffFilterTest, ConsolidationReplacesQueueWithSingleBucket) {
+  CutoffFilter::Options options = MakeOptions(1000);
+  options.memory_limit_bytes = 8 * sizeof(HistogramBucket);
+  CutoffFilter filter(options);
+  for (int i = 0; i < 100; ++i) {
+    filter.InsertBucket({static_cast<double>(i), 1});
+  }
+  EXPECT_GT(filter.consolidations(), 0u);
+  EXPECT_LE(filter.bucket_count(), 8u);
+  EXPECT_EQ(filter.tracked_rows(), 100u);  // guarantee preserved
+}
+
+TEST(CutoffFilterTest, ConsolidationPreservesGuarantee) {
+  // With consolidation forced constantly, the cutoff must still never be
+  // sharper than the true kth smallest of the spilled keys.
+  CutoffFilter::Options options = MakeOptions(50, /*buckets=*/100,
+                                              /*run_rows=*/100);
+  options.memory_limit_bytes = 4 * sizeof(HistogramBucket);
+  CutoffFilter filter(options);
+  Random rng(5);
+  std::vector<double> spilled;
+  for (int run = 0; run < 20; ++run) {
+    std::vector<double> run_keys;
+    for (int i = 0; i < 100; ++i) run_keys.push_back(rng.NextDouble());
+    std::sort(run_keys.begin(), run_keys.end());
+    for (double key : run_keys) {
+      if (filter.EliminateKey(key)) break;
+      filter.RowSpilled(key);
+      spilled.push_back(key);
+    }
+    filter.RunFinished();
+    if (filter.cutoff().has_value() && spilled.size() >= 50) {
+      std::vector<double> sorted = spilled;
+      std::nth_element(sorted.begin(), sorted.begin() + 49, sorted.end());
+      EXPECT_GE(*filter.cutoff(), sorted[49]);
+    }
+  }
+}
+
+TEST(CutoffFilterTest, AdaptiveConsolidationKeepsSharpBuckets) {
+  CutoffFilter::Options options = MakeOptions(1000);
+  options.memory_limit_bytes = 8 * sizeof(HistogramBucket);
+  options.consolidation = CutoffFilter::ConsolidationPolicy::kAdaptive;
+  CutoffFilter filter(options);
+  for (int i = 0; i < 100; ++i) {
+    filter.InsertBucket({static_cast<double>(i), 1});
+  }
+  EXPECT_GT(filter.consolidations(), 0u);
+  EXPECT_LE(filter.bucket_count(), 9u);
+  EXPECT_EQ(filter.tracked_rows(), 100u);
+}
+
+TEST(CutoffFilterTest, AdaptiveKeepsSharpeningWhereFullFreezes) {
+  // Tiny budget, k larger than the budget's bucket capacity: full
+  // consolidation freezes the cutoff at the first consolidation's
+  // boundary, adaptive keeps refining toward the ideal k/N.
+  auto final_cutoff = [](CutoffFilter::ConsolidationPolicy policy) {
+    CutoffFilter::Options options;
+    options.k = 5000;
+    options.target_buckets_per_run = 9;
+    options.target_run_rows = 1000;
+    options.memory_limit_bytes = 16 * sizeof(HistogramBucket);
+    options.consolidation = policy;
+    CutoffFilter filter(options);
+    std::vector<double> spilled;
+    // Simulate 200 runs of 1000 accepted rows: each run's keys are
+    // uniform over [0, current cutoff] (the analytic-model pattern).
+    for (int run = 0; run < 200; ++run) {
+      const double fill = filter.cutoff().value_or(1.0);
+      for (int j = 1; j <= 1000; ++j) {
+        const double key = fill * j / 1000.0;
+        if (filter.EliminateKey(key)) break;
+        filter.RowSpilled(key);
+        spilled.push_back(key);
+      }
+      filter.RunFinished();
+    }
+    const double cutoff = filter.cutoff().value_or(1.0);
+    // Soundness regardless of policy: at least k spilled rows sort at or
+    // before the cutoff.
+    std::nth_element(spilled.begin(), spilled.begin() + 4999,
+                     spilled.end());
+    EXPECT_GE(cutoff, spilled[4999]);
+    return cutoff;
+  };
+  const double full = final_cutoff(CutoffFilter::ConsolidationPolicy::kFull);
+  const double adaptive =
+      final_cutoff(CutoffFilter::ConsolidationPolicy::kAdaptive);
+  EXPECT_LT(adaptive, full / 10);  // full freezes; adaptive keeps refining
+}
+
+TEST(CutoffFilterTest, ZeroBucketsNeverEstablishesCutoff) {
+  CutoffFilter filter(MakeOptions(4, /*buckets=*/0));
+  for (int i = 0; i < 1000; ++i) filter.RowSpilled(i);
+  filter.RunFinished();
+  EXPECT_FALSE(filter.cutoff().has_value());
+  EXPECT_EQ(filter.buckets_inserted(), 0u);
+}
+
+TEST(CutoffFilterTest, TrackedRowsAndCounters) {
+  CutoffFilter filter(MakeOptions(6));
+  filter.InsertBucket({1.0, 3});
+  filter.InsertBucket({2.0, 3});
+  filter.InsertBucket({0.5, 3});  // pops (2.0, 3)
+  EXPECT_EQ(filter.buckets_inserted(), 3u);
+  EXPECT_EQ(filter.buckets_popped(), 1u);
+  EXPECT_EQ(filter.tracked_rows(), 6u);
+  EXPECT_EQ(filter.bucket_count(), 2u);
+  EXPECT_GT(filter.memory_bytes(), 0u);
+}
+
+TEST(CutoffFilterTest, EmptyBucketIgnored) {
+  CutoffFilter filter(MakeOptions(4));
+  filter.InsertBucket({1.0, 0});
+  EXPECT_EQ(filter.bucket_count(), 0u);
+  EXPECT_EQ(filter.buckets_inserted(), 0u);
+}
+
+/// Property: with random bucket streams, the cutoff always guarantees at
+/// least k tracked rows at or before it.
+class CutoffFilterPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CutoffFilterPropertyTest, CutoffAlwaysCoversKRows) {
+  const uint64_t seed = GetParam();
+  Random rng(seed);
+  const uint64_t k = 1 + rng.NextUint64(500);
+  CutoffFilter filter(MakeOptions(k, /*buckets=*/1 + rng.NextUint64(20),
+                                  /*run_rows=*/10 + rng.NextUint64(200)));
+  std::vector<double> all_keys;
+  for (int run = 0; run < 30; ++run) {
+    std::vector<double> keys;
+    const size_t n = 1 + rng.NextUint64(300);
+    for (size_t i = 0; i < n; ++i) keys.push_back(rng.NextDouble());
+    std::sort(keys.begin(), keys.end());
+    for (double key : keys) {
+      if (filter.EliminateKey(key)) break;
+      filter.RowSpilled(key);
+      all_keys.push_back(key);
+      if (filter.cutoff().has_value()) {
+        // Validity: at least k spilled keys are <= cutoff.
+        ASSERT_GE(all_keys.size(), k);
+        std::vector<double> sorted = all_keys;
+        std::nth_element(sorted.begin(), sorted.begin() + (k - 1),
+                         sorted.end());
+        ASSERT_GE(*filter.cutoff(), sorted[k - 1])
+            << "cutoff sharper than the kth spilled key";
+      }
+    }
+    filter.RunFinished();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CutoffFilterPropertyTest,
+                         ::testing::Range<uint64_t>(0, 12));
+
+}  // namespace
+}  // namespace topk

@@ -1,0 +1,179 @@
+/// Storage durability features: run checksums, verification, disk quotas.
+
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "common/crc32.h"
+#include "io/spill_manager.h"
+#include "tests/test_util.h"
+#include "topk/operator_factory.h"
+
+namespace topk {
+namespace {
+
+using testing_util::MaterializeDataset;
+using testing_util::ScratchDir;
+
+TEST(Crc32cTest, KnownVector) {
+  // RFC 3720 test vector: CRC-32C of "123456789" is 0xE3069283.
+  const char data[] = "123456789";
+  EXPECT_EQ(Crc32c(0, data, 9), 0xE3069283u);
+}
+
+TEST(Crc32cTest, IncrementalMatchesOneShot) {
+  const std::string data = "histogram-guided top-k external merge sort";
+  const uint32_t one_shot = Crc32c(0, data.data(), data.size());
+  uint32_t incremental = 0;
+  for (char c : data) incremental = Crc32c(incremental, &c, 1);
+  EXPECT_EQ(incremental, one_shot);
+}
+
+TEST(Crc32cTest, EmptyInputIsZeroNoop) {
+  EXPECT_EQ(Crc32c(0, "", 0), 0u);
+  EXPECT_EQ(Crc32c(123u, "", 0), 123u);
+}
+
+TEST(Crc32cTest, SensitiveToSingleBit) {
+  std::string a = "payload", b = "paylobd";
+  EXPECT_NE(Crc32c(0, a.data(), a.size()), Crc32c(0, b.data(), b.size()));
+}
+
+class RunVerifyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto spill = SpillManager::Create(&env_, scratch_.str() + "/spill");
+    ASSERT_TRUE(spill.ok());
+    spill_ = std::move(*spill);
+  }
+
+  RunMeta WriteRun(int rows) {
+    RowComparator cmp;
+    auto writer = spill_->NewRun(cmp);
+    EXPECT_TRUE(writer.ok());
+    for (int i = 0; i < rows; ++i) {
+      EXPECT_TRUE(
+          (*writer)->Append(Row(i, i, "payload" + std::to_string(i))).ok());
+    }
+    auto meta = (*writer)->Finish();
+    EXPECT_TRUE(meta.ok());
+    spill_->AddRun(*meta);
+    return *meta;
+  }
+
+  ScratchDir scratch_;
+  StorageEnv env_;
+  std::unique_ptr<SpillManager> spill_;
+};
+
+TEST_F(RunVerifyTest, IntactRunVerifies) {
+  RunMeta meta = WriteRun(500);
+  EXPECT_NE(meta.crc32c, 0u);
+  EXPECT_TRUE(spill_->VerifyRun(meta, RowComparator()).ok());
+}
+
+TEST_F(RunVerifyTest, FlippedByteDetected) {
+  RunMeta meta = WriteRun(500);
+  {
+    // Corrupt one payload byte in the middle of the file.
+    std::fstream file(meta.path,
+                      std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(file.good());
+    file.seekp(static_cast<std::streamoff>(meta.bytes / 2));
+    char byte = 0;
+    file.read(&byte, 1);
+    file.seekp(static_cast<std::streamoff>(meta.bytes / 2));
+    byte ^= 0x40;
+    file.write(&byte, 1);
+  }
+  const Status status = spill_->VerifyRun(meta, RowComparator());
+  EXPECT_EQ(status.code(), StatusCode::kCorruption) << status.ToString();
+}
+
+TEST_F(RunVerifyTest, TruncationDetected) {
+  RunMeta meta = WriteRun(500);
+  std::filesystem::resize_file(meta.path, meta.bytes - 10);
+  const Status status = spill_->VerifyRun(meta, RowComparator());
+  EXPECT_EQ(status.code(), StatusCode::kCorruption);
+}
+
+TEST_F(RunVerifyTest, WrongRowCountDetected) {
+  RunMeta meta = WriteRun(100);
+  meta.rows = 99;
+  const Status status = spill_->VerifyRun(meta, RowComparator());
+  EXPECT_EQ(status.code(), StatusCode::kCorruption);
+}
+
+TEST(DiskQuotaTest, WritesBeyondQuotaFail) {
+  StorageEnv::Options env_options;
+  env_options.max_bytes_written = 1024;
+  StorageEnv env(env_options);
+  ScratchDir scratch;
+  auto file = env.NewWritableFile(scratch.str() + "/f");
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append(std::string(1000, 'x')).ok());
+  const Status status = (*file)->Append(std::string(100, 'x'));
+  EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+}
+
+TEST(DiskQuotaTest, OperatorSurfacesQuotaExhaustion) {
+  StorageEnv::Options env_options;
+  env_options.max_bytes_written = 64 * 1024;  // far below the spill volume
+  StorageEnv env(env_options);
+  ScratchDir scratch;
+  TopKOptions options;
+  options.k = 2000;
+  options.memory_limit_bytes = 16 * 1024;
+  options.env = &env;
+  options.spill_dir = scratch.str();
+  auto op = MakeTopKOperator(TopKAlgorithm::kHistogram, options);
+  ASSERT_TRUE(op.ok());
+  DatasetSpec spec;
+  spec.WithRows(100000).WithPayload(32, 32).WithSeed(9);
+  auto rows = MaterializeDataset(spec);
+  Status status = Status::OK();
+  for (const Row& row : rows) {
+    status = (*op)->Consume(row);
+    if (!status.ok()) break;
+  }
+  if (status.ok()) status = (*op)->Finish().status();
+  EXPECT_EQ(status.code(), StatusCode::kResourceExhausted)
+      << status.ToString();
+}
+
+TEST(DiskQuotaTest, HistogramFitsWhereTraditionalExceedsQuota) {
+  // The paper's operational argument in miniature: with a bounded scratch
+  // volume, the filtering operator completes while the full sort cannot.
+  ScratchDir scratch;
+  DatasetSpec spec;
+  spec.WithRows(60000).WithPayload(32, 32).WithSeed(10);
+  auto rows = MaterializeDataset(spec);
+
+  StorageEnv::Options env_options;
+  env_options.max_bytes_written = 2 << 20;  // 2 MiB scratch
+  for (TopKAlgorithm algorithm :
+       {TopKAlgorithm::kTraditionalExternal, TopKAlgorithm::kHistogram}) {
+    StorageEnv env(env_options);
+    TopKOptions options;
+    options.k = 1000;
+    options.memory_limit_bytes = 16 * 1024;
+    options.env = &env;
+    options.spill_dir = scratch.str() + "/" + TopKAlgorithmName(algorithm);
+    auto op = MakeTopKOperator(algorithm, options);
+    ASSERT_TRUE(op.ok());
+    Status status = Status::OK();
+    for (const Row& row : rows) {
+      status = (*op)->Consume(row);
+      if (!status.ok()) break;
+    }
+    if (status.ok()) status = (*op)->Finish().status();
+    if (algorithm == TopKAlgorithm::kTraditionalExternal) {
+      EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+    } else {
+      EXPECT_TRUE(status.ok()) << status.ToString();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace topk

@@ -1,0 +1,188 @@
+/// Boundary conditions every operator must get right: empty inputs, k or
+/// offset at or past the input size, k = 1, single-row inputs, extreme
+/// payloads, and degenerate memory budgets.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "tests/test_util.h"
+#include "topk/operator_factory.h"
+
+namespace topk {
+namespace {
+
+using testing_util::ExpectSameRows;
+using testing_util::MaterializeDataset;
+using testing_util::ReferenceTopK;
+using testing_util::RunOperator;
+using testing_util::ScratchDir;
+
+constexpr TopKAlgorithm kAllAlgorithms[] = {
+    TopKAlgorithm::kHeap, TopKAlgorithm::kTraditionalExternal,
+    TopKAlgorithm::kOptimizedExternal, TopKAlgorithm::kHistogram};
+
+class EdgeCasesTest : public ::testing::TestWithParam<TopKAlgorithm> {
+ protected:
+  TopKOptions Options(uint64_t k, size_t memory_bytes = 32 * 1024) {
+    TopKOptions options;
+    options.k = k;
+    options.memory_limit_bytes = memory_bytes;
+    options.env = &env_;
+    options.spill_dir = scratch_.str() + "/" + std::to_string(seq_++);
+    if (GetParam() == TopKAlgorithm::kHeap) {
+      options.allow_unbounded_memory = true;
+    }
+    return options;
+  }
+
+  Result<std::vector<Row>> Run(const TopKOptions& options,
+                               const std::vector<Row>& rows) {
+    auto op = MakeTopKOperator(GetParam(), options);
+    if (!op.ok()) return op.status();
+    return RunOperator(op->get(), rows);
+  }
+
+  ScratchDir scratch_;
+  StorageEnv env_;
+  int seq_ = 0;
+};
+
+TEST_P(EdgeCasesTest, EmptyInput) {
+  auto result = Run(Options(10), {});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->empty());
+}
+
+TEST_P(EdgeCasesTest, SingleRow) {
+  auto result = Run(Options(10), {Row(3.5, 7, "only")});
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_EQ((*result)[0].payload, "only");
+}
+
+TEST_P(EdgeCasesTest, KEqualsOne) {
+  DatasetSpec spec;
+  spec.WithRows(10000).WithSeed(1);
+  auto rows = MaterializeDataset(spec);
+  auto result = Run(Options(1, 8 * 1024), rows);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ExpectSameRows(ReferenceTopK(rows, 1, 0, SortDirection::kAscending),
+                 *result);
+}
+
+TEST_P(EdgeCasesTest, KEqualsInputSize) {
+  DatasetSpec spec;
+  spec.WithRows(3000).WithSeed(2);
+  auto rows = MaterializeDataset(spec);
+  auto result = Run(Options(3000, 16 * 1024), rows);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ExpectSameRows(ReferenceTopK(rows, 3000, 0, SortDirection::kAscending),
+                 *result);
+}
+
+TEST_P(EdgeCasesTest, KExceedsInputSize) {
+  DatasetSpec spec;
+  spec.WithRows(500).WithSeed(3);
+  auto rows = MaterializeDataset(spec);
+  auto result = Run(Options(100000, 8 * 1024), rows);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->size(), 500u);
+  ExpectSameRows(ReferenceTopK(rows, 100000, 0, SortDirection::kAscending),
+                 *result);
+}
+
+TEST_P(EdgeCasesTest, OffsetBeyondInputYieldsEmpty) {
+  DatasetSpec spec;
+  spec.WithRows(2000).WithSeed(4);
+  auto rows = MaterializeDataset(spec);
+  TopKOptions options = Options(10, 8 * 1024);
+  options.offset = 5000;
+  auto result = Run(options, rows);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->empty());
+}
+
+TEST_P(EdgeCasesTest, OffsetPlusKStraddlesInputEnd) {
+  DatasetSpec spec;
+  spec.WithRows(2000).WithSeed(5);
+  auto rows = MaterializeDataset(spec);
+  TopKOptions options = Options(100, 8 * 1024);
+  options.offset = 1950;  // only 50 rows remain
+  auto result = Run(options, rows);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->size(), 50u);
+  ExpectSameRows(ReferenceTopK(rows, 100, 1950, SortDirection::kAscending),
+                 *result);
+}
+
+TEST_P(EdgeCasesTest, EmptyPayloads) {
+  std::vector<Row> rows;
+  for (int i = 0; i < 5000; ++i) rows.push_back(Row(5000.0 - i, i));
+  auto result = Run(Options(200, 8 * 1024), rows);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ExpectSameRows(ReferenceTopK(rows, 200, 0, SortDirection::kAscending),
+                 *result);
+}
+
+TEST_P(EdgeCasesTest, OneGiantRowAmongSmall) {
+  DatasetSpec spec;
+  spec.WithRows(3000).WithSeed(6);
+  auto rows = MaterializeDataset(spec);
+  // A single row far larger than the memory budget, keyed into the output.
+  rows.push_back(Row(-1.0, 999999, std::string(64 * 1024, 'G')));
+  auto expected = ReferenceTopK(rows, 100, 0, SortDirection::kAscending);
+  auto result = Run(Options(100, 16 * 1024), rows);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ExpectSameRows(expected, *result);
+}
+
+TEST_P(EdgeCasesTest, NegativeAndExtremeKeys) {
+  std::vector<Row> rows;
+  Random rng(7);
+  for (int i = 0; i < 4000; ++i) {
+    double key = 0;
+    switch (rng.NextUint64(4)) {
+      case 0:
+        key = -1e307 * rng.NextDouble();
+        break;
+      case 1:
+        key = 1e307 * rng.NextDouble();
+        break;
+      case 2:
+        key = rng.NextDouble() * 1e-300;
+        break;
+      case 3:
+        key = (rng.NextDouble() - 0.5) * 2.0;
+        break;
+    }
+    rows.push_back(Row(key, i));
+  }
+  auto result = Run(Options(300, 8 * 1024), rows);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ExpectSameRows(ReferenceTopK(rows, 300, 0, SortDirection::kAscending),
+                 *result);
+}
+
+TEST_P(EdgeCasesTest, AlreadySortedInput) {
+  DatasetSpec spec;
+  spec.WithRows(8000).WithDistribution(KeyDistribution::kAscending);
+  spec.WithSeed(8);
+  auto rows = MaterializeDataset(spec);
+  auto result = Run(Options(500, 8 * 1024), rows);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ExpectSameRows(ReferenceTopK(rows, 500, 0, SortDirection::kAscending),
+                 *result);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Algorithms, EdgeCasesTest, ::testing::ValuesIn(kAllAlgorithms),
+    [](const ::testing::TestParamInfo<TopKAlgorithm>& info) {
+      std::string name = TopKAlgorithmName(info.param);
+      for (char& ch : name) {
+        if (ch == '-') ch = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace topk

@@ -1,0 +1,178 @@
+#include "sort/external_sorter.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+#include "topk/stats_reporter.h"
+
+namespace topk {
+namespace {
+
+using testing_util::MaterializeDataset;
+using testing_util::ScratchDir;
+
+class ExternalSorterTest : public ::testing::Test {
+ protected:
+  ExternalSorter::Options Options(size_t memory_bytes = 32 * 1024) {
+    ExternalSorter::Options options;
+    options.memory_limit_bytes = memory_bytes;
+    options.env = &env_;
+    options.spill_dir = scratch_.str() + "/" + std::to_string(seq_++);
+    return options;
+  }
+
+  ScratchDir scratch_;
+  StorageEnv env_;
+  int seq_ = 0;
+};
+
+TEST_F(ExternalSorterTest, SortsSpillingInput) {
+  auto sorter = ExternalSorter::Make(Options());
+  ASSERT_TRUE(sorter.ok());
+  DatasetSpec spec;
+  spec.WithRows(20000).WithPayload(4, 24).WithSeed(1);
+  auto rows = MaterializeDataset(spec);
+  for (const Row& row : rows) {
+    ASSERT_TRUE((*sorter)->Add(row).ok());
+  }
+  EXPECT_EQ((*sorter)->rows_added(), rows.size());
+  auto sorted = (*sorter)->SortToVector();
+  ASSERT_TRUE(sorted.ok());
+  EXPECT_GT((*sorter)->rows_spilled(), 0u);
+
+  RowComparator cmp;
+  std::sort(rows.begin(), rows.end(), cmp);
+  ASSERT_EQ(sorted->size(), rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    ASSERT_EQ((*sorted)[i].id, rows[i].id);
+  }
+}
+
+TEST_F(ExternalSorterTest, InMemoryWhenInputFits) {
+  auto sorter = ExternalSorter::Make(Options(16 << 20));
+  ASSERT_TRUE(sorter.ok());
+  for (int i = 100; i > 0; --i) {
+    ASSERT_TRUE((*sorter)->Add(Row(i, i)).ok());
+  }
+  auto sorted = (*sorter)->SortToVector();
+  ASSERT_TRUE(sorted.ok());
+  EXPECT_EQ((*sorter)->rows_spilled(), 0u);
+  EXPECT_EQ(env_.stats()->bytes_written(), 0u);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ((*sorted)[i].key, i + 1.0);
+  }
+}
+
+TEST_F(ExternalSorterTest, DescendingDirection) {
+  ExternalSorter::Options options = Options();
+  options.direction = SortDirection::kDescending;
+  auto sorter = ExternalSorter::Make(options);
+  ASSERT_TRUE(sorter.ok());
+  DatasetSpec spec;
+  spec.WithRows(5000).WithSeed(2);
+  auto rows = MaterializeDataset(spec);
+  for (const Row& row : rows) {
+    ASSERT_TRUE((*sorter)->Add(row).ok());
+  }
+  auto sorted = (*sorter)->SortToVector();
+  ASSERT_TRUE(sorted.ok());
+  RowComparator cmp(SortDirection::kDescending);
+  EXPECT_TRUE(std::is_sorted(sorted->begin(), sorted->end(), cmp));
+}
+
+TEST_F(ExternalSorterTest, TinyFanInMultiPass) {
+  ExternalSorter::Options options = Options(8 * 1024);
+  options.merge_fan_in = 2;
+  auto sorter = ExternalSorter::Make(options);
+  ASSERT_TRUE(sorter.ok());
+  DatasetSpec spec;
+  spec.WithRows(10000).WithSeed(3);
+  auto rows = MaterializeDataset(spec);
+  for (const Row& row : rows) {
+    ASSERT_TRUE((*sorter)->Add(row).ok());
+  }
+  auto sorted = (*sorter)->SortToVector();
+  ASSERT_TRUE(sorted.ok());
+  ASSERT_EQ(sorted->size(), rows.size());
+  RowComparator cmp;
+  EXPECT_TRUE(std::is_sorted(sorted->begin(), sorted->end(), cmp));
+}
+
+TEST_F(ExternalSorterTest, EmptyInput) {
+  auto sorter = ExternalSorter::Make(Options());
+  ASSERT_TRUE(sorter.ok());
+  auto sorted = (*sorter)->SortToVector();
+  ASSERT_TRUE(sorted.ok());
+  EXPECT_TRUE(sorted->empty());
+}
+
+TEST_F(ExternalSorterTest, QuicksortVariant) {
+  ExternalSorter::Options options = Options();
+  options.run_generation = RunGenerationKind::kQuicksort;
+  auto sorter = ExternalSorter::Make(options);
+  ASSERT_TRUE(sorter.ok());
+  DatasetSpec spec;
+  spec.WithRows(8000).WithSeed(4);
+  auto rows = MaterializeDataset(spec);
+  for (const Row& row : rows) {
+    ASSERT_TRUE((*sorter)->Add(row).ok());
+  }
+  auto sorted = (*sorter)->SortToVector();
+  ASSERT_TRUE(sorted.ok());
+  RowComparator cmp;
+  EXPECT_TRUE(std::is_sorted(sorted->begin(), sorted->end(), cmp));
+  EXPECT_EQ(sorted->size(), rows.size());
+}
+
+TEST_F(ExternalSorterTest, InvalidOptionsRejected) {
+  ExternalSorter::Options options;  // no env / spill dir
+  EXPECT_FALSE(ExternalSorter::Make(options).ok());
+  options.env = &env_;
+  EXPECT_FALSE(ExternalSorter::Make(options).ok());
+  options.spill_dir = scratch_.str();
+  options.merge_fan_in = 1;
+  EXPECT_FALSE(ExternalSorter::Make(options).ok());
+}
+
+TEST_F(ExternalSorterTest, AddAfterSortFails) {
+  auto sorter = ExternalSorter::Make(Options());
+  ASSERT_TRUE(sorter.ok());
+  ASSERT_TRUE((*sorter)->Add(Row(1, 1)).ok());
+  ASSERT_TRUE((*sorter)->SortToVector().ok());
+  EXPECT_EQ((*sorter)->Add(Row(2, 2)).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(StatsReporterTest, FormatCountGroupsThousands) {
+  EXPECT_EQ(FormatCount(0), "0");
+  EXPECT_EQ(FormatCount(999), "999");
+  EXPECT_EQ(FormatCount(1000), "1,000");
+  EXPECT_EQ(FormatCount(1234567), "1,234,567");
+  EXPECT_EQ(FormatCount(12345678), "12,345,678");
+}
+
+TEST(StatsReporterTest, FormatOperatorStatsMentionsKeyFields) {
+  OperatorStats stats;
+  stats.rows_consumed = 1000;
+  stats.rows_eliminated_input = 600;
+  stats.rows_spilled = 300;
+  stats.final_cutoff = 0.25;
+  stats.filter_buckets_inserted = 42;
+  const std::string report = FormatOperatorStats(stats);
+  EXPECT_NE(report.find("rows consumed"), std::string::npos);
+  EXPECT_NE(report.find("1,000"), std::string::npos);
+  EXPECT_NE(report.find("(60.0%)"), std::string::npos);
+  EXPECT_NE(report.find("0.25"), std::string::npos);
+  EXPECT_NE(report.find("buckets inserted"), std::string::npos);
+}
+
+TEST(StatsReporterTest, NoCutoffPrintsNone) {
+  OperatorStats stats;
+  const std::string report = FormatOperatorStats(stats);
+  EXPECT_NE(report.find("(none)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace topk

@@ -1,0 +1,87 @@
+#include "common/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace topk {
+namespace {
+
+Flags MustParse(std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "prog");
+  auto flags = Flags::Parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_TRUE(flags.ok());
+  return *flags;
+}
+
+TEST(FlagsTest, EqualsSyntax) {
+  Flags flags = MustParse({"--name=value", "--n=100"});
+  EXPECT_EQ(flags.GetString("name", ""), "value");
+  EXPECT_EQ(flags.GetInt("n", 0).value(), 100);
+}
+
+TEST(FlagsTest, SpaceSyntax) {
+  Flags flags = MustParse({"--name", "value", "--n", "100"});
+  EXPECT_EQ(flags.GetString("name", ""), "value");
+  EXPECT_EQ(flags.GetInt("n", 0).value(), 100);
+}
+
+TEST(FlagsTest, BareFlagIsBooleanTrue) {
+  Flags flags = MustParse({"--verbose", "--n=5"});
+  EXPECT_TRUE(flags.GetBool("verbose", false).value());
+}
+
+TEST(FlagsTest, DefaultsWhenAbsent) {
+  Flags flags = MustParse({});
+  EXPECT_EQ(flags.GetString("missing", "fallback"), "fallback");
+  EXPECT_EQ(flags.GetInt("missing", 7).value(), 7);
+  EXPECT_EQ(flags.GetDouble("missing", 2.5).value(), 2.5);
+  EXPECT_FALSE(flags.GetBool("missing", false).value());
+  EXPECT_FALSE(flags.Has("missing"));
+}
+
+TEST(FlagsTest, ScientificNotationIntegers) {
+  Flags flags = MustParse({"--n=2e6"});
+  EXPECT_EQ(flags.GetInt("n", 0).value(), 2000000);
+}
+
+TEST(FlagsTest, MalformedNumbersRejected) {
+  Flags flags = MustParse({"--n=abc", "--x=1.2.3", "--b=perhaps"});
+  EXPECT_FALSE(flags.GetInt("n", 0).ok());
+  EXPECT_FALSE(flags.GetDouble("x", 0).ok());
+  EXPECT_FALSE(flags.GetBool("b", false).ok());
+}
+
+TEST(FlagsTest, BooleanSpellings) {
+  Flags flags = MustParse({"--a=true", "--b=1", "--c=no", "--d=false"});
+  EXPECT_TRUE(flags.GetBool("a", false).value());
+  EXPECT_TRUE(flags.GetBool("b", false).value());
+  EXPECT_FALSE(flags.GetBool("c", true).value());
+  EXPECT_FALSE(flags.GetBool("d", true).value());
+}
+
+TEST(FlagsTest, PositionalArguments) {
+  Flags flags = MustParse({"input.csv", "--n=1", "output.csv"});
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "input.csv");
+  EXPECT_EQ(flags.positional()[1], "output.csv");
+}
+
+TEST(FlagsTest, UnreadFlagsDetected) {
+  Flags flags = MustParse({"--used=1", "--typo=2"});
+  EXPECT_EQ(flags.GetInt("used", 0).value(), 1);
+  const auto unread = flags.UnreadFlags();
+  ASSERT_EQ(unread.size(), 1u);
+  EXPECT_EQ(unread[0], "typo");
+}
+
+TEST(FlagsTest, BareDoubleDashRejected) {
+  const char* argv[] = {"prog", "--"};
+  EXPECT_FALSE(Flags::Parse(2, argv).ok());
+}
+
+TEST(FlagsTest, LastValueWins) {
+  Flags flags = MustParse({"--n=1", "--n=2"});
+  EXPECT_EQ(flags.GetInt("n", 0).value(), 2);
+}
+
+}  // namespace
+}  // namespace topk

@@ -1,0 +1,217 @@
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gen/distribution.h"
+#include "gen/generator.h"
+#include "gen/lineitem.h"
+
+namespace topk {
+namespace {
+
+TEST(DistributionTest, ParseNames) {
+  KeyDistribution d;
+  EXPECT_TRUE(ParseKeyDistribution("uniform", &d));
+  EXPECT_EQ(d, KeyDistribution::kUniform);
+  EXPECT_TRUE(ParseKeyDistribution("fal", &d));
+  EXPECT_EQ(d, KeyDistribution::kFal);
+  EXPECT_TRUE(ParseKeyDistribution("lognormal", &d));
+  EXPECT_EQ(d, KeyDistribution::kLogNormal);
+  EXPECT_TRUE(ParseKeyDistribution("ascending", &d));
+  EXPECT_TRUE(ParseKeyDistribution("descending", &d));
+  EXPECT_FALSE(ParseKeyDistribution("zipfish", &d));
+}
+
+TEST(DistributionTest, NamesRoundTrip) {
+  for (auto dist :
+       {KeyDistribution::kUniform, KeyDistribution::kFal,
+        KeyDistribution::kLogNormal, KeyDistribution::kAscending,
+        KeyDistribution::kDescending}) {
+    KeyDistribution parsed;
+    ASSERT_TRUE(ParseKeyDistribution(KeyDistributionName(dist), &parsed));
+    EXPECT_EQ(parsed, dist);
+  }
+}
+
+TEST(DistributionTest, UniformRangeAndMean) {
+  KeyGeneratorSpec spec;
+  spec.seed = 1;
+  auto gen = MakeKeyGenerator(spec);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double v = gen->Next();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(DistributionTest, DeterministicForSeed) {
+  for (auto dist : {KeyDistribution::kUniform, KeyDistribution::kFal,
+                    KeyDistribution::kLogNormal}) {
+    KeyGeneratorSpec spec;
+    spec.distribution = dist;
+    spec.seed = 77;
+    auto a = MakeKeyGenerator(spec);
+    auto b = MakeKeyGenerator(spec);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a->Next(), b->Next());
+  }
+}
+
+TEST(DistributionTest, FalValuesMatchFormula) {
+  // Every fal value must equal N / r^z for some integer rank r in [1, N].
+  KeyGeneratorSpec spec;
+  spec.distribution = KeyDistribution::kFal;
+  spec.num_rows = 1000;
+  spec.fal_shape = 1.25;
+  auto gen = MakeKeyGenerator(spec);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = gen->Next();
+    const double rank =
+        std::pow(static_cast<double>(spec.num_rows) / v, 1.0 / 1.25);
+    const double rounded = std::round(rank);
+    ASSERT_GE(rounded, 1.0);
+    ASSERT_LE(rounded, 1000.0);
+    const double expected =
+        static_cast<double>(spec.num_rows) / std::pow(rounded, 1.25);
+    EXPECT_NEAR(v, expected, expected * 1e-9);
+  }
+}
+
+TEST(DistributionTest, FalLargerShapeIsMoreSkewed) {
+  auto skew = [](double shape) {
+    KeyGeneratorSpec spec;
+    spec.distribution = KeyDistribution::kFal;
+    spec.num_rows = 100000;
+    spec.fal_shape = shape;
+    spec.seed = 5;
+    auto gen = MakeKeyGenerator(spec);
+    std::vector<double> values;
+    for (int i = 0; i < 20000; ++i) values.push_back(gen->Next());
+    std::sort(values.begin(), values.end());
+    // Ratio of max to median grows with the shape parameter.
+    return values.back() / values[values.size() / 2];
+  };
+  EXPECT_LT(skew(0.5), skew(1.25));
+  EXPECT_LT(skew(1.25), skew(1.5));
+}
+
+TEST(DistributionTest, MonotoneStreams) {
+  for (bool ascending : {true, false}) {
+    KeyGeneratorSpec spec;
+    spec.distribution = ascending ? KeyDistribution::kAscending
+                                  : KeyDistribution::kDescending;
+    spec.num_rows = 1000;
+    auto gen = MakeKeyGenerator(spec);
+    double prev = gen->Next();
+    for (int i = 1; i < 1000; ++i) {
+      const double v = gen->Next();
+      if (ascending) {
+        ASSERT_GT(v, prev);
+      } else {
+        ASSERT_LT(v, prev);
+      }
+      prev = v;
+    }
+  }
+}
+
+TEST(RowGeneratorTest, ProducesExactlyNumRowsWithSequentialIds) {
+  DatasetSpec spec;
+  spec.WithRows(1000).WithSeed(3);
+  RowGenerator gen(spec);
+  Row row;
+  uint64_t count = 0;
+  while (gen.Next(&row)) {
+    EXPECT_EQ(row.id, count);
+    ++count;
+  }
+  EXPECT_EQ(count, 1000u);
+  EXPECT_FALSE(gen.Next(&row));
+}
+
+TEST(RowGeneratorTest, PayloadSizesWithinBounds) {
+  DatasetSpec spec;
+  spec.WithRows(500).WithPayload(10, 50).WithSeed(4);
+  RowGenerator gen(spec);
+  Row row;
+  bool saw_min_side = false, saw_max_side = false;
+  while (gen.Next(&row)) {
+    ASSERT_GE(row.payload.size(), 10u);
+    ASSERT_LE(row.payload.size(), 50u);
+    if (row.payload.size() < 20) saw_min_side = true;
+    if (row.payload.size() > 40) saw_max_side = true;
+  }
+  EXPECT_TRUE(saw_min_side);
+  EXPECT_TRUE(saw_max_side);
+}
+
+TEST(RowGeneratorTest, ResetReplaysIdenticalStream) {
+  DatasetSpec spec;
+  spec.WithRows(100).WithPayload(5, 20).WithSeed(9);
+  RowGenerator gen(spec);
+  std::vector<Row> first;
+  Row row;
+  while (gen.Next(&row)) first.push_back(row);
+  gen.Reset();
+  std::vector<Row> second;
+  while (gen.Next(&row)) second.push_back(row);
+  EXPECT_EQ(first, second);
+}
+
+TEST(RowGeneratorTest, SpecBuildersCompose) {
+  DatasetSpec spec;
+  spec.WithRows(10).WithFalShape(1.05).WithSeed(2).WithPayload(1, 2);
+  EXPECT_EQ(spec.num_rows, 10u);
+  EXPECT_EQ(spec.keys.num_rows, 10u);
+  EXPECT_EQ(spec.keys.distribution, KeyDistribution::kFal);
+  EXPECT_EQ(spec.keys.fal_shape, 1.05);
+}
+
+TEST(LineitemTest, PayloadRoundTrip) {
+  LineitemGenerator gen(100, 42);
+  Row row;
+  while (gen.Next(&row)) {
+    Lineitem item;
+    ASSERT_TRUE(ParseLineitemPayload(row.payload, &item));
+    // The orderkey travels as the row's sort key, not in the payload.
+    item.orderkey = static_cast<int64_t>(row.key);
+    EXPECT_EQ(static_cast<double>(item.orderkey), row.key);
+    EXPECT_GE(item.quantity, 1.0);
+    EXPECT_LE(item.quantity, 51.0);
+    EXPECT_GE(item.discount, 0.0);
+    EXPECT_LE(item.discount, 0.10);
+    EXPECT_FALSE(item.comment.empty());
+    EXPECT_GE(item.commitdate, item.shipdate);
+  }
+}
+
+TEST(LineitemTest, ParseRejectsTruncatedPayload) {
+  LineitemGenerator gen(1, 42);
+  Row row;
+  ASSERT_TRUE(gen.Next(&row));
+  Lineitem item;
+  EXPECT_FALSE(ParseLineitemPayload(row.payload.substr(0, 10), &item));
+  EXPECT_FALSE(
+      ParseLineitemPayload(row.payload.substr(0, row.payload.size() - 1),
+                           &item));
+}
+
+TEST(LineitemTest, KeysSparseUniform) {
+  LineitemGenerator gen(10000, 7);
+  Row row;
+  double max_key = 0;
+  while (gen.Next(&row)) {
+    ASSERT_GE(row.key, 1.0);
+    ASSERT_LE(row.key, 40001.0);
+    max_key = std::max(max_key, row.key);
+  }
+  EXPECT_GT(max_key, 30000.0);  // spread over the sparse domain
+}
+
+}  // namespace
+}  // namespace topk

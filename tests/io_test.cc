@@ -1,0 +1,325 @@
+#include <unistd.h>
+
+#include <filesystem>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/stopwatch.h"
+
+#include "io/block_io.h"
+#include "io/run_file.h"
+#include "io/spill_manager.h"
+#include "io/storage_env.h"
+
+namespace topk {
+namespace {
+
+class IoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("topk_io_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+  }
+
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+
+  std::filesystem::path dir_;
+  StorageEnv env_;
+};
+
+TEST_F(IoTest, WritableFileRoundTrip) {
+  auto file = env_.NewWritableFile(Path("f"));
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("hello ").ok());
+  ASSERT_TRUE((*file)->Append("world").ok());
+  ASSERT_TRUE((*file)->Close().ok());
+
+  auto in = env_.NewSequentialFile(Path("f"));
+  ASSERT_TRUE(in.ok());
+  char buf[64];
+  size_t got = 0;
+  ASSERT_TRUE((*in)->Read(sizeof(buf), buf, &got).ok());
+  EXPECT_EQ(std::string(buf, got), "hello world");
+}
+
+TEST_F(IoTest, OpenMissingFileFails) {
+  auto in = env_.NewSequentialFile(Path("missing"));
+  EXPECT_FALSE(in.ok());
+  EXPECT_EQ(in.status().code(), StatusCode::kIoError);
+}
+
+TEST_F(IoTest, StatsCountTraffic) {
+  auto file = env_.NewWritableFile(Path("f"));
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append(std::string(1000, 'x')).ok());
+  ASSERT_TRUE((*file)->Close().ok());
+  EXPECT_EQ(env_.stats()->bytes_written(), 1000u);
+  EXPECT_EQ(env_.stats()->write_calls(), 1u);
+  EXPECT_EQ(env_.stats()->files_created(), 1u);
+
+  auto in = env_.NewSequentialFile(Path("f"));
+  ASSERT_TRUE(in.ok());
+  char buf[4096];
+  size_t got = 0;
+  ASSERT_TRUE((*in)->Read(sizeof(buf), buf, &got).ok());
+  EXPECT_EQ(got, 1000u);
+  EXPECT_EQ(env_.stats()->bytes_read(), 1000u);
+}
+
+TEST_F(IoTest, DeleteFileUpdatesStatsAndErrsOnMissing) {
+  auto file = env_.NewWritableFile(Path("f"));
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Close().ok());
+  EXPECT_TRUE(env_.DeleteFile(Path("f")).ok());
+  EXPECT_EQ(env_.stats()->files_deleted(), 1u);
+  EXPECT_FALSE(env_.DeleteFile(Path("f")).ok());
+}
+
+TEST_F(IoTest, FileSize) {
+  auto file = env_.NewWritableFile(Path("f"));
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("12345").ok());
+  ASSERT_TRUE((*file)->Close().ok());
+  auto size = env_.FileSize(Path("f"));
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, 5u);
+}
+
+TEST_F(IoTest, InjectedWriteFailure) {
+  env_.InjectWriteFailure(2);
+  auto file = env_.NewWritableFile(Path("f"));
+  ASSERT_TRUE(file.ok());
+  EXPECT_TRUE((*file)->Append("a").ok());
+  const Status failed = (*file)->Append("b");
+  EXPECT_EQ(failed.code(), StatusCode::kIoError);
+  // Injection is one-shot.
+  EXPECT_TRUE((*file)->Append("c").ok());
+}
+
+TEST_F(IoTest, InjectedReadFailure) {
+  auto file = env_.NewWritableFile(Path("f"));
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("abc").ok());
+  ASSERT_TRUE((*file)->Close().ok());
+  env_.InjectReadFailure(1);
+  auto in = env_.NewSequentialFile(Path("f"));
+  ASSERT_TRUE(in.ok());
+  char buf[8];
+  size_t got = 0;
+  EXPECT_EQ((*in)->Read(sizeof(buf), buf, &got).code(),
+            StatusCode::kIoError);
+}
+
+TEST_F(IoTest, BlockWriterBuffersUntilBlockSize) {
+  auto file = env_.NewWritableFile(Path("f"));
+  ASSERT_TRUE(file.ok());
+  BlockWriter writer(std::move(*file), /*block_bytes=*/16);
+  ASSERT_TRUE(writer.Append("0123456789").ok());
+  // 10 bytes < block: nothing on storage yet.
+  EXPECT_EQ(env_.stats()->write_calls(), 0u);
+  ASSERT_TRUE(writer.Append("0123456789").ok());
+  // Crossed 16: one block flushed.
+  EXPECT_EQ(env_.stats()->write_calls(), 1u);
+  ASSERT_TRUE(writer.Close().ok());
+  EXPECT_EQ(writer.bytes_appended(), 20u);
+  EXPECT_EQ(env_.stats()->bytes_written(), 20u);
+}
+
+TEST_F(IoTest, BlockWriterAppendAfterCloseFails) {
+  auto file = env_.NewWritableFile(Path("f"));
+  ASSERT_TRUE(file.ok());
+  BlockWriter writer(std::move(*file));
+  ASSERT_TRUE(writer.Close().ok());
+  EXPECT_EQ(writer.Append("x").code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(IoTest, BlockReaderReadExactAndEof) {
+  {
+    auto file = env_.NewWritableFile(Path("f"));
+    ASSERT_TRUE(file.ok());
+    BlockWriter writer(std::move(*file), 8);
+    ASSERT_TRUE(writer.Append("abcdefghij").ok());
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  auto in = env_.NewSequentialFile(Path("f"));
+  ASSERT_TRUE(in.ok());
+  BlockReader reader(std::move(*in), 4);
+  char buf[6];
+  bool eof = false;
+  ASSERT_TRUE(reader.ReadExact(6, buf, &eof).ok());
+  EXPECT_FALSE(eof);
+  EXPECT_EQ(std::string(buf, 6), "abcdef");
+  ASSERT_TRUE(reader.ReadExact(4, buf, &eof).ok());
+  EXPECT_EQ(std::string(buf, 4), "ghij");
+  ASSERT_TRUE(reader.ReadExact(1, buf, &eof).ok());
+  EXPECT_TRUE(eof);
+}
+
+TEST_F(IoTest, BlockReaderTruncationMidRecordIsCorruption) {
+  {
+    auto file = env_.NewWritableFile(Path("f"));
+    ASSERT_TRUE(file.ok());
+    BlockWriter writer(std::move(*file));
+    ASSERT_TRUE(writer.Append("abc").ok());
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  auto in = env_.NewSequentialFile(Path("f"));
+  ASSERT_TRUE(in.ok());
+  BlockReader reader(std::move(*in));
+  char buf[8];
+  bool eof = false;
+  EXPECT_EQ(reader.ReadExact(8, buf, &eof).code(), StatusCode::kCorruption);
+}
+
+TEST_F(IoTest, BlockReaderSkip) {
+  {
+    auto file = env_.NewWritableFile(Path("f"));
+    ASSERT_TRUE(file.ok());
+    BlockWriter writer(std::move(*file));
+    ASSERT_TRUE(writer.Append("0123456789").ok());
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  auto in = env_.NewSequentialFile(Path("f"));
+  ASSERT_TRUE(in.ok());
+  BlockReader reader(std::move(*in), 4);
+  char buf[4];
+  bool eof = false;
+  ASSERT_TRUE(reader.ReadExact(2, buf, &eof).ok());
+  ASSERT_TRUE(reader.Skip(5).ok());
+  ASSERT_TRUE(reader.ReadExact(3, buf, &eof).ok());
+  EXPECT_EQ(std::string(buf, 3), "789");
+}
+
+TEST_F(IoTest, RunWriterReaderRoundTrip) {
+  RowComparator cmp;
+  auto writer = RunWriter::Create(&env_, Path("run"), 1, cmp);
+  ASSERT_TRUE(writer.ok());
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE((*writer)->Append(Row(i, i, "p" + std::to_string(i))).ok());
+  }
+  auto meta = (*writer)->Finish();
+  ASSERT_TRUE(meta.ok());
+  EXPECT_EQ(meta->rows, 100u);
+  EXPECT_EQ(meta->first_key, 0.0);
+  EXPECT_EQ(meta->last_key, 99.0);
+  EXPECT_GT(meta->bytes, 0u);
+
+  auto reader = RunReader::Open(&env_, Path("run"));
+  ASSERT_TRUE(reader.ok());
+  Row row;
+  bool eof = false;
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE((*reader)->Next(&row, &eof).ok());
+    ASSERT_FALSE(eof);
+    EXPECT_EQ(row.key, i);
+    EXPECT_EQ(row.payload, "p" + std::to_string(i));
+  }
+  ASSERT_TRUE((*reader)->Next(&row, &eof).ok());
+  EXPECT_TRUE(eof);
+}
+
+TEST_F(IoTest, RunWriterRejectsOutOfOrderRows) {
+  RowComparator cmp;
+  auto writer = RunWriter::Create(&env_, Path("run"), 1, cmp);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)->Append(Row(5.0, 1)).ok());
+  EXPECT_EQ((*writer)->Append(Row(4.0, 2)).code(),
+            StatusCode::kInvalidArgument);
+  // Equal keys with ascending ids are fine.
+  ASSERT_TRUE((*writer)->Append(Row(5.0, 2)).ok());
+}
+
+TEST_F(IoTest, RunWriterDescendingOrder) {
+  RowComparator cmp(SortDirection::kDescending);
+  auto writer = RunWriter::Create(&env_, Path("run"), 1, cmp);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)->Append(Row(9.0, 1)).ok());
+  ASSERT_TRUE((*writer)->Append(Row(3.0, 2)).ok());
+  EXPECT_EQ((*writer)->Append(Row(4.0, 3)).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(IoTest, RunReaderRejectsNonRunFile) {
+  auto file = env_.NewWritableFile(Path("junk"));
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("this is not a run file at all").ok());
+  ASSERT_TRUE((*file)->Close().ok());
+  auto reader = RunReader::Open(&env_, Path("junk"));
+  EXPECT_EQ(reader.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(IoTest, SpillManagerLifecycle) {
+  const std::string spill_dir = Path("spill");
+  {
+    auto spill = SpillManager::Create(&env_, spill_dir);
+    ASSERT_TRUE(spill.ok());
+    RowComparator cmp;
+    auto writer = (*spill)->NewRun(cmp);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE((*writer)->Append(Row(1.0, 1)).ok());
+    auto meta = (*writer)->Finish();
+    ASSERT_TRUE(meta.ok());
+    (*spill)->AddRun(*meta);
+    EXPECT_EQ((*spill)->run_count(), 1u);
+    EXPECT_EQ((*spill)->total_rows_spilled(), 1u);
+    EXPECT_EQ((*spill)->total_runs_created(), 1u);
+    EXPECT_TRUE(std::filesystem::exists(meta->path));
+
+    auto reader = (*spill)->OpenRun(*meta);
+    ASSERT_TRUE(reader.ok());
+  }
+  // Destructor removes the whole spill directory.
+  EXPECT_FALSE(std::filesystem::exists(spill_dir));
+}
+
+TEST_F(IoTest, SpillManagerRemoveRunDeletesFile) {
+  auto spill = SpillManager::Create(&env_, Path("spill"));
+  ASSERT_TRUE(spill.ok());
+  RowComparator cmp;
+  auto writer = (*spill)->NewRun(cmp);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)->Append(Row(1.0, 1)).ok());
+  auto meta = (*writer)->Finish();
+  ASSERT_TRUE(meta.ok());
+  (*spill)->AddRun(*meta);
+  ASSERT_TRUE((*spill)->RemoveRun(meta->id).ok());
+  EXPECT_EQ((*spill)->run_count(), 0u);
+  EXPECT_FALSE(std::filesystem::exists(meta->path));
+  // Totals are historical and unaffected by removal.
+  EXPECT_EQ((*spill)->total_rows_spilled(), 1u);
+  EXPECT_EQ((*spill)->RemoveRun(meta->id).code(), StatusCode::kNotFound);
+}
+
+TEST_F(IoTest, SpillManagerAssignsDistinctRunIds) {
+  auto spill = SpillManager::Create(&env_, Path("spill"));
+  ASSERT_TRUE(spill.ok());
+  RowComparator cmp;
+  auto w1 = (*spill)->NewRun(cmp);
+  auto w2 = (*spill)->NewRun(cmp);
+  ASSERT_TRUE(w1.ok());
+  ASSERT_TRUE(w2.ok());
+  EXPECT_NE((*w1)->run_id(), (*w2)->run_id());
+}
+
+TEST_F(IoTest, LatencyInjectionSlowsWrites) {
+  StorageEnv::Options options;
+  options.write_latency_nanos = 2 * 1000 * 1000;  // 2 ms
+  StorageEnv slow_env(options);
+  auto file = slow_env.NewWritableFile(Path("slow"));
+  ASSERT_TRUE(file.ok());
+  Stopwatch watch;
+  ASSERT_TRUE((*file)->Append("x").ok());
+  EXPECT_GE(watch.ElapsedNanos(), 2 * 1000 * 1000);
+  ASSERT_TRUE((*file)->Close().ok());
+}
+
+}  // namespace
+}  // namespace topk

@@ -1,0 +1,93 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+#include "common/stopwatch.h"
+
+namespace topk {
+namespace {
+
+TEST(LoggingTest, LevelRoundTrip) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, SuppressedLevelsDoNotCrash) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  TOPK_LOG(Debug) << "suppressed " << 42;
+  TOPK_LOG(Info) << "also suppressed";
+  TOPK_LOG(Warning) << "still suppressed";
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, EmittedLevelsDoNotCrash) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  TOPK_LOG(Error) << "expected test error line " << 3.14 << " " << "str";
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, CheckPassesOnTrue) {
+  TOPK_CHECK(1 + 1 == 2) << "never printed";
+  TOPK_DCHECK(true) << "never printed";
+}
+
+TEST(LoggingDeathTest, CheckAbortsOnFalse) {
+  EXPECT_DEATH({ TOPK_CHECK(false) << "boom"; }, "check failed");
+}
+
+TEST(StopwatchTest, MeasuresElapsedTime) {
+  Stopwatch watch;
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += i * 0.5;
+  EXPECT_GT(watch.ElapsedNanos(), 0);
+  EXPECT_GE(watch.ElapsedSeconds(), 0.0);
+  const int64_t first = watch.ElapsedNanos();
+  for (int i = 0; i < 100000; ++i) sink += i * 0.5;
+  EXPECT_GE(watch.ElapsedNanos(), first);
+}
+
+TEST(StopwatchTest, RestartResets) {
+  Stopwatch watch;
+  volatile double sink = 0;
+  for (int i = 0; i < 1000000; ++i) sink += i;
+  const int64_t before = watch.ElapsedNanos();
+  watch.Restart();
+  EXPECT_LT(watch.ElapsedNanos(), before);
+}
+
+TEST(PhaseTimerTest, AccumulatesAcrossIntervals) {
+  PhaseTimer timer;
+  EXPECT_EQ(timer.TotalNanos(), 0);
+  timer.Start();
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  timer.Stop();
+  const int64_t first = timer.TotalNanos();
+  EXPECT_GT(first, 0);
+  timer.Start();
+  for (int i = 0; i < 100000; ++i) sink += i;
+  timer.Stop();
+  EXPECT_GT(timer.TotalNanos(), first);
+  // Stop while stopped is a no-op.
+  const int64_t settled = timer.TotalNanos();
+  timer.Stop();
+  EXPECT_EQ(timer.TotalNanos(), settled);
+}
+
+TEST(PhaseTimerTest, RunningTimerReportsLiveTotal) {
+  PhaseTimer timer;
+  timer.Start();
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  EXPECT_GT(timer.TotalNanos(), 0);  // still running
+  timer.Stop();
+}
+
+}  // namespace
+}  // namespace topk

@@ -1,0 +1,117 @@
+#include "sort/loser_tree.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace topk {
+namespace {
+
+/// Merges pre-sorted ways with a LoserTree and returns the merged stream.
+std::vector<int> MergeWithTree(std::vector<std::vector<int>> ways) {
+  std::vector<size_t> pos(ways.size(), 0);
+  auto exhausted = [&](size_t w) { return pos[w] >= ways[w].size(); };
+  LoserTree tree(ways.size(), [&](size_t a, size_t b) {
+    if (exhausted(a)) return false;
+    if (exhausted(b)) return true;
+    if (ways[a][pos[a]] != ways[b][pos[b]]) {
+      return ways[a][pos[a]] < ways[b][pos[b]];
+    }
+    return a < b;  // stability by way index
+  });
+  tree.Build();
+  std::vector<int> out;
+  while (!exhausted(tree.winner())) {
+    const size_t w = tree.winner();
+    out.push_back(ways[w][pos[w]]);
+    ++pos[w];
+    tree.ReplayWinner();
+  }
+  return out;
+}
+
+std::vector<int> FlattenSorted(const std::vector<std::vector<int>>& ways) {
+  std::vector<int> all;
+  for (const auto& way : ways) {
+    all.insert(all.end(), way.begin(), way.end());
+  }
+  std::sort(all.begin(), all.end());
+  return all;
+}
+
+TEST(LoserTreeTest, SingleWay) {
+  EXPECT_EQ(MergeWithTree({{1, 2, 3}}), (std::vector<int>{1, 2, 3}));
+}
+
+TEST(LoserTreeTest, TwoWays) {
+  EXPECT_EQ(MergeWithTree({{1, 3, 5}, {2, 4, 6}}),
+            (std::vector<int>{1, 2, 3, 4, 5, 6}));
+}
+
+TEST(LoserTreeTest, EmptyWaysAmongNonEmpty) {
+  EXPECT_EQ(MergeWithTree({{}, {2, 4}, {}, {1, 3}, {}}),
+            (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(LoserTreeTest, AllWaysEmpty) {
+  EXPECT_TRUE(MergeWithTree({{}, {}, {}}).empty());
+}
+
+TEST(LoserTreeTest, DuplicateValuesAcrossWays) {
+  EXPECT_EQ(MergeWithTree({{1, 1, 2}, {1, 2, 2}}),
+            (std::vector<int>{1, 1, 1, 2, 2, 2}));
+}
+
+TEST(LoserTreeTest, SkewedWayLengths) {
+  std::vector<std::vector<int>> ways{{}, {}, {}};
+  for (int i = 0; i < 1000; ++i) ways[1].push_back(i);
+  ways[0] = {500};
+  ways[2] = {-1, 1001};
+  EXPECT_EQ(MergeWithTree(ways), FlattenSorted(ways));
+}
+
+class LoserTreeWaysTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(LoserTreeWaysTest, RandomMergeMatchesSort) {
+  const size_t num_ways = GetParam();
+  Random rng(1000 + num_ways);
+  std::vector<std::vector<int>> ways(num_ways);
+  for (auto& way : ways) {
+    const size_t len = rng.NextUint64(200);
+    for (size_t i = 0; i < len; ++i) {
+      way.push_back(static_cast<int>(rng.NextUint64(10000)));
+    }
+    std::sort(way.begin(), way.end());
+  }
+  EXPECT_EQ(MergeWithTree(ways), FlattenSorted(ways));
+}
+
+INSTANTIATE_TEST_SUITE_P(WayCounts, LoserTreeWaysTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 13, 16, 31,
+                                           64, 100));
+
+TEST(LoserTreeTest, StabilityPrefersLowerWayIndexOnTies) {
+  // Two ways with identical single elements: way 0 must win first.
+  std::vector<std::vector<std::pair<int, int>>> ways{{{5, 0}}, {{5, 1}}};
+  std::vector<size_t> pos(2, 0);
+  auto exhausted = [&](size_t w) { return pos[w] >= ways[w].size(); };
+  LoserTree tree(2, [&](size_t a, size_t b) {
+    if (exhausted(a)) return false;
+    if (exhausted(b)) return true;
+    if (ways[a][pos[a]].first != ways[b][pos[b]].first) {
+      return ways[a][pos[a]].first < ways[b][pos[b]].first;
+    }
+    return a < b;
+  });
+  tree.Build();
+  EXPECT_EQ(tree.winner(), 0u);
+  ++pos[0];
+  tree.ReplayWinner();
+  EXPECT_EQ(tree.winner(), 1u);
+}
+
+}  // namespace
+}  // namespace topk

@@ -1,0 +1,182 @@
+#include "sort/merge_planner.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "sort/merger.h"
+
+namespace topk {
+namespace {
+
+class MergePlannerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("topk_planner_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    auto spill = SpillManager::Create(&env_, dir_.string());
+    ASSERT_TRUE(spill.ok());
+    spill_ = std::move(*spill);
+  }
+
+  void TearDown() override {
+    spill_.reset();
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  void WriteRun(const std::vector<double>& keys) {
+    RowComparator cmp;
+    auto writer = spill_->NewRun(cmp);
+    ASSERT_TRUE(writer.ok());
+    for (double key : keys) {
+      ASSERT_TRUE((*writer)->Append(Row(key, next_id_++)).ok());
+    }
+    auto meta = (*writer)->Finish();
+    ASSERT_TRUE(meta.ok());
+    spill_->AddRun(*meta);
+  }
+
+  std::filesystem::path dir_;
+  StorageEnv env_;
+  std::unique_ptr<SpillManager> spill_;
+  uint64_t next_id_ = 0;
+};
+
+TEST_F(MergePlannerTest, NoReductionWhenUnderFanIn) {
+  WriteRun({1, 2});
+  WriteRun({3, 4});
+  MergePlannerOptions options;
+  options.fan_in = 4;
+  MergePlanStats stats;
+  auto runs = ReduceRunsForFinalMerge(spill_.get(), RowComparator(), options,
+                                      &stats);
+  ASSERT_TRUE(runs.ok());
+  EXPECT_EQ(runs->size(), 2u);
+  EXPECT_EQ(stats.intermediate_steps, 0u);
+}
+
+TEST_F(MergePlannerTest, ReducesToFanInAndPreservesData) {
+  Random rng(7);
+  std::vector<double> all;
+  for (int i = 0; i < 20; ++i) {
+    std::vector<double> keys;
+    for (int j = 0; j < 50; ++j) keys.push_back(rng.NextDouble());
+    std::sort(keys.begin(), keys.end());
+    all.insert(all.end(), keys.begin(), keys.end());
+    WriteRun(keys);
+  }
+  MergePlannerOptions options;
+  options.fan_in = 4;
+  MergePlanStats stats;
+  auto runs = ReduceRunsForFinalMerge(spill_.get(), RowComparator(), options,
+                                      &stats);
+  ASSERT_TRUE(runs.ok());
+  EXPECT_LE(runs->size(), 4u);
+  EXPECT_GT(stats.intermediate_steps, 0u);
+
+  // Final merge recovers the full sorted input.
+  std::vector<Row> out;
+  auto merge_stats =
+      MergeRuns(spill_.get(), *runs, RowComparator(), MergeOptions{},
+                [&](Row&& row) {
+                  out.push_back(std::move(row));
+                  return Status::OK();
+                });
+  ASSERT_TRUE(merge_stats.ok());
+  std::sort(all.begin(), all.end());
+  ASSERT_EQ(out.size(), all.size());
+  for (size_t i = 0; i < all.size(); ++i) EXPECT_EQ(out[i].key, all[i]);
+}
+
+TEST_F(MergePlannerTest, IntermediateLimitTruncatesIntermediateRuns) {
+  for (int i = 0; i < 8; ++i) {
+    std::vector<double> keys;
+    for (int j = 0; j < 100; ++j) keys.push_back(i + j * 0.01);
+    WriteRun(keys);
+  }
+  MergePlannerOptions options;
+  options.fan_in = 2;
+  options.intermediate_limit = 10;  // top-10 query: intermediates capped
+  MergePlanStats stats;
+  auto runs = ReduceRunsForFinalMerge(spill_.get(), RowComparator(), options,
+                                      &stats);
+  ASSERT_TRUE(runs.ok());
+  EXPECT_LE(runs->size(), 2u);
+  for (const RunMeta& meta : *runs) {
+    EXPECT_LE(meta.rows, 100u);
+  }
+  // The top-10 answer is intact: keys 0.00..0.09.
+  std::vector<Row> out;
+  MergeOptions merge_options;
+  merge_options.limit = 10;
+  auto merge_stats = MergeRuns(spill_.get(), *runs, RowComparator(),
+                               merge_options, [&](Row&& row) {
+                                 out.push_back(std::move(row));
+                                 return Status::OK();
+                               });
+  ASSERT_TRUE(merge_stats.ok());
+  ASSERT_EQ(out.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_NEAR(out[i].key, i * 0.01, 1e-12);
+}
+
+TEST_F(MergePlannerTest, InvalidFanInRejected) {
+  MergePlannerOptions options;
+  options.fan_in = 1;
+  auto runs =
+      ReduceRunsForFinalMerge(spill_.get(), RowComparator(), options);
+  EXPECT_EQ(runs.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(OrderRunsForMergeTest, SmallestFirstOrdersByRowCount) {
+  std::vector<RunMeta> runs(3);
+  runs[0].id = 0;
+  runs[0].rows = 50;
+  runs[1].id = 1;
+  runs[1].rows = 10;
+  runs[2].id = 2;
+  runs[2].rows = 30;
+  OrderRunsForMerge(&runs, RowComparator(),
+                    MergePolicy::kSmallestRunsFirst);
+  EXPECT_EQ(runs[0].id, 1u);
+  EXPECT_EQ(runs[1].id, 2u);
+  EXPECT_EQ(runs[2].id, 0u);
+}
+
+TEST(OrderRunsForMergeTest, LowestKeysFirstOrdersByLastKey) {
+  std::vector<RunMeta> runs(3);
+  runs[0].id = 0;
+  runs[0].first_key = 0.0;
+  runs[0].last_key = 0.9;
+  runs[1].id = 1;
+  runs[1].first_key = 0.0;
+  runs[1].last_key = 0.2;  // sharply truncated, most recent
+  runs[2].id = 2;
+  runs[2].first_key = 0.0;
+  runs[2].last_key = 0.5;
+  OrderRunsForMerge(&runs, RowComparator(), MergePolicy::kLowestKeysFirst);
+  EXPECT_EQ(runs[0].id, 1u);
+  EXPECT_EQ(runs[1].id, 2u);
+  EXPECT_EQ(runs[2].id, 0u);
+}
+
+TEST(OrderRunsForMergeTest, LowestKeysFirstDescendingDirection) {
+  RowComparator cmp(SortDirection::kDescending);
+  std::vector<RunMeta> runs(2);
+  runs[0].id = 0;
+  runs[0].first_key = 100.0;
+  runs[0].last_key = 10.0;
+  runs[1].id = 1;
+  runs[1].first_key = 100.0;
+  runs[1].last_key = 80.0;  // "best" keys for descending = largest
+  OrderRunsForMerge(&runs, cmp, MergePolicy::kLowestKeysFirst);
+  EXPECT_EQ(runs[0].id, 1u);
+}
+
+}  // namespace
+}  // namespace topk

@@ -1,0 +1,127 @@
+#include "topk/optimized_external_topk.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+#include "topk/operator_factory.h"
+
+namespace topk {
+namespace {
+
+using testing_util::ExpectSameRows;
+using testing_util::MaterializeDataset;
+using testing_util::ReferenceTopK;
+using testing_util::RunOperator;
+using testing_util::ScratchDir;
+
+class OptimizedTopKTest : public ::testing::Test {
+ protected:
+  TopKOptions Options(uint64_t k, size_t memory_bytes = 32 * 1024) {
+    TopKOptions options;
+    options.k = k;
+    options.memory_limit_bytes = memory_bytes;
+    options.env = &env_;
+    options.spill_dir = scratch_.str() + "/" + std::to_string(dir_seq_++);
+    return options;
+  }
+
+  ScratchDir scratch_;
+  StorageEnv env_;
+  int dir_seq_ = 0;
+};
+
+TEST_F(OptimizedTopKTest, SmallKCutoffFromRunKthKey) {
+  // k smaller than a run: the (k)th key of the first full run becomes the
+  // cutoff (the incrementally sharpening filter of [14]); no early merge is
+  // needed.
+  auto op = OptimizedExternalTopK::Make(Options(100, 32 * 1024));
+  ASSERT_TRUE(op.ok());
+  DatasetSpec spec;
+  spec.WithRows(50000).WithSeed(1);
+  auto rows = MaterializeDataset(spec);
+  auto result = RunOperator(op->get(), rows);
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE((*op)->cutoff().has_value());
+  EXPECT_GT((*op)->stats().rows_eliminated_input, 30000u);
+  EXPECT_EQ((*op)->stats().merge_rows_written, 0u);  // no early merges
+  ExpectSameRows(ReferenceTopK(rows, 100, 0, SortDirection::kAscending),
+                 *result);
+}
+
+TEST_F(OptimizedTopKTest, LargeKCutoffRequiresEarlyMerge) {
+  // k larger than any run: only an early merge step can prove k rows and
+  // establish a cutoff (Sec 2.5), at the cost of intermediate merge I/O.
+  TopKOptions options = Options(3000, 16 * 1024);
+  options.early_merge_fan_in = 5;
+  auto op = OptimizedExternalTopK::Make(options);
+  ASSERT_TRUE(op.ok());
+  DatasetSpec spec;
+  spec.WithRows(60000).WithSeed(2);
+  auto rows = MaterializeDataset(spec);
+  auto result = RunOperator(op->get(), rows);
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE((*op)->cutoff().has_value());
+  EXPECT_GT((*op)->stats().merge_rows_written, 0u);  // early merges ran
+  EXPECT_GT((*op)->stats().rows_eliminated_input, 0u);
+  ExpectSameRows(ReferenceTopK(rows, 3000, 0, SortDirection::kAscending),
+                 *result);
+}
+
+TEST_F(OptimizedTopKTest, RunSizesRespectOutputLimit) {
+  auto op = OptimizedExternalTopK::Make(Options(200, 64 * 1024));
+  ASSERT_TRUE(op.ok());
+  DatasetSpec spec;
+  spec.WithRows(30000).WithSeed(3);
+  auto rows = MaterializeDataset(spec);
+  ASSERT_TRUE(RunOperator(op->get(), rows).ok());
+  // Runs were limited to k rows; with ~1300 rows of memory, unlimited runs
+  // would be far larger, so runs_created must exceed rows_spilled / 1300.
+  const OperatorStats& stats = (*op)->stats();
+  EXPECT_GE(stats.runs_created, stats.rows_spilled / 200);
+}
+
+TEST_F(OptimizedTopKTest, SpillsLessThanTraditionalButMoreThanHistogram) {
+  // The paper's ordering of the three external algorithms by I/O effort.
+  DatasetSpec spec;
+  spec.WithRows(80000).WithSeed(4);
+  auto rows = MaterializeDataset(spec);
+
+  uint64_t written[3] = {0, 0, 0};
+  const TopKAlgorithm algorithms[3] = {TopKAlgorithm::kTraditionalExternal,
+                                       TopKAlgorithm::kOptimizedExternal,
+                                       TopKAlgorithm::kHistogram};
+  for (int i = 0; i < 3; ++i) {
+    TopKOptions options = Options(2000, 16 * 1024);
+    auto op = MakeTopKOperator(algorithms[i], options);
+    ASSERT_TRUE(op.ok());
+    auto result = RunOperator(op->get(), rows);
+    ASSERT_TRUE(result.ok());
+    written[i] =
+        (*op)->stats().rows_spilled + (*op)->stats().merge_rows_written;
+  }
+  EXPECT_LT(written[1], written[0]);  // optimized beats traditional
+  EXPECT_LT(written[2], written[1]);  // histogram beats optimized
+}
+
+TEST_F(OptimizedTopKTest, DescendingDirection) {
+  TopKOptions options = Options(1000, 16 * 1024);
+  options.direction = SortDirection::kDescending;
+  auto op = OptimizedExternalTopK::Make(options);
+  ASSERT_TRUE(op.ok());
+  DatasetSpec spec;
+  spec.WithRows(30000).WithSeed(5);
+  auto rows = MaterializeDataset(spec);
+  auto result = RunOperator(op->get(), rows);
+  ASSERT_TRUE(result.ok());
+  ExpectSameRows(ReferenceTopK(rows, 1000, 0, SortDirection::kDescending),
+                 *result);
+}
+
+TEST_F(OptimizedTopKTest, RejectsBadEarlyMergeFanIn) {
+  TopKOptions options = Options(10);
+  options.early_merge_fan_in = 1;
+  EXPECT_FALSE(OptimizedExternalTopK::Make(options).ok());
+}
+
+}  // namespace
+}  // namespace topk

@@ -1,0 +1,81 @@
+#include "common/random.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace topk {
+namespace {
+
+TEST(RandomTest, DeterministicForSeed) {
+  Random a(123), b(123);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RandomTest, DifferentSeedsDiffer) {
+  Random a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RandomTest, BoundedStaysInBound) {
+  Random rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextUint64(10), 10u);
+  }
+}
+
+TEST(RandomTest, BoundedCoversRange) {
+  Random rng(9);
+  bool seen[10] = {};
+  for (int i = 0; i < 1000; ++i) seen[rng.NextUint64(10)] = true;
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(RandomTest, DoubleInUnitInterval) {
+  Random rng(11);
+  double sum = 0;
+  for (int i = 0; i < 100000; ++i) {
+    const double v = rng.NextDouble();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 100000.0, 0.5, 0.01);
+}
+
+TEST(RandomTest, GaussianMoments) {
+  Random rng(13);
+  double sum = 0, sum2 = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.NextGaussian();
+    sum += v;
+    sum2 += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.03);
+}
+
+TEST(RandomTest, LogNormalIsPositiveAndMedianNearExpMu) {
+  Random rng(17);
+  const int n = 100001;
+  std::vector<double> values;
+  values.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.NextLogNormal(0.0, 2.0);
+    ASSERT_GT(v, 0.0);
+    values.push_back(v);
+  }
+  std::nth_element(values.begin(), values.begin() + n / 2, values.end());
+  // Median of lognormal(mu, sigma) is exp(mu) = 1.
+  EXPECT_NEAR(values[n / 2], 1.0, 0.05);
+}
+
+}  // namespace
+}  // namespace topk

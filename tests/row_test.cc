@@ -1,0 +1,148 @@
+#include "row/row.h"
+
+#include <gtest/gtest.h>
+
+#include "row/serialization.h"
+
+namespace topk {
+namespace {
+
+TEST(RowTest, DefaultConstructed) {
+  Row row;
+  EXPECT_EQ(row.key, 0.0);
+  EXPECT_EQ(row.id, 0u);
+  EXPECT_TRUE(row.payload.empty());
+}
+
+TEST(RowTest, SerializedSizeCountsHeaderAndPayload) {
+  Row row(1.5, 7, "abcde");
+  EXPECT_EQ(row.SerializedSize(), kRowHeaderBytes + 5);
+}
+
+TEST(RowTest, MemoryFootprintGrowsWithPayload) {
+  Row small(1.0, 1, "");
+  Row big(1.0, 1, std::string(1000, 'x'));
+  EXPECT_GT(big.MemoryFootprint(), small.MemoryFootprint() + 900);
+}
+
+TEST(RowComparatorTest, AscendingByKey) {
+  RowComparator cmp(SortDirection::kAscending);
+  EXPECT_TRUE(cmp.Less(Row(1.0, 0), Row(2.0, 0)));
+  EXPECT_FALSE(cmp.Less(Row(2.0, 0), Row(1.0, 0)));
+}
+
+TEST(RowComparatorTest, DescendingByKey) {
+  RowComparator cmp(SortDirection::kDescending);
+  EXPECT_TRUE(cmp.Less(Row(2.0, 0), Row(1.0, 0)));
+  EXPECT_FALSE(cmp.Less(Row(1.0, 0), Row(2.0, 0)));
+}
+
+TEST(RowComparatorTest, TiesBrokenByIdBothDirections) {
+  for (auto dir : {SortDirection::kAscending, SortDirection::kDescending}) {
+    RowComparator cmp(dir);
+    EXPECT_TRUE(cmp.Less(Row(1.0, 1), Row(1.0, 2)));
+    EXPECT_FALSE(cmp.Less(Row(1.0, 2), Row(1.0, 1)));
+    EXPECT_FALSE(cmp.Less(Row(1.0, 1), Row(1.0, 1)));
+  }
+}
+
+TEST(RowComparatorTest, KeyBeyondAscending) {
+  RowComparator cmp(SortDirection::kAscending);
+  EXPECT_TRUE(cmp.KeyBeyond(5.0, 4.0));
+  EXPECT_FALSE(cmp.KeyBeyond(4.0, 4.0));  // ties are kept
+  EXPECT_FALSE(cmp.KeyBeyond(3.0, 4.0));
+}
+
+TEST(RowComparatorTest, KeyBeyondDescending) {
+  RowComparator cmp(SortDirection::kDescending);
+  EXPECT_TRUE(cmp.KeyBeyond(3.0, 4.0));
+  EXPECT_FALSE(cmp.KeyBeyond(4.0, 4.0));
+  EXPECT_FALSE(cmp.KeyBeyond(5.0, 4.0));
+}
+
+TEST(RowComparatorTest, KeyLessFollowsDirection) {
+  EXPECT_TRUE(RowComparator(SortDirection::kAscending).KeyLess(1.0, 2.0));
+  EXPECT_TRUE(RowComparator(SortDirection::kDescending).KeyLess(2.0, 1.0));
+}
+
+TEST(RowComparatorTest, DirectionAccessor) {
+  EXPECT_EQ(RowComparator(SortDirection::kDescending).direction(),
+            SortDirection::kDescending);
+  EXPECT_EQ(RowComparator().direction(), SortDirection::kAscending);
+}
+
+TEST(SerializationTest, RoundTrip) {
+  Row in(3.25, 99, "payload bytes");
+  std::string buf;
+  SerializeRow(in, &buf);
+  EXPECT_EQ(buf.size(), in.SerializedSize());
+
+  Row out;
+  size_t offset = 0;
+  ASSERT_TRUE(DeserializeRow(buf.data(), buf.size(), &offset, &out).ok());
+  EXPECT_EQ(offset, buf.size());
+  EXPECT_EQ(out, in);
+}
+
+TEST(SerializationTest, RoundTripEmptyPayload) {
+  Row in(-1.0, 0, "");
+  std::string buf;
+  SerializeRow(in, &buf);
+  Row out;
+  size_t offset = 0;
+  ASSERT_TRUE(DeserializeRow(buf.data(), buf.size(), &offset, &out).ok());
+  EXPECT_EQ(out, in);
+}
+
+TEST(SerializationTest, MultipleRowsSequential) {
+  std::string buf;
+  for (int i = 0; i < 10; ++i) {
+    SerializeRow(Row(i * 0.5, i, std::string(i, 'a')), &buf);
+  }
+  size_t offset = 0;
+  for (int i = 0; i < 10; ++i) {
+    Row out;
+    ASSERT_TRUE(DeserializeRow(buf.data(), buf.size(), &offset, &out).ok());
+    EXPECT_EQ(out.key, i * 0.5);
+    EXPECT_EQ(out.id, static_cast<uint64_t>(i));
+    EXPECT_EQ(out.payload.size(), static_cast<size_t>(i));
+  }
+  EXPECT_EQ(offset, buf.size());
+}
+
+TEST(SerializationTest, TruncatedHeaderIsCorruption) {
+  Row in(1.0, 2, "xyz");
+  std::string buf;
+  SerializeRow(in, &buf);
+  Row out;
+  size_t offset = 0;
+  const Status status =
+      DeserializeRow(buf.data(), kRowHeaderBytes - 1, &offset, &out);
+  EXPECT_EQ(status.code(), StatusCode::kCorruption);
+}
+
+TEST(SerializationTest, TruncatedPayloadIsCorruption) {
+  Row in(1.0, 2, "xyz");
+  std::string buf;
+  SerializeRow(in, &buf);
+  Row out;
+  size_t offset = 0;
+  const Status status =
+      DeserializeRow(buf.data(), buf.size() - 1, &offset, &out);
+  EXPECT_EQ(status.code(), StatusCode::kCorruption);
+}
+
+TEST(SerializationTest, NegativeAndSpecialKeys) {
+  for (double key : {-1e300, -0.0, 1e-300, 1e300}) {
+    Row in(key, 1, "p");
+    std::string buf;
+    SerializeRow(in, &buf);
+    Row out;
+    size_t offset = 0;
+    ASSERT_TRUE(DeserializeRow(buf.data(), buf.size(), &offset, &out).ok());
+    EXPECT_EQ(out.key, key);
+  }
+}
+
+}  // namespace
+}  // namespace topk

@@ -1,0 +1,113 @@
+#ifndef TOPK_TESTS_TEST_UTIL_H_
+#define TOPK_TESTS_TEST_UTIL_H_
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gen/generator.h"
+#include "io/storage_env.h"
+#include "row/row.h"
+#include "topk/topk_operator.h"
+
+namespace topk {
+namespace testing_util {
+
+/// Creates a unique scratch directory for the current test and removes it on
+/// destruction.
+class ScratchDir {
+ public:
+  ScratchDir() {
+    const auto* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    std::string name = "topk_test";
+    if (info != nullptr) {
+      name = std::string(info->test_suite_name()) + "_" + info->name();
+      for (char& c : name) {
+        if (c == '/' || c == '\\') c = '_';
+      }
+    }
+    path_ = std::filesystem::temp_directory_path() /
+            (name + "_" + std::to_string(::getpid()) + "_" +
+             std::to_string(counter_++));
+    std::filesystem::create_directories(path_);
+  }
+
+  ~ScratchDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+
+  std::string str() const { return path_.string(); }
+
+ private:
+  static inline int counter_ = 0;
+  std::filesystem::path path_;
+};
+
+/// Materializes the full dataset of `spec` (test scale only).
+inline std::vector<Row> MaterializeDataset(const DatasetSpec& spec) {
+  RowGenerator gen(spec);
+  std::vector<Row> rows;
+  rows.reserve(spec.num_rows);
+  Row row;
+  while (gen.Next(&row)) rows.push_back(row);
+  return rows;
+}
+
+/// Ground truth: full sort, then slice [offset, offset + k).
+inline std::vector<Row> ReferenceTopK(std::vector<Row> rows, uint64_t k,
+                                      uint64_t offset,
+                                      SortDirection direction) {
+  RowComparator cmp(direction);
+  std::sort(rows.begin(), rows.end(), cmp);
+  const size_t begin = std::min<size_t>(offset, rows.size());
+  const size_t end = std::min<size_t>(begin + k, rows.size());
+  return std::vector<Row>(rows.begin() + begin, rows.begin() + end);
+}
+
+/// Ground truth for WITH TIES: sort, slice [offset, offset + k), then
+/// extend while keys equal the boundary key.
+inline std::vector<Row> ReferenceTopKWithTies(std::vector<Row> rows,
+                                              uint64_t k, uint64_t offset,
+                                              SortDirection direction) {
+  RowComparator cmp(direction);
+  std::sort(rows.begin(), rows.end(), cmp);
+  const size_t begin = std::min<size_t>(offset, rows.size());
+  size_t end = std::min<size_t>(begin + k, rows.size());
+  if (end > begin) {
+    const double boundary = rows[end - 1].key;
+    while (end < rows.size() && rows[end].key == boundary) ++end;
+  }
+  return std::vector<Row>(rows.begin() + begin, rows.begin() + end);
+}
+
+/// Feeds `rows` into `op` and finishes it.
+inline Result<std::vector<Row>> RunOperator(TopKOperator* op,
+                                            const std::vector<Row>& rows) {
+  for (const Row& row : rows) {
+    TOPK_RETURN_NOT_OK(op->Consume(row));
+  }
+  return op->Finish();
+}
+
+/// Asserts two row vectors are identical (key, id, payload).
+inline void ExpectSameRows(const std::vector<Row>& expected,
+                           const std::vector<Row>& actual) {
+  ASSERT_EQ(expected.size(), actual.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    ASSERT_EQ(expected[i].key, actual[i].key) << "row " << i;
+    ASSERT_EQ(expected[i].id, actual[i].id) << "row " << i;
+    ASSERT_EQ(expected[i].payload, actual[i].payload) << "row " << i;
+  }
+}
+
+}  // namespace testing_util
+}  // namespace topk
+
+#endif  // TOPK_TESTS_TEST_UTIL_H_

@@ -1,0 +1,99 @@
+/// Run-file inspector: dumps the header, row statistics, key range, sort
+/// validity and (optionally) rows of a .tkr run file. The debugging tool
+/// you want when a spill directory is left behind.
+///
+///   run_inspect <path> [--rows N] [--descending]
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+
+#include "common/flags.h"
+#include "io/run_file.h"
+#include "io/storage_env.h"
+#include "topk/stats_reporter.h"
+
+int main(int argc, char** argv) {
+  using namespace topk;
+
+  auto flags_result = Flags::Parse(argc, argv);
+  if (!flags_result.ok()) {
+    std::fprintf(stderr, "%s\n", flags_result.status().ToString().c_str());
+    return 1;
+  }
+  const Flags& flags = *flags_result;
+  if (flags.positional().size() != 1) {
+    std::fprintf(stderr, "usage: run_inspect <run-file> [--rows N] "
+                         "[--descending]\n");
+    return 1;
+  }
+  int64_t show_rows = 0;
+  bool descending = false;
+  {
+    auto rows_flag = flags.GetInt("rows", 0);
+    auto desc_flag = flags.GetBool("descending", false);
+    if (!rows_flag.ok() || !desc_flag.ok()) {
+      std::fprintf(stderr, "bad flags\n");
+      return 1;
+    }
+    show_rows = *rows_flag;
+    descending = *desc_flag;
+  }
+
+  StorageEnv env;
+  const std::string path = flags.positional()[0];
+  auto reader = RunReader::Open(&env, path);
+  if (!reader.ok()) {
+    std::fprintf(stderr, "%s\n", reader.status().ToString().c_str());
+    return 1;
+  }
+
+  RowComparator cmp(descending ? SortDirection::kDescending
+                               : SortDirection::kAscending);
+  Row row, prev;
+  uint64_t rows = 0, payload_bytes = 0, order_violations = 0;
+  size_t min_payload = std::numeric_limits<size_t>::max(), max_payload = 0;
+  double first_key = 0, last_key = 0;
+  for (;;) {
+    bool eof = false;
+    Status status = (*reader)->Next(&row, &eof);
+    if (!status.ok()) {
+      std::fprintf(stderr, "read error after %llu rows: %s\n",
+                   static_cast<unsigned long long>(rows),
+                   status.ToString().c_str());
+      return 1;
+    }
+    if (eof) break;
+    if (rows == 0) {
+      first_key = row.key;
+    } else if (cmp.Less(row, prev)) {
+      ++order_violations;
+    }
+    last_key = row.key;
+    payload_bytes += row.payload.size();
+    min_payload = std::min(min_payload, row.payload.size());
+    max_payload = std::max(max_payload, row.payload.size());
+    if (rows < static_cast<uint64_t>(show_rows)) {
+      std::printf("row %-8llu key=%-14.9g id=%-10llu payload=%zuB\n",
+                  static_cast<unsigned long long>(rows), row.key,
+                  static_cast<unsigned long long>(row.id),
+                  row.payload.size());
+    }
+    prev = row;
+    ++rows;
+  }
+
+  std::printf("\n%s\n", path.c_str());
+  std::printf("  rows               %s\n", FormatCount(rows).c_str());
+  if (rows > 0) {
+    std::printf("  key range          %.9g .. %.9g\n", first_key, last_key);
+    std::printf("  payload bytes      %s total, %zu..%zu per row\n",
+                FormatCount(payload_bytes).c_str(), min_payload,
+                max_payload);
+  }
+  std::printf("  sort order (%s)   %s\n", descending ? "desc" : "asc ",
+              order_violations == 0
+                  ? "OK"
+                  : (std::to_string(order_violations) + " violations").c_str());
+  return order_violations == 0 ? 0 : 2;
+}

@@ -1,0 +1,225 @@
+/// Command-line driver: run any of the library's top-k algorithms on a
+/// synthetic workload and report the full execution statistics. Handy for
+/// exploring the paper's parameter space without writing code.
+///
+///   topk_cli --algorithm=histogram --n=2e6 --k=5e4 --memory-mb=2 \
+///            --dist=fal --shape=1.25 --buckets=50 --payload=56
+///
+/// Supported flags (defaults in parentheses):
+///   --algorithm   heap | traditional | optimized | histogram (histogram)
+///   --n           input rows (1e6)
+///   --k           output rows (1e4)
+///   --offset      OFFSET clause (0)
+///   --memory-mb   operator memory budget in MiB (4)
+///   --dist        uniform | fal | lognormal | ascending | descending
+///   --shape       fal shape parameter z (1.25)
+///   --payload     payload bytes per row (56)
+///   --buckets     histogram buckets per run (50)
+///   --direction   asc | desc (asc)
+///   --fan-in      merge fan-in (64)
+///   --early-merge optimized baseline: enable early merge (true)
+///   --seed        RNG seed (42)
+///   --spill-dir   run directory (under $TMPDIR)
+///   --verify      cross-check against the in-memory reference (false)
+///   --input       read sort keys from a file (one per line; overrides
+///                 --n/--dist; --payload bytes are attached per row)
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+
+#include <fstream>
+
+#include "common/flags.h"
+#include "gen/generator.h"
+#include "topk/operator_factory.h"
+#include "topk/stats_reporter.h"
+
+namespace {
+
+int Fail(const topk::Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+/// Loads one sort key per line from `path` (trace-driven execution).
+topk::Result<std::vector<double>> LoadKeys(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    return topk::Status::IoError("cannot open --input file " + path);
+  }
+  std::vector<double> keys;
+  std::string line;
+  size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '#') continue;
+    char* end = nullptr;
+    const double key = std::strtod(line.c_str(), &end);
+    if (end == line.c_str()) {
+      return topk::Status::InvalidArgument(
+          "bad key at " + path + ":" + std::to_string(line_number));
+    }
+    keys.push_back(key);
+  }
+  return keys;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace topk;
+
+  auto flags_result = Flags::Parse(argc, argv);
+  if (!flags_result.ok()) return Fail(flags_result.status());
+  const Flags& flags = *flags_result;
+
+  TopKAlgorithm algorithm;
+  const std::string algorithm_name =
+      flags.GetString("algorithm", "histogram");
+  if (!ParseTopKAlgorithm(algorithm_name, &algorithm)) {
+    return Fail(Status::InvalidArgument("unknown --algorithm '" +
+                                        algorithm_name + "'"));
+  }
+
+  DatasetSpec spec;
+  int64_t n = 0, k = 0, offset = 0, payload = 0, buckets = 0, fan_in = 0,
+          seed = 0;
+  double memory_mb = 0, shape = 0;
+  bool early_merge = true, verify = false;
+  {
+    auto status = [&]() -> Status {
+      TOPK_ASSIGN_OR_RETURN(n, flags.GetInt("n", 1000000));
+      TOPK_ASSIGN_OR_RETURN(k, flags.GetInt("k", 10000));
+      TOPK_ASSIGN_OR_RETURN(offset, flags.GetInt("offset", 0));
+      TOPK_ASSIGN_OR_RETURN(payload, flags.GetInt("payload", 56));
+      TOPK_ASSIGN_OR_RETURN(buckets, flags.GetInt("buckets", 50));
+      TOPK_ASSIGN_OR_RETURN(fan_in, flags.GetInt("fan-in", 64));
+      TOPK_ASSIGN_OR_RETURN(seed, flags.GetInt("seed", 42));
+      TOPK_ASSIGN_OR_RETURN(memory_mb, flags.GetDouble("memory-mb", 4.0));
+      TOPK_ASSIGN_OR_RETURN(shape, flags.GetDouble("shape", 1.25));
+      TOPK_ASSIGN_OR_RETURN(early_merge,
+                            flags.GetBool("early-merge", true));
+      TOPK_ASSIGN_OR_RETURN(verify, flags.GetBool("verify", false));
+      return Status::OK();
+    }();
+    if (!status.ok()) return Fail(status);
+  }
+
+  KeyDistribution dist;
+  const std::string dist_name = flags.GetString("dist", "uniform");
+  if (!ParseKeyDistribution(dist_name, &dist)) {
+    return Fail(Status::InvalidArgument("unknown --dist '" + dist_name + "'"));
+  }
+  const std::string direction_name = flags.GetString("direction", "asc");
+  const std::string input_path = flags.GetString("input", "");
+  const std::string spill_dir = flags.GetString(
+      "spill-dir", (std::filesystem::temp_directory_path() /
+                    ("topk_cli_" + std::to_string(::getpid())))
+                       .string());
+  if (const auto unread = flags.UnreadFlags(); !unread.empty()) {
+    return Fail(Status::InvalidArgument("unknown flag --" + unread.front()));
+  }
+
+  std::vector<double> trace_keys;
+  if (!input_path.empty()) {
+    auto keys = LoadKeys(input_path);
+    if (!keys.ok()) return Fail(keys.status());
+    trace_keys = std::move(*keys);
+    n = static_cast<int64_t>(trace_keys.size());
+  }
+
+  spec.WithRows(static_cast<uint64_t>(n))
+      .WithDistribution(dist)
+      .WithPayload(static_cast<size_t>(payload),
+                   static_cast<size_t>(payload))
+      .WithSeed(static_cast<uint64_t>(seed));
+  spec.keys.fal_shape = shape;
+
+  StorageEnv env;
+  TopKOptions options;
+  options.k = static_cast<uint64_t>(k);
+  options.offset = static_cast<uint64_t>(offset);
+  options.direction = direction_name == "desc" ? SortDirection::kDescending
+                                               : SortDirection::kAscending;
+  options.memory_limit_bytes =
+      static_cast<size_t>(memory_mb * 1024.0 * 1024.0);
+  options.histogram_buckets_per_run = static_cast<uint64_t>(buckets);
+  options.merge_fan_in = static_cast<size_t>(fan_in);
+  options.enable_early_merge = early_merge;
+  options.env = &env;
+  options.spill_dir = spill_dir;
+  if (algorithm == TopKAlgorithm::kHeap) {
+    options.allow_unbounded_memory = true;
+  }
+
+  auto op = MakeTopKOperator(algorithm, options);
+  if (!op.ok()) return Fail(op.status());
+
+  std::printf("running %s: top-%lld%s of %lld %s rows, %.1f MiB memory\n",
+              TopKAlgorithmName(algorithm).c_str(),
+              static_cast<long long>(k),
+              offset > 0 ? (" offset " + std::to_string(offset)).c_str() : "",
+              static_cast<long long>(n),
+              trace_keys.empty() ? dist_name.c_str() : "trace", memory_mb);
+
+  Row row;
+  Stopwatch watch;
+  if (!trace_keys.empty()) {
+    const std::string fill(static_cast<size_t>(payload), 'p');
+    for (size_t i = 0; i < trace_keys.size(); ++i) {
+      Status status = (*op)->Consume(Row(trace_keys[i], i, fill));
+      if (!status.ok()) return Fail(status);
+    }
+  } else {
+    RowGenerator gen(spec);
+    while (gen.Next(&row)) {
+      Status status = (*op)->Consume(std::move(row));
+      if (!status.ok()) return Fail(status);
+    }
+  }
+  auto result = (*op)->Finish();
+  if (!result.ok()) return Fail(result.status());
+  const double seconds = watch.ElapsedSeconds();
+
+  std::printf("\n%zu rows in %.3fs", result->size(), seconds);
+  if (!result->empty()) {
+    std::printf(" — keys %.6g .. %.6g", result->front().key,
+                result->back().key);
+  }
+  std::printf("\n\n%s", FormatOperatorStats((*op)->stats()).c_str());
+  std::printf("  %-28s %s\n", "storage traffic",
+              env.stats()->ToString().c_str());
+
+  if (verify) {
+    std::vector<Row> all;
+    if (!trace_keys.empty()) {
+      const std::string fill(static_cast<size_t>(payload), 'p');
+      all.reserve(trace_keys.size());
+      for (size_t i = 0; i < trace_keys.size(); ++i) {
+        all.push_back(Row(trace_keys[i], i, fill));
+      }
+    } else {
+      RowGenerator regen(spec);
+      all.reserve(spec.num_rows);
+      while (regen.Next(&row)) all.push_back(row);
+    }
+    RowComparator cmp(options.direction);
+    std::sort(all.begin(), all.end(), cmp);
+    const size_t begin = std::min<size_t>(options.offset, all.size());
+    const size_t end = std::min<size_t>(begin + options.k, all.size());
+    bool ok = result->size() == end - begin;
+    for (size_t i = 0; ok && i < result->size(); ++i) {
+      ok = (*result)[i].id == all[begin + i].id;
+    }
+    std::printf("\nverification vs full sort: %s\n",
+                ok ? "IDENTICAL" : "MISMATCH");
+    if (!ok) return 2;
+  }
+
+  std::error_code ec;
+  std::filesystem::remove_all(spill_dir, ec);
+  return 0;
+}
