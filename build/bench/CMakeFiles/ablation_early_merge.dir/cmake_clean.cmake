@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_early_merge.dir/ablation_early_merge.cc.o"
+  "CMakeFiles/ablation_early_merge.dir/ablation_early_merge.cc.o.d"
+  "ablation_early_merge"
+  "ablation_early_merge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_early_merge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

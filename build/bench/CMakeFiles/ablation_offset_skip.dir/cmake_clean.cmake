@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_offset_skip.dir/ablation_offset_skip.cc.o"
+  "CMakeFiles/ablation_offset_skip.dir/ablation_offset_skip.cc.o.d"
+  "ablation_offset_skip"
+  "ablation_offset_skip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_offset_skip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/approx_tradeoff.dir/approx_tradeoff.cc.o"
+  "CMakeFiles/approx_tradeoff.dir/approx_tradeoff.cc.o.d"
+  "approx_tradeoff"
+  "approx_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/approx_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disaggregated_storage.dir/disaggregated_storage.cc.o"
+  "CMakeFiles/disaggregated_storage.dir/disaggregated_storage.cc.o.d"
+  "disaggregated_storage"
+  "disaggregated_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disaggregated_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_vary_output.dir/fig2_vary_output.cc.o"
+  "CMakeFiles/fig2_vary_output.dir/fig2_vary_output.cc.o.d"
+  "fig2_vary_output"
+  "fig2_vary_output.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_vary_output.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_vary_input.dir/fig3_vary_input.cc.o"
+  "CMakeFiles/fig3_vary_input.dir/fig3_vary_input.cc.o.d"
+  "fig3_vary_input"
+  "fig3_vary_input.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_vary_input.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

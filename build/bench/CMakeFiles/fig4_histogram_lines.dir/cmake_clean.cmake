@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_histogram_lines.dir/fig4_histogram_lines.cc.o"
+  "CMakeFiles/fig4_histogram_lines.dir/fig4_histogram_lines.cc.o.d"
+  "fig4_histogram_lines"
+  "fig4_histogram_lines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_histogram_lines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

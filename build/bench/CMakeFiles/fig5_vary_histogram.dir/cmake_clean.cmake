@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_vary_histogram.dir/fig5_vary_histogram.cc.o"
+  "CMakeFiles/fig5_vary_histogram.dir/fig5_vary_histogram.cc.o.d"
+  "fig5_vary_histogram"
+  "fig5_vary_histogram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_vary_histogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overhead_adversarial.dir/overhead_adversarial.cc.o"
+  "CMakeFiles/overhead_adversarial.dir/overhead_adversarial.cc.o.d"
+  "overhead_adversarial"
+  "overhead_adversarial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overhead_adversarial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

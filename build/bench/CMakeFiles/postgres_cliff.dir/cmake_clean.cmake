@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/postgres_cliff.dir/postgres_cliff.cc.o"
+  "CMakeFiles/postgres_cliff.dir/postgres_cliff.cc.o.d"
+  "postgres_cliff"
+  "postgres_cliff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/postgres_cliff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

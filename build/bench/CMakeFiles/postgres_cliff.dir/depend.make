@@ -1,0 +1,2 @@
+# Empty dependencies file for postgres_cliff.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_output_size.dir/table3_output_size.cc.o"
+  "CMakeFiles/table3_output_size.dir/table3_output_size.cc.o.d"
+  "table3_output_size"
+  "table3_output_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_output_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_input_size.dir/table4_input_size.cc.o"
+  "CMakeFiles/table4_input_size.dir/table4_input_size.cc.o.d"
+  "table4_input_size"
+  "table4_input_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_input_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_minimal_histogram.dir/table5_minimal_histogram.cc.o"
+  "CMakeFiles/table5_minimal_histogram.dir/table5_minimal_histogram.cc.o.d"
+  "table5_minimal_histogram"
+  "table5_minimal_histogram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_minimal_histogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

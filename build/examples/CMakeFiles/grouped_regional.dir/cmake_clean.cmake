@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grouped_regional.dir/grouped_regional.cpp.o"
+  "CMakeFiles/grouped_regional.dir/grouped_regional.cpp.o.d"
+  "grouped_regional"
+  "grouped_regional.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grouped_regional.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paging_offset.dir/paging_offset.cpp.o"
+  "CMakeFiles/paging_offset.dir/paging_offset.cpp.o.d"
+  "paging_offset"
+  "paging_offset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paging_offset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weblog_trending.dir/weblog_trending.cpp.o"
+  "CMakeFiles/weblog_trending.dir/weblog_trending.cpp.o.d"
+  "weblog_trending"
+  "weblog_trending.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weblog_trending.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/crc32.cc" "src/CMakeFiles/topk.dir/common/crc32.cc.o" "gcc" "src/CMakeFiles/topk.dir/common/crc32.cc.o.d"
+  "/root/repo/src/common/flags.cc" "src/CMakeFiles/topk.dir/common/flags.cc.o" "gcc" "src/CMakeFiles/topk.dir/common/flags.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/topk.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/topk.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/random.cc" "src/CMakeFiles/topk.dir/common/random.cc.o" "gcc" "src/CMakeFiles/topk.dir/common/random.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/topk.dir/common/status.cc.o" "gcc" "src/CMakeFiles/topk.dir/common/status.cc.o.d"
+  "/root/repo/src/common/stopwatch.cc" "src/CMakeFiles/topk.dir/common/stopwatch.cc.o" "gcc" "src/CMakeFiles/topk.dir/common/stopwatch.cc.o.d"
+  "/root/repo/src/extensions/approx_topk.cc" "src/CMakeFiles/topk.dir/extensions/approx_topk.cc.o" "gcc" "src/CMakeFiles/topk.dir/extensions/approx_topk.cc.o.d"
+  "/root/repo/src/extensions/grouped_topk.cc" "src/CMakeFiles/topk.dir/extensions/grouped_topk.cc.o" "gcc" "src/CMakeFiles/topk.dir/extensions/grouped_topk.cc.o.d"
+  "/root/repo/src/extensions/offset_skip.cc" "src/CMakeFiles/topk.dir/extensions/offset_skip.cc.o" "gcc" "src/CMakeFiles/topk.dir/extensions/offset_skip.cc.o.d"
+  "/root/repo/src/extensions/parallel_topk.cc" "src/CMakeFiles/topk.dir/extensions/parallel_topk.cc.o" "gcc" "src/CMakeFiles/topk.dir/extensions/parallel_topk.cc.o.d"
+  "/root/repo/src/extensions/segmented_topk.cc" "src/CMakeFiles/topk.dir/extensions/segmented_topk.cc.o" "gcc" "src/CMakeFiles/topk.dir/extensions/segmented_topk.cc.o.d"
+  "/root/repo/src/gen/distribution.cc" "src/CMakeFiles/topk.dir/gen/distribution.cc.o" "gcc" "src/CMakeFiles/topk.dir/gen/distribution.cc.o.d"
+  "/root/repo/src/gen/generator.cc" "src/CMakeFiles/topk.dir/gen/generator.cc.o" "gcc" "src/CMakeFiles/topk.dir/gen/generator.cc.o.d"
+  "/root/repo/src/gen/lineitem.cc" "src/CMakeFiles/topk.dir/gen/lineitem.cc.o" "gcc" "src/CMakeFiles/topk.dir/gen/lineitem.cc.o.d"
+  "/root/repo/src/histogram/cutoff_filter.cc" "src/CMakeFiles/topk.dir/histogram/cutoff_filter.cc.o" "gcc" "src/CMakeFiles/topk.dir/histogram/cutoff_filter.cc.o.d"
+  "/root/repo/src/histogram/sizing_policy.cc" "src/CMakeFiles/topk.dir/histogram/sizing_policy.cc.o" "gcc" "src/CMakeFiles/topk.dir/histogram/sizing_policy.cc.o.d"
+  "/root/repo/src/io/block_io.cc" "src/CMakeFiles/topk.dir/io/block_io.cc.o" "gcc" "src/CMakeFiles/topk.dir/io/block_io.cc.o.d"
+  "/root/repo/src/io/io_stats.cc" "src/CMakeFiles/topk.dir/io/io_stats.cc.o" "gcc" "src/CMakeFiles/topk.dir/io/io_stats.cc.o.d"
+  "/root/repo/src/io/manifest.cc" "src/CMakeFiles/topk.dir/io/manifest.cc.o" "gcc" "src/CMakeFiles/topk.dir/io/manifest.cc.o.d"
+  "/root/repo/src/io/run_file.cc" "src/CMakeFiles/topk.dir/io/run_file.cc.o" "gcc" "src/CMakeFiles/topk.dir/io/run_file.cc.o.d"
+  "/root/repo/src/io/spill_manager.cc" "src/CMakeFiles/topk.dir/io/spill_manager.cc.o" "gcc" "src/CMakeFiles/topk.dir/io/spill_manager.cc.o.d"
+  "/root/repo/src/io/storage_env.cc" "src/CMakeFiles/topk.dir/io/storage_env.cc.o" "gcc" "src/CMakeFiles/topk.dir/io/storage_env.cc.o.d"
+  "/root/repo/src/model/analytic_model.cc" "src/CMakeFiles/topk.dir/model/analytic_model.cc.o" "gcc" "src/CMakeFiles/topk.dir/model/analytic_model.cc.o.d"
+  "/root/repo/src/row/row.cc" "src/CMakeFiles/topk.dir/row/row.cc.o" "gcc" "src/CMakeFiles/topk.dir/row/row.cc.o.d"
+  "/root/repo/src/row/serialization.cc" "src/CMakeFiles/topk.dir/row/serialization.cc.o" "gcc" "src/CMakeFiles/topk.dir/row/serialization.cc.o.d"
+  "/root/repo/src/sort/external_sorter.cc" "src/CMakeFiles/topk.dir/sort/external_sorter.cc.o" "gcc" "src/CMakeFiles/topk.dir/sort/external_sorter.cc.o.d"
+  "/root/repo/src/sort/loser_tree.cc" "src/CMakeFiles/topk.dir/sort/loser_tree.cc.o" "gcc" "src/CMakeFiles/topk.dir/sort/loser_tree.cc.o.d"
+  "/root/repo/src/sort/merge_planner.cc" "src/CMakeFiles/topk.dir/sort/merge_planner.cc.o" "gcc" "src/CMakeFiles/topk.dir/sort/merge_planner.cc.o.d"
+  "/root/repo/src/sort/merger.cc" "src/CMakeFiles/topk.dir/sort/merger.cc.o" "gcc" "src/CMakeFiles/topk.dir/sort/merger.cc.o.d"
+  "/root/repo/src/sort/quicksort_run_generator.cc" "src/CMakeFiles/topk.dir/sort/quicksort_run_generator.cc.o" "gcc" "src/CMakeFiles/topk.dir/sort/quicksort_run_generator.cc.o.d"
+  "/root/repo/src/sort/replacement_selection.cc" "src/CMakeFiles/topk.dir/sort/replacement_selection.cc.o" "gcc" "src/CMakeFiles/topk.dir/sort/replacement_selection.cc.o.d"
+  "/root/repo/src/topk/heap_topk.cc" "src/CMakeFiles/topk.dir/topk/heap_topk.cc.o" "gcc" "src/CMakeFiles/topk.dir/topk/heap_topk.cc.o.d"
+  "/root/repo/src/topk/histogram_topk.cc" "src/CMakeFiles/topk.dir/topk/histogram_topk.cc.o" "gcc" "src/CMakeFiles/topk.dir/topk/histogram_topk.cc.o.d"
+  "/root/repo/src/topk/operator_factory.cc" "src/CMakeFiles/topk.dir/topk/operator_factory.cc.o" "gcc" "src/CMakeFiles/topk.dir/topk/operator_factory.cc.o.d"
+  "/root/repo/src/topk/optimized_external_topk.cc" "src/CMakeFiles/topk.dir/topk/optimized_external_topk.cc.o" "gcc" "src/CMakeFiles/topk.dir/topk/optimized_external_topk.cc.o.d"
+  "/root/repo/src/topk/stats_reporter.cc" "src/CMakeFiles/topk.dir/topk/stats_reporter.cc.o" "gcc" "src/CMakeFiles/topk.dir/topk/stats_reporter.cc.o.d"
+  "/root/repo/src/topk/topk_operator.cc" "src/CMakeFiles/topk.dir/topk/topk_operator.cc.o" "gcc" "src/CMakeFiles/topk.dir/topk/topk_operator.cc.o.d"
+  "/root/repo/src/topk/traditional_external_topk.cc" "src/CMakeFiles/topk.dir/topk/traditional_external_topk.cc.o" "gcc" "src/CMakeFiles/topk.dir/topk/traditional_external_topk.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cutoff_filter_test.dir/cutoff_filter_test.cc.o"
+  "CMakeFiles/cutoff_filter_test.dir/cutoff_filter_test.cc.o.d"
+  "cutoff_filter_test"
+  "cutoff_filter_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cutoff_filter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

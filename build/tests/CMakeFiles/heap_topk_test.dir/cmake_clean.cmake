@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heap_topk_test.dir/heap_topk_test.cc.o"
+  "CMakeFiles/heap_topk_test.dir/heap_topk_test.cc.o.d"
+  "heap_topk_test"
+  "heap_topk_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heap_topk_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

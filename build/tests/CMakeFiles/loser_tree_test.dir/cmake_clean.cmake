@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loser_tree_test.dir/loser_tree_test.cc.o"
+  "CMakeFiles/loser_tree_test.dir/loser_tree_test.cc.o.d"
+  "loser_tree_test"
+  "loser_tree_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loser_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

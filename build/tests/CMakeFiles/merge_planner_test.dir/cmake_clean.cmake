@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/merge_planner_test.dir/merge_planner_test.cc.o"
+  "CMakeFiles/merge_planner_test.dir/merge_planner_test.cc.o.d"
+  "merge_planner_test"
+  "merge_planner_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/merge_planner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offset_skip_test.dir/offset_skip_test.cc.o"
+  "CMakeFiles/offset_skip_test.dir/offset_skip_test.cc.o.d"
+  "offset_skip_test"
+  "offset_skip_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offset_skip_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

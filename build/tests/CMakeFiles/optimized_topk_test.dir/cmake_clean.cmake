@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimized_topk_test.dir/optimized_topk_test.cc.o"
+  "CMakeFiles/optimized_topk_test.dir/optimized_topk_test.cc.o.d"
+  "optimized_topk_test"
+  "optimized_topk_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimized_topk_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

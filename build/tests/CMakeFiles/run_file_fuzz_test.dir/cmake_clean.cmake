@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/run_file_fuzz_test.dir/run_file_fuzz_test.cc.o"
+  "CMakeFiles/run_file_fuzz_test.dir/run_file_fuzz_test.cc.o.d"
+  "run_file_fuzz_test"
+  "run_file_fuzz_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/run_file_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

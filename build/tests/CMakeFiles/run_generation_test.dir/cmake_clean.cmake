@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/run_generation_test.dir/run_generation_test.cc.o"
+  "CMakeFiles/run_generation_test.dir/run_generation_test.cc.o.d"
+  "run_generation_test"
+  "run_generation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/run_generation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topk_operator_test.dir/topk_operator_test.cc.o"
+  "CMakeFiles/topk_operator_test.dir/topk_operator_test.cc.o.d"
+  "topk_operator_test"
+  "topk_operator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topk_operator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/with_ties_test.dir/with_ties_test.cc.o"
+  "CMakeFiles/with_ties_test.dir/with_ties_test.cc.o.d"
+  "with_ties_test"
+  "with_ties_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/with_ties_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/run_inspect.dir/run_inspect.cc.o"
+  "CMakeFiles/run_inspect.dir/run_inspect.cc.o.d"
+  "run_inspect"
+  "run_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/run_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topk_cli.dir/topk_cli.cc.o"
+  "CMakeFiles/topk_cli.dir/topk_cli.cc.o.d"
+  "topk_cli"
+  "topk_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topk_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
