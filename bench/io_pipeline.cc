@@ -1,0 +1,91 @@
+/// Background I/O pipeline on emulated disaggregated storage: every 256 KiB
+/// storage call pays an injected round-trip latency, so a spill-heavy
+/// configuration spends most of its wall clock riding those round trips.
+/// With io_background_threads > 0 the DoubleBufferedWriter overlaps run
+/// generation with the previous block's write, and the PrefetchingBlockReader
+/// overlaps merging with the next block's read. This bench compares the
+/// synchronous path (io_background_threads=0) against the pipelined default
+/// (2 threads) at several per-call latencies.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace topk;
+  using namespace topk::bench;
+  PrintHeader("Background I/O pipeline: sync vs 2 background threads");
+
+  const uint64_t input_rows = Scaled(600000);
+  const uint64_t k = Scaled(20000);
+  const uint64_t memory_rows = Scaled(10000);
+  const size_t payload = 56;
+  const size_t row_bytes = sizeof(Row) + payload + 32;
+  // Latency per 256 KiB storage call (the interesting regime is >= 100 us).
+  const int64_t latencies_us[] = {0, 100, 500, 1000, 2000};
+  const TopKAlgorithm algorithms[] = {TopKAlgorithm::kTraditionalExternal,
+                                      TopKAlgorithm::kHistogram};
+  // Best-of-N to suppress scheduler noise (each config is re-run from a
+  // fresh spill dir; the dataset is regenerated identically every time).
+  const int reps = 3;
+
+  BenchDir dir("io_pipeline");
+  std::printf("N=%llu, k=%llu, memory=%llu rows, uniform keys. Latency is "
+              "per 256 KiB storage call.\n\n",
+              static_cast<unsigned long long>(input_rows),
+              static_cast<unsigned long long>(k),
+              static_cast<unsigned long long>(memory_rows));
+  std::printf("%-22s %-12s | %-9s %-9s %-9s\n", "algorithm", "latency_us",
+              "sync_s", "async_s", "speedup");
+
+  int run_id = 0;
+  for (TopKAlgorithm algorithm : algorithms) {
+    for (int64_t latency_us : latencies_us) {
+      DatasetSpec spec;
+      spec.WithRows(input_rows).WithPayload(payload, payload).WithSeed(29);
+
+      StorageEnv::Options env_options;
+      env_options.write_latency_nanos = latency_us * 1000;
+      env_options.read_latency_nanos = latency_us * 1000;
+
+      TopKOptions options;
+      options.k = k;
+      options.memory_limit_bytes = memory_rows * row_bytes;
+
+      RunResult sync, async;
+      for (int rep = 0; rep < reps; ++rep) {
+        StorageEnv sync_env(env_options);
+        options.env = &sync_env;
+        options.spill_dir = dir.Sub("sync" + std::to_string(run_id));
+        options.io_background_threads = 0;
+        RunResult s = MeasureTopK(algorithm, options, spec);
+        if (rep == 0 || s.seconds < sync.seconds) sync = s;
+
+        StorageEnv async_env(env_options);
+        options.env = &async_env;
+        options.spill_dir = dir.Sub("async" + std::to_string(run_id));
+        options.io_background_threads = 2;
+        options.enable_io_prefetch = true;
+        RunResult a = MeasureTopK(algorithm, options, spec);
+        if (rep == 0 || a.seconds < async.seconds) async = a;
+        ++run_id;
+      }
+
+      // The pipeline must not change the answer (or the spill volume).
+      TOPK_CHECK(sync.last_key == async.last_key);
+      TOPK_CHECK(sync.result_rows == async.result_rows);
+      std::printf("%-22s %-12lld | %-9.3f %-9.3f %-9.2f\n",
+                  TopKAlgorithmName(algorithm).c_str(),
+                  static_cast<long long>(latency_us), sync.seconds,
+                  async.seconds, Ratio(sync.seconds, async.seconds));
+    }
+  }
+  std::printf(
+      "\nAt low latencies the per-block handoff (copy + worker wakeup) can "
+      "cost as much as the round trip it hides, so the pipeline is roughly "
+      "neutral; as the per-call round trip grows, the overlap win grows "
+      "with it. The spill-heavy traditional operator benefits most — the "
+      "histogram operator eliminates most spills before they happen, which "
+      "is the paper's point.\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+#ifndef TOPK_COMMON_THREAD_POOL_H_
+#define TOPK_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace topk {
+
+/// Small fixed-size worker pool for background I/O. Tasks run in FIFO order
+/// across the workers; the destructor drains every queued task before
+/// joining, so work handed to the pool is never dropped. Shared by all
+/// writers/readers of one SpillManager (spill traffic is sequential, so a
+/// couple of threads suffice to hide one storage round trip per stream).
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Drains the queue, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `task` for asynchronous execution. Never blocks (the queue is
+  /// unbounded; callers provide their own backpressure — the I/O pipeline
+  /// keeps at most one block in flight per stream).
+  void Schedule(std::function<void()> task);
+
+  size_t num_threads() const { return threads_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool shutdown_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace topk
+
+#endif  // TOPK_COMMON_THREAD_POOL_H_

@@ -135,7 +135,8 @@ Result<std::unique_ptr<ParallelTopK>> ParallelTopK::Make(
 Status ParallelTopK::Start() {
   TOPK_ASSIGN_OR_RETURN(
       spill_,
-      SpillManager::Create(options_.base.env, options_.base.spill_dir));
+      SpillManager::Create(options_.base.env, options_.base.spill_dir,
+                           options_.base.io_pipeline()));
 
   const size_t per_worker_memory =
       std::max<size_t>(options_.base.memory_limit_bytes /

@@ -1,5 +1,7 @@
 #include "histogram/cutoff_filter.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 
 namespace topk {
@@ -86,16 +88,23 @@ void CutoffFilter::MaybeConsolidate() {
   // still sorts at or before it. Also coarsen the bucket width: with a
   // bounded queue the *unmerged* buckets must eventually represent k rows
   // for anything to be poppable, which needs width >= ~k / queue capacity.
-  builder_.CoarsenWidth();
-  const size_t to_merge = queue_.size() / 2;
-  if (to_merge < 2) return;  // nothing meaningful to merge
-  double boundary = queue_.top().boundary;
-  uint64_t merged = 0;
-  for (size_t i = 0; i < to_merge; ++i) {
-    merged += queue_.top().count;
-    queue_.pop();
+  //
+  // One half-merge may not reach the budget (e.g. a tiny budget where
+  // size/2 rounds down to 1), so repeat until the post-condition
+  // memory_bytes() <= memory_limit_bytes_ holds or a single bucket
+  // remains — a bounded queue must stay bounded, not merely shrink once.
+  while (memory_bytes() > memory_limit_bytes_ && queue_.size() > 1) {
+    builder_.CoarsenWidth();
+    const size_t to_merge =
+        std::min(queue_.size(), std::max<size_t>(queue_.size() / 2, 2));
+    double boundary = queue_.top().boundary;
+    uint64_t merged = 0;
+    for (size_t i = 0; i < to_merge; ++i) {
+      merged += queue_.top().count;
+      queue_.pop();
+    }
+    queue_.push(HistogramBucket{boundary, merged});
   }
-  queue_.push(HistogramBucket{boundary, merged});
 }
 
 }  // namespace topk

@@ -1,0 +1,181 @@
+#include "io/async_io.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace topk {
+
+DoubleBufferedWriter::DoubleBufferedWriter(std::unique_ptr<WritableFile> base,
+                                           ThreadPool* pool)
+    : base_(std::move(base)), pool_(pool) {
+  TOPK_CHECK(pool_ != nullptr) << "DoubleBufferedWriter needs a thread pool";
+}
+
+DoubleBufferedWriter::~DoubleBufferedWriter() {
+  WaitForInflight();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!latched_.ok() && !error_observed_) {
+    TOPK_LOG(Warning) << "background write error dropped in destructor: "
+                      << latched_.ToString();
+  }
+}
+
+Status DoubleBufferedWriter::WaitForInflight() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return !inflight_; });
+  return latched_;
+}
+
+Status DoubleBufferedWriter::Append(std::string_view data) {
+  Status latched = WaitForInflight();
+  // No flush is in flight now and the background task is done touching our
+  // state, so the members are safe to use without the lock.
+  if (closed_) {
+    return Status::FailedPrecondition("append to closed writer");
+  }
+  if (!latched.ok()) {
+    error_observed_ = true;
+    return latched;
+  }
+  writing_.assign(data.data(), data.size());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    inflight_ = true;
+  }
+  pool_->Schedule([this] {
+    Status status = base_->Append(writing_);
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!status.ok() && latched_.ok()) latched_ = status;
+    inflight_ = false;
+    cv_.notify_all();
+  });
+  return Status::OK();
+}
+
+Status DoubleBufferedWriter::Flush() {
+  Status latched = WaitForInflight();
+  if (closed_) {
+    return Status::FailedPrecondition("flush of closed writer");
+  }
+  if (!latched.ok()) {
+    error_observed_ = true;
+    return latched;
+  }
+  return base_->Flush();
+}
+
+Status DoubleBufferedWriter::Close() {
+  Status latched = WaitForInflight();
+  if (closed_) return latched;
+  closed_ = true;
+  if (!latched.ok()) {
+    error_observed_ = true;
+    base_->Close();  // release the handle either way; keep the first error
+    return latched;
+  }
+  return base_->Close();
+}
+
+PrefetchingBlockReader::PrefetchingBlockReader(
+    std::unique_ptr<SequentialFile> base, ThreadPool* pool,
+    size_t block_bytes)
+    : base_(std::move(base)), pool_(pool), block_bytes_(block_bytes) {
+  TOPK_CHECK(pool_ != nullptr) << "PrefetchingBlockReader needs a thread pool";
+  TOPK_CHECK(block_bytes_ > 0) << "block size must be positive";
+  // Fetch the first block immediately: when a merge opens many runs, their
+  // first blocks ride the storage round trip concurrently instead of one
+  // after another.
+  StartPrefetch();
+}
+
+PrefetchingBlockReader::~PrefetchingBlockReader() { WaitForInflight(); }
+
+void PrefetchingBlockReader::WaitForInflight() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return !inflight_; });
+}
+
+void PrefetchingBlockReader::StartPrefetch() {
+  if (at_eof_ || !latched_.ok()) return;
+  fetched_.resize(block_bytes_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    inflight_ = true;
+  }
+  pool_->Schedule([this] {
+    size_t got = 0;
+    Status status = base_->Read(block_bytes_, fetched_.data(), &got);
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!status.ok()) {
+      if (latched_.ok()) latched_ = status;
+    } else {
+      fetched_size_ = got;
+      if (got == 0) at_eof_ = true;
+    }
+    inflight_ = false;
+    cv_.notify_all();
+  });
+}
+
+Status PrefetchingBlockReader::PromoteFetched() {
+  // Called with no prefetch in flight. Ensure a block is available (a Skip
+  // may have drained everything without restarting the pipeline).
+  if (fetched_size_ == 0 && !at_eof_) {
+    if (!latched_.ok()) return latched_;
+    StartPrefetch();
+    WaitForInflight();
+  }
+  if (!latched_.ok()) return latched_;
+  ready_.swap(fetched_);
+  ready_size_ = fetched_size_;
+  ready_pos_ = 0;
+  fetched_size_ = 0;
+  // Keep one block ahead of the consumer.
+  StartPrefetch();
+  return Status::OK();
+}
+
+Status PrefetchingBlockReader::Read(size_t n, char* scratch,
+                                    size_t* bytes_read) {
+  *bytes_read = 0;
+  if (ready_pos_ == ready_size_) {
+    WaitForInflight();
+    TOPK_RETURN_NOT_OK(PromoteFetched());
+    if (ready_size_ == 0) return Status::OK();  // clean EOF
+  }
+  const size_t take = std::min(n, ready_size_ - ready_pos_);
+  std::memcpy(scratch, ready_.data() + ready_pos_, take);
+  ready_pos_ += take;
+  *bytes_read = take;
+  return Status::OK();
+}
+
+Status PrefetchingBlockReader::Skip(uint64_t n) {
+  WaitForInflight();
+  if (!latched_.ok()) return latched_;
+  uint64_t remaining = n;
+  const uint64_t from_ready =
+      std::min<uint64_t>(remaining, ready_size_ - ready_pos_);
+  ready_pos_ += from_ready;
+  remaining -= from_ready;
+  if (remaining > 0 && fetched_size_ > 0) {
+    // Consume the completed prefetch before seeking the base file.
+    ready_.swap(fetched_);
+    ready_size_ = fetched_size_;
+    fetched_size_ = 0;
+    ready_pos_ = std::min<uint64_t>(remaining, ready_size_);
+    remaining -= ready_pos_;
+  }
+  if (remaining > 0) {
+    TOPK_RETURN_NOT_OK(base_->Skip(remaining));
+  }
+  if (ready_pos_ == ready_size_) {
+    // Buffers drained past the seek point: restart the pipeline.
+    StartPrefetch();
+  }
+  return Status::OK();
+}
+
+}  // namespace topk

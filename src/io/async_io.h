@@ -1,0 +1,114 @@
+#ifndef TOPK_IO_ASYNC_IO_H_
+#define TOPK_IO_ASYNC_IO_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "io/storage_env.h"
+
+namespace topk {
+
+/// Background I/O pipeline configuration. On disaggregated storage every
+/// block write/read pays a full round trip (StorageEnv latency injection
+/// emulates it); overlapping those round trips with replacement selection
+/// and loser-tree merging hides most of the cost. 0 background threads =
+/// the fully synchronous path (byte-identical output, deterministic call
+/// ordering — what every pre-pipeline test expects).
+struct IoPipelineOptions {
+  /// Workers shared by all streams of one SpillManager. 0 disables the
+  /// pipeline entirely.
+  size_t background_threads = 0;
+  /// Read one block ahead of the merge cursor (only meaningful when
+  /// background_threads > 0).
+  bool enable_prefetch = true;
+};
+
+/// WritableFile decorator that hands full blocks to a background flusher.
+/// Append copies the data and returns immediately; at most one block is in
+/// flight (double buffering: the caller fills the next block while the
+/// previous one rides the storage round trip). Errors from background
+/// flushes are latched and surfaced on the next Append/Flush/Close — never
+/// lost. Once an error is latched every later call returns it and no
+/// further data is written.
+class DoubleBufferedWriter : public WritableFile {
+ public:
+  DoubleBufferedWriter(std::unique_ptr<WritableFile> base, ThreadPool* pool);
+
+  /// Waits for the in-flight block. A latched error that was never
+  /// observed through Append/Flush/Close is logged at WARNING (the
+  /// destructor cannot return Status).
+  ~DoubleBufferedWriter() override;
+
+  Status Append(std::string_view data) override;
+  Status Flush() override;
+  Status Close() override;
+
+ private:
+  /// Blocks until no flush is in flight; returns the latched status.
+  Status WaitForInflight();
+
+  std::unique_ptr<WritableFile> base_;
+  ThreadPool* pool_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool inflight_ = false;
+  Status latched_;          // first background error, sticky
+  bool error_observed_ = false;  // latched_ was returned to the caller
+  std::string writing_;     // block owned by the background task
+  bool closed_ = false;
+};
+
+/// SequentialFile decorator that keeps one block-size read ahead of the
+/// consumer. The prefetch of the first block starts at construction (so a
+/// K-way merge opening many runs overlaps their first round trips); from
+/// then on every Read is served from the completed prefetch while the next
+/// one is already in flight. Errors from background reads are latched and
+/// surfaced on the Read/Skip that would have consumed the data.
+///
+/// Intended to sit under a BlockReader configured with the same
+/// `block_bytes`, so each Refill consumes exactly one prefetched block.
+class PrefetchingBlockReader : public SequentialFile {
+ public:
+  PrefetchingBlockReader(std::unique_ptr<SequentialFile> base,
+                         ThreadPool* pool, size_t block_bytes);
+
+  ~PrefetchingBlockReader() override;
+
+  Status Read(size_t n, char* scratch, size_t* bytes_read) override;
+  Status Skip(uint64_t n) override;
+
+ private:
+  /// Issues an async read of the next block (no-op at EOF / after error).
+  void StartPrefetch();
+  /// Blocks until the in-flight prefetch (if any) completed.
+  void WaitForInflight();
+  /// Moves the completed prefetch into the ready buffer.
+  Status PromoteFetched();
+
+  std::unique_ptr<SequentialFile> base_;
+  ThreadPool* pool_;
+  size_t block_bytes_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool inflight_ = false;
+  Status latched_;
+  bool at_eof_ = false;        // base returned a short/empty block
+  std::vector<char> fetched_;  // buffer owned by the background task
+  size_t fetched_size_ = 0;
+
+  std::vector<char> ready_;  // completed block being consumed
+  size_t ready_size_ = 0;
+  size_t ready_pos_ = 0;
+};
+
+}  // namespace topk
+
+#endif  // TOPK_IO_ASYNC_IO_H_

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "common/logging.h"
+
 namespace topk {
 
 BlockWriter::BlockWriter(std::unique_ptr<WritableFile> file,
@@ -12,15 +14,23 @@ BlockWriter::BlockWriter(std::unique_ptr<WritableFile> file,
 }
 
 BlockWriter::~BlockWriter() {
-  // Best effort; callers that care about errors must Close() explicitly.
-  if (!closed_) Close();
+  // Best effort; callers that care about errors must Close() explicitly. A
+  // destructor cannot return a Status, so a failure here can only be logged
+  // — never silently discarded.
+  if (!closed_) {
+    Status status = Close();
+    if (!status.ok()) {
+      TOPK_LOG(Warning) << "BlockWriter close error dropped in destructor: "
+                        << status.ToString();
+    }
+  }
 }
 
 Status BlockWriter::Append(std::string_view data) {
   if (closed_) {
     return Status::FailedPrecondition("append to closed BlockWriter");
   }
-  bytes_appended_ += data.size();
+  const size_t total = data.size();
   while (!data.empty()) {
     const size_t room = block_bytes_ - buffer_.size();
     const size_t take = std::min(room, data.size());
@@ -30,6 +40,9 @@ Status BlockWriter::Append(std::string_view data) {
       TOPK_RETURN_NOT_OK(FlushBuffer());
     }
   }
+  // Counted only after every flush succeeded: a failed Append must not
+  // overstate the run's byte accounting.
+  bytes_appended_ += total;
   return Status::OK();
 }
 

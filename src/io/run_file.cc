@@ -4,6 +4,7 @@
 
 #include "common/crc32.h"
 #include "common/logging.h"
+#include "io/async_io.h"
 #include "row/serialization.h"
 
 namespace topk {
@@ -21,9 +22,12 @@ RunWriter::RunWriter(std::unique_ptr<BlockWriter> writer, std::string path,
 Result<std::unique_ptr<RunWriter>> RunWriter::Create(
     StorageEnv* env, std::string path, uint64_t run_id,
     const RowComparator& comparator, size_t block_bytes,
-    uint64_t index_stride) {
+    uint64_t index_stride, ThreadPool* io_pool) {
   std::unique_ptr<WritableFile> file;
   TOPK_ASSIGN_OR_RETURN(file, env->NewWritableFile(path));
+  if (io_pool != nullptr) {
+    file = std::make_unique<DoubleBufferedWriter>(std::move(file), io_pool);
+  }
   auto block_writer =
       std::make_unique<BlockWriter>(std::move(file), block_bytes);
   TOPK_RETURN_NOT_OK(
@@ -78,9 +82,14 @@ RunReader::RunReader(std::unique_ptr<BlockReader> reader)
 
 Result<std::unique_ptr<RunReader>> RunReader::Open(StorageEnv* env,
                                                    const std::string& path,
-                                                   size_t block_bytes) {
+                                                   size_t block_bytes,
+                                                   ThreadPool* prefetch_pool) {
   std::unique_ptr<SequentialFile> file;
   TOPK_ASSIGN_OR_RETURN(file, env->NewSequentialFile(path));
+  if (prefetch_pool != nullptr) {
+    file = std::make_unique<PrefetchingBlockReader>(std::move(file),
+                                                    prefetch_pool, block_bytes);
+  }
   auto block_reader =
       std::make_unique<BlockReader>(std::move(file), block_bytes);
   char magic[8];

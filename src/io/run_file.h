@@ -8,6 +8,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "histogram/bucket.h"
 #include "io/block_io.h"
 #include "io/storage_env.h"
@@ -57,11 +58,15 @@ class RunWriter {
  public:
   /// Creates the file eagerly so I/O errors surface before rows are lost.
   /// `index_stride` > 0 records a RunIndexEntry every that-many rows.
+  /// A non-null `io_pool` routes full blocks through a DoubleBufferedWriter
+  /// so the storage round trip overlaps with run generation; the writer
+  /// must not outlive the pool.
   static Result<std::unique_ptr<RunWriter>> Create(
       StorageEnv* env, std::string path, uint64_t run_id,
       const RowComparator& comparator,
       size_t block_bytes = kDefaultBlockBytes,
-      uint64_t index_stride = kDefaultIndexStride);
+      uint64_t index_stride = kDefaultIndexStride,
+      ThreadPool* io_pool = nullptr);
 
   Status Append(const Row& row);
 
@@ -89,9 +94,13 @@ class RunWriter {
 /// Streams rows back from a run file in sorted order.
 class RunReader {
  public:
+  /// A non-null `prefetch_pool` inserts a PrefetchingBlockReader under the
+  /// block reader so the next block is fetched while the current one is
+  /// merged; the reader must not outlive the pool.
   static Result<std::unique_ptr<RunReader>> Open(
       StorageEnv* env, const std::string& path,
-      size_t block_bytes = kDefaultBlockBytes);
+      size_t block_bytes = kDefaultBlockBytes,
+      ThreadPool* prefetch_pool = nullptr);
 
   /// Reads the next row. Sets `*eof` at end of run.
   Status Next(Row* row, bool* eof);

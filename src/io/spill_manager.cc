@@ -10,8 +10,13 @@
 
 namespace topk {
 
-SpillManager::SpillManager(StorageEnv* env, std::string dir)
-    : env_(env), dir_(std::move(dir)) {}
+SpillManager::SpillManager(StorageEnv* env, std::string dir,
+                           const IoPipelineOptions& io)
+    : env_(env), dir_(std::move(dir)), io_options_(io) {
+  if (io_options_.background_threads > 0) {
+    io_pool_ = std::make_unique<ThreadPool>(io_options_.background_threads);
+  }
+}
 
 SpillManager::~SpillManager() {
   if (!owns_dir_) return;
@@ -23,17 +28,19 @@ SpillManager::~SpillManager() {
   }
 }
 
-Result<std::unique_ptr<SpillManager>> SpillManager::Create(StorageEnv* env,
-                                                           std::string dir) {
+Result<std::unique_ptr<SpillManager>> SpillManager::Create(
+    StorageEnv* env, std::string dir, const IoPipelineOptions& io) {
   TOPK_RETURN_NOT_OK(env->CreateDirs(dir));
-  return std::unique_ptr<SpillManager>(new SpillManager(env, std::move(dir)));
+  return std::unique_ptr<SpillManager>(
+      new SpillManager(env, std::move(dir), io));
 }
 
 Result<std::unique_ptr<SpillManager>> SpillManager::Restore(
     StorageEnv* env, std::string dir, const std::string& manifest_filename,
-    bool verify_runs, const RowComparator& comparator) {
-  auto manager =
-      std::unique_ptr<SpillManager>(new SpillManager(env, std::move(dir)));
+    bool verify_runs, const RowComparator& comparator,
+    const IoPipelineOptions& io) {
+  auto manager = std::unique_ptr<SpillManager>(
+      new SpillManager(env, std::move(dir), io));
   // A failed restore must leave the directory intact for another attempt.
   manager->owns_dir_ = false;
   std::vector<RunMeta> runs;
@@ -68,7 +75,7 @@ Result<std::unique_ptr<RunWriter>> SpillManager::NewRun(
   }
   std::string path = dir_ + "/run-" + std::to_string(id) + ".tkr";
   return RunWriter::Create(env_, std::move(path), id, comparator,
-                           kDefaultBlockBytes, index_stride);
+                           kDefaultBlockBytes, index_stride, io_pool_.get());
 }
 
 void SpillManager::AddRun(RunMeta meta) {
@@ -97,7 +104,9 @@ Status SpillManager::RemoveRun(uint64_t run_id) {
 
 Result<std::unique_ptr<RunReader>> SpillManager::OpenRun(
     const RunMeta& meta) const {
-  return RunReader::Open(env_, meta.path);
+  ThreadPool* prefetch_pool =
+      io_options_.enable_prefetch ? io_pool_.get() : nullptr;
+  return RunReader::Open(env_, meta.path, kDefaultBlockBytes, prefetch_pool);
 }
 
 Status SpillManager::VerifyRun(const RunMeta& meta,

@@ -9,6 +9,8 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
+#include "io/async_io.h"
 #include "io/run_file.h"
 #include "io/storage_env.h"
 #include "row/row.h"
@@ -22,9 +24,11 @@ namespace topk {
 class SpillManager {
  public:
   /// Creates `dir` (and parents) if needed. Files are placed under it as
-  /// run-<id>.tkr.
-  static Result<std::unique_ptr<SpillManager>> Create(StorageEnv* env,
-                                                      std::string dir);
+  /// run-<id>.tkr. `io` configures the background I/O pipeline shared by
+  /// every run written to / read from this manager (0 threads, the
+  /// default, keeps all I/O synchronous).
+  static Result<std::unique_ptr<SpillManager>> Create(
+      StorageEnv* env, std::string dir, const IoPipelineOptions& io = {});
 
   /// Re-opens an existing spill directory from a manifest previously
   /// written by SaveManifest: the listed runs are registered (optionally
@@ -33,7 +37,8 @@ class SpillManager {
   /// operator without regenerating runs.
   static Result<std::unique_ptr<SpillManager>> Restore(
       StorageEnv* env, std::string dir, const std::string& manifest_filename,
-      bool verify_runs, const RowComparator& comparator = RowComparator());
+      bool verify_runs, const RowComparator& comparator = RowComparator(),
+      const IoPipelineOptions& io = {});
 
   /// Writes the current run registry as a manifest file inside the spill
   /// directory. Safe to call repeatedly (e.g. after every finished run).
@@ -82,12 +87,22 @@ class SpillManager {
 
   StorageEnv* env() const { return env_; }
   const std::string& dir() const { return dir_; }
+  /// The shared background I/O pool (null in synchronous mode). RunWriters
+  /// and RunReaders obtained from this manager borrow it, so they must be
+  /// destroyed before the manager.
+  ThreadPool* io_pool() const { return io_pool_.get(); }
 
  private:
-  SpillManager(StorageEnv* env, std::string dir);
+  SpillManager(StorageEnv* env, std::string dir, const IoPipelineOptions& io);
 
   StorageEnv* env_;
   std::string dir_;
+  IoPipelineOptions io_options_;
+  /// Workers for background flushes and prefetches. Declared before the
+  /// registry so it outlives nothing that matters; destroyed (joined) after
+  /// the destructor body removed the directory — by then every borrowed
+  /// writer/reader is gone.
+  std::unique_ptr<ThreadPool> io_pool_;
   /// Whether the destructor removes the directory. Cleared while Restore
   /// is still loading so a failed restore never destroys the on-disk state
   /// it was asked to recover.

@@ -26,8 +26,11 @@ Result<std::unique_ptr<ExternalSorter>> ExternalSorter::Make(
 }
 
 Status ExternalSorter::SwitchToExternal() {
-  TOPK_ASSIGN_OR_RETURN(spill_,
-                        SpillManager::Create(options_.env, options_.spill_dir));
+  IoPipelineOptions io;
+  io.background_threads = options_.io_background_threads;
+  io.enable_prefetch = options_.enable_io_prefetch;
+  TOPK_ASSIGN_OR_RETURN(
+      spill_, SpillManager::Create(options_.env, options_.spill_dir, io));
   RunGeneratorOptions gen_options;
   gen_options.memory_limit_bytes = options_.memory_limit_bytes;
   if (options_.run_generation == RunGenerationKind::kReplacementSelection) {

@@ -26,6 +26,10 @@ class ExternalSorter {
     SortDirection direction = SortDirection::kAscending;
     StorageEnv* env = nullptr;
     std::string spill_dir;
+    /// Background I/O pipeline (see TopKOptions::io_background_threads).
+    /// 0 = synchronous spills and merge reads.
+    size_t io_background_threads = 2;
+    bool enable_io_prefetch = true;
   };
 
   static Result<std::unique_ptr<ExternalSorter>> Make(const Options& options);

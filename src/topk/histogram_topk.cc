@@ -58,7 +58,8 @@ std::optional<double> HistogramTopK::cutoff() const {
 
 Status HistogramTopK::SwitchToExternal() {
   TOPK_ASSIGN_OR_RETURN(spill_,
-                        SpillManager::Create(options_.env, options_.spill_dir));
+                        SpillManager::Create(options_.env, options_.spill_dir,
+                                             options_.io_pipeline()));
 
   CutoffFilter::Options filter_options;
   filter_options.k = options_.approx_filter_k > 0 ? options_.approx_filter_k

@@ -66,7 +66,8 @@ void OptimizedExternalTopK::ProposeCutoff(double key) {
 
 Status OptimizedExternalTopK::SwitchToExternal() {
   TOPK_ASSIGN_OR_RETURN(spill_,
-                        SpillManager::Create(options_.env, options_.spill_dir));
+                        SpillManager::Create(options_.env, options_.spill_dir,
+                                             options_.io_pipeline()));
   observer_ =
       std::make_unique<KthKeyObserver>(this, options_.output_rows());
   RunGeneratorOptions gen_options;

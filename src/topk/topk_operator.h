@@ -10,6 +10,7 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "common/stopwatch.h"
+#include "io/async_io.h"
 #include "io/storage_env.h"
 #include "row/row.h"
 #include "sort/merge_planner.h"
@@ -78,6 +79,25 @@ struct TopKOptions {
   StorageEnv* env = nullptr;
   /// Directory for spill files; required by the external operators.
   std::string spill_dir;
+
+  /// Background I/O pipeline: worker threads that flush full spill blocks
+  /// and prefetch merge blocks while the operator keeps computing. On
+  /// disaggregated storage (read/write latency per call) this overlaps the
+  /// round trip with replacement selection / loser-tree work. 0 = fully
+  /// synchronous I/O (today's deterministic path, byte-identical run
+  /// files).
+  size_t io_background_threads = 2;
+  /// Read one block ahead of every merge cursor (needs background
+  /// threads).
+  bool enable_io_prefetch = true;
+
+  /// The spill pipeline configuration derived from the two knobs above.
+  IoPipelineOptions io_pipeline() const {
+    IoPipelineOptions io;
+    io.background_threads = io_background_threads;
+    io.enable_prefetch = enable_io_prefetch;
+    return io;
+  }
 
   /// Histogram-guided OFFSET skip (Sec 4.1): when true (default) and the
   /// query has an offset, the final merge seeks each run past the prefix

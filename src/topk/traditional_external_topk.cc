@@ -20,7 +20,8 @@ Result<std::unique_ptr<TraditionalExternalTopK>> TraditionalExternalTopK::Make(
 
 Status TraditionalExternalTopK::SwitchToExternal() {
   TOPK_ASSIGN_OR_RETURN(spill_,
-                        SpillManager::Create(options_.env, options_.spill_dir));
+                        SpillManager::Create(options_.env, options_.spill_dir,
+                                             options_.io_pipeline()));
   RunGeneratorOptions gen_options;
   gen_options.memory_limit_bytes = options_.memory_limit_bytes;
   // Vanilla sort: no run-size limit, no filtering.

@@ -1,0 +1,259 @@
+/// Background I/O pipeline: ThreadPool, DoubleBufferedWriter,
+/// PrefetchingBlockReader, and the SpillManager wiring. The pipeline must
+/// produce byte-identical run files, surface background errors as Status,
+/// and never lose or reorder data.
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
+#include "io/async_io.h"
+#include "io/run_file.h"
+#include "io/spill_manager.h"
+#include "io/storage_env.h"
+#include "tests/test_util.h"
+
+namespace topk {
+namespace {
+
+using testing_util::ScratchDir;
+
+std::string ReadWholeFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+TEST(ThreadPoolTest, RunsEveryTaskBeforeDestruction) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 100; ++i) {
+      pool.Schedule([&counter] { counter.fetch_add(1); });
+    }
+  }  // destructor drains the queue
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, AtLeastOneThread) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::atomic<bool> ran{false};
+  pool.Schedule([&ran] { ran.store(true); });
+  // Destructor (end of scope) waits for the task.
+}
+
+class AsyncIoTest : public ::testing::Test {
+ protected:
+  std::string Path(const std::string& name) {
+    return scratch_.str() + "/" + name;
+  }
+
+  ScratchDir scratch_;
+  StorageEnv env_;
+  ThreadPool pool_{2};
+};
+
+TEST_F(AsyncIoTest, DoubleBufferedWriterWritesAllBlocksInOrder) {
+  auto file = env_.NewWritableFile(Path("f"));
+  ASSERT_TRUE(file.ok());
+  std::string expected;
+  {
+    DoubleBufferedWriter writer(std::move(*file), &pool_);
+    for (int i = 0; i < 50; ++i) {
+      std::string block(97, static_cast<char>('a' + (i % 26)));
+      expected += block;
+      ASSERT_TRUE(writer.Append(block).ok());
+    }
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  EXPECT_EQ(ReadWholeFile(Path("f")), expected);
+}
+
+TEST_F(AsyncIoTest, DoubleBufferedWriterLatchesBackgroundError) {
+  auto file = env_.NewWritableFile(Path("f"));
+  ASSERT_TRUE(file.ok());
+  DoubleBufferedWriter writer(std::move(*file), &pool_);
+  env_.InjectWriteFailure(2);  // the 2nd block flush fails in the background
+  ASSERT_TRUE(writer.Append("block-1").ok());
+  // The failure may not have happened yet when Append returns (it only
+  // hands the block over); it must surface on a later call and stay
+  // latched.
+  Status status = writer.Append("block-2");
+  if (status.ok()) status = writer.Append("block-3");
+  if (status.ok()) status = writer.Close();
+  EXPECT_EQ(status.code(), StatusCode::kIoError) << status.ToString();
+  // Idempotent close keeps reporting the latched error.
+  EXPECT_EQ(writer.Close().code(), StatusCode::kIoError);
+}
+
+TEST_F(AsyncIoTest, DoubleBufferedWriterErrorOnLastBlockSurfacesAtClose) {
+  auto file = env_.NewWritableFile(Path("f"));
+  ASSERT_TRUE(file.ok());
+  DoubleBufferedWriter writer(std::move(*file), &pool_);
+  env_.InjectWriteFailure(1);
+  ASSERT_TRUE(writer.Append("doomed").ok());  // handed off, fails async
+  EXPECT_EQ(writer.Close().code(), StatusCode::kIoError);
+}
+
+TEST_F(AsyncIoTest, PrefetchingReaderStreamsWholeFile) {
+  std::string expected;
+  {
+    auto file = env_.NewWritableFile(Path("f"));
+    ASSERT_TRUE(file.ok());
+    for (int i = 0; i < 10; ++i) {
+      expected += std::string(33, static_cast<char>('A' + i));
+    }
+    ASSERT_TRUE((*file)->Append(expected).ok());
+    ASSERT_TRUE((*file)->Close().ok());
+  }
+  auto in = env_.NewSequentialFile(Path("f"));
+  ASSERT_TRUE(in.ok());
+  // Block size deliberately misaligned with the file size.
+  PrefetchingBlockReader reader(std::move(*in), &pool_, /*block_bytes=*/64);
+  std::string got;
+  char buf[64];
+  for (;;) {
+    size_t n = 0;
+    ASSERT_TRUE(reader.Read(sizeof(buf), buf, &n).ok());
+    if (n == 0) break;
+    got.append(buf, n);
+  }
+  EXPECT_EQ(got, expected);
+}
+
+TEST_F(AsyncIoTest, PrefetchingReaderSkipCrossesBlockBoundaries) {
+  std::string payload(1000, '\0');
+  for (size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<char>('0' + (i % 10));
+  }
+  {
+    auto file = env_.NewWritableFile(Path("f"));
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE((*file)->Append(payload).ok());
+    ASSERT_TRUE((*file)->Close().ok());
+  }
+  auto in = env_.NewSequentialFile(Path("f"));
+  ASSERT_TRUE(in.ok());
+  PrefetchingBlockReader reader(std::move(*in), &pool_, /*block_bytes=*/100);
+  char buf[16];
+  size_t n = 0;
+  ASSERT_TRUE(reader.Read(10, buf, &n).ok());
+  ASSERT_EQ(n, 10u);
+  EXPECT_EQ(std::string(buf, n), payload.substr(0, 10));
+  // Skip past the ready remainder, the prefetched block, and into the
+  // un-fetched tail of the file.
+  ASSERT_TRUE(reader.Skip(700).ok());
+  ASSERT_TRUE(reader.Read(10, buf, &n).ok());
+  ASSERT_EQ(n, 10u);
+  EXPECT_EQ(std::string(buf, n), payload.substr(710, 10));
+}
+
+TEST_F(AsyncIoTest, PrefetchingReaderSurfacesBackgroundReadError) {
+  {
+    auto file = env_.NewWritableFile(Path("f"));
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE((*file)->Append(std::string(400, 'x')).ok());
+    ASSERT_TRUE((*file)->Close().ok());
+  }
+  auto in = env_.NewSequentialFile(Path("f"));
+  ASSERT_TRUE(in.ok());
+  env_.InjectReadFailure(2);  // the prefetch of block 2 fails
+  PrefetchingBlockReader reader(std::move(*in), &pool_, /*block_bytes=*/100);
+  char buf[100];
+  size_t n = 0;
+  Status status = Status::OK();
+  for (int block = 0; block < 5 && status.ok(); ++block) {
+    status = reader.Read(sizeof(buf), buf, &n);
+    if (status.ok() && n == 0) break;
+  }
+  EXPECT_EQ(status.code(), StatusCode::kIoError) << status.ToString();
+}
+
+std::vector<Row> TestRows(size_t n) {
+  std::vector<Row> rows;
+  rows.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    rows.push_back(Row(static_cast<double>(i), i,
+                       std::string(1 + (i % 40), static_cast<char>(i))));
+  }
+  return rows;
+}
+
+/// Acceptance: io_background_threads=0 and the pipelined path must produce
+/// byte-identical run files.
+TEST_F(AsyncIoTest, PipelinedRunFilesAreByteIdenticalToSynchronous) {
+  const std::vector<Row> rows = TestRows(5000);
+  const RowComparator cmp;
+  std::string sync_path, async_path;
+  {
+    IoPipelineOptions io;  // background_threads = 0: synchronous
+    auto spill = SpillManager::Create(&env_, Path("sync"), io);
+    ASSERT_TRUE(spill.ok());
+    auto writer = (*spill)->NewRun(cmp);
+    ASSERT_TRUE(writer.ok());
+    for (const Row& row : rows) ASSERT_TRUE((*writer)->Append(row).ok());
+    auto meta = (*writer)->Finish();
+    ASSERT_TRUE(meta.ok());
+    sync_path = Path("sync_copy");
+    std::filesystem::copy_file(meta->path, sync_path);
+  }
+  {
+    IoPipelineOptions io;
+    io.background_threads = 2;
+    auto spill = SpillManager::Create(&env_, Path("async"), io);
+    ASSERT_TRUE(spill.ok());
+    ASSERT_NE((*spill)->io_pool(), nullptr);
+    auto writer = (*spill)->NewRun(cmp);
+    ASSERT_TRUE(writer.ok());
+    for (const Row& row : rows) ASSERT_TRUE((*writer)->Append(row).ok());
+    auto meta = (*writer)->Finish();
+    ASSERT_TRUE(meta.ok());
+    async_path = Path("async_copy");
+    std::filesystem::copy_file(meta->path, async_path);
+  }
+  EXPECT_EQ(ReadWholeFile(sync_path), ReadWholeFile(async_path));
+}
+
+/// End-to-end through the pipelined SpillManager: write, verify, read back.
+TEST_F(AsyncIoTest, PipelinedSpillRoundTripAndVerify) {
+  IoPipelineOptions io;
+  io.background_threads = 2;
+  io.enable_prefetch = true;
+  auto spill = SpillManager::Create(&env_, Path("spill"), io);
+  ASSERT_TRUE(spill.ok());
+  const RowComparator cmp;
+  const std::vector<Row> rows = TestRows(3000);
+
+  auto writer = (*spill)->NewRun(cmp);
+  ASSERT_TRUE(writer.ok());
+  for (const Row& row : rows) ASSERT_TRUE((*writer)->Append(row).ok());
+  auto meta = (*writer)->Finish();
+  ASSERT_TRUE(meta.ok());
+  (*spill)->AddRun(*meta);
+
+  ASSERT_TRUE((*spill)->VerifyRun(*meta, cmp).ok());
+
+  auto reader = (*spill)->OpenRun(*meta);
+  ASSERT_TRUE(reader.ok());
+  Row row;
+  bool eof = false;
+  size_t i = 0;
+  for (;;) {
+    ASSERT_TRUE((*reader)->Next(&row, &eof).ok());
+    if (eof) break;
+    ASSERT_LT(i, rows.size());
+    EXPECT_EQ(row.key, rows[i].key);
+    EXPECT_EQ(row.payload, rows[i].payload);
+    ++i;
+  }
+  EXPECT_EQ(i, rows.size());
+}
+
+}  // namespace
+}  // namespace topk

@@ -195,6 +195,29 @@ TEST(CutoffFilterTest, AdaptiveConsolidationKeepsSharpBuckets) {
   EXPECT_EQ(filter.tracked_rows(), 100u);
 }
 
+TEST(CutoffFilterTest, AdaptiveConsolidationEnforcesBudgetUnderTinyLimits) {
+  // Regression: the adaptive policy used to merge `queue_size / 2` buckets
+  // and bail when that was < 2, so with a budget of only a couple of
+  // buckets the queue could exceed memory_limit_bytes_ forever. The
+  // invariant is: after every insertion the queue either fits the budget
+  // or has been collapsed to a single bucket.
+  for (size_t limit_buckets : {1u, 2u, 3u}) {
+    CutoffFilter::Options options = MakeOptions(1000000);  // nothing pops
+    options.memory_limit_bytes = limit_buckets * sizeof(HistogramBucket);
+    options.consolidation = CutoffFilter::ConsolidationPolicy::kAdaptive;
+    CutoffFilter filter(options);
+    for (int i = 0; i < 500; ++i) {
+      filter.InsertBucket({static_cast<double>(1000 - i), 1});
+      ASSERT_TRUE(filter.memory_bytes() <= options.memory_limit_bytes ||
+                  filter.bucket_count() == 1)
+          << "limit=" << limit_buckets << " buckets, insert " << i << ": "
+          << filter.bucket_count() << " buckets live";
+    }
+    EXPECT_EQ(filter.tracked_rows(), 500u);  // no rows lost to merging
+    EXPECT_GT(filter.consolidations(), 0u);
+  }
+}
+
 TEST(CutoffFilterTest, AdaptiveKeepsSharpeningWhereFullFreezes) {
   // Tiny budget, k larger than the budget's bucket capacity: full
   // consolidation freezes the cutoff at the first consolidation's

@@ -1,8 +1,11 @@
 /// I/O failures must surface as Status through every external operator —
-/// never crash, never silently return wrong results.
+/// never crash, never silently return wrong results. This includes failures
+/// that happen on a background flush thread of the I/O pipeline: they must
+/// be latched and reported by a later Append/Close, not dropped.
 
 #include <gtest/gtest.h>
 
+#include "io/block_io.h"
 #include "tests/test_util.h"
 #include "topk/operator_factory.h"
 
@@ -47,6 +50,37 @@ TEST_P(FailureInjectionTest, WriteFailurePropagates) {
   EXPECT_EQ(status.code(), StatusCode::kIoError) << status.ToString();
 }
 
+/// The default options run the background I/O pipeline; this variant pins
+/// both pipeline modes explicitly so an injected failure during a
+/// *background* flush is proven to surface as a non-OK Status (latched by
+/// DoubleBufferedWriter), and the synchronous path keeps its behaviour.
+TEST_P(FailureInjectionTest, WriteFailurePropagatesInBothPipelineModes) {
+  for (size_t io_threads : {size_t{0}, size_t{2}}) {
+    SCOPED_TRACE("io_background_threads=" + std::to_string(io_threads));
+    ScratchDir scratch;
+    StorageEnv env;
+    env.InjectWriteFailure(3);
+    DatasetSpec spec;
+    spec.WithRows(50000).WithSeed(7);
+    auto rows = MaterializeDataset(spec);
+
+    TopKOptions options = Options(&env, scratch.str());
+    options.io_background_threads = io_threads;
+    auto op = MakeTopKOperator(GetParam(), options);
+    ASSERT_TRUE(op.ok());
+    Status status = Status::OK();
+    for (const Row& row : rows) {
+      status = (*op)->Consume(row);
+      if (!status.ok()) break;
+    }
+    if (status.ok()) {
+      auto result = (*op)->Finish();
+      status = result.status();
+    }
+    EXPECT_EQ(status.code(), StatusCode::kIoError) << status.ToString();
+  }
+}
+
 TEST_P(FailureInjectionTest, ReadFailureDuringMergePropagates) {
   ScratchDir scratch;
   StorageEnv env;
@@ -80,6 +114,41 @@ INSTANTIATE_TEST_SUITE_P(
       }
       return name;
     });
+
+/// Regression: BlockWriter's destructor used to discard the Close() status
+/// entirely. The destructor path cannot return an error, but it must not
+/// crash and the failure must be observable (it is logged at WARNING).
+TEST(BlockWriterFailureTest, DestructorSurvivesCloseFailure) {
+  ScratchDir scratch;
+  StorageEnv env;
+  auto file = env.NewWritableFile(scratch.str() + "/f");
+  ASSERT_TRUE(file.ok());
+  {
+    BlockWriter writer(std::move(*file), /*block_bytes=*/1024);
+    ASSERT_TRUE(writer.Append(std::string(100, 'x')).ok());  // buffered only
+    env.InjectWriteFailure(1);  // the destructor's flush will fail
+  }  // must not crash; the error is logged, not thrown away silently
+}
+
+/// Regression: bytes_appended() used to count bytes *before* the flush
+/// could fail, over-reporting on error. It must only count bytes the
+/// writer actually accepted.
+TEST(BlockWriterFailureTest, BytesAppendedNotCountedOnFailedAppend) {
+  ScratchDir scratch;
+  StorageEnv env;
+  auto file = env.NewWritableFile(scratch.str() + "/f");
+  ASSERT_TRUE(file.ok());
+  BlockWriter writer(std::move(*file), /*block_bytes=*/128);
+  ASSERT_TRUE(writer.Append(std::string(100, 'a')).ok());
+  EXPECT_EQ(writer.bytes_appended(), 100u);
+  env.InjectWriteFailure(1);
+  // This append crosses the block boundary, triggering the failing flush.
+  EXPECT_FALSE(writer.Append(std::string(100, 'b')).ok());
+  EXPECT_EQ(writer.bytes_appended(), 100u);  // failed append not counted
+  // Close after the failed flush must not crash (it may fail again or
+  // succeed depending on what remains buffered).
+  writer.Close();
+}
 
 TEST(FailureCleanupTest, SpillDirRemovedDespiteFailure) {
   ScratchDir scratch;

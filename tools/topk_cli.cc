@@ -18,6 +18,10 @@
 ///   --direction   asc | desc (asc)
 ///   --fan-in      merge fan-in (64)
 ///   --early-merge optimized baseline: enable early merge (true)
+///   --io-threads  background I/O pipeline threads, 0 = synchronous (2)
+///   --prefetch    read one block ahead of the merge cursor (true)
+///   --io-latency-us  injected storage latency per I/O call, emulating
+///                 disaggregated storage (0)
 ///   --seed        RNG seed (42)
 ///   --spill-dir   run directory (under $TMPDIR)
 ///   --verify      cross-check against the in-memory reference (false)
@@ -87,8 +91,9 @@ int main(int argc, char** argv) {
   DatasetSpec spec;
   int64_t n = 0, k = 0, offset = 0, payload = 0, buckets = 0, fan_in = 0,
           seed = 0;
+  int64_t io_threads = 0, io_latency_us = 0;
   double memory_mb = 0, shape = 0;
-  bool early_merge = true, verify = false;
+  bool early_merge = true, verify = false, prefetch = true;
   {
     auto status = [&]() -> Status {
       TOPK_ASSIGN_OR_RETURN(n, flags.GetInt("n", 1000000));
@@ -102,6 +107,16 @@ int main(int argc, char** argv) {
       TOPK_ASSIGN_OR_RETURN(shape, flags.GetDouble("shape", 1.25));
       TOPK_ASSIGN_OR_RETURN(early_merge,
                             flags.GetBool("early-merge", true));
+      TOPK_ASSIGN_OR_RETURN(io_threads, flags.GetInt("io-threads", 2));
+      if (io_threads < 0 || io_threads > 64) {
+        return Status::InvalidArgument("--io-threads must be in [0, 64]");
+      }
+      TOPK_ASSIGN_OR_RETURN(io_latency_us,
+                            flags.GetInt("io-latency-us", 0));
+      if (io_latency_us < 0) {
+        return Status::InvalidArgument("--io-latency-us must be >= 0");
+      }
+      TOPK_ASSIGN_OR_RETURN(prefetch, flags.GetBool("prefetch", true));
       TOPK_ASSIGN_OR_RETURN(verify, flags.GetBool("verify", false));
       return Status::OK();
     }();
@@ -138,7 +153,10 @@ int main(int argc, char** argv) {
       .WithSeed(static_cast<uint64_t>(seed));
   spec.keys.fal_shape = shape;
 
-  StorageEnv env;
+  StorageEnv::Options env_options;
+  env_options.write_latency_nanos = io_latency_us * 1000;
+  env_options.read_latency_nanos = io_latency_us * 1000;
+  StorageEnv env(env_options);
   TopKOptions options;
   options.k = static_cast<uint64_t>(k);
   options.offset = static_cast<uint64_t>(offset);
@@ -149,6 +167,8 @@ int main(int argc, char** argv) {
   options.histogram_buckets_per_run = static_cast<uint64_t>(buckets);
   options.merge_fan_in = static_cast<size_t>(fan_in);
   options.enable_early_merge = early_merge;
+  options.io_background_threads = static_cast<size_t>(io_threads);
+  options.enable_io_prefetch = prefetch;
   options.env = &env;
   options.spill_dir = spill_dir;
   if (algorithm == TopKAlgorithm::kHeap) {
