@@ -12,6 +12,9 @@
 #include "common/stopwatch.h"
 #include "gen/generator.h"
 #include "io/storage_env.h"
+#include "obs/metrics.h"
+#include "obs/stats_export.h"
+#include "obs/trace.h"
 #include "topk/operator_factory.h"
 
 namespace topk {
@@ -64,12 +67,31 @@ struct RunResult {
   double last_key = 0.0;
 };
 
+/// TOPK_TRACE_OUT=FILE: every MeasureTopK execution is traced and the
+/// Chrome trace JSON written to FILE (each run overwrites it, so the file
+/// holds the most recent execution — rerun a bench filtered to the case of
+/// interest).
+inline const char* TraceOutPath() {
+  static const char* path = std::getenv("TOPK_TRACE_OUT");
+  return path;
+}
+
+/// TOPK_STATS_JSONL=FILE: one unified stats JSON document (operator stats +
+/// storage traffic + metrics registry) appended per measured execution.
+inline const char* StatsJsonlPath() {
+  static const char* path = std::getenv("TOPK_STATS_JSONL");
+  return path;
+}
+
 /// Streams `spec`'s rows through a fresh operator of `algorithm` and
 /// measures wall time end-to-end (consume + finish). Aborts the process on
 /// error — benches have no recovery story.
 inline RunResult MeasureTopK(TopKAlgorithm algorithm,
                              const TopKOptions& options,
                              const DatasetSpec& spec) {
+  if (TraceOutPath() != nullptr) {
+    GlobalTracer().Start();
+  }
   auto op = MakeTopKOperator(algorithm, options);
   TOPK_CHECK(op.ok()) << op.status().ToString();
   RowGenerator gen(spec);
@@ -88,6 +110,26 @@ inline RunResult MeasureTopK(TopKAlgorithm algorithm,
   if (!result->empty()) {
     out.first_key = result->front().key;
     out.last_key = result->back().key;
+  }
+  if (TraceOutPath() != nullptr) {
+    GlobalTracer().Stop();
+    Status status = GlobalTracer().WriteJsonFile(TraceOutPath());
+    TOPK_CHECK(status.ok()) << status.ToString();
+  }
+  if (StatsJsonlPath() != nullptr) {
+    StatsExport exported;
+    exported.operator_name = (*op)->name();
+    exported.operator_stats = out.stats;
+    if (options.env != nullptr) {
+      exported.io = options.env->stats()->snapshot();
+    }
+    exported.registry = &GlobalMetrics();
+    std::FILE* file = std::fopen(StatsJsonlPath(), "a");
+    TOPK_CHECK(file != nullptr) << "cannot open " << StatsJsonlPath();
+    const std::string line = FormatStatsJson(exported);
+    std::fwrite(line.data(), 1, line.size(), file);
+    std::fputc('\n', file);
+    std::fclose(file);
   }
   return out;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <deque>
 
+#include "obs/trace.h"
 #include "sort/merge_planner.h"
 #include "sort/merger.h"
 #include "sort/replacement_selection.h"
@@ -158,6 +159,20 @@ Status ParallelTopK::Start() {
   filter_options.target_run_rows = expected_run_rows;
   filter_options.memory_limit_bytes =
       options_.base.histogram_memory_limit_bytes;
+  // Cutoff-evolution timeline for parallel execution. The callback fires
+  // under the shared filter's mutex on whichever worker thread sharpened
+  // the cutoff, so only filter-internal fields are reported — operator
+  // counters would race.
+  filter_options.on_cutoff_change =
+      [](const CutoffFilter::CutoffUpdate& update) {
+        if (!TracingEnabled()) return;
+        TraceInstant(update.tightened ? "cutoff.tighten" : "cutoff.establish",
+                     "filter",
+                     {TraceArg("cutoff", update.cutoff),
+                      TraceArg("proposed", update.proposed ? 1 : 0),
+                      TraceArg("bucket_count", update.bucket_count),
+                      TraceArg("tracked_rows", update.tracked_rows)});
+      };
   if (options_.share_filter) {
     filter_ = std::make_unique<SharedCutoffFilter>(filter_options);
   }
@@ -188,6 +203,8 @@ Status ParallelTopK::Start() {
 }
 
 void ParallelTopK::WorkerLoop(Worker* worker) {
+  TraceSpan span("parallel.worker", "topk",
+                 {TraceArg("worker", worker->index)});
   for (;;) {
     Row row;
     {

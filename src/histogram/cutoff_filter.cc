@@ -13,8 +13,22 @@ CutoffFilter::CutoffFilter(const Options& options)
       consolidation_(options.consolidation),
       policy_(options.target_buckets_per_run, options.target_run_rows),
       builder_(policy_),
-      queue_(BucketWorse{comparator_}) {
+      queue_(BucketWorse{comparator_}),
+      on_cutoff_change_(options.on_cutoff_change) {
   TOPK_CHECK(options.k > 0) << "cutoff filter requires k > 0";
+}
+
+void CutoffFilter::NotifyCutoffChange(bool tightened, bool proposed) const {
+  if (!on_cutoff_change_) return;
+  CutoffUpdate update;
+  update.cutoff = cutoff_;
+  update.tightened = tightened;
+  update.proposed = proposed;
+  update.tracked_rows = tracked_rows_;
+  update.bucket_count = queue_.size();
+  update.buckets_inserted = buckets_inserted_;
+  update.consolidations = consolidations_;
+  on_cutoff_change_(update);
 }
 
 void CutoffFilter::RowSpilled(double key) {
@@ -54,15 +68,19 @@ void CutoffFilter::Refine() {
   TOPK_DCHECK(!queue_.empty());
   const double top_boundary = queue_.top().boundary;
   if (!has_cutoff_ || comparator_.KeyLess(top_boundary, cutoff_)) {
+    const bool tightened = has_cutoff_;
     has_cutoff_ = true;
     cutoff_ = top_boundary;
+    NotifyCutoffChange(tightened, /*proposed=*/false);
   }
 }
 
 void CutoffFilter::ProposeCutoff(double key) {
   if (!has_cutoff_ || comparator_.KeyLess(key, cutoff_)) {
+    const bool tightened = has_cutoff_;
     has_cutoff_ = true;
     cutoff_ = key;
+    NotifyCutoffChange(tightened, /*proposed=*/true);
   }
 }
 

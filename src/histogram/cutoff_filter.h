@@ -2,6 +2,7 @@
 #define TOPK_HISTOGRAM_CUTOFF_FILTER_H_
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <queue>
 #include <vector>
@@ -54,6 +55,23 @@ class CutoffFilter {
     kAdaptive,
   };
 
+  /// Passed to Options::on_cutoff_change every time the cutoff key moves
+  /// (establishment or tightening). Drives the cutoff-evolution timeline in
+  /// traces; all fields are the filter's own state — callers layer on
+  /// operator context (rows consumed, pass rate) themselves.
+  struct CutoffUpdate {
+    double cutoff = 0.0;
+    /// False for the very first cutoff, true for every sharpening after.
+    bool tightened = false;
+    /// True when the new value came from ProposeCutoff (merge output)
+    /// rather than histogram refinement.
+    bool proposed = false;
+    uint64_t tracked_rows = 0;
+    size_t bucket_count = 0;
+    uint64_t buckets_inserted = 0;
+    uint64_t consolidations = 0;
+  };
+
   struct Options {
     /// Requested output size (LIMIT k plus any OFFSET).
     uint64_t k = 0;
@@ -66,6 +84,10 @@ class CutoffFilter {
     /// Memory budget for the bucket priority queue (paper default: 1 MB).
     size_t memory_limit_bytes = 1 << 20;
     ConsolidationPolicy consolidation = ConsolidationPolicy::kFull;
+    /// Invoked (synchronously, on the mutating thread) whenever the cutoff
+    /// is established or sharpened. Must be cheap and must not reenter the
+    /// filter.
+    std::function<void(const CutoffUpdate&)> on_cutoff_change;
   };
 
   explicit CutoffFilter(const Options& options);
@@ -117,6 +139,8 @@ class CutoffFilter {
   /// bucket; updates the cutoff.
   void Refine();
   void MaybeConsolidate();
+  /// Fires on_cutoff_change after the cutoff moved.
+  void NotifyCutoffChange(bool tightened, bool proposed) const;
 
   /// Orders the priority queue inversely to the query direction: the top
   /// bucket carries the *worst* boundary (largest, for ascending queries).
@@ -148,6 +172,8 @@ class CutoffFilter {
   uint64_t consolidations_ = 0;
   uint64_t buckets_inserted_ = 0;
   uint64_t buckets_popped_ = 0;
+
+  std::function<void(const CutoffUpdate&)> on_cutoff_change_;
 };
 
 }  // namespace topk

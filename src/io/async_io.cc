@@ -4,8 +4,42 @@
 #include <cstring>
 
 #include "common/logging.h"
+#include "common/stopwatch.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace topk {
+
+namespace {
+
+// Pipeline-wide metrics; handles resolved once, recording is lock-free.
+MetricsCounter& FlushBlocksCounter() {
+  static MetricsCounter* counter =
+      GlobalMetrics().GetCounter("io.flush.blocks");
+  return *counter;
+}
+LatencyHistogram& FlushBlockHistogram() {
+  static LatencyHistogram* histogram =
+      GlobalMetrics().GetHistogram("io.flush.block_nanos");
+  return *histogram;
+}
+MetricsCounter& PrefetchBlocksCounter() {
+  static MetricsCounter* counter =
+      GlobalMetrics().GetCounter("io.prefetch.blocks");
+  return *counter;
+}
+LatencyHistogram& PrefetchBlockHistogram() {
+  static LatencyHistogram* histogram =
+      GlobalMetrics().GetHistogram("io.prefetch.block_nanos");
+  return *histogram;
+}
+MetricsCounter& PrefetchUnconsumedCounter() {
+  static MetricsCounter* counter =
+      GlobalMetrics().GetCounter("io.prefetch.blocks_unconsumed");
+  return *counter;
+}
+
+}  // namespace
 
 DoubleBufferedWriter::DoubleBufferedWriter(std::unique_ptr<WritableFile> base,
                                            ThreadPool* pool)
@@ -45,7 +79,14 @@ Status DoubleBufferedWriter::Append(std::string_view data) {
     inflight_ = true;
   }
   pool_->Schedule([this] {
+    TraceSpan span("spill.flush_block", "io.bg");
+    if (span.active()) {
+      span.AddArg(TraceArg("bytes", writing_.size()));
+    }
+    Stopwatch watch;
     Status status = base_->Append(writing_);
+    FlushBlocksCounter().Add(1);
+    FlushBlockHistogram().Record(watch.ElapsedNanos());
     std::lock_guard<std::mutex> lock(mu_);
     if (!status.ok() && latched_.ok()) latched_ = status;
     inflight_ = false;
@@ -90,7 +131,16 @@ PrefetchingBlockReader::PrefetchingBlockReader(
   StartPrefetch();
 }
 
-PrefetchingBlockReader::~PrefetchingBlockReader() { WaitForInflight(); }
+PrefetchingBlockReader::~PrefetchingBlockReader() {
+  WaitForInflight();
+  // Blocks fetched off storage but never handed to the consumer: wasted
+  // round trips. A k-limited merge abandons each run with one block still
+  // in the pipeline (and possibly an untouched ready block), so this
+  // counter quantifies the ROADMAP's "prefetch overshoot" item.
+  uint64_t unconsumed = fetched_size_ > 0 ? 1 : 0;
+  if (ready_size_ > 0 && ready_pos_ == 0) ++unconsumed;
+  if (unconsumed > 0) PrefetchUnconsumedCounter().Add(unconsumed);
+}
 
 void PrefetchingBlockReader::WaitForInflight() {
   std::unique_lock<std::mutex> lock(mu_);
@@ -105,8 +155,15 @@ void PrefetchingBlockReader::StartPrefetch() {
     inflight_ = true;
   }
   pool_->Schedule([this] {
+    TraceSpan span("merge.prefetch_block", "io.bg");
+    Stopwatch watch;
     size_t got = 0;
     Status status = base_->Read(block_bytes_, fetched_.data(), &got);
+    PrefetchBlocksCounter().Add(1);
+    PrefetchBlockHistogram().Record(watch.ElapsedNanos());
+    if (span.active()) {
+      span.AddArg(TraceArg("bytes", got));
+    }
     std::lock_guard<std::mutex> lock(mu_);
     if (!status.ok()) {
       if (latched_.ok()) latched_ = status;

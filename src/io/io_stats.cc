@@ -5,15 +5,16 @@
 namespace topk {
 
 std::string IoStats::ToString() const {
+  const Snapshot snap = snapshot();
   char buf[256];
   std::snprintf(buf, sizeof(buf),
                 "written=%.2f MiB (%llu calls) read=%.2f MiB (%llu calls) "
                 "files=%llu",
-                static_cast<double>(bytes_written()) / (1024.0 * 1024.0),
-                static_cast<unsigned long long>(write_calls()),
-                static_cast<double>(bytes_read()) / (1024.0 * 1024.0),
-                static_cast<unsigned long long>(read_calls()),
-                static_cast<unsigned long long>(files_created()));
+                static_cast<double>(snap.bytes_written) / (1024.0 * 1024.0),
+                static_cast<unsigned long long>(snap.write_calls),
+                static_cast<double>(snap.bytes_read) / (1024.0 * 1024.0),
+                static_cast<unsigned long long>(snap.read_calls),
+                static_cast<unsigned long long>(snap.files_created));
   return buf;
 }
 

@@ -43,15 +43,43 @@ class IoStats {
   uint64_t files_created() const { return files_created_.load(); }
   uint64_t files_deleted() const { return files_deleted_.load(); }
 
+  /// Point-in-time copy of every counter, so callers diff or export a
+  /// coherent-enough view instead of re-reading live atomics field by
+  /// field.
+  struct Snapshot {
+    uint64_t bytes_written = 0;
+    uint64_t bytes_read = 0;
+    uint64_t write_calls = 0;
+    uint64_t read_calls = 0;
+    int64_t write_nanos = 0;
+    int64_t read_nanos = 0;
+    uint64_t files_created = 0;
+    uint64_t files_deleted = 0;
+  };
+  Snapshot snapshot() const {
+    Snapshot snap;
+    snap.bytes_written = bytes_written_.load(std::memory_order_relaxed);
+    snap.bytes_read = bytes_read_.load(std::memory_order_relaxed);
+    snap.write_calls = write_calls_.load(std::memory_order_relaxed);
+    snap.read_calls = read_calls_.load(std::memory_order_relaxed);
+    snap.write_nanos = write_nanos_.load(std::memory_order_relaxed);
+    snap.read_nanos = read_nanos_.load(std::memory_order_relaxed);
+    snap.files_created = files_created_.load(std::memory_order_relaxed);
+    snap.files_deleted = files_deleted_.load(std::memory_order_relaxed);
+    return snap;
+  }
+
   void Reset() {
-    bytes_written_ = 0;
-    bytes_read_ = 0;
-    write_calls_ = 0;
-    read_calls_ = 0;
-    write_nanos_ = 0;
-    read_nanos_ = 0;
-    files_created_ = 0;
-    files_deleted_ = 0;
+    // Explicit relaxed stores: `atomic = 0` is a seq_cst store, and Reset()
+    // sits between bench iterations where that fence is pure overhead.
+    bytes_written_.store(0, std::memory_order_relaxed);
+    bytes_read_.store(0, std::memory_order_relaxed);
+    write_calls_.store(0, std::memory_order_relaxed);
+    read_calls_.store(0, std::memory_order_relaxed);
+    write_nanos_.store(0, std::memory_order_relaxed);
+    read_nanos_.store(0, std::memory_order_relaxed);
+    files_created_.store(0, std::memory_order_relaxed);
+    files_deleted_.store(0, std::memory_order_relaxed);
   }
 
   /// One-line human-readable summary for logs and bench output.

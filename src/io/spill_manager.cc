@@ -4,8 +4,9 @@
 #include <filesystem>
 
 #include "common/crc32.h"
-#include "io/manifest.h"
 #include "common/logging.h"
+#include "io/manifest.h"
+#include "obs/trace.h"
 #include "row/serialization.h"
 
 namespace topk {
@@ -19,6 +20,17 @@ SpillManager::SpillManager(StorageEnv* env, std::string dir,
 }
 
 SpillManager::~SpillManager() {
+  // An async manifest write may still reference env_ and the directory;
+  // let it land (or fail) before tearing anything down.
+  {
+    std::unique_lock<std::mutex> lock(manifest_mu_);
+    manifest_cv_.wait(lock, [this] { return !manifest_inflight_; });
+    if (!manifest_latched_.ok()) {
+      TOPK_LOG(Warning) << "background manifest write error dropped in "
+                           "destructor: "
+                        << manifest_latched_.ToString();
+    }
+  }
   if (!owns_dir_) return;
   std::error_code ec;
   std::filesystem::remove_all(dir_, ec);
@@ -63,7 +75,42 @@ Result<std::unique_ptr<SpillManager>> SpillManager::Restore(
 }
 
 Status SpillManager::SaveManifest(const std::string& manifest_filename) const {
-  return WriteManifest(env_, dir_ + "/" + manifest_filename, runs());
+  const std::string path = dir_ + "/" + manifest_filename;
+  if (io_pool_ == nullptr) {
+    TraceSpan span("manifest.save", "io");
+    return WriteManifest(env_, path, runs());
+  }
+  // Snapshot the registry now (the manifest reflects the state at the call),
+  // then ship the storage round trip to the pool. One write in flight at a
+  // time keeps manifests ordered; a burst of saves degrades to the previous
+  // synchronous behaviour rather than queueing stale snapshots.
+  std::vector<RunMeta> snapshot = runs();
+  std::unique_lock<std::mutex> lock(manifest_mu_);
+  manifest_cv_.wait(lock, [this] { return !manifest_inflight_; });
+  if (!manifest_latched_.ok()) {
+    Status latched = manifest_latched_;
+    manifest_latched_ = Status::OK();
+    return latched;
+  }
+  manifest_inflight_ = true;
+  io_pool_->Schedule([this, path, snapshot = std::move(snapshot)] {
+    TraceSpan span("manifest.save", "io.bg",
+                   {TraceArg("runs", snapshot.size())});
+    Status status = WriteManifest(env_, path, snapshot);
+    std::lock_guard<std::mutex> inner(manifest_mu_);
+    if (!status.ok() && manifest_latched_.ok()) manifest_latched_ = status;
+    manifest_inflight_ = false;
+    manifest_cv_.notify_all();
+  });
+  return Status::OK();
+}
+
+Status SpillManager::FlushManifest() const {
+  std::unique_lock<std::mutex> lock(manifest_mu_);
+  manifest_cv_.wait(lock, [this] { return !manifest_inflight_; });
+  Status latched = manifest_latched_;
+  manifest_latched_ = Status::OK();
+  return latched;
 }
 
 Result<std::unique_ptr<RunWriter>> SpillManager::NewRun(

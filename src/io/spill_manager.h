@@ -1,6 +1,7 @@
 #ifndef TOPK_IO_SPILL_MANAGER_H_
 #define TOPK_IO_SPILL_MANAGER_H_
 
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -42,7 +43,20 @@ class SpillManager {
 
   /// Writes the current run registry as a manifest file inside the spill
   /// directory. Safe to call repeatedly (e.g. after every finished run).
+  ///
+  /// With a background I/O pool the write is scheduled asynchronously —
+  /// SaveManifest returns once the registry snapshot is taken, and the
+  /// storage round trip rides a pool worker. At most one manifest write is
+  /// in flight; a newer request waits for the older one. Errors are latched
+  /// and surfaced by the next SaveManifest or FlushManifest — a manifest is
+  /// a recovery aid, so the run-generation hot path never stalls on it.
+  /// Without a pool (the default) the write is synchronous as before.
   Status SaveManifest(const std::string& manifest_filename) const;
+
+  /// Blocks until no manifest write is in flight and returns the latched
+  /// error, if any (then clears it). Call before relying on the manifest
+  /// being durable (e.g. pause-and-resume handoff).
+  Status FlushManifest() const;
 
   ~SpillManager();
 
@@ -114,6 +128,13 @@ class SpillManager {
   uint64_t total_rows_spilled_ = 0;
   uint64_t total_bytes_spilled_ = 0;
   uint64_t total_runs_created_ = 0;
+
+  /// Async-manifest state (guarded by manifest_mu_). The destructor waits
+  /// for an in-flight write before removing the directory.
+  mutable std::mutex manifest_mu_;
+  mutable std::condition_variable manifest_cv_;
+  mutable bool manifest_inflight_ = false;
+  mutable Status manifest_latched_;
 };
 
 }  // namespace topk

@@ -1,0 +1,360 @@
+#include "obs/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace topk {
+
+void JsonWriter::AppendEscaped(std::string_view value, std::string* out) {
+  out->push_back('"');
+  for (char c : value) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void JsonWriter::BeforeValue() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;
+  }
+  if (!first_.empty()) {
+    if (!first_.back()) out_.push_back(',');
+    first_.back() = false;
+  }
+}
+
+void JsonWriter::BeginObject() {
+  BeforeValue();
+  out_.push_back('{');
+  first_.push_back(true);
+}
+
+void JsonWriter::EndObject() {
+  out_.push_back('}');
+  first_.pop_back();
+}
+
+void JsonWriter::BeginArray() {
+  BeforeValue();
+  out_.push_back('[');
+  first_.push_back(true);
+}
+
+void JsonWriter::EndArray() {
+  out_.push_back(']');
+  first_.pop_back();
+}
+
+void JsonWriter::Key(std::string_view name) {
+  if (!first_.empty()) {
+    if (!first_.back()) out_.push_back(',');
+    first_.back() = false;
+  }
+  AppendEscaped(name, &out_);
+  out_.push_back(':');
+  pending_key_ = true;
+}
+
+void JsonWriter::String(std::string_view value) {
+  BeforeValue();
+  AppendEscaped(value, &out_);
+}
+
+void JsonWriter::Number(double value) {
+  BeforeValue();
+  if (!std::isfinite(value)) {
+    out_ += "null";  // JSON has no Infinity/NaN literals
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  out_ += buf;
+}
+
+void JsonWriter::Number(int64_t value) {
+  BeforeValue();
+  out_ += std::to_string(value);
+}
+
+void JsonWriter::Number(uint64_t value) {
+  BeforeValue();
+  out_ += std::to_string(value);
+}
+
+void JsonWriter::Bool(bool value) {
+  BeforeValue();
+  out_ += value ? "true" : "false";
+}
+
+void JsonWriter::Null() {
+  BeforeValue();
+  out_ += "null";
+}
+
+/// Lets the parser (a .cc-local class) fill JsonValue's private fields.
+class JsonParserAccess {
+ public:
+  static void SetKind(JsonValue* v, JsonValue::Kind k) { v->kind_ = k; }
+  static void SetBool(JsonValue* v, bool b) { v->bool_ = b; }
+  static void SetNumber(JsonValue* v, double d) { v->number_ = d; }
+  static std::string* StringStorage(JsonValue* v) { return &v->string_; }
+  static std::vector<JsonValue>* Array(JsonValue* v) { return &v->array_; }
+  static std::vector<std::pair<std::string, JsonValue>>* Members(
+      JsonValue* v) {
+    return &v->members_;
+  }
+};
+
+namespace {
+
+/// Recursive-descent parser over a string_view with a position cursor.
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> ParseDocument(JsonValue* out) {
+    TOPK_RETURN_NOT_OK(ParseValue(out, 0));
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after document");
+    }
+    return std::move(*out);
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  Status Error(const std::string& what) const {
+    return Status::InvalidArgument("JSON parse error at byte " +
+                                   std::to_string(pos_) + ": " + what);
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ParseLiteral(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) {
+      return Error("bad literal");
+    }
+    pos_ += word.size();
+    return Status::OK();
+  }
+
+  Status ParseString(std::string* out) {
+    if (!Consume('"')) return Error("expected string");
+    out->clear();
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return Status::OK();
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'n': out->push_back('\n'); break;
+          case 'r': out->push_back('\r'); break;
+          case 't': out->push_back('\t'); break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return Error("bad \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else return Error("bad \\u escape");
+            }
+            // Basic-multilingual-plane only; encode as UTF-8.
+            if (code < 0x80) {
+              out->push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+              out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+              out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+              out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            }
+            break;
+          }
+          default:
+            return Error("bad escape character");
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        return Error("unescaped control character in string");
+      } else {
+        out->push_back(c);
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Status ParseNumber(double* out) {
+    const size_t start = pos_;
+    if (Consume('-')) {}
+    while (pos_ < text_.size() &&
+           ((text_[pos_] >= '0' && text_[pos_] <= '9') || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Error("expected number");
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    *out = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) return Error("malformed number");
+    return Status::OK();
+  }
+
+  Status ParseValue(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) return Error("nesting too deep");
+    SkipSpace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    const char c = text_[pos_];
+    *out = JsonValue();
+    if (c == '{') {
+      ++pos_;
+      auto& node = *out;
+      SetKind(&node, JsonValue::Kind::kObject);
+      SkipSpace();
+      if (Consume('}')) return Status::OK();
+      for (;;) {
+        SkipSpace();
+        std::string key;
+        TOPK_RETURN_NOT_OK(ParseString(&key));
+        SkipSpace();
+        if (!Consume(':')) return Error("expected ':'");
+        JsonValue value;
+        TOPK_RETURN_NOT_OK(ParseValue(&value, depth + 1));
+        Members(&node).emplace_back(std::move(key), std::move(value));
+        SkipSpace();
+        if (Consume(',')) continue;
+        if (Consume('}')) return Status::OK();
+        return Error("expected ',' or '}'");
+      }
+    }
+    if (c == '[') {
+      ++pos_;
+      auto& node = *out;
+      SetKind(&node, JsonValue::Kind::kArray);
+      SkipSpace();
+      if (Consume(']')) return Status::OK();
+      for (;;) {
+        JsonValue value;
+        TOPK_RETURN_NOT_OK(ParseValue(&value, depth + 1));
+        Array(&node).push_back(std::move(value));
+        SkipSpace();
+        if (Consume(',')) continue;
+        if (Consume(']')) return Status::OK();
+        return Error("expected ',' or ']'");
+      }
+    }
+    if (c == '"') {
+      SetKind(out, JsonValue::Kind::kString);
+      return ParseString(StringStorage(out));
+    }
+    if (c == 't') {
+      SetKind(out, JsonValue::Kind::kBool);
+      SetBool(out, true);
+      return ParseLiteral("true");
+    }
+    if (c == 'f') {
+      SetKind(out, JsonValue::Kind::kBool);
+      SetBool(out, false);
+      return ParseLiteral("false");
+    }
+    if (c == 'n') {
+      SetKind(out, JsonValue::Kind::kNull);
+      return ParseLiteral("null");
+    }
+    SetKind(out, JsonValue::Kind::kNumber);
+    double v = 0;
+    TOPK_RETURN_NOT_OK(ParseNumber(&v));
+    SetNumber(out, v);
+    return Status::OK();
+  }
+
+  static void SetKind(JsonValue* v, JsonValue::Kind k) {
+    JsonParserAccess::SetKind(v, k);
+  }
+  static void SetBool(JsonValue* v, bool b) { JsonParserAccess::SetBool(v, b); }
+  static void SetNumber(JsonValue* v, double d) {
+    JsonParserAccess::SetNumber(v, d);
+  }
+  static std::string* StringStorage(JsonValue* v) {
+    return JsonParserAccess::StringStorage(v);
+  }
+  static std::vector<JsonValue>& Array(JsonValue* v) {
+    return *JsonParserAccess::Array(v);
+  }
+  static std::vector<std::pair<std::string, JsonValue>>& Members(
+      JsonValue* v) {
+    return *JsonParserAccess::Members(v);
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<JsonValue> JsonValue::Parse(std::string_view text) {
+  JsonValue value;
+  JsonParser parser(text);
+  return parser.ParseDocument(&value);
+}
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [name, value] : members_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+}  // namespace topk

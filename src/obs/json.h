@@ -1,0 +1,87 @@
+#ifndef TOPK_OBS_JSON_H_
+#define TOPK_OBS_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace topk {
+
+/// Streaming JSON emitter used by the observability exporters (trace files,
+/// metrics snapshots, unified stats). Handles commas, nesting, and string
+/// escaping; the caller is responsible for well-formed call ordering
+/// (Key() before every value inside an object).
+class JsonWriter {
+ public:
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+
+  void Key(std::string_view name);
+  void String(std::string_view value);
+  void Number(double value);
+  void Number(int64_t value);
+  void Number(uint64_t value);
+  void Bool(bool value);
+  void Null();
+
+  /// The document produced so far.
+  const std::string& str() const { return out_; }
+  std::string TakeString() { return std::move(out_); }
+
+  /// Appends `value` escaped (with surrounding quotes) to `*out`.
+  static void AppendEscaped(std::string_view value, std::string* out);
+
+ private:
+  void BeforeValue();
+
+  std::string out_;
+  /// One entry per open container: true until the first element is written.
+  std::vector<bool> first_;
+  bool pending_key_ = false;
+};
+
+/// Minimal JSON document model, parsed with a recursive-descent parser.
+/// Exists so tests and tools can schema-check the exporters' output without
+/// an external dependency; it is not a general-purpose JSON library (no
+/// \uXXXX surrogate pairs, numbers parsed as double).
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Parses a complete document; trailing garbage is an error.
+  static Result<JsonValue> Parse(std::string_view text);
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool bool_value() const { return bool_; }
+  double number_value() const { return number_; }
+  const std::string& string_value() const { return string_; }
+  const std::vector<JsonValue>& array() const { return array_; }
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+
+  /// Object member lookup; null when absent or not an object.
+  const JsonValue* Find(std::string_view key) const;
+
+ private:
+  friend class JsonParserAccess;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+}  // namespace topk
+
+#endif  // TOPK_OBS_JSON_H_

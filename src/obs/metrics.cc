@@ -1,0 +1,170 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "obs/json.h"
+
+namespace topk {
+
+void LatencyHistogram::Record(int64_t nanos) {
+  if (nanos < 0) nanos = 0;
+  const uint64_t sample = static_cast<uint64_t>(nanos);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(sample, std::memory_order_relaxed);
+  buckets_[BucketIndex(sample)].fetch_add(1, std::memory_order_relaxed);
+
+  int64_t seen = min_.load(std::memory_order_relaxed);
+  while (seen > nanos && !min_.compare_exchange_weak(
+                             seen, nanos, std::memory_order_relaxed)) {
+  }
+  seen = max_.load(std::memory_order_relaxed);
+  while (seen < nanos && !max_.compare_exchange_weak(
+                             seen, nanos, std::memory_order_relaxed)) {
+  }
+}
+
+LatencyHistogram::Snapshot LatencyHistogram::snapshot() const {
+  Snapshot snap;
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum_nanos = sum_.load(std::memory_order_relaxed);
+  snap.min_nanos =
+      snap.count == 0 ? 0 : min_.load(std::memory_order_relaxed);
+  snap.max_nanos = max_.load(std::memory_order_relaxed);
+  for (size_t i = 0; i < kBuckets; ++i) {
+    snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return snap;
+}
+
+void LatencyHistogram::Reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<int64_t>::max(), std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+}
+
+double LatencyHistogram::Snapshot::Percentile(double p) const {
+  if (count == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  const double target = p / 100.0 * static_cast<double>(count);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    if (buckets[i] == 0) continue;
+    const uint64_t next = cumulative + buckets[i];
+    if (static_cast<double>(next) >= target) {
+      const double lo = static_cast<double>(BucketLowerBound(i));
+      const double hi =
+          i == 0 ? 0.0 : static_cast<double>(BucketLowerBound(i + 1));
+      const double into =
+          (target - static_cast<double>(cumulative)) /
+          static_cast<double>(buckets[i]);
+      double value = lo + (hi - lo) * into;
+      // Tighten with the exact extremes when the sample lands in a
+      // boundary bucket.
+      value = std::max(value, static_cast<double>(min_nanos));
+      value = std::min(value, static_cast<double>(max_nanos));
+      return value;
+    }
+    cumulative = next;
+  }
+  return static_cast<double>(max_nanos);
+}
+
+MetricsCounter* MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_
+             .emplace(std::string(name), std::make_unique<MetricsCounter>())
+             .first;
+  }
+  return it->second.get();
+}
+
+MetricsGauge* MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<MetricsGauge>())
+             .first;
+  }
+  return it->second.get();
+}
+
+LatencyHistogram* MetricsRegistry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name), std::make_unique<LatencyHistogram>())
+             .first;
+  }
+  return it->second.get();
+}
+
+void MetricsRegistry::WriteJson(JsonWriter* writer) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  writer->BeginObject();
+  writer->Key("counters");
+  writer->BeginObject();
+  for (const auto& [name, counter] : counters_) {
+    writer->Key(name);
+    writer->Number(counter->value());
+  }
+  writer->EndObject();
+  writer->Key("gauges");
+  writer->BeginObject();
+  for (const auto& [name, gauge] : gauges_) {
+    writer->Key(name);
+    writer->Number(gauge->value());
+  }
+  writer->EndObject();
+  writer->Key("histograms");
+  writer->BeginObject();
+  for (const auto& [name, histogram] : histograms_) {
+    const LatencyHistogram::Snapshot snap = histogram->snapshot();
+    writer->Key(name);
+    writer->BeginObject();
+    writer->Key("count");
+    writer->Number(snap.count);
+    writer->Key("sum_nanos");
+    writer->Number(snap.sum_nanos);
+    writer->Key("min_nanos");
+    writer->Number(snap.min_nanos);
+    writer->Key("max_nanos");
+    writer->Number(snap.max_nanos);
+    writer->Key("mean_nanos");
+    writer->Number(snap.mean_nanos());
+    writer->Key("p50_nanos");
+    writer->Number(snap.Percentile(50));
+    writer->Key("p95_nanos");
+    writer->Number(snap.Percentile(95));
+    writer->Key("p99_nanos");
+    writer->Number(snap.Percentile(99));
+    writer->EndObject();
+  }
+  writer->EndObject();
+  writer->EndObject();
+}
+
+std::string MetricsRegistry::ToJson() const {
+  JsonWriter writer;
+  WriteJson(&writer);
+  return writer.TakeString();
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+MetricsRegistry& GlobalMetrics() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+}  // namespace topk

@@ -1,0 +1,136 @@
+#ifndef TOPK_OBS_METRICS_H_
+#define TOPK_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace topk {
+
+class JsonWriter;
+
+/// Monotonic event counter. Handles returned by MetricsRegistry are stable
+/// for the registry's lifetime; call sites cache the pointer and pay one
+/// relaxed atomic add per event.
+class MetricsCounter {
+ public:
+  void Add(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-value gauge (signed: depths, queue sizes, in-flight counts).
+class MetricsGauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Log-bucketed latency histogram: bucket i counts samples in
+/// [2^(i-1), 2^i) nanoseconds (bucket 0 counts exact zeros). 64 buckets
+/// cover every representable duration; recording is two relaxed adds plus
+/// two bounded CAS loops for min/max, cheap enough for per-block I/O calls
+/// (never used per row). Thread-safe; percentiles are estimated from the
+/// bucket counts with linear interpolation inside the bucket.
+class LatencyHistogram {
+ public:
+  static constexpr size_t kBuckets = 64;
+
+  void Record(int64_t nanos);
+
+  /// Consistent-enough copy of the counters (individual loads are relaxed;
+  /// concurrent recording may skew a snapshot by in-flight samples).
+  struct Snapshot {
+    uint64_t count = 0;
+    uint64_t sum_nanos = 0;
+    int64_t min_nanos = 0;
+    int64_t max_nanos = 0;
+    std::array<uint64_t, kBuckets> buckets{};
+
+    /// Estimated value at percentile `p` in [0, 100].
+    double Percentile(double p) const;
+    double mean_nanos() const {
+      return count == 0 ? 0.0 : static_cast<double>(sum_nanos) /
+                                    static_cast<double>(count);
+    }
+  };
+  Snapshot snapshot() const;
+
+  void Reset();
+
+  /// Bucket index for a sample (exposed for tests): 0 for 0ns, otherwise
+  /// 1 + floor(log2(nanos)).
+  static size_t BucketIndex(uint64_t nanos) {
+    return nanos == 0 ? 0 : static_cast<size_t>(std::bit_width(nanos));
+  }
+  /// Inclusive lower bound of bucket `i`.
+  static uint64_t BucketLowerBound(size_t i) {
+    return i == 0 ? 0 : (i == 1 ? 1 : uint64_t{1} << (i - 1));
+  }
+
+ private:
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  /// INT64_MAX until the first sample; snapshot() reports 0 while empty.
+  std::atomic<int64_t> min_{std::numeric_limits<int64_t>::max()};
+  std::atomic<int64_t> max_{0};
+  std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+};
+
+/// Process-wide registry of named metrics. Get*() registers on first use
+/// and returns a pointer that stays valid for the registry's lifetime —
+/// resolve once (constructor or function-local static), then record
+/// lock-free. Snapshot export walks the registry under its mutex.
+class MetricsRegistry {
+ public:
+  MetricsCounter* GetCounter(std::string_view name);
+  MetricsGauge* GetGauge(std::string_view name);
+  LatencyHistogram* GetHistogram(std::string_view name);
+
+  /// JSON object: {"counters": {...}, "gauges": {...}, "histograms":
+  /// {name: {count, sum_nanos, min_nanos, max_nanos, mean_nanos, p50, p95,
+  /// p99}}}. Zero-valued counters/gauges are included (schema stability
+  /// beats output size at this scale).
+  std::string ToJson() const;
+  /// Same, appended to an in-progress document (the unified stats export).
+  void WriteJson(JsonWriter* writer) const;
+
+  /// Zeroes every registered metric (bench loops, tests). Handles stay
+  /// valid.
+  void ResetAll();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<MetricsCounter>, std::less<>>
+      counters_;
+  std::map<std::string, std::unique_ptr<MetricsGauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>, std::less<>>
+      histograms_;
+};
+
+/// The process-wide registry every built-in instrumentation point records
+/// into.
+MetricsRegistry& GlobalMetrics();
+
+}  // namespace topk
+
+#endif  // TOPK_OBS_METRICS_H_

@@ -1,0 +1,42 @@
+#ifndef TOPK_OBS_STATS_EXPORT_H_
+#define TOPK_OBS_STATS_EXPORT_H_
+
+#include <string>
+
+#include "io/io_stats.h"
+#include "topk/topk_operator.h"
+
+namespace topk {
+
+class MetricsRegistry;
+
+/// Everything one operator execution produced, gathered for machine-readable
+/// export: the operator's own counters, the storage substrate's traffic, and
+/// (optionally) the process-wide metrics registry.
+struct StatsExport {
+  /// Schema version stamped into the document; bump on breaking changes.
+  static constexpr int kSchemaVersion = 1;
+
+  std::string operator_name;
+  OperatorStats operator_stats;
+  IoStats::Snapshot io;
+  /// Process-wide registry snapshot appended under "metrics"; omitted when
+  /// null.
+  const MetricsRegistry* registry = nullptr;
+};
+
+/// Single JSON document:
+///
+///   {"schema_version": 1,
+///    "operator": "HistogramTopK",
+///    "operator_stats": {rows_consumed, rows_eliminated_input, ...},
+///    "io": {bytes_written, bytes_read, ...},
+///    "metrics": {"counters": {...}, "gauges": {...}, "histograms": {...}}}
+///
+/// Consumed by bench tooling and `topk_cli --metrics-json`; the layout is a
+/// contract checked by tests/stats_export_test.
+std::string FormatStatsJson(const StatsExport& stats);
+
+}  // namespace topk
+
+#endif  // TOPK_OBS_STATS_EXPORT_H_

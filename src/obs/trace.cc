@@ -1,0 +1,239 @@
+#include "obs/trace.h"
+
+#include <unistd.h>
+
+#include <fstream>
+#include <unordered_map>
+
+#include "obs/json.h"
+
+namespace topk {
+
+namespace {
+
+uint64_t NextTracerId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+void WriteArgs(const std::vector<TraceArg>& args, JsonWriter* writer) {
+  writer->Key("args");
+  writer->BeginObject();
+  for (const TraceArg& arg : args) {
+    writer->Key(arg.name);
+    switch (arg.kind) {
+      case TraceArg::Kind::kDouble:
+        writer->Number(arg.double_value);
+        break;
+      case TraceArg::Kind::kInt:
+        writer->Number(arg.int_value);
+        break;
+      case TraceArg::Kind::kUint:
+        writer->Number(arg.uint_value);
+        break;
+      case TraceArg::Kind::kString:
+        writer->String(arg.string_value);
+        break;
+    }
+  }
+  writer->EndObject();
+}
+
+int64_t SteadyNowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+Tracer::Tracer() : tracer_id_(NextTracerId()) {
+  epoch_nanos_.store(SteadyNowNanos(), std::memory_order_relaxed);
+}
+
+Tracer::~Tracer() = default;
+
+void Tracer::Start() {
+  Clear();
+  epoch_nanos_.store(SteadyNowNanos(), std::memory_order_relaxed);
+  enabled_.store(true, std::memory_order_release);
+}
+
+void Tracer::Stop() { enabled_.store(false, std::memory_order_release); }
+
+int64_t Tracer::NowNanos() const {
+  return SteadyNowNanos() - epoch_nanos_.load(std::memory_order_relaxed);
+}
+
+Tracer::ThreadBuffer* Tracer::GetThreadBuffer() {
+  // Keyed by tracer id, not pointer: a destroyed tracer's address can be
+  // reused, and stale cache entries must not alias the new instance.
+  thread_local std::unordered_map<uint64_t, std::shared_ptr<ThreadBuffer>>
+      buffers_by_tracer;
+  auto it = buffers_by_tracer.find(tracer_id_);
+  if (it != buffers_by_tracer.end()) return it->second.get();
+
+  auto buffer = std::make_shared<ThreadBuffer>();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    buffer->tid = next_tid_++;
+    buffers_.push_back(buffer);
+  }
+  buffers_by_tracer.emplace(tracer_id_, buffer);
+  return buffer.get();
+}
+
+void Tracer::RecordComplete(const char* name, const char* category,
+                            int64_t start_nanos, int64_t dur_nanos,
+                            std::vector<TraceArg> args) {
+  if (!enabled()) return;
+  ThreadBuffer* buffer = GetThreadBuffer();
+  TraceEvent event;
+  event.phase = 'X';
+  event.name = name;
+  event.category = category;
+  event.start_nanos = start_nanos;
+  event.dur_nanos = dur_nanos;
+  event.tid = buffer->tid;
+  event.args = std::move(args);
+  std::lock_guard<std::mutex> lock(buffer->mu);
+  buffer->events.push_back(std::move(event));
+}
+
+void Tracer::RecordInstant(const char* name, const char* category,
+                           std::vector<TraceArg> args) {
+  if (!enabled()) return;
+  ThreadBuffer* buffer = GetThreadBuffer();
+  TraceEvent event;
+  event.phase = 'i';
+  event.name = name;
+  event.category = category;
+  event.start_nanos = NowNanos();
+  event.tid = buffer->tid;
+  event.args = std::move(args);
+  std::lock_guard<std::mutex> lock(buffer->mu);
+  buffer->events.push_back(std::move(event));
+}
+
+std::string Tracer::ToJson() const {
+  const int64_t pid = static_cast<int64_t>(::getpid());
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    buffers = buffers_;
+  }
+  JsonWriter writer;
+  writer.BeginObject();
+  writer.Key("traceEvents");
+  writer.BeginArray();
+  for (const auto& buffer : buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mu);
+    for (const TraceEvent& event : buffer->events) {
+      writer.BeginObject();
+      writer.Key("name");
+      writer.String(event.name);
+      writer.Key("cat");
+      writer.String(event.category);
+      writer.Key("ph");
+      writer.String(std::string_view(&event.phase, 1));
+      // Chrome trace timestamps are fractional microseconds.
+      writer.Key("ts");
+      writer.Number(static_cast<double>(event.start_nanos) / 1000.0);
+      if (event.phase == 'X') {
+        writer.Key("dur");
+        writer.Number(static_cast<double>(event.dur_nanos) / 1000.0);
+      }
+      if (event.phase == 'i') {
+        writer.Key("s");
+        writer.String("t");  // thread-scoped instant marker
+      }
+      writer.Key("pid");
+      writer.Number(pid);
+      writer.Key("tid");
+      writer.Number(static_cast<int64_t>(event.tid));
+      if (!event.args.empty()) WriteArgs(event.args, &writer);
+      writer.EndObject();
+    }
+  }
+  writer.EndArray();
+  writer.Key("displayTimeUnit");
+  writer.String("ms");
+  writer.EndObject();
+  return writer.TakeString();
+}
+
+Status Tracer::WriteJsonFile(const std::string& path) const {
+  const std::string doc = ToJson();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::IoError("cannot open trace file for writing: " + path);
+  }
+  out.write(doc.data(), static_cast<std::streamsize>(doc.size()));
+  out.flush();
+  if (!out) return Status::IoError("failed writing trace file: " + path);
+  return Status::OK();
+}
+
+size_t Tracer::event_count() const {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    buffers = buffers_;
+  }
+  size_t total = 0;
+  for (const auto& buffer : buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mu);
+    total += buffer->events.size();
+  }
+  return total;
+}
+
+void Tracer::Clear() {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    buffers = buffers_;
+  }
+  for (const auto& buffer : buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mu);
+    buffer->events.clear();
+  }
+}
+
+Tracer& GlobalTracer() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+void TraceInstant(const char* name, const char* category,
+                  std::vector<TraceArg> args) {
+  GlobalTracer().RecordInstant(name, category, std::move(args));
+}
+
+TraceSpan::TraceSpan(const char* name, const char* category)
+    : tracer_(GlobalTracer().enabled() ? &GlobalTracer() : nullptr),
+      name_(name),
+      category_(category) {
+  if (tracer_ != nullptr) start_nanos_ = tracer_->NowNanos();
+}
+
+TraceSpan::TraceSpan(const char* name, const char* category,
+                     std::vector<TraceArg> args)
+    : TraceSpan(name, category) {
+  if (tracer_ != nullptr) args_ = std::move(args);
+}
+
+void TraceSpan::AddArg(TraceArg arg) {
+  if (tracer_ != nullptr) args_.push_back(std::move(arg));
+}
+
+void TraceSpan::End() {
+  if (tracer_ == nullptr) return;
+  Tracer* tracer = tracer_;
+  tracer_ = nullptr;
+  const int64_t end_nanos = tracer->NowNanos();
+  tracer->RecordComplete(name_, category_, start_nanos_,
+                         end_nanos - start_nanos_, std::move(args_));
+}
+
+}  // namespace topk

@@ -1,0 +1,165 @@
+#ifndef TOPK_OBS_TRACE_H_
+#define TOPK_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace topk {
+
+/// One key/value pair attached to a trace event. Numeric and string values
+/// are supported (Chrome trace args render both).
+struct TraceArg {
+  enum class Kind { kDouble, kInt, kUint, kString };
+
+  template <typename T,
+            std::enable_if_t<std::is_arithmetic_v<T>, int> = 0>
+  TraceArg(std::string arg_name, T value) : name(std::move(arg_name)) {
+    if constexpr (std::is_floating_point_v<T>) {
+      kind = Kind::kDouble;
+      double_value = static_cast<double>(value);
+    } else if constexpr (std::is_signed_v<T>) {
+      kind = Kind::kInt;
+      int_value = static_cast<int64_t>(value);
+    } else {
+      kind = Kind::kUint;
+      uint_value = static_cast<uint64_t>(value);
+    }
+  }
+  TraceArg(std::string arg_name, std::string value)
+      : name(std::move(arg_name)),
+        kind(Kind::kString),
+        string_value(std::move(value)) {}
+  TraceArg(std::string arg_name, const char* value)
+      : TraceArg(std::move(arg_name), std::string(value)) {}
+
+  std::string name;
+  Kind kind = Kind::kDouble;
+  double double_value = 0.0;
+  int64_t int_value = 0;
+  uint64_t uint_value = 0;
+  std::string string_value;
+};
+
+/// One recorded event in Chrome trace-event terms: a complete span ('X',
+/// with duration) or an instant event ('i').
+struct TraceEvent {
+  char phase = 'X';
+  const char* name = "";      // string literal at every call site
+  const char* category = "";  // ditto
+  int64_t start_nanos = 0;    // relative to the tracer's Start()
+  int64_t dur_nanos = 0;      // spans only
+  uint32_t tid = 0;
+  std::vector<TraceArg> args;
+};
+
+/// Records scoped spans and instant events per thread and dumps Chrome
+/// trace-event JSON loadable in Perfetto / chrome://tracing.
+///
+/// Disabled (the default) it costs one relaxed atomic load per span/event
+/// call site and allocates nothing. Started, each event is appended to a
+/// per-thread buffer under that buffer's (uncontended) mutex, so recording
+/// threads never serialize against each other — only against export, which
+/// may run concurrently.
+class Tracer {
+ public:
+  Tracer();
+  ~Tracer();
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Clears prior events and begins recording; timestamps restart at 0.
+  void Start();
+  void Stop();
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Nanoseconds since Start() (monotonic clock).
+  int64_t NowNanos() const;
+
+  void RecordComplete(const char* name, const char* category,
+                      int64_t start_nanos, int64_t dur_nanos,
+                      std::vector<TraceArg> args = {});
+  void RecordInstant(const char* name, const char* category,
+                     std::vector<TraceArg> args = {});
+
+  /// The full Chrome trace document: {"traceEvents": [...], ...}.
+  std::string ToJson() const;
+  /// Writes ToJson() to a local file.
+  Status WriteJsonFile(const std::string& path) const;
+
+  /// Events recorded so far (all threads).
+  size_t event_count() const;
+  void Clear();
+
+ private:
+  struct ThreadBuffer {
+    std::mutex mu;
+    std::vector<TraceEvent> events;
+    uint32_t tid = 0;
+  };
+
+  /// This thread's buffer, registering it on first use.
+  ThreadBuffer* GetThreadBuffer();
+
+  const uint64_t tracer_id_;  // keys the thread-local buffer cache
+  std::atomic<bool> enabled_{false};
+  /// steady_clock nanos at Start(); atomic so NowNanos() is lock-free.
+  std::atomic<int64_t> epoch_nanos_{0};
+
+  mutable std::mutex mu_;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
+  uint32_t next_tid_ = 1;
+};
+
+/// The process-wide tracer all built-in instrumentation records into.
+Tracer& GlobalTracer();
+
+/// One relaxed load: is the global tracer recording?
+inline bool TracingEnabled() { return GlobalTracer().enabled(); }
+
+/// Emits an instant event on the global tracer (no-op when disabled).
+/// Callers with expensive-to-build args should guard with TracingEnabled().
+void TraceInstant(const char* name, const char* category,
+                  std::vector<TraceArg> args = {});
+
+/// RAII span on the global tracer: records a complete event covering the
+/// scope's lifetime. When tracing is off at construction this is a no-op
+/// (a null tracer pointer; no clock reads, no allocations).
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name, const char* category = "topk");
+  TraceSpan(const char* name, const char* category,
+            std::vector<TraceArg> args);
+  ~TraceSpan() { End(); }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// True when the span will be recorded; guards arg construction.
+  bool active() const { return tracer_ != nullptr; }
+  /// Attaches an arg resolved mid-scope (e.g. bytes moved); no-op when
+  /// inactive.
+  void AddArg(TraceArg arg);
+  /// Ends the span early (the destructor then does nothing).
+  void End();
+
+ private:
+  Tracer* tracer_;
+  const char* name_;
+  const char* category_;
+  int64_t start_nanos_ = 0;
+  std::vector<TraceArg> args_;
+};
+
+}  // namespace topk
+
+#endif  // TOPK_OBS_TRACE_H_

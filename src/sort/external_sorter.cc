@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "sort/merge_planner.h"
 #include "sort/replacement_selection.h"
 
@@ -80,7 +81,10 @@ Status ExternalSorter::Sort(const RowSink& sink) {
     buffer_.clear();
     return Status::OK();
   }
-  TOPK_RETURN_NOT_OK(generator_->Flush());
+  {
+    TraceSpan flush_span("rungen.flush", "sort");
+    TOPK_RETURN_NOT_OK(generator_->Flush());
+  }
   MergePlannerOptions planner_options;
   planner_options.fan_in = options_.merge_fan_in;
   planner_options.policy = MergePolicy::kSmallestRunsFirst;

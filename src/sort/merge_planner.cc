@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "sort/merger.h"
 
 namespace topk {
@@ -48,6 +49,9 @@ Result<std::vector<RunMeta>> ReduceRunsForFinalMerge(
     const size_t excess = runs.size() - options.fan_in;
     const size_t step = std::min(options.fan_in, excess + 1);
     std::vector<RunMeta> inputs(runs.begin(), runs.begin() + step);
+    TraceSpan step_span("merge.intermediate_step", "sort",
+                        {TraceArg("fan_in", step),
+                         TraceArg("runs_remaining", runs.size())});
 
     std::unique_ptr<RunWriter> writer;
     TOPK_ASSIGN_OR_RETURN(writer, spill->NewRun(comparator));

@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "obs/trace.h"
 #include "sort/loser_tree.h"
 
 namespace topk {
@@ -38,6 +39,7 @@ Result<MergeStats> MergeRuns(SpillManager* spill,
     stats.exhausted_inputs = true;
     return stats;
   }
+  TraceSpan span("merge.run", "sort", {TraceArg("ways", runs.size())});
 
   if (!options.seek_bytes.empty() &&
       options.seek_bytes.size() != runs.size()) {

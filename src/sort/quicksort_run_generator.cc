@@ -1,5 +1,6 @@
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "sort/run_generation.h"
 
 namespace topk {
@@ -25,7 +26,12 @@ Status QuicksortRunGenerator::Add(Row row) {
 }
 
 Status QuicksortRunGenerator::SortAndSpill() {
-  std::sort(buffer_.begin(), buffer_.end(), comparator_);
+  TraceSpan span("rungen.sort_and_spill", "sort",
+                 {TraceArg("rows", buffer_.size())});
+  {
+    TraceSpan sort_span("rungen.quicksort", "sort");
+    std::sort(buffer_.begin(), buffer_.end(), comparator_);
+  }
 
   std::unique_ptr<RunWriter> writer;
   uint64_t rows_in_run = 0;

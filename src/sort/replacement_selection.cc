@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
+
 namespace topk {
 
 ReplacementSelectionRunGenerator::ReplacementSelectionRunGenerator(
@@ -80,6 +82,8 @@ Status ReplacementSelectionRunGenerator::CloseRun() {
     histogram = options_.observer->OnRunFinished();
   }
   if (writer_ == nullptr) return Status::OK();
+  TraceSpan span("rungen.close_run", "sort",
+                 {TraceArg("rows", rows_in_physical_run_)});
   RunMeta meta;
   TOPK_ASSIGN_OR_RETURN(meta, writer_->Finish());
   meta.histogram = std::move(histogram);

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "extensions/offset_skip.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sort/merge_planner.h"
 #include "sort/merger.h"
 #include "sort/replacement_selection.h"
@@ -11,6 +13,12 @@ namespace topk {
 
 namespace {
 constexpr size_t kHeapPerRowOverhead = 32;
+
+MetricsCounter& CutoffUpdatesCounter() {
+  static MetricsCounter* counter =
+      GlobalMetrics().GetCounter("filter.cutoff_updates");
+  return *counter;
+}
 }  // namespace
 
 /// Bridges the run generator's spill events into the cutoff filter
@@ -57,6 +65,8 @@ std::optional<double> HistogramTopK::cutoff() const {
 }
 
 Status HistogramTopK::SwitchToExternal() {
+  TraceSpan span("topk.switch_to_external", "topk",
+                 {TraceArg("buffered_rows", heap_.size() + ties_.size())});
   TOPK_ASSIGN_OR_RETURN(spill_,
                         SpillManager::Create(options_.env, options_.spill_dir,
                                              options_.io_pipeline()));
@@ -68,6 +78,30 @@ Status HistogramTopK::SwitchToExternal() {
   filter_options.target_buckets_per_run = options_.histogram_buckets_per_run;
   filter_options.memory_limit_bytes = options_.histogram_memory_limit_bytes;
   filter_options.consolidation = options_.histogram_consolidation;
+  // Cutoff-evolution timeline: one instant event per establishment /
+  // tightening, annotated with operator progress. The callback runs on the
+  // single consumer thread, so reading stats_ here is safe.
+  filter_options.on_cutoff_change =
+      [this](const CutoffFilter::CutoffUpdate& update) {
+        CutoffUpdatesCounter().Add(1);
+        if (!TracingEnabled()) return;
+        const uint64_t consumed = stats_.rows_consumed;
+        const uint64_t eliminated = stats_.rows_eliminated_input;
+        const double pass_rate =
+            consumed == 0
+                ? 1.0
+                : 1.0 - static_cast<double>(eliminated) /
+                            static_cast<double>(consumed);
+        TraceInstant(update.tightened ? "cutoff.tighten" : "cutoff.establish",
+                     "filter",
+                     {TraceArg("cutoff", update.cutoff),
+                      TraceArg("proposed", update.proposed ? 1 : 0),
+                      TraceArg("bucket_count", update.bucket_count),
+                      TraceArg("tracked_rows", update.tracked_rows),
+                      TraceArg("rows_consumed", consumed),
+                      TraceArg("rows_eliminated_input", eliminated),
+                      TraceArg("input_pass_rate", pass_rate)});
+      };
   // Bucket width is derived from the expected run length: replacement
   // selection produces runs near twice the rows that fit in memory,
   // truncated by the run-size limit ("A best effort is made to decide the
@@ -243,7 +277,10 @@ Result<std::vector<Row>> HistogramTopK::Finish() {
     return result;
   }
 
-  TOPK_RETURN_NOT_OK(generator_->Flush());
+  {
+    TraceSpan flush_span("rungen.flush", "topk");
+    TOPK_RETURN_NOT_OK(generator_->Flush());
+  }
   stats_.rows_eliminated_spill = generator_->stats().rows_eliminated_at_spill;
   stats_.rows_spilled = generator_->stats().rows_spilled;
   stats_.runs_created = spill_->total_runs_created();
@@ -258,9 +295,13 @@ Result<std::vector<Row>> HistogramTopK::Finish() {
   planner_options.filter = filter_.get();
   MergePlanStats plan_stats;
   std::vector<RunMeta> final_runs;
-  TOPK_ASSIGN_OR_RETURN(
-      final_runs, ReduceRunsForFinalMerge(spill_.get(), comparator_,
-                                          planner_options, &plan_stats));
+  {
+    TraceSpan plan_span("merge.reduce_runs", "topk",
+                        {TraceArg("runs", spill_->run_count())});
+    TOPK_ASSIGN_OR_RETURN(
+        final_runs, ReduceRunsForFinalMerge(spill_.get(), comparator_,
+                                            planner_options, &plan_stats));
+  }
   stats_.merge_rows_written = plan_stats.intermediate_rows_written;
 
   MergeOptions merge_options;
@@ -272,6 +313,8 @@ Result<std::vector<Row>> HistogramTopK::Finish() {
     result.push_back(std::move(row));
     return Status::OK();
   };
+  TraceSpan merge_span("merge.final", "topk",
+                       {TraceArg("runs", final_runs.size())});
   if (options_.offset > 0 && options_.histogram_offset_skip) {
     // Sec 4.1: start the merge at the highest key with rank below the
     // offset, seeking past each run's skippable prefix.
@@ -286,6 +329,7 @@ Result<std::vector<Row>> HistogramTopK::Finish() {
                           MergeRuns(spill_.get(), final_runs, comparator_,
                                     merge_options, collect));
   }
+  merge_span.End();
   stats_.merge_rows_read =
       plan_stats.intermediate_rows_read + merge_stats.rows_read;
   stats_.bytes_spilled = spill_->total_bytes_spilled();

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "sort/merge_planner.h"
 #include "sort/merger.h"
 #include "sort/replacement_selection.h"
@@ -60,7 +61,16 @@ bool OptimizedExternalTopK::EliminateAtInput(const Row& row) const {
 
 void OptimizedExternalTopK::ProposeCutoff(double key) {
   if (!cutoff_.has_value() || comparator_.KeyLess(key, *cutoff_)) {
+    const bool tightened = cutoff_.has_value();
     cutoff_ = key;
+    if (TracingEnabled()) {
+      TraceInstant(tightened ? "cutoff.tighten" : "cutoff.establish",
+                   "filter",
+                   {TraceArg("cutoff", key),
+                    TraceArg("rows_consumed", stats_.rows_consumed),
+                    TraceArg("rows_eliminated_input",
+                             stats_.rows_eliminated_input)});
+    }
   }
 }
 
@@ -102,6 +112,8 @@ Status OptimizedExternalTopK::MaybeEarlyMerge() {
   if (cutoff_.has_value()) return Status::OK();
   if (spill_->run_count() < options_.early_merge_fan_in) return Status::OK();
 
+  TraceSpan span("merge.early", "topk",
+                 {TraceArg("runs", spill_->run_count())});
   std::vector<RunMeta> inputs = spill_->runs();
   std::unique_ptr<RunWriter> writer;
   TOPK_ASSIGN_OR_RETURN(writer, spill_->NewRun(comparator_));
@@ -184,7 +196,10 @@ Result<std::vector<Row>> OptimizedExternalTopK::Finish() {
     return result;
   }
 
-  TOPK_RETURN_NOT_OK(generator_->Flush());
+  {
+    TraceSpan flush_span("rungen.flush", "topk");
+    TOPK_RETURN_NOT_OK(generator_->Flush());
+  }
   stats_.rows_eliminated_spill = generator_->stats().rows_eliminated_at_spill;
   stats_.rows_spilled = generator_->stats().rows_spilled;
   stats_.runs_created =
@@ -210,12 +225,15 @@ Result<std::vector<Row>> OptimizedExternalTopK::Finish() {
   merge_options.skip = options_.offset;
   merge_options.with_ties = options_.with_ties;
   MergeStats merge_stats;
+  TraceSpan merge_span("merge.final", "topk",
+                       {TraceArg("runs", final_runs.size())});
   TOPK_ASSIGN_OR_RETURN(merge_stats,
                         MergeRuns(spill_.get(), final_runs, comparator_,
                                   merge_options, [&](Row&& row) {
                                     result.push_back(std::move(row));
                                     return Status::OK();
                                   }));
+  merge_span.End();
   stats_.merge_rows_read +=
       plan_stats.intermediate_rows_read + merge_stats.rows_read;
   stats_.bytes_spilled = spill_->total_bytes_spilled();

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "sort/merge_planner.h"
 #include "sort/merger.h"
 #include "sort/replacement_selection.h"
@@ -88,7 +89,10 @@ Result<std::vector<Row>> TraditionalExternalTopK::Finish() {
     return result;
   }
 
-  TOPK_RETURN_NOT_OK(generator_->Flush());
+  {
+    TraceSpan flush_span("rungen.flush", "topk");
+    TOPK_RETURN_NOT_OK(generator_->Flush());
+  }
   stats_.rows_spilled = generator_->stats().rows_spilled;
   stats_.runs_created = spill_->total_runs_created();
   stats_.peak_memory_bytes =
@@ -109,12 +113,15 @@ Result<std::vector<Row>> TraditionalExternalTopK::Finish() {
   merge_options.skip = options_.offset;
   merge_options.with_ties = options_.with_ties;
   MergeStats merge_stats;
+  TraceSpan merge_span("merge.final", "topk",
+                       {TraceArg("runs", final_runs.size())});
   TOPK_ASSIGN_OR_RETURN(merge_stats,
                         MergeRuns(spill_.get(), final_runs, comparator_,
                                   merge_options, [&](Row&& row) {
                                     result.push_back(std::move(row));
                                     return Status::OK();
                                   }));
+  merge_span.End();
   stats_.merge_rows_read =
       plan_stats.intermediate_rows_read + merge_stats.rows_read;
   stats_.bytes_spilled = spill_->total_bytes_spilled();

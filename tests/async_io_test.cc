@@ -16,6 +16,7 @@
 #include "io/run_file.h"
 #include "io/spill_manager.h"
 #include "io/storage_env.h"
+#include "obs/metrics.h"
 #include "tests/test_util.h"
 
 namespace topk {
@@ -173,6 +174,60 @@ TEST_F(AsyncIoTest, PrefetchingReaderSurfacesBackgroundReadError) {
     if (status.ok() && n == 0) break;
   }
   EXPECT_EQ(status.code(), StatusCode::kIoError) << status.ToString();
+}
+
+TEST_F(AsyncIoTest, PrefetchUnconsumedCounterTracksAbandonedBlocks) {
+  // The "prefetch overshoot" metric: blocks fetched off storage but never
+  // handed to the consumer (a k-limited merge abandons each run mid-file).
+  MetricsCounter* unconsumed =
+      GlobalMetrics().GetCounter("io.prefetch.blocks_unconsumed");
+  {
+    auto file = env_.NewWritableFile(Path("f"));
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE((*file)->Append(std::string(500, 'x')).ok());
+    ASSERT_TRUE((*file)->Close().ok());
+  }
+
+  // Abandoned untouched: the constructor's eager prefetch is wasted.
+  uint64_t before = unconsumed->value();
+  {
+    auto in = env_.NewSequentialFile(Path("f"));
+    ASSERT_TRUE(in.ok());
+    PrefetchingBlockReader reader(std::move(*in), &pool_,
+                                  /*block_bytes=*/100);
+  }
+  EXPECT_EQ(unconsumed->value(), before + 1);
+
+  // Abandoned mid-read: the consumed block doesn't count, the in-flight
+  // next block does.
+  before = unconsumed->value();
+  {
+    auto in = env_.NewSequentialFile(Path("f"));
+    ASSERT_TRUE(in.ok());
+    PrefetchingBlockReader reader(std::move(*in), &pool_,
+                                  /*block_bytes=*/100);
+    char buf[10];
+    size_t n = 0;
+    ASSERT_TRUE(reader.Read(sizeof(buf), buf, &n).ok());
+    ASSERT_EQ(n, 10u);
+  }
+  EXPECT_EQ(unconsumed->value(), before + 1);
+
+  // Drained to EOF: nothing was wasted.
+  before = unconsumed->value();
+  {
+    auto in = env_.NewSequentialFile(Path("f"));
+    ASSERT_TRUE(in.ok());
+    PrefetchingBlockReader reader(std::move(*in), &pool_,
+                                  /*block_bytes=*/100);
+    char buf[100];
+    for (;;) {
+      size_t n = 0;
+      ASSERT_TRUE(reader.Read(sizeof(buf), buf, &n).ok());
+      if (n == 0) break;
+    }
+  }
+  EXPECT_EQ(unconsumed->value(), before);
 }
 
 std::vector<Row> TestRows(size_t n) {

@@ -1,0 +1,209 @@
+#include "obs/metrics.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/json.h"
+
+namespace topk {
+namespace {
+
+TEST(MetricsCounterTest, AddAndReset) {
+  MetricsCounter counter;
+  EXPECT_EQ(counter.value(), 0u);
+  counter.Add();
+  counter.Add(41);
+  EXPECT_EQ(counter.value(), 42u);
+  counter.Reset();
+  EXPECT_EQ(counter.value(), 0u);
+}
+
+TEST(MetricsGaugeTest, SetAddReset) {
+  MetricsGauge gauge;
+  gauge.Set(10);
+  gauge.Add(-3);
+  EXPECT_EQ(gauge.value(), 7);
+  gauge.Reset();
+  EXPECT_EQ(gauge.value(), 0);
+}
+
+TEST(LatencyHistogramTest, BucketBoundaries) {
+  // Bucket 0 holds exact zeros; bucket i >= 1 holds [2^(i-1), 2^i).
+  EXPECT_EQ(LatencyHistogram::BucketIndex(0), 0u);
+  EXPECT_EQ(LatencyHistogram::BucketIndex(1), 1u);
+  EXPECT_EQ(LatencyHistogram::BucketIndex(2), 2u);
+  EXPECT_EQ(LatencyHistogram::BucketIndex(3), 2u);
+  EXPECT_EQ(LatencyHistogram::BucketIndex(4), 3u);
+  EXPECT_EQ(LatencyHistogram::BucketIndex(7), 3u);
+  EXPECT_EQ(LatencyHistogram::BucketIndex(8), 4u);
+  EXPECT_EQ(LatencyHistogram::BucketIndex(1023), 10u);
+  EXPECT_EQ(LatencyHistogram::BucketIndex(1024), 11u);
+
+  EXPECT_EQ(LatencyHistogram::BucketLowerBound(0), 0u);
+  EXPECT_EQ(LatencyHistogram::BucketLowerBound(1), 1u);
+  EXPECT_EQ(LatencyHistogram::BucketLowerBound(2), 2u);
+  EXPECT_EQ(LatencyHistogram::BucketLowerBound(3), 4u);
+  EXPECT_EQ(LatencyHistogram::BucketLowerBound(11), 1024u);
+
+  // Every bucket boundary sample lands in the bucket whose lower bound it
+  // is.
+  for (size_t i = 1; i < 63; ++i) {
+    EXPECT_EQ(LatencyHistogram::BucketIndex(
+                  LatencyHistogram::BucketLowerBound(i)),
+              i)
+        << "bucket " << i;
+  }
+}
+
+TEST(LatencyHistogramTest, SnapshotStats) {
+  LatencyHistogram histogram;
+  LatencyHistogram::Snapshot empty = histogram.snapshot();
+  EXPECT_EQ(empty.count, 0u);
+  EXPECT_EQ(empty.min_nanos, 0);
+  EXPECT_EQ(empty.max_nanos, 0);
+  EXPECT_EQ(empty.Percentile(50), 0.0);
+  EXPECT_EQ(empty.mean_nanos(), 0.0);
+
+  histogram.Record(100);
+  histogram.Record(200);
+  histogram.Record(300);
+  LatencyHistogram::Snapshot snap = histogram.snapshot();
+  EXPECT_EQ(snap.count, 3u);
+  EXPECT_EQ(snap.sum_nanos, 600u);
+  EXPECT_EQ(snap.min_nanos, 100);
+  EXPECT_EQ(snap.max_nanos, 300);
+  EXPECT_DOUBLE_EQ(snap.mean_nanos(), 200.0);
+  // Percentiles are bucket estimates clamped into [min, max].
+  EXPECT_GE(snap.Percentile(50), 100.0);
+  EXPECT_LE(snap.Percentile(50), 300.0);
+  EXPECT_LE(snap.Percentile(50), snap.Percentile(99));
+  EXPECT_EQ(snap.Percentile(100), 300.0);
+}
+
+TEST(LatencyHistogramTest, NegativeSamplesClampToZero) {
+  LatencyHistogram histogram;
+  histogram.Record(-5);
+  LatencyHistogram::Snapshot snap = histogram.snapshot();
+  EXPECT_EQ(snap.count, 1u);
+  EXPECT_EQ(snap.min_nanos, 0);
+  EXPECT_EQ(snap.buckets[0], 1u);
+}
+
+TEST(LatencyHistogramTest, ResetRestoresEmptyState) {
+  LatencyHistogram histogram;
+  histogram.Record(1000);
+  histogram.Reset();
+  LatencyHistogram::Snapshot snap = histogram.snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.min_nanos, 0);
+  EXPECT_EQ(snap.max_nanos, 0);
+  histogram.Record(7);
+  snap = histogram.snapshot();
+  EXPECT_EQ(snap.min_nanos, 7);
+  EXPECT_EQ(snap.max_nanos, 7);
+}
+
+TEST(MetricsRegistryTest, HandlesAreStableAndNamed) {
+  MetricsRegistry registry;
+  MetricsCounter* counter = registry.GetCounter("test.counter");
+  EXPECT_EQ(counter, registry.GetCounter("test.counter"));
+  counter->Add(5);
+  registry.GetGauge("test.gauge")->Set(-3);
+  registry.GetHistogram("test.hist")->Record(1000);
+
+  const std::string json = registry.ToJson();
+  auto parsed = JsonValue::Parse(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString() << "\n" << json;
+  const JsonValue* counters = parsed->Find("counters");
+  ASSERT_NE(counters, nullptr);
+  const JsonValue* value = counters->Find("test.counter");
+  ASSERT_NE(value, nullptr);
+  EXPECT_EQ(value->number_value(), 5.0);
+  const JsonValue* gauges = parsed->Find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  EXPECT_EQ(gauges->Find("test.gauge")->number_value(), -3.0);
+  const JsonValue* histograms = parsed->Find("histograms");
+  ASSERT_NE(histograms, nullptr);
+  const JsonValue* hist = histograms->Find("test.hist");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->Find("count")->number_value(), 1.0);
+  EXPECT_EQ(hist->Find("min_nanos")->number_value(), 1000.0);
+
+  registry.ResetAll();
+  EXPECT_EQ(counter->value(), 0u);
+}
+
+TEST(MetricsRegistryTest, ConcurrentRecording) {
+  // Hammer one registry from many threads: registration races, counter
+  // increments, and histogram records must all be thread-safe (run under
+  // TSan via tools/run_sanitized.sh).
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kIterations = 2000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, t] {
+      MetricsCounter* counter = registry.GetCounter("shared.counter");
+      LatencyHistogram* histogram = registry.GetHistogram("shared.hist");
+      MetricsGauge* gauge = registry.GetGauge("shared.gauge");
+      for (int i = 0; i < kIterations; ++i) {
+        counter->Add(1);
+        histogram->Record(t * 1000 + i);
+        gauge->Set(i);
+        if (i % 500 == 0) {
+          // Export concurrently with recording.
+          registry.ToJson();
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(registry.GetCounter("shared.counter")->value(),
+            static_cast<uint64_t>(kThreads) * kIterations);
+  LatencyHistogram::Snapshot snap =
+      registry.GetHistogram("shared.hist")->snapshot();
+  EXPECT_EQ(snap.count, static_cast<uint64_t>(kThreads) * kIterations);
+  EXPECT_EQ(snap.min_nanos, 0);
+  EXPECT_EQ(snap.max_nanos, (kThreads - 1) * 1000 + kIterations - 1);
+}
+
+TEST(JsonWriterTest, EscapesAndNesting) {
+  JsonWriter writer;
+  writer.BeginObject();
+  writer.Key("text");
+  writer.String("a\"b\\c\nd\x01");
+  writer.Key("list");
+  writer.BeginArray();
+  writer.Number(int64_t{-1});
+  writer.Number(uint64_t{18446744073709551615ull});
+  writer.Bool(true);
+  writer.Null();
+  writer.EndArray();
+  writer.EndObject();
+  const std::string json = writer.TakeString();
+  EXPECT_EQ(json,
+            "{\"text\":\"a\\\"b\\\\c\\nd\\u0001\","
+            "\"list\":[-1,18446744073709551615,true,null]}");
+  auto parsed = JsonValue::Parse(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->Find("text")->string_value(), "a\"b\\c\nd\x01");
+  EXPECT_EQ(parsed->Find("list")->array().size(), 4u);
+}
+
+TEST(JsonValueTest, ParseErrors) {
+  EXPECT_FALSE(JsonValue::Parse("{").ok());
+  EXPECT_FALSE(JsonValue::Parse("[1,]").ok());
+  EXPECT_FALSE(JsonValue::Parse("{} trailing").ok());
+  EXPECT_FALSE(JsonValue::Parse("\"unterminated").ok());
+  EXPECT_FALSE(JsonValue::Parse("nul").ok());
+  auto ok = JsonValue::Parse("  {\"a\": [1, 2.5, \"\\u0041\"]} ");
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ(ok->Find("a")->array()[2].string_value(), "A");
+}
+
+}  // namespace
+}  // namespace topk

@@ -1,0 +1,131 @@
+#include "obs/stats_export.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace topk {
+namespace {
+
+/// The unified-stats schema: every consumer (bench JSONL readers,
+/// tools/trace_summary.py companions, downstream notebooks) keys on these
+/// names. Removing or renaming one is a breaking change and must bump
+/// StatsExport::kSchemaVersion.
+const std::vector<std::string>& OperatorStatsKeys() {
+  static const std::vector<std::string> keys = {
+      "rows_consumed",       "rows_eliminated_input",
+      "rows_eliminated_spill", "rows_spilled",
+      "runs_created",        "bytes_spilled",
+      "merge_rows_written",  "merge_rows_read",
+      "offset_rows_seek_skipped", "peak_memory_bytes",
+      "final_cutoff",        "filter_buckets_inserted",
+      "filter_consolidations", "consume_nanos",
+      "finish_nanos",        "total_seconds"};
+  return keys;
+}
+
+const std::vector<std::string>& IoKeys() {
+  static const std::vector<std::string> keys = {
+      "bytes_written", "bytes_read",    "write_calls",   "read_calls",
+      "write_nanos",   "read_nanos",    "files_created", "files_deleted"};
+  return keys;
+}
+
+StatsExport SampleExport() {
+  StatsExport exported;
+  exported.operator_name = "histogram";
+  exported.operator_stats.rows_consumed = 300000;
+  exported.operator_stats.rows_eliminated_input = 250000;
+  exported.operator_stats.rows_spilled = 50000;
+  exported.operator_stats.runs_created = 8;
+  exported.operator_stats.final_cutoff = 0.0625;
+  exported.operator_stats.consume_nanos = 1000000;
+  exported.operator_stats.finish_nanos = 500000;
+  exported.io.bytes_written = 1 << 20;
+  exported.io.write_calls = 24;
+  return exported;
+}
+
+TEST(StatsExportTest, SchemaRoundTrip) {
+  const StatsExport exported = SampleExport();
+  auto parsed = JsonValue::Parse(FormatStatsJson(exported));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+
+  ASSERT_NE(parsed->Find("schema_version"), nullptr);
+  EXPECT_EQ(parsed->Find("schema_version")->number_value(),
+            StatsExport::kSchemaVersion);
+  ASSERT_NE(parsed->Find("operator"), nullptr);
+  EXPECT_EQ(parsed->Find("operator")->string_value(), "histogram");
+
+  const JsonValue* op = parsed->Find("operator_stats");
+  ASSERT_NE(op, nullptr);
+  for (const std::string& key : OperatorStatsKeys()) {
+    EXPECT_NE(op->Find(key), nullptr) << "missing operator_stats." << key;
+  }
+  EXPECT_EQ(op->Find("rows_consumed")->number_value(), 300000.0);
+  EXPECT_EQ(op->Find("final_cutoff")->number_value(), 0.0625);
+  EXPECT_DOUBLE_EQ(op->Find("total_seconds")->number_value(), 0.0015);
+
+  const JsonValue* io = parsed->Find("io");
+  ASSERT_NE(io, nullptr);
+  for (const std::string& key : IoKeys()) {
+    EXPECT_NE(io->Find(key), nullptr) << "missing io." << key;
+  }
+  EXPECT_EQ(io->Find("bytes_written")->number_value(), 1048576.0);
+
+  // No registry attached: the metrics section is omitted entirely rather
+  // than emitted empty.
+  EXPECT_EQ(parsed->Find("metrics"), nullptr);
+}
+
+TEST(StatsExportTest, AbsentCutoffSerializesAsNull) {
+  StatsExport exported = SampleExport();
+  exported.operator_stats.final_cutoff.reset();
+  auto parsed = JsonValue::Parse(FormatStatsJson(exported));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const JsonValue* cutoff = parsed->Find("operator_stats")->Find("final_cutoff");
+  ASSERT_NE(cutoff, nullptr);
+  EXPECT_TRUE(cutoff->is_null());
+}
+
+TEST(StatsExportTest, MetricsSectionMirrorsRegistry) {
+  MetricsRegistry registry;
+  registry.GetCounter("io.flush.blocks")->Add(24);
+  registry.GetHistogram("storage.write_nanos")->Record(1000);
+
+  StatsExport exported = SampleExport();
+  exported.registry = &registry;
+  auto parsed = JsonValue::Parse(FormatStatsJson(exported));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+
+  const JsonValue* metrics = parsed->Find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  const JsonValue* counters = metrics->Find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_EQ(counters->Find("io.flush.blocks")->number_value(), 24.0);
+  const JsonValue* hist =
+      metrics->Find("histograms")->Find("storage.write_nanos");
+  ASSERT_NE(hist, nullptr);
+  for (const char* key : {"count", "sum_nanos", "min_nanos", "max_nanos",
+                          "mean_nanos", "p50_nanos", "p95_nanos",
+                          "p99_nanos"}) {
+    EXPECT_NE(hist->Find(key), nullptr) << "missing histogram field " << key;
+  }
+  EXPECT_EQ(hist->Find("count")->number_value(), 1.0);
+}
+
+TEST(StatsExportTest, OperatorNameIsEscaped) {
+  StatsExport exported = SampleExport();
+  exported.operator_name = "odd\"name\nwith controls";
+  auto parsed = JsonValue::Parse(FormatStatsJson(exported));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->Find("operator")->string_value(),
+            "odd\"name\nwith controls");
+}
+
+}  // namespace
+}  // namespace topk

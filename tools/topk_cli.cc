@@ -27,6 +27,11 @@
 ///   --verify      cross-check against the in-memory reference (false)
 ///   --input       read sort keys from a file (one per line; overrides
 ///                 --n/--dist; --payload bytes are attached per row)
+///   --trace-out   write a Chrome trace-event JSON of the execution to FILE
+///                 (open in Perfetto / chrome://tracing)
+///   --metrics-json  write the unified stats document (operator stats +
+///                 storage traffic + metrics registry) to FILE
+///   --progress    print a progress line every ~5% of the input (false)
 
 #include <unistd.h>
 
@@ -38,6 +43,9 @@
 
 #include "common/flags.h"
 #include "gen/generator.h"
+#include "obs/metrics.h"
+#include "obs/stats_export.h"
+#include "obs/trace.h"
 #include "topk/operator_factory.h"
 #include "topk/stats_reporter.h"
 
@@ -93,7 +101,7 @@ int main(int argc, char** argv) {
           seed = 0;
   int64_t io_threads = 0, io_latency_us = 0;
   double memory_mb = 0, shape = 0;
-  bool early_merge = true, verify = false, prefetch = true;
+  bool early_merge = true, verify = false, prefetch = true, progress = false;
   {
     auto status = [&]() -> Status {
       TOPK_ASSIGN_OR_RETURN(n, flags.GetInt("n", 1000000));
@@ -118,6 +126,7 @@ int main(int argc, char** argv) {
       }
       TOPK_ASSIGN_OR_RETURN(prefetch, flags.GetBool("prefetch", true));
       TOPK_ASSIGN_OR_RETURN(verify, flags.GetBool("verify", false));
+      TOPK_ASSIGN_OR_RETURN(progress, flags.GetBool("progress", false));
       return Status::OK();
     }();
     if (!status.ok()) return Fail(status);
@@ -130,6 +139,8 @@ int main(int argc, char** argv) {
   }
   const std::string direction_name = flags.GetString("direction", "asc");
   const std::string input_path = flags.GetString("input", "");
+  const std::string trace_out = flags.GetString("trace-out", "");
+  const std::string metrics_json = flags.GetString("metrics-json", "");
   const std::string spill_dir = flags.GetString(
       "spill-dir", (std::filesystem::temp_directory_path() /
                     ("topk_cli_" + std::to_string(::getpid())))
@@ -185,6 +196,31 @@ int main(int argc, char** argv) {
               static_cast<long long>(n),
               trace_keys.empty() ? dist_name.c_str() : "trace", memory_mb);
 
+  if (!trace_out.empty()) {
+    GlobalTracer().Start();
+  }
+
+  // Progress reporting: one line every ~5% of the input showing how the
+  // cutoff filter is eating the stream.
+  const uint64_t progress_stride =
+      progress ? std::max<uint64_t>(static_cast<uint64_t>(n) / 20, 1) : 0;
+  uint64_t consumed = 0;
+  const auto maybe_report = [&](const Stopwatch& w) {
+    if (progress_stride == 0 || consumed % progress_stride != 0) return;
+    const OperatorStats& s = (*op)->stats();
+    const double eliminated_pct =
+        s.rows_consumed == 0
+            ? 0.0
+            : 100.0 * static_cast<double>(s.rows_eliminated_input) /
+                  static_cast<double>(s.rows_consumed);
+    std::printf("  %5.1f%%  %12llu rows  %5.1f%% eliminated  %7.2fs\n",
+                100.0 * static_cast<double>(consumed) /
+                    static_cast<double>(n > 0 ? n : 1),
+                static_cast<unsigned long long>(s.rows_consumed),
+                eliminated_pct, w.ElapsedSeconds());
+    std::fflush(stdout);
+  };
+
   Row row;
   Stopwatch watch;
   if (!trace_keys.empty()) {
@@ -192,17 +228,49 @@ int main(int argc, char** argv) {
     for (size_t i = 0; i < trace_keys.size(); ++i) {
       Status status = (*op)->Consume(Row(trace_keys[i], i, fill));
       if (!status.ok()) return Fail(status);
+      ++consumed;
+      maybe_report(watch);
     }
   } else {
     RowGenerator gen(spec);
     while (gen.Next(&row)) {
       Status status = (*op)->Consume(std::move(row));
       if (!status.ok()) return Fail(status);
+      ++consumed;
+      maybe_report(watch);
     }
   }
-  auto result = (*op)->Finish();
+  Result<std::vector<Row>> result = [&]() {
+    TraceSpan finish_span("topk.finish", "topk");
+    return (*op)->Finish();
+  }();
   if (!result.ok()) return Fail(result.status());
   const double seconds = watch.ElapsedSeconds();
+
+  if (!trace_out.empty()) {
+    GlobalTracer().Stop();
+    Status status = GlobalTracer().WriteJsonFile(trace_out);
+    if (!status.ok()) return Fail(status);
+    std::printf("trace written to %s (%zu events)\n", trace_out.c_str(),
+                GlobalTracer().event_count());
+  }
+  if (!metrics_json.empty()) {
+    StatsExport exported;
+    exported.operator_name = (*op)->name();
+    exported.operator_stats = (*op)->stats();
+    exported.io = env.stats()->snapshot();
+    exported.registry = &GlobalMetrics();
+    std::ofstream out(metrics_json, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Fail(Status::IoError("cannot open --metrics-json file " +
+                                  metrics_json));
+    }
+    out << FormatStatsJson(exported) << "\n";
+    if (!out) {
+      return Fail(Status::IoError("failed writing " + metrics_json));
+    }
+    std::printf("metrics written to %s\n", metrics_json.c_str());
+  }
 
   std::printf("\n%zu rows in %.3fs", result->size(), seconds);
   if (!result->empty()) {

@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Per-phase wall-time summary of a Chrome trace produced by this repo.
+
+Usage:
+    tools/trace_summary.py TRACE_JSON [--by-thread]
+
+Reads the trace-event file written by `topk_cli --trace-out=FILE` or
+`TOPK_TRACE_OUT=FILE build/bench/...` and prints, per span name, the call
+count, total duration, and *self* time (total minus time spent in child
+spans on the same thread — so `rungen.sort_and_spill` does not double-count
+its nested `rungen.quicksort`). Instant events are listed with counts only.
+"""
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+
+
+def load_events(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    events = doc.get("traceEvents", doc if isinstance(doc, list) else [])
+    spans = [e for e in events if e.get("ph") == "X"]
+    instants = [e for e in events if e.get("ph") == "i"]
+    return spans, instants
+
+
+def self_times(spans):
+    """Total and self duration per span name.
+
+    Spans nest on a thread when one interval contains another; a child's
+    duration is subtracted from its innermost enclosing parent.
+    """
+    total = defaultdict(float)
+    self_time = defaultdict(float)
+    count = defaultdict(int)
+    by_tid = defaultdict(list)
+    for e in spans:
+        by_tid[(e.get("pid"), e.get("tid"))].append(e)
+    for tid_spans in by_tid.values():
+        # Sort by start ascending, then by end descending so parents come
+        # before their children.
+        tid_spans.sort(key=lambda e: (e["ts"], -(e["ts"] + e.get("dur", 0))))
+        stack = []  # (end_ts, name)
+        for e in tid_spans:
+            start, dur = e["ts"], e.get("dur", 0.0)
+            name = e.get("name", "?")
+            while stack and stack[-1][0] <= start:
+                stack.pop()
+            total[name] += dur
+            self_time[name] += dur
+            count[name] += 1
+            if stack:
+                self_time[stack[-1][1]] -= dur
+            stack.append((start + dur, name))
+    return total, self_time, count
+
+
+def fmt_us(us):
+    if us >= 1e6:
+        return f"{us / 1e6:10.3f}s "
+    if us >= 1e3:
+        return f"{us / 1e3:10.3f}ms"
+    return f"{us:10.1f}us"
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace", help="Chrome trace JSON file")
+    parser.add_argument("--by-thread", action="store_true",
+                        help="additionally break spans down per thread")
+    args = parser.parse_args()
+
+    try:
+        spans, instants = load_events(args.trace)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"error: cannot read {args.trace}: {err}", file=sys.stderr)
+        return 1
+    if not spans and not instants:
+        print("no trace events found")
+        return 0
+
+    total, self_time, count = self_times(spans)
+    wall = 0.0
+    if spans:
+        wall = max(e["ts"] + e.get("dur", 0) for e in spans) - min(
+            e["ts"] for e in spans)
+
+    print(f"{'span':32} {'count':>7} {'total':>12} {'self':>12}  % of wall")
+    for name in sorted(total, key=lambda n: -self_time[n]):
+        share = 100.0 * total[name] / wall if wall > 0 else 0.0
+        print(f"{name:32} {count[name]:7d} {fmt_us(total[name])} "
+              f"{fmt_us(self_time[name])}  {share:5.1f}%")
+    if wall > 0:
+        print(f"{'(trace wall span)':32} {'':7} {fmt_us(wall)}")
+
+    if args.by_thread:
+        per_thread = defaultdict(lambda: defaultdict(float))
+        for e in spans:
+            per_thread[e.get("tid")][e.get("name", "?")] += e.get("dur", 0.0)
+        for tid in sorted(per_thread):
+            print(f"\nthread {tid}:")
+            for name, dur in sorted(per_thread[tid].items(),
+                                    key=lambda kv: -kv[1]):
+                print(f"  {name:30} {fmt_us(dur)}")
+
+    if instants:
+        inst_count = defaultdict(int)
+        for e in instants:
+            inst_count[e.get("name", "?")] += 1
+        print("\ninstant events:")
+        for name, n in sorted(inst_count.items(), key=lambda kv: -kv[1]):
+            print(f"  {name:30} {n:7d}")
+
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
