@@ -20,6 +20,10 @@ enum class StatusCode {
   kCorruption,
   kResourceExhausted,
   kCancelled,
+  /// Transient failure (storage glitch, dropped round trip): the operation
+  /// did not happen but is expected to succeed on retry. The only code the
+  /// I/O retry layer (io/retry.h) treats as retryable.
+  kUnavailable,
   kUnknown,
 };
 
@@ -60,6 +64,9 @@ class Status {
   }
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
   static Status Unknown(std::string msg) {
     return Status(StatusCode::kUnknown, std::move(msg));

@@ -189,8 +189,12 @@ Status PrefetchingBlockReader::PromoteFetched() {
   ready_size_ = fetched_size_;
   ready_pos_ = 0;
   fetched_size_ = 0;
-  // Keep one block ahead of the consumer.
-  StartPrefetch();
+  ++blocks_promoted_;
+  // Keep one block ahead of the consumer — but only once the run survived
+  // its first refill. Most runs of a k-limited merge die inside block one;
+  // prefetching their second block is the overshoot the
+  // io.prefetch.blocks_unconsumed counter measures.
+  if (blocks_promoted_ >= 2) StartPrefetch();
   return Status::OK();
 }
 

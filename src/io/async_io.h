@@ -10,6 +10,7 @@
 
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "io/retry.h"
 #include "io/storage_env.h"
 
 namespace topk {
@@ -20,6 +21,10 @@ namespace topk {
 /// and loser-tree merging hides most of the cost. 0 background threads =
 /// the fully synchronous path (byte-identical output, deterministic call
 /// ordering — what every pre-pipeline test expects).
+///
+/// Also carries the storage fault-tolerance policies shared by every run
+/// stream of one SpillManager: the retry policy for transient failures and
+/// the inline read-side checksum verification switch.
 struct IoPipelineOptions {
   /// Workers shared by all streams of one SpillManager. 0 disables the
   /// pipeline entirely.
@@ -27,6 +32,15 @@ struct IoPipelineOptions {
   /// Read one block ahead of the merge cursor (only meaningful when
   /// background_threads > 0).
   bool enable_prefetch = true;
+  /// Retry policy applied to every block read/write/flush/close and to
+  /// manifest I/O. Retries run on the background pool threads when the
+  /// pipeline is active, so backoff never stalls the producer. Default:
+  /// up to 4 attempts with 1 ms initial backoff.
+  RetryPolicy retry;
+  /// Verify each fully-drained run against its recorded CRC-32C and row
+  /// count inline on the merge read path (checksum mismatch = permanent
+  /// Corruption, never retried).
+  bool verify_read_checksums = true;
 };
 
 /// WritableFile decorator that hands full blocks to a background flusher.
@@ -67,10 +81,17 @@ class DoubleBufferedWriter : public WritableFile {
 
 /// SequentialFile decorator that keeps one block-size read ahead of the
 /// consumer. The prefetch of the first block starts at construction (so a
-/// K-way merge opening many runs overlaps their first round trips); from
-/// then on every Read is served from the completed prefetch while the next
-/// one is already in flight. Errors from background reads are latched and
-/// surfaced on the Read/Skip that would have consumed the data.
+/// K-way merge opening many runs overlaps their first round trips); the
+/// *second* block, however, is only fetched once the consumer actually
+/// exhausts the first — a run must survive its first refill before the
+/// pipeline reads ahead. A k-limited merge abandons most runs inside their
+/// first block, so this deferral removes the one-wasted-block-per-run
+/// overshoot (ROADMAP item, quantified by io.prefetch.blocks_unconsumed)
+/// at the cost of one unoverlapped round trip per surviving run. From the
+/// second refill on every Read is served from the completed prefetch while
+/// the next one is already in flight. Errors from background reads are
+/// latched and surfaced on the Read/Skip that would have consumed the
+/// data.
 ///
 /// Intended to sit under a BlockReader configured with the same
 /// `block_bytes`, so each Refill consumes exactly one prefetched block.
@@ -107,6 +128,11 @@ class PrefetchingBlockReader : public SequentialFile {
   std::vector<char> ready_;  // completed block being consumed
   size_t ready_size_ = 0;
   size_t ready_pos_ = 0;
+
+  /// Number of blocks promoted to the consumer. Pipelining ahead only
+  /// starts after the second promotion (the run survived its first
+  /// refill).
+  size_t blocks_promoted_ = 0;
 };
 
 }  // namespace topk

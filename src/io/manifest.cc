@@ -6,11 +6,13 @@
 #include <map>
 #include <sstream>
 
+#include "common/crc32.h"
+
 namespace topk {
 
 namespace {
 
-constexpr char kHeader[] = "topk-manifest v1";
+constexpr char kHeader[] = "topk-manifest v2";
 
 void AppendRunLine(const RunMeta& run, std::string* out) {
   char buf[512];
@@ -38,7 +40,8 @@ void AppendRunLine(const RunMeta& run, std::string* out) {
 }  // namespace
 
 Status WriteManifest(StorageEnv* env, const std::string& path,
-                     const std::vector<RunMeta>& runs) {
+                     const std::vector<RunMeta>& runs,
+                     const RetryPolicy& retry) {
   std::string content(kHeader);
   content += '\n';
   for (const RunMeta& run : runs) {
@@ -48,19 +51,27 @@ Status WriteManifest(StorageEnv* env, const std::string& path,
     }
     AppendRunLine(run, &content);
   }
-  content += "end " + std::to_string(runs.size()) + "\n";
+  // The end record carries a CRC-32C over everything before it: any bit
+  // flip or truncation of the preceding content is detectable, including
+  // flips that keep a field syntactically valid.
+  const uint32_t crc = Crc32c(0, content.data(), content.size());
+  content += "end " + std::to_string(runs.size()) + " " +
+             std::to_string(crc) + "\n";
 
   std::unique_ptr<WritableFile> file;
   TOPK_ASSIGN_OR_RETURN(file, env->NewWritableFile(path));
+  file = MaybeWrapWithRetries(std::move(file), path, retry);
   TOPK_RETURN_NOT_OK(file->Append(content));
   TOPK_RETURN_NOT_OK(file->Flush());
   return file->Close();
 }
 
 Result<std::vector<RunMeta>> ReadManifest(StorageEnv* env,
-                                          const std::string& path) {
+                                          const std::string& path,
+                                          const RetryPolicy& retry) {
   std::unique_ptr<SequentialFile> file;
   TOPK_ASSIGN_OR_RETURN(file, env->NewSequentialFile(path));
+  file = MaybeWrapWithRetries(std::move(file), path, retry);
   std::string content;
   char buf[64 * 1024];
   for (;;) {
@@ -70,9 +81,24 @@ Result<std::vector<RunMeta>> ReadManifest(StorageEnv* env,
     content.append(buf, got);
   }
 
-  std::istringstream in(content);
+  // Lines are split by hand (not getline) so the byte offset of the end
+  // record is known: its CRC covers content[0, end-line-start).
+  size_t offset = 0;
+  size_t line_number = 0;
+  const auto next_line = [&](std::string* line, size_t* line_start) {
+    if (offset >= content.size()) return false;
+    *line_start = offset;
+    const size_t nl = content.find('\n', offset);
+    const size_t line_end = nl == std::string::npos ? content.size() : nl;
+    line->assign(content, offset, line_end - offset);
+    offset = nl == std::string::npos ? content.size() : nl + 1;
+    ++line_number;
+    return true;
+  };
+
   std::string line;
-  if (!std::getline(in, line) || line != kHeader) {
+  size_t line_start = 0;
+  if (!next_line(&line, &line_start) || line != kHeader) {
     return Status::Corruption("not a topk manifest: " + path);
   }
 
@@ -80,9 +106,7 @@ Result<std::vector<RunMeta>> ReadManifest(StorageEnv* env,
   std::map<uint64_t, size_t> run_position;
   bool saw_end = false;
   uint64_t declared_count = 0;
-  size_t line_number = 1;
-  while (std::getline(in, line)) {
-    ++line_number;
+  while (next_line(&line, &line_start)) {
     if (line.empty()) continue;
     if (saw_end) {
       return Status::Corruption("content after end record");
@@ -130,9 +154,20 @@ Result<std::vector<RunMeta>> ReadManifest(StorageEnv* env,
         runs[it->second].index.push_back(entry);
       }
     } else if (kind == "end") {
-      fields >> declared_count;
+      uint32_t declared_crc = 0;
+      fields >> declared_count >> declared_crc;
       if (fields.fail()) {
         return Status::Corruption("malformed end record");
+      }
+      // Reject trailing bytes: `>> declared_crc` stops at the first
+      // non-digit, so a bit flip appending garbage would otherwise pass.
+      std::string trailing;
+      if (fields >> trailing) {
+        return Status::Corruption("trailing bytes after end record");
+      }
+      const uint32_t actual_crc = Crc32c(0, content.data(), line_start);
+      if (actual_crc != declared_crc) {
+        return Status::Corruption("manifest checksum mismatch in " + path);
       }
       saw_end = true;
     } else {

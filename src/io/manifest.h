@@ -6,6 +6,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "io/retry.h"
 #include "io/run_file.h"
 #include "io/storage_env.h"
 
@@ -20,21 +21,29 @@ namespace topk {
 /// the merge phase after a crash without regenerating runs.
 ///
 /// Format (text, one record per line):
-///   topk-manifest v1
+///   topk-manifest v2
 ///   run <id> <rows> <bytes> <first_key> <last_key> <crc32c> <path>
 ///   hist <id> <boundary> <count>
 ///   index <id> <key> <rows> <bytes>
-///   end <run count>
-/// Keys are printed with %.17g and round-trip exactly.
+///   end <run count> <crc32c>
+/// Keys are printed with %.17g and round-trip exactly. The end record's
+/// CRC-32C covers every byte of the file before the end line, so any
+/// truncation or bit flip — even one that keeps a field syntactically
+/// valid, like a flipped digit in a row count — is detected as Corruption.
 
-/// Writes `runs` as a manifest file at `path`.
+/// Writes `runs` as a manifest file at `path`. `retry` governs
+/// transient-failure retries of the underlying storage calls.
 Status WriteManifest(StorageEnv* env, const std::string& path,
-                     const std::vector<RunMeta>& runs);
+                     const std::vector<RunMeta>& runs,
+                     const RetryPolicy& retry = RetryPolicy());
 
-/// Parses a manifest. Fails with Corruption on any malformed or truncated
-/// content (including a missing `end` record or run-count mismatch).
+/// Parses a manifest. Fails with Corruption on any malformed, truncated,
+/// or checksum-mismatched content (including a missing `end` record or
+/// run-count mismatch) — never a crash, never partial data.
 Result<std::vector<RunMeta>> ReadManifest(StorageEnv* env,
-                                          const std::string& path);
+                                          const std::string& path,
+                                          const RetryPolicy& retry =
+                                              RetryPolicy());
 
 }  // namespace topk
 

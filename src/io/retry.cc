@@ -1,0 +1,146 @@
+#include "io/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "common/stopwatch.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace topk {
+
+namespace {
+
+MetricsCounter& RetryAttemptsCounter() {
+  static MetricsCounter* counter =
+      GlobalMetrics().GetCounter("io.retry.attempts");
+  return *counter;
+}
+MetricsCounter& RetryExhaustedCounter() {
+  static MetricsCounter* counter =
+      GlobalMetrics().GetCounter("io.retry.exhausted");
+  return *counter;
+}
+LatencyHistogram& RetryBackoffHistogram() {
+  static LatencyHistogram* histogram =
+      GlobalMetrics().GetHistogram("io.retry.backoff_nanos");
+  return *histogram;
+}
+
+Status WithAttempts(const Status& status, const std::string& op_name,
+                    int attempts) {
+  return Status(status.code(),
+                op_name + " failed after " + std::to_string(attempts) +
+                    (attempts == 1 ? " attempt: " : " attempts: ") +
+                    status.message());
+}
+
+}  // namespace
+
+bool IsRetryable(const Status& status) {
+  return status.code() == StatusCode::kUnavailable;
+}
+
+int64_t RetryBackoffNanos(const RetryPolicy& policy, int retry, Random* rng) {
+  double backoff = static_cast<double>(policy.initial_backoff_nanos);
+  for (int i = 1; i < retry; ++i) backoff *= policy.backoff_multiplier;
+  backoff = std::min(backoff, static_cast<double>(policy.max_backoff_nanos));
+  if (policy.jitter > 0 && rng != nullptr) {
+    const double scale = 1.0 + policy.jitter * (2.0 * rng->NextDouble() - 1.0);
+    backoff *= scale;
+  }
+  return std::max<int64_t>(0, static_cast<int64_t>(backoff));
+}
+
+Status RetryOp(const RetryPolicy& policy, const std::string& op_name,
+               Random* jitter_rng, const std::function<Status()>& op) {
+  const int max_attempts = std::max(1, policy.max_attempts);
+  Stopwatch deadline_watch;
+  Status status;
+  for (int attempt = 1;; ++attempt) {
+    status = op();
+    if (status.ok() || !IsRetryable(status)) return status;
+    if (attempt >= max_attempts) {
+      RetryExhaustedCounter().Add(1);
+      return WithAttempts(status, op_name, attempt);
+    }
+    if (policy.deadline_nanos > 0 &&
+        deadline_watch.ElapsedNanos() >= policy.deadline_nanos) {
+      RetryExhaustedCounter().Add(1);
+      return WithAttempts(
+          Status(status.code(), "retry deadline exceeded: " + status.message()),
+          op_name, attempt);
+    }
+    const int64_t backoff = RetryBackoffNanos(policy, attempt, jitter_rng);
+    RetryAttemptsCounter().Add(1);
+    RetryBackoffHistogram().Record(backoff);
+    if (TracingEnabled()) {
+      TraceInstant("io.retry", "io",
+                   {TraceArg("op", op_name), TraceArg("attempt", attempt),
+                    TraceArg("backoff_nanos", backoff)});
+    }
+    if (backoff > 0) {
+      std::this_thread::sleep_for(std::chrono::nanoseconds(backoff));
+    }
+  }
+}
+
+RetryingWritableFile::RetryingWritableFile(std::unique_ptr<WritableFile> base,
+                                           std::string name,
+                                           const RetryPolicy& policy)
+    : base_(std::move(base)),
+      name_(std::move(name)),
+      policy_(policy),
+      rng_(policy.jitter_seed) {}
+
+Status RetryingWritableFile::Append(std::string_view data) {
+  return RetryOp(policy_, "write " + name_, &rng_,
+                 [&] { return base_->Append(data); });
+}
+
+Status RetryingWritableFile::Flush() {
+  return RetryOp(policy_, "flush " + name_, &rng_,
+                 [&] { return base_->Flush(); });
+}
+
+Status RetryingWritableFile::Close() {
+  return RetryOp(policy_, "close " + name_, &rng_,
+                 [&] { return base_->Close(); });
+}
+
+RetryingSequentialFile::RetryingSequentialFile(
+    std::unique_ptr<SequentialFile> base, std::string name,
+    const RetryPolicy& policy)
+    : base_(std::move(base)),
+      name_(std::move(name)),
+      policy_(policy),
+      rng_(policy.jitter_seed) {}
+
+Status RetryingSequentialFile::Read(size_t n, char* scratch,
+                                    size_t* bytes_read) {
+  return RetryOp(policy_, "read " + name_, &rng_,
+                 [&] { return base_->Read(n, scratch, bytes_read); });
+}
+
+Status RetryingSequentialFile::Skip(uint64_t n) {
+  return RetryOp(policy_, "skip " + name_, &rng_,
+                 [&] { return base_->Skip(n); });
+}
+
+std::unique_ptr<WritableFile> MaybeWrapWithRetries(
+    std::unique_ptr<WritableFile> file, const std::string& name,
+    const RetryPolicy& policy) {
+  if (policy.max_attempts <= 1) return file;
+  return std::make_unique<RetryingWritableFile>(std::move(file), name, policy);
+}
+
+std::unique_ptr<SequentialFile> MaybeWrapWithRetries(
+    std::unique_ptr<SequentialFile> file, const std::string& name,
+    const RetryPolicy& policy) {
+  if (policy.max_attempts <= 1) return file;
+  return std::make_unique<RetryingSequentialFile>(std::move(file), name,
+                                                  policy);
+}
+
+}  // namespace topk

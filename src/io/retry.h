@@ -1,0 +1,114 @@
+#ifndef TOPK_IO_RETRY_H_
+#define TOPK_IO_RETRY_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "io/storage_env.h"
+
+namespace topk {
+
+/// Bounded-retry configuration for storage calls. On disaggregated storage
+/// a transient failure (dropped round trip, storage-service hiccup) is the
+/// common case, not the exception; retrying it at the block layer keeps the
+/// whole operator oblivious. Only Status::Unavailable is ever retried —
+/// torn writes, corruption, quota and genuine I/O errors are permanent and
+/// surface immediately.
+struct RetryPolicy {
+  /// Total tries per operation (1 = no retries).
+  int max_attempts = 4;
+  /// Backoff before retry `i` grows exponentially from this value...
+  int64_t initial_backoff_nanos = 1'000'000;  // 1 ms
+  double backoff_multiplier = 2.0;
+  /// ...capped here.
+  int64_t max_backoff_nanos = 100'000'000;  // 100 ms
+  /// Each backoff is scaled by a uniform factor in [1 - jitter, 1 + jitter]
+  /// so a fleet of writers does not retry in lockstep.
+  double jitter = 0.5;
+  /// Overall wall-clock budget across all attempts of one operation
+  /// (0 = unbounded). Once exceeded, the last error surfaces even if
+  /// attempts remain.
+  int64_t deadline_nanos = 0;
+  /// Seed for the deterministic jitter stream.
+  uint64_t jitter_seed = 0x7e77;
+
+  static RetryPolicy NoRetries() {
+    RetryPolicy policy;
+    policy.max_attempts = 1;
+    return policy;
+  }
+};
+
+/// The retryable-vs-permanent classification: only Unavailable is safe to
+/// retry. IoError/Corruption/ResourceExhausted describe state that a
+/// repeat of the same call cannot fix (and retrying a Corruption would
+/// just re-read the same bad bytes).
+bool IsRetryable(const Status& status);
+
+/// Backoff before retry number `retry` (1-based), with jitter drawn from
+/// `rng`. Exposed for tests.
+int64_t RetryBackoffNanos(const RetryPolicy& policy, int retry, Random* rng);
+
+/// Runs `op` under `policy`: retries Unavailable results with exponential
+/// backoff + jitter until success, a permanent error, attempt exhaustion,
+/// or the deadline. Exhaustion/deadline return the last error with the
+/// attempt count appended to its message (so a latched background error
+/// records how many retries were burned). Emits io.retry.attempts /
+/// io.retry.exhausted counters, the io.retry.backoff_nanos histogram, and
+/// io.retry trace instants.
+Status RetryOp(const RetryPolicy& policy, const std::string& op_name,
+               Random* jitter_rng, const std::function<Status()>& op);
+
+/// WritableFile decorator applying RetryPolicy to Append/Flush/Close.
+/// Stacks under DoubleBufferedWriter so background flushes retry on the
+/// pool thread without stalling the producer.
+class RetryingWritableFile : public WritableFile {
+ public:
+  RetryingWritableFile(std::unique_ptr<WritableFile> base, std::string name,
+                       const RetryPolicy& policy);
+
+  Status Append(std::string_view data) override;
+  Status Flush() override;
+  Status Close() override;
+
+ private:
+  std::unique_ptr<WritableFile> base_;
+  std::string name_;
+  RetryPolicy policy_;
+  Random rng_;
+};
+
+/// SequentialFile decorator applying RetryPolicy to Read/Skip. A failed
+/// Read consumed nothing, so the retried call resumes at the same offset.
+class RetryingSequentialFile : public SequentialFile {
+ public:
+  RetryingSequentialFile(std::unique_ptr<SequentialFile> base,
+                         std::string name, const RetryPolicy& policy);
+
+  Status Read(size_t n, char* scratch, size_t* bytes_read) override;
+  Status Skip(uint64_t n) override;
+
+ private:
+  std::unique_ptr<SequentialFile> base_;
+  std::string name_;
+  RetryPolicy policy_;
+  Random rng_;
+};
+
+/// Wraps `file` in a RetryingWritableFile unless the policy disables
+/// retries (max_attempts <= 1), in which case the file passes through
+/// untouched — no extra virtual hop when retries are off.
+std::unique_ptr<WritableFile> MaybeWrapWithRetries(
+    std::unique_ptr<WritableFile> file, const std::string& name,
+    const RetryPolicy& policy);
+std::unique_ptr<SequentialFile> MaybeWrapWithRetries(
+    std::unique_ptr<SequentialFile> file, const std::string& name,
+    const RetryPolicy& policy);
+
+}  // namespace topk
+
+#endif  // TOPK_IO_RETRY_H_

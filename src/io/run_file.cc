@@ -22,9 +22,14 @@ RunWriter::RunWriter(std::unique_ptr<BlockWriter> writer, std::string path,
 Result<std::unique_ptr<RunWriter>> RunWriter::Create(
     StorageEnv* env, std::string path, uint64_t run_id,
     const RowComparator& comparator, size_t block_bytes,
-    uint64_t index_stride, ThreadPool* io_pool) {
+    uint64_t index_stride, ThreadPool* io_pool, const RetryPolicy& retry) {
   std::unique_ptr<WritableFile> file;
   TOPK_ASSIGN_OR_RETURN(file, env->NewWritableFile(path));
+  // Stack: base -> retry -> double buffer. Background flushes retry their
+  // transient failures on the pool thread; only an exhausted retry budget
+  // reaches the double buffer's latch (with the attempt count recorded in
+  // the message).
+  file = MaybeWrapWithRetries(std::move(file), path, retry);
   if (io_pool != nullptr) {
     file = std::make_unique<DoubleBufferedWriter>(std::move(file), io_pool);
   }
@@ -75,17 +80,22 @@ Result<RunMeta> RunWriter::Finish() {
   return meta_;
 }
 
-RunReader::RunReader(std::unique_ptr<BlockReader> reader)
-    : reader_(std::move(reader)) {
+RunReader::RunReader(std::unique_ptr<BlockReader> reader,
+                     const RunReadVerification& verify)
+    : reader_(std::move(reader)), verify_(verify) {
   scratch_.resize(kRowHeaderBytes);
 }
 
-Result<std::unique_ptr<RunReader>> RunReader::Open(StorageEnv* env,
-                                                   const std::string& path,
-                                                   size_t block_bytes,
-                                                   ThreadPool* prefetch_pool) {
+Result<std::unique_ptr<RunReader>> RunReader::Open(
+    StorageEnv* env, const std::string& path, size_t block_bytes,
+    ThreadPool* prefetch_pool, const RetryPolicy& retry,
+    const RunReadVerification& verify) {
   std::unique_ptr<SequentialFile> file;
   TOPK_ASSIGN_OR_RETURN(file, env->NewSequentialFile(path));
+  // Stack: base -> retry -> prefetcher. Background prefetches retry their
+  // transient failures on the pool thread; only an exhausted budget is
+  // latched and surfaced to the merge.
+  file = MaybeWrapWithRetries(std::move(file), path, retry);
   if (prefetch_pool != nullptr) {
     file = std::make_unique<PrefetchingBlockReader>(std::move(file),
                                                     prefetch_pool, block_bytes);
@@ -98,17 +108,38 @@ Result<std::unique_ptr<RunReader>> RunReader::Open(StorageEnv* env,
   if (eof || std::memcmp(magic, kRunFileMagic, 8) != 0) {
     return Status::Corruption("not a run file: " + path);
   }
-  return std::unique_ptr<RunReader>(new RunReader(std::move(block_reader)));
+  return std::unique_ptr<RunReader>(
+      new RunReader(std::move(block_reader), verify));
 }
 
 Status RunReader::SkipToByte(uint64_t bytes) {
+  skipped_ = true;
   return reader_->Skip(bytes);
 }
 
 Status RunReader::Next(Row* row, bool* eof) {
   TOPK_RETURN_NOT_OK(
       reader_->ReadExact(kRowHeaderBytes, scratch_.data(), eof));
-  if (*eof) return Status::OK();
+  const bool verifying = verify_.enabled && !skipped_;
+  if (*eof) {
+    // Clean end of run: with the whole run read, the stream must match the
+    // checksum and row count recorded at write time. Catches bit flips
+    // (silent storage corruption) and truncation at a row boundary, which
+    // the framing checks below cannot see.
+    if (verifying) {
+      if (rows_read_ != verify_.expected_rows) {
+        return Status::Corruption(
+            "run " + std::to_string(verify_.run_id) + " has " +
+            std::to_string(rows_read_) + " rows, expected " +
+            std::to_string(verify_.expected_rows));
+      }
+      if (crc_ != verify_.expected_crc32c) {
+        return Status::Corruption("run " + std::to_string(verify_.run_id) +
+                                  " CRC-32C mismatch on read");
+      }
+    }
+    return Status::OK();
+  }
   size_t offset = 0;
   double key = 0.0;
   uint64_t id = 0;
@@ -130,6 +161,11 @@ Status RunReader::Next(Row* row, bool* eof) {
     TOPK_RETURN_NOT_OK(
         reader_->ReadExact(len, row->payload.data(), &payload_eof));
     if (payload_eof) return Status::Corruption("run truncated mid-row");
+  }
+  if (verifying) {
+    crc_ = Crc32c(crc_, scratch_.data(), kRowHeaderBytes);
+    if (len > 0) crc_ = Crc32c(crc_, row->payload.data(), len);
+    ++rows_read_;
   }
   return Status::OK();
 }

@@ -11,6 +11,7 @@
 #include "common/thread_pool.h"
 #include "histogram/bucket.h"
 #include "io/block_io.h"
+#include "io/retry.h"
 #include "io/storage_env.h"
 #include "row/row.h"
 
@@ -60,13 +61,16 @@ class RunWriter {
   /// `index_stride` > 0 records a RunIndexEntry every that-many rows.
   /// A non-null `io_pool` routes full blocks through a DoubleBufferedWriter
   /// so the storage round trip overlaps with run generation; the writer
-  /// must not outlive the pool.
+  /// must not outlive the pool. `retry` governs transient-failure retries
+  /// of every block write (stacked *under* the double buffer, so backoff
+  /// runs on the pool thread).
   static Result<std::unique_ptr<RunWriter>> Create(
       StorageEnv* env, std::string path, uint64_t run_id,
       const RowComparator& comparator,
       size_t block_bytes = kDefaultBlockBytes,
       uint64_t index_stride = kDefaultIndexStride,
-      ThreadPool* io_pool = nullptr);
+      ThreadPool* io_pool = nullptr,
+      const RetryPolicy& retry = RetryPolicy());
 
   Status Append(const Row& row);
 
@@ -91,29 +95,57 @@ class RunWriter {
   bool finished_ = false;
 };
 
+/// Inline integrity checking for a RunReader: when enabled, the reader
+/// accumulates CRC-32C over every serialized row it returns and, at a clean
+/// EOF, checks row count and checksum against the values recorded at write
+/// time. A mismatch is permanent Corruption — by definition not transient,
+/// so the retry layer never touches it. The check is skipped when the run
+/// was entered mid-file via SkipToByte (the prefix never passed through the
+/// CRC) or abandoned before EOF (a k-limited merge).
+struct RunReadVerification {
+  bool enabled = false;
+  uint32_t expected_crc32c = 0;
+  uint64_t expected_rows = 0;
+  /// For error messages only.
+  uint64_t run_id = 0;
+};
+
 /// Streams rows back from a run file in sorted order.
 class RunReader {
  public:
   /// A non-null `prefetch_pool` inserts a PrefetchingBlockReader under the
   /// block reader so the next block is fetched while the current one is
-  /// merged; the reader must not outlive the pool.
+  /// merged; the reader must not outlive the pool. `retry` governs
+  /// transient-failure retries of every block read (under the prefetcher,
+  /// so backoff rides the pool thread); `verify` enables inline CRC/row
+  /// count verification at EOF.
   static Result<std::unique_ptr<RunReader>> Open(
       StorageEnv* env, const std::string& path,
       size_t block_bytes = kDefaultBlockBytes,
-      ThreadPool* prefetch_pool = nullptr);
+      ThreadPool* prefetch_pool = nullptr,
+      const RetryPolicy& retry = RetryPolicy(),
+      const RunReadVerification& verify = RunReadVerification());
 
-  /// Reads the next row. Sets `*eof` at end of run.
+  /// Reads the next row. Sets `*eof` at end of run; with verification
+  /// enabled a clean EOF that fails the CRC / row-count check returns
+  /// Corruption instead.
   Status Next(Row* row, bool* eof);
 
   /// Skips `bytes` of row data (must land exactly on a row boundary, e.g.
   /// a RunIndexEntry position). Only valid before the first Next().
+  /// Disables EOF verification: the skipped prefix cannot be checksummed.
   Status SkipToByte(uint64_t bytes);
 
  private:
-  explicit RunReader(std::unique_ptr<BlockReader> reader);
+  RunReader(std::unique_ptr<BlockReader> reader,
+            const RunReadVerification& verify);
 
   std::unique_ptr<BlockReader> reader_;
   std::vector<char> scratch_;
+  RunReadVerification verify_;
+  uint32_t crc_ = 0;
+  uint64_t rows_read_ = 0;
+  bool skipped_ = false;
 };
 
 /// Magic bytes at the head of every run file.

@@ -5,11 +5,28 @@
 
 #include "common/crc32.h"
 #include "common/logging.h"
+#include "common/random.h"
 #include "io/manifest.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "row/serialization.h"
 
 namespace topk {
+
+namespace {
+
+MetricsCounter& RunsRestoredCounter() {
+  static MetricsCounter* counter =
+      GlobalMetrics().GetCounter("resume.runs_restored");
+  return *counter;
+}
+MetricsCounter& RunsQuarantinedCounter() {
+  static MetricsCounter* counter =
+      GlobalMetrics().GetCounter("resume.runs_quarantined");
+  return *counter;
+}
+
+}  // namespace
 
 SpillManager::SpillManager(StorageEnv* env, std::string dir,
                            const IoPipelineOptions& io)
@@ -57,7 +74,8 @@ Result<std::unique_ptr<SpillManager>> SpillManager::Restore(
   manager->owns_dir_ = false;
   std::vector<RunMeta> runs;
   TOPK_ASSIGN_OR_RETURN(
-      runs, ReadManifest(env, manager->dir_ + "/" + manifest_filename));
+      runs, ReadManifest(env, manager->dir_ + "/" + manifest_filename,
+                         io.retry));
   uint64_t max_id = 0;
   for (RunMeta& run : runs) {
     if (verify_runs) {
@@ -74,11 +92,51 @@ Result<std::unique_ptr<SpillManager>> SpillManager::Restore(
   return manager;
 }
 
+Result<std::unique_ptr<SpillManager>> SpillManager::OpenExisting(
+    StorageEnv* env, std::string dir, const std::string& manifest_filename,
+    const RowComparator& comparator, const IoPipelineOptions& io,
+    RestoreReport* report) {
+  auto manager = std::unique_ptr<SpillManager>(
+      new SpillManager(env, std::move(dir), io));
+  // A failed open must leave the crashed operator's state on disk.
+  manager->owns_dir_ = false;
+  std::vector<RunMeta> runs;
+  TOPK_ASSIGN_OR_RETURN(
+      runs, ReadManifest(env, manager->dir_ + "/" + manifest_filename,
+                         io.retry));
+  uint64_t max_id = 0;
+  for (RunMeta& run : runs) {
+    // Ids of quarantined runs count too: merge output written after the
+    // resume must never collide with a leftover (possibly corrupt) file.
+    max_id = std::max(max_id, run.id);
+    Status verified = manager->VerifyRun(run, comparator);
+    if (verified.ok()) {
+      RunsRestoredCounter().Add(1);
+      if (report != nullptr) ++report->runs_restored;
+      manager->AddRun(std::move(run));
+    } else {
+      RunsQuarantinedCounter().Add(1);
+      TOPK_LOG(Warning) << "quarantining run " << run.id << " (" << run.path
+                        << "): " << verified.ToString();
+      if (report != nullptr) {
+        report->quarantined.push_back(
+            QuarantinedRun{std::move(run), std::move(verified)});
+      }
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(manager->mu_);
+    manager->next_run_id_ = runs.empty() ? 0 : max_id + 1;
+  }
+  manager->owns_dir_ = true;
+  return manager;
+}
+
 Status SpillManager::SaveManifest(const std::string& manifest_filename) const {
   const std::string path = dir_ + "/" + manifest_filename;
   if (io_pool_ == nullptr) {
     TraceSpan span("manifest.save", "io");
-    return WriteManifest(env_, path, runs());
+    return WriteManifest(env_, path, runs(), io_options_.retry);
   }
   // Snapshot the registry now (the manifest reflects the state at the call),
   // then ship the storage round trip to the pool. One write in flight at a
@@ -96,7 +154,7 @@ Status SpillManager::SaveManifest(const std::string& manifest_filename) const {
   io_pool_->Schedule([this, path, snapshot = std::move(snapshot)] {
     TraceSpan span("manifest.save", "io.bg",
                    {TraceArg("runs", snapshot.size())});
-    Status status = WriteManifest(env_, path, snapshot);
+    Status status = WriteManifest(env_, path, snapshot, io_options_.retry);
     std::lock_guard<std::mutex> inner(manifest_mu_);
     if (!status.ok() && manifest_latched_.ok()) manifest_latched_ = status;
     manifest_inflight_ = false;
@@ -122,44 +180,106 @@ Result<std::unique_ptr<RunWriter>> SpillManager::NewRun(
   }
   std::string path = dir_ + "/run-" + std::to_string(id) + ".tkr";
   return RunWriter::Create(env_, std::move(path), id, comparator,
-                           kDefaultBlockBytes, index_stride, io_pool_.get());
+                           kDefaultBlockBytes, index_stride, io_pool_.get(),
+                           io_options_.retry);
 }
 
 void SpillManager::AddRun(RunMeta meta) {
-  std::lock_guard<std::mutex> lock(mu_);
-  total_rows_spilled_ += meta.rows;
-  total_bytes_spilled_ += meta.bytes;
-  ++total_runs_created_;
-  runs_.push_back(std::move(meta));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    total_rows_spilled_ += meta.rows;
+    total_bytes_spilled_ += meta.bytes;
+    ++total_runs_created_;
+    runs_.push_back(std::move(meta));
+  }
+  // Outside mu_: CheckpointManifest snapshots the registry itself. Errors
+  // are latched there; registration is not undone by a failed checkpoint.
+  CheckpointManifest();
 }
 
 Status SpillManager::RemoveRun(uint64_t run_id) {
   std::string path;
+  TOPK_ASSIGN_OR_RETURN(path, ReleaseRun(run_id));
+  return DeleteSpillFile(path);
+}
+
+Result<std::string> SpillManager::ReleaseRun(uint64_t run_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = std::find_if(runs_.begin(), runs_.end(),
+                         [&](const RunMeta& m) { return m.id == run_id; });
+  if (it == runs_.end()) {
+    return Status::NotFound("run " + std::to_string(run_id) +
+                            " not registered");
+  }
+  std::string path = it->path;
+  runs_.erase(it);
+  return path;
+}
+
+Status SpillManager::DeleteSpillFile(const std::string& path) {
+  // Deterministic per-path jitter seed; a local RNG keeps concurrent
+  // deletes race-free without another manager-wide lock.
+  Random rng(io_options_.retry.jitter_seed ^
+             static_cast<uint64_t>(std::hash<std::string>{}(path)));
+  return RetryOp(io_options_.retry, "delete " + path, &rng,
+                 [&] { return env_->DeleteFile(path); });
+}
+
+void SpillManager::SetAutoManifest(std::string manifest_filename) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto_manifest_ = std::move(manifest_filename);
+}
+
+bool SpillManager::auto_manifest_enabled() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return !auto_manifest_.empty();
+}
+
+Status SpillManager::CheckpointManifest() {
+  std::string filename;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    auto it = std::find_if(runs_.begin(), runs_.end(),
-                           [&](const RunMeta& m) { return m.id == run_id; });
-    if (it == runs_.end()) {
-      return Status::NotFound("run " + std::to_string(run_id) +
-                              " not registered");
-    }
-    path = it->path;
-    runs_.erase(it);
+    filename = auto_manifest_;
   }
-  return env_->DeleteFile(path);
+  if (filename.empty()) return Status::OK();
+  Status status = SaveManifest(filename);
+  if (!status.ok()) {
+    // Mirror the background-write contract: a failed checkpoint stays
+    // latched until FlushManifest surfaces it.
+    std::lock_guard<std::mutex> lock(manifest_mu_);
+    if (manifest_latched_.ok()) manifest_latched_ = status;
+  }
+  return status;
+}
+
+void SpillManager::DisownDir() {
+  std::lock_guard<std::mutex> lock(mu_);
+  owns_dir_ = false;
 }
 
 Result<std::unique_ptr<RunReader>> SpillManager::OpenRun(
     const RunMeta& meta) const {
   ThreadPool* prefetch_pool =
       io_options_.enable_prefetch ? io_pool_.get() : nullptr;
-  return RunReader::Open(env_, meta.path, kDefaultBlockBytes, prefetch_pool);
+  RunReadVerification verify;
+  if (io_options_.verify_read_checksums) {
+    verify.enabled = true;
+    verify.expected_crc32c = meta.crc32c;
+    verify.expected_rows = meta.rows;
+    verify.run_id = meta.id;
+  }
+  return RunReader::Open(env_, meta.path, kDefaultBlockBytes, prefetch_pool,
+                         io_options_.retry, verify);
 }
 
 Status SpillManager::VerifyRun(const RunMeta& meta,
                                const RowComparator& comparator) const {
   std::unique_ptr<RunReader> reader;
-  TOPK_ASSIGN_OR_RETURN(reader, RunReader::Open(env_, meta.path));
+  // No inline verification: this path computes row count, order, and CRC
+  // itself and reports richer mismatch messages.
+  TOPK_ASSIGN_OR_RETURN(
+      reader, RunReader::Open(env_, meta.path, kDefaultBlockBytes,
+                              /*prefetch_pool=*/nullptr, io_options_.retry));
   Row row, previous;
   uint64_t rows = 0;
   uint32_t crc = 0;

@@ -18,6 +18,21 @@
 
 namespace topk {
 
+/// One run that OpenExisting refused to restore, with the reason. The run
+/// file (if any) is left on disk for inspection; it is not registered and
+/// its rows will be missing from a resumed merge.
+struct QuarantinedRun {
+  RunMeta meta;
+  Status reason;
+};
+
+/// What OpenExisting found: how many manifest runs were verified and
+/// registered, and which were quarantined instead of aborting the restore.
+struct RestoreReport {
+  size_t runs_restored = 0;
+  std::vector<QuarantinedRun> quarantined;
+};
+
 /// Owns the temporary directory where an operator's sorted runs live,
 /// allocates run ids/paths, keeps the registry of finished runs (with their
 /// histograms), and cleans everything up on destruction. One instance per
@@ -40,6 +55,18 @@ class SpillManager {
       StorageEnv* env, std::string dir, const std::string& manifest_filename,
       bool verify_runs, const RowComparator& comparator = RowComparator(),
       const IoPipelineOptions& io = {});
+
+  /// The crash-recovery variant of Restore: every manifest run is verified
+  /// end-to-end, and a run that fails verification (missing file, torn
+  /// tail, checksum mismatch) is *quarantined* — recorded in `report` and
+  /// left on disk, but not registered — instead of failing the whole
+  /// restore. Only an unreadable manifest is fatal. Run-id allocation
+  /// continues past every id the manifest mentions, including quarantined
+  /// ones, so recovered merge output never collides with leftover files.
+  static Result<std::unique_ptr<SpillManager>> OpenExisting(
+      StorageEnv* env, std::string dir, const std::string& manifest_filename,
+      const RowComparator& comparator = RowComparator(),
+      const IoPipelineOptions& io = {}, RestoreReport* report = nullptr);
 
   /// Writes the current run registry as a manifest file inside the spill
   /// directory. Safe to call repeatedly (e.g. after every finished run).
@@ -69,12 +96,44 @@ class SpillManager {
       const RowComparator& comparator,
       uint64_t index_stride = kDefaultIndexStride);
 
-  /// Registers a finished run in the registry.
+  /// Registers a finished run in the registry. With auto-manifest enabled
+  /// (SetAutoManifest) this also checkpoints the manifest, making the run
+  /// registration itself the durable commit point of a merge step.
   void AddRun(RunMeta meta);
 
   /// Removes a run from the registry and deletes its file (used after a
   /// merge step consumed it).
   Status RemoveRun(uint64_t run_id);
+
+  /// Removes a run from the registry *without* deleting its file, returning
+  /// the file path. Crash-safe merge steps use this: inputs are released,
+  /// the merged output is registered (checkpointing the manifest), and only
+  /// once that checkpoint is durable are the released files deleted — so a
+  /// crash at any point leaves a manifest whose runs all exist on disk.
+  Result<std::string> ReleaseRun(uint64_t run_id);
+
+  /// Deletes a spill file that is no longer registered (a released merge
+  /// input, or an empty merge output). Transient delete faults are retried
+  /// under the manager's RetryPolicy.
+  Status DeleteSpillFile(const std::string& path);
+
+  /// Enables auto-manifest mode: every AddRun checkpoints the registry to
+  /// `<dir>/<manifest_filename>`. Callers that need the checkpoint durable
+  /// (e.g. before deleting merge inputs) follow up with FlushManifest().
+  void SetAutoManifest(std::string manifest_filename);
+
+  bool auto_manifest_enabled() const;
+
+  /// Writes the manifest now if auto-manifest mode is on (no-op otherwise).
+  /// Non-OK results are also latched for FlushManifest, like background
+  /// manifest writes.
+  Status CheckpointManifest();
+
+  /// Tells the destructor to leave the spill directory (and every file in
+  /// it) on disk. Used when suspending an operator whose state a later
+  /// process will resume, and after a failed merge whose runs are still
+  /// recoverable through the manifest.
+  void DisownDir();
 
   /// Opens a registered run for reading.
   Result<std::unique_ptr<RunReader>> OpenRun(const RunMeta& meta) const;
@@ -123,6 +182,8 @@ class SpillManager {
   bool owns_dir_ = true;
 
   mutable std::mutex mu_;
+  /// Non-empty once SetAutoManifest was called (guarded by mu_).
+  std::string auto_manifest_;
   uint64_t next_run_id_ = 0;
   std::vector<RunMeta> runs_;
   uint64_t total_rows_spilled_ = 0;

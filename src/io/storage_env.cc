@@ -2,10 +2,12 @@
 
 #include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <thread>
 
+#include "common/logging.h"
 #include "common/stopwatch.h"
 #include "obs/metrics.h"
 
@@ -26,6 +28,29 @@ LatencyHistogram& ReadLatencyHistogram() {
   return *histogram;
 }
 
+// Injected-fault counters, by kind. Exported so a test (or an operator
+// dashboard) can confirm the profile actually fired.
+MetricsCounter& TransientFaultCounter() {
+  static MetricsCounter* counter =
+      GlobalMetrics().GetCounter("storage.fault.transient");
+  return *counter;
+}
+MetricsCounter& LatencySpikeCounter() {
+  static MetricsCounter* counter =
+      GlobalMetrics().GetCounter("storage.fault.latency_spike");
+  return *counter;
+}
+MetricsCounter& TornWriteCounter() {
+  static MetricsCounter* counter =
+      GlobalMetrics().GetCounter("storage.fault.torn_write");
+  return *counter;
+}
+MetricsCounter& BitFlipCounter() {
+  static MetricsCounter* counter =
+      GlobalMetrics().GetCounter("storage.fault.bit_flip");
+  return *counter;
+}
+
 void MaybeSleep(int64_t nanos) {
   if (nanos > 0) {
     std::this_thread::sleep_for(std::chrono::nanoseconds(nanos));
@@ -38,21 +63,142 @@ std::string ErrnoMessage(const std::string& context) {
 
 }  // namespace
 
+Result<FaultProfile> FaultProfile::Parse(const std::string& spec) {
+  FaultProfile profile;
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t end = spec.find(',', pos);
+    if (end == std::string::npos) end = spec.size();
+    const std::string pair = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (pair.empty()) continue;
+    const size_t eq = pair.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("fault profile entry '" + pair +
+                                     "' is not key=value");
+    }
+    const std::string key = pair.substr(0, eq);
+    const std::string value = pair.substr(eq + 1);
+    char* parse_end = nullptr;
+    const double number = std::strtod(value.c_str(), &parse_end);
+    if (parse_end == value.c_str() || *parse_end != '\0') {
+      return Status::InvalidArgument("bad fault profile value '" + value +
+                                     "' for key '" + key + "'");
+    }
+    if (key == "transient" || key == "spike" || key == "torn" ||
+        key == "bitflip") {
+      if (number < 0.0 || number > 1.0) {
+        return Status::InvalidArgument("fault rate '" + key +
+                                       "' must be in [0, 1]");
+      }
+      if (key == "transient") profile.transient_fault_rate = number;
+      if (key == "spike") profile.latency_spike_rate = number;
+      if (key == "torn") profile.torn_write_rate = number;
+      if (key == "bitflip") profile.bit_flip_rate = number;
+    } else if (key == "spike-us") {
+      if (number < 0) {
+        return Status::InvalidArgument("spike-us must be >= 0");
+      }
+      profile.latency_spike_nanos = static_cast<int64_t>(number * 1000.0);
+    } else if (key == "seed") {
+      profile.seed = static_cast<uint64_t>(number);
+    } else {
+      return Status::InvalidArgument("unknown fault profile key '" + key +
+                                     "'");
+    }
+  }
+  return profile;
+}
+
+std::string FaultProfile::ToString() const {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "transient=%g,spike=%g,spike-us=%lld,torn=%g,bitflip=%g,"
+                "seed=%llu",
+                transient_fault_rate, latency_spike_rate,
+                static_cast<long long>(latency_spike_nanos / 1000),
+                torn_write_rate, bit_flip_rate,
+                static_cast<unsigned long long>(seed));
+  return buf;
+}
+
+void StorageEnv::SetFaultProfile(const FaultProfile& profile) {
+  std::lock_guard<std::mutex> lock(fault_mu_);
+  fault_profile_ = profile;
+  fault_rng_ = Random(profile.seed);
+}
+
+StorageEnv::FaultAction StorageEnv::DrawFault(FaultOp op) {
+  if (!fault_profile_.enabled()) return FaultAction::kNone;
+  std::lock_guard<std::mutex> lock(fault_mu_);
+  // One draw per call, mapped onto the cumulative rate ranges so the
+  // categories are mutually exclusive and the sequence is reproducible.
+  const double u = fault_rng_.NextDouble();
+  double threshold = fault_profile_.transient_fault_rate;
+  if (u < threshold) {
+    TransientFaultCounter().Add(1);
+    return FaultAction::kTransient;
+  }
+  if (op == FaultOp::kWrite) {
+    threshold += fault_profile_.torn_write_rate;
+    if (u < threshold) {
+      TornWriteCounter().Add(1);
+      return FaultAction::kTornWrite;
+    }
+  }
+  if (op == FaultOp::kRead) {
+    threshold += fault_profile_.bit_flip_rate;
+    if (u < threshold) {
+      BitFlipCounter().Add(1);
+      return FaultAction::kBitFlip;
+    }
+  }
+  if (op == FaultOp::kWrite || op == FaultOp::kRead) {
+    threshold += fault_profile_.latency_spike_rate;
+    if (u < threshold) {
+      LatencySpikeCounter().Add(1);
+      return FaultAction::kLatencySpike;
+    }
+  }
+  return FaultAction::kNone;
+}
+
+uint64_t StorageEnv::DrawFaultUint64(uint64_t bound) {
+  std::lock_guard<std::mutex> lock(fault_mu_);
+  return fault_rng_.NextUint64(bound);
+}
+
 class LocalWritableFile : public WritableFile {
  public:
   LocalWritableFile(std::FILE* file, std::string path, StorageEnv* env)
       : file_(file), path_(std::move(path)), env_(env) {}
 
   ~LocalWritableFile() override {
-    if (file_ != nullptr) std::fclose(file_);
+    if (file_ == nullptr) return;
+    if (std::fclose(file_) != 0) {
+      TOPK_LOG(Warning) << "close failed in destructor for " << path_ << ": "
+                        << std::strerror(errno);
+    }
   }
 
   Status Append(std::string_view data) override {
     if (file_ == nullptr) {
       return Status::FailedPrecondition("append to closed file " + path_);
     }
+    if (!poisoned_.ok()) return poisoned_;
     if (env_->ShouldFailWrite()) {
       return Status::IoError("injected write failure on " + path_);
+    }
+    // Transient failures fire before any byte reaches storage, so a retry
+    // of the same Append is always safe on this append-only format.
+    if (env_->ConsumeTransientWrite()) {
+      return Status::Unavailable("injected transient write failure on " +
+                                 path_);
+    }
+    const StorageEnv::FaultAction fault =
+        env_->DrawFault(StorageEnv::FaultOp::kWrite);
+    if (fault == StorageEnv::FaultAction::kTransient) {
+      return Status::Unavailable("transient write fault on " + path_);
     }
     const uint64_t quota = env_->options().max_bytes_written;
     if (quota > 0 &&
@@ -63,6 +209,25 @@ class LocalWritableFile : public WritableFile {
     }
     Stopwatch watch;
     MaybeSleep(env_->options().write_latency_nanos);
+    if (fault == StorageEnv::FaultAction::kLatencySpike) {
+      MaybeSleep(env_->fault_profile().latency_spike_nanos);
+    }
+    if (fault == StorageEnv::FaultAction::kTornWrite && !data.empty()) {
+      // A prefix lands on storage, then the handle dies. Permanent: a
+      // retry would duplicate the prefix, so this must never be retried.
+      const size_t prefix =
+          static_cast<size_t>(env_->DrawFaultUint64(data.size()));
+      if (prefix > 0) {
+        const size_t written =
+            std::fwrite(data.data(), 1, prefix, file_);
+        env_->stats()->RecordWrite(written, watch.ElapsedNanos());
+      }
+      poisoned_ = Status::IoError(
+          "torn write on " + path_ + ": connection lost after " +
+          std::to_string(prefix) + " of " + std::to_string(data.size()) +
+          " bytes");
+      return poisoned_;
+    }
     const size_t written = std::fwrite(data.data(), 1, data.size(), file_);
     if (written != data.size()) {
       return Status::IoError(ErrnoMessage("short write to " + path_));
@@ -77,6 +242,14 @@ class LocalWritableFile : public WritableFile {
     if (file_ == nullptr) {
       return Status::FailedPrecondition("flush of closed file " + path_);
     }
+    if (!poisoned_.ok()) return poisoned_;
+    if (env_->ShouldFailFlush()) {
+      return Status::IoError("injected flush failure on " + path_);
+    }
+    if (env_->DrawFault(StorageEnv::FaultOp::kFlush) ==
+        StorageEnv::FaultAction::kTransient) {
+      return Status::Unavailable("transient flush fault on " + path_);
+    }
     if (std::fflush(file_) != 0) {
       return Status::IoError(ErrnoMessage("flush failed for " + path_));
     }
@@ -85,8 +258,17 @@ class LocalWritableFile : public WritableFile {
 
   Status Close() override {
     if (file_ == nullptr) return Status::OK();
+    if (env_->ShouldFailClose()) {
+      return Status::IoError("injected close failure on " + path_);
+    }
+    if (env_->DrawFault(StorageEnv::FaultOp::kClose) ==
+        StorageEnv::FaultAction::kTransient) {
+      // The handle stays open: a retried Close can still succeed.
+      return Status::Unavailable("transient close fault on " + path_);
+    }
     const int rc = std::fclose(file_);
     file_ = nullptr;
+    if (!poisoned_.ok()) return poisoned_;
     if (rc != 0) {
       return Status::IoError(ErrnoMessage("close failed for " + path_));
     }
@@ -97,6 +279,8 @@ class LocalWritableFile : public WritableFile {
   std::FILE* file_;
   std::string path_;
   StorageEnv* env_;
+  /// Set by a torn write; every later call returns it (permanent).
+  Status poisoned_;
 };
 
 class LocalSequentialFile : public SequentialFile {
@@ -113,11 +297,31 @@ class LocalSequentialFile : public SequentialFile {
     if (env_->ShouldFailRead()) {
       return Status::IoError("injected read failure on " + path_);
     }
+    // Transient failures fire before the file position advances, so a
+    // retried Read resumes exactly where the failed one would have.
+    if (env_->ConsumeTransientRead()) {
+      return Status::Unavailable("injected transient read failure on " +
+                                 path_);
+    }
+    const StorageEnv::FaultAction fault =
+        env_->DrawFault(StorageEnv::FaultOp::kRead);
+    if (fault == StorageEnv::FaultAction::kTransient) {
+      return Status::Unavailable("transient read fault on " + path_);
+    }
     Stopwatch watch;
     MaybeSleep(env_->options().read_latency_nanos);
+    if (fault == StorageEnv::FaultAction::kLatencySpike) {
+      MaybeSleep(env_->fault_profile().latency_spike_nanos);
+    }
     const size_t got = std::fread(scratch, 1, n, file_);
     if (got < n && std::ferror(file_)) {
       return Status::IoError(ErrnoMessage("read failed for " + path_));
+    }
+    if (fault == StorageEnv::FaultAction::kBitFlip && got > 0) {
+      // Silent corruption: the read "succeeds". Only checksum verification
+      // downstream can catch this.
+      const uint64_t bit = env_->DrawFaultUint64(got * 8);
+      scratch[bit / 8] ^= static_cast<char>(1u << (bit % 8));
     }
     *bytes_read = got;
     const int64_t nanos = watch.ElapsedNanos();
@@ -165,6 +369,69 @@ bool StorageEnv::ShouldFailRead() {
   return false;
 }
 
+bool StorageEnv::ShouldFailFlush() {
+  const uint64_t target = fail_flush_at_.load(std::memory_order_relaxed);
+  if (target == 0) return false;
+  const uint64_t seen =
+      flush_calls_seen_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (seen == target) {
+    fail_flush_at_.store(0, std::memory_order_relaxed);
+    flush_calls_seen_.store(0, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+bool StorageEnv::ShouldFailClose() {
+  const uint64_t target = fail_close_at_.load(std::memory_order_relaxed);
+  if (target == 0) return false;
+  const uint64_t seen =
+      close_calls_seen_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (seen == target) {
+    fail_close_at_.store(0, std::memory_order_relaxed);
+    close_calls_seen_.store(0, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+bool StorageEnv::ShouldFailDelete() {
+  const uint64_t target = fail_delete_at_.load(std::memory_order_relaxed);
+  if (target == 0) return false;
+  const uint64_t seen =
+      delete_calls_seen_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (seen == target) {
+    fail_delete_at_.store(0, std::memory_order_relaxed);
+    delete_calls_seen_.store(0, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+bool StorageEnv::ConsumeTransientWrite() {
+  uint64_t left = transient_writes_left_.load(std::memory_order_relaxed);
+  while (left > 0) {
+    if (transient_writes_left_.compare_exchange_weak(
+            left, left - 1, std::memory_order_relaxed)) {
+      TransientFaultCounter().Add(1);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool StorageEnv::ConsumeTransientRead() {
+  uint64_t left = transient_reads_left_.load(std::memory_order_relaxed);
+  while (left > 0) {
+    if (transient_reads_left_.compare_exchange_weak(
+            left, left - 1, std::memory_order_relaxed)) {
+      TransientFaultCounter().Add(1);
+      return true;
+    }
+  }
+  return false;
+}
+
 Result<std::unique_ptr<WritableFile>> StorageEnv::NewWritableFile(
     const std::string& path) {
   std::FILE* file = std::fopen(path.c_str(), "wb");
@@ -187,6 +454,12 @@ Result<std::unique_ptr<SequentialFile>> StorageEnv::NewSequentialFile(
 }
 
 Status StorageEnv::DeleteFile(const std::string& path) {
+  if (ShouldFailDelete()) {
+    return Status::IoError("injected delete failure on " + path);
+  }
+  if (DrawFault(FaultOp::kDelete) == FaultAction::kTransient) {
+    return Status::Unavailable("transient delete fault on " + path);
+  }
   std::error_code ec;
   if (!std::filesystem::remove(path, ec)) {
     if (ec) return Status::IoError("cannot delete " + path + ": " + ec.message());

@@ -4,14 +4,58 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 
+#include "common/random.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "io/io_stats.h"
 
 namespace topk {
+
+/// Probabilistic fault model for the storage substrate, emulating the
+/// failure modes of disaggregated storage (Sec 2.1: every I/O is a network
+/// round trip): transient errors that succeed on retry, latency spikes,
+/// torn writes, and silent bit flips. All draws come from one deterministic
+/// xoshiro256** stream seeded by `seed`, so a single-threaded run replays
+/// the exact same fault sequence.
+///
+/// Fault classification contract:
+///   * transient   -> Status::Unavailable (retryable; nothing was written /
+///                    read, so a retry is always safe)
+///   * torn write  -> a prefix of the block hits storage, the handle is
+///                    poisoned, and every later call returns the same
+///                    permanent IoError (never retried)
+///   * bit flip    -> Read succeeds with one corrupted bit; only checksum
+///                    verification can catch it (Corruption, never retried)
+///   * latency spike -> the call succeeds after an extra sleep
+struct FaultProfile {
+  /// Probability that an injectable call fails with Unavailable.
+  double transient_fault_rate = 0.0;
+  /// Probability that a read/write call sleeps `latency_spike_nanos` extra.
+  double latency_spike_rate = 0.0;
+  int64_t latency_spike_nanos = 2'000'000;  // 2 ms
+  /// Probability that an Append persists only a prefix and poisons the
+  /// handle permanently.
+  double torn_write_rate = 0.0;
+  /// Probability that a Read silently flips one bit of the returned data.
+  double bit_flip_rate = 0.0;
+  uint64_t seed = 0x5eed;
+
+  bool enabled() const {
+    return transient_fault_rate > 0 || latency_spike_rate > 0 ||
+           torn_write_rate > 0 || bit_flip_rate > 0;
+  }
+
+  /// Parses a `--fault-profile` spec: comma-separated key=value pairs with
+  /// keys transient, spike, spike-us, torn, bitflip, seed, e.g.
+  ///   "transient=0.01,spike=0.005,spike-us=2000,torn=0.001,seed=7".
+  static Result<FaultProfile> Parse(const std::string& spec);
+
+  std::string ToString() const;
+};
 
 /// Append-only file handle produced by StorageEnv.
 class WritableFile {
@@ -41,9 +85,18 @@ class SequentialFile {
 /// round trip; the essential property — sequential spills dominate cost,
 /// random I/O is prohibitively expensive — is preserved either way.
 ///
-/// The env also supports failure injection (fail the Nth write/read call),
-/// which the tests use to verify that I/O errors propagate as Status through
-/// every operator instead of crashing or corrupting results.
+/// The env also supports failure injection, which the tests use to verify
+/// that I/O errors propagate as Status through every operator instead of
+/// crashing or corrupting results. Three mechanisms, composable:
+///   * Nth-call permanent failures (InjectWriteFailure & friends): the Nth
+///     call from now fails with IoError, exactly once. Permanent — the
+///     retry layer must surface it, not mask it.
+///   * Scripted transient failures (InjectTransientWriteFailures &c.): the
+///     next N calls fail with Unavailable, then calls succeed again —
+///     deterministic fuel for retry tests.
+///   * A probabilistic FaultProfile (SetFaultProfile) driven by the
+///     deterministic RNG, covering transients, latency spikes, torn writes
+///     and bit flips.
 class StorageEnv {
  public:
   struct Options {
@@ -80,21 +133,77 @@ class StorageEnv {
   void InjectWriteFailure(uint64_t nth_call) { fail_write_at_ = nth_call; }
   /// Same for reads.
   void InjectReadFailure(uint64_t nth_call) { fail_read_at_ = nth_call; }
+  /// Same for Flush(), Close(), and DeleteFile() — the calls whose dropped
+  /// errors historically hid data loss.
+  void InjectFlushFailure(uint64_t nth_call) { fail_flush_at_ = nth_call; }
+  void InjectCloseFailure(uint64_t nth_call) { fail_close_at_ = nth_call; }
+  void InjectDeleteFailure(uint64_t nth_call) { fail_delete_at_ = nth_call; }
+
+  /// Scripted transient failures: the next `calls` Append() calls fail with
+  /// Unavailable (nothing written), then succeed again. Deterministic fuel
+  /// for retry tests. Additive with any FaultProfile.
+  void InjectTransientWriteFailures(uint64_t calls) {
+    transient_writes_left_ = calls;
+  }
+  /// Same for reads.
+  void InjectTransientReadFailures(uint64_t calls) {
+    transient_reads_left_ = calls;
+  }
+
+  /// Installs (or, with a default-constructed profile, removes) the
+  /// probabilistic fault model. Not thread-safe against in-flight I/O;
+  /// install before handing the env to an operator.
+  void SetFaultProfile(const FaultProfile& profile);
+  const FaultProfile& fault_profile() const { return fault_profile_; }
 
  private:
   friend class LocalWritableFile;
   friend class LocalSequentialFile;
 
+  /// The calls the fault model can target.
+  enum class FaultOp { kWrite, kRead, kFlush, kClose, kDelete };
+  /// What the fault model decided for one call.
+  enum class FaultAction { kNone, kTransient, kLatencySpike, kTornWrite,
+                           kBitFlip };
+
   /// Returns true when this call should fail (and consumes the trigger).
   bool ShouldFailWrite();
   bool ShouldFailRead();
+  bool ShouldFailFlush();
+  bool ShouldFailClose();
+  bool ShouldFailDelete();
+  /// Consumes one scripted transient failure, if any are left.
+  bool ConsumeTransientWrite();
+  bool ConsumeTransientRead();
+
+  /// Draws this call's fault from the profile (kNone when disabled). Torn
+  /// writes are only drawn for kWrite, bit flips only for kRead, latency
+  /// spikes only for kWrite/kRead.
+  FaultAction DrawFault(FaultOp op);
+  /// Uniform value in [0, bound) from the fault RNG (for torn-write prefix
+  /// lengths and bit-flip positions).
+  uint64_t DrawFaultUint64(uint64_t bound);
 
   Options options_;
   IoStats stats_;
   std::atomic<uint64_t> fail_write_at_{0};
   std::atomic<uint64_t> fail_read_at_{0};
+  std::atomic<uint64_t> fail_flush_at_{0};
+  std::atomic<uint64_t> fail_close_at_{0};
+  std::atomic<uint64_t> fail_delete_at_{0};
   std::atomic<uint64_t> write_calls_seen_{0};
   std::atomic<uint64_t> read_calls_seen_{0};
+  std::atomic<uint64_t> flush_calls_seen_{0};
+  std::atomic<uint64_t> close_calls_seen_{0};
+  std::atomic<uint64_t> delete_calls_seen_{0};
+  std::atomic<uint64_t> transient_writes_left_{0};
+  std::atomic<uint64_t> transient_reads_left_{0};
+
+  /// Fault-profile state. The RNG is not thread-safe; the mutex serializes
+  /// draws from background I/O threads.
+  FaultProfile fault_profile_;
+  std::mutex fault_mu_;
+  Random fault_rng_;
 };
 
 }  // namespace topk

@@ -67,13 +67,32 @@ Result<std::vector<RunMeta>> ReduceRunsForFinalMerge(
                   [&](Row&& row) { return writer->Append(row); }));
     RunMeta merged;
     TOPK_ASSIGN_OR_RETURN(merged, writer->Finish());
+    // Crash-safe ordering: deregister the inputs but keep their files,
+    // register the output (which checkpoints the manifest when the spill
+    // manager runs in auto-manifest mode), make that checkpoint durable,
+    // and only then delete the input files. A crash at any point leaves a
+    // manifest whose runs — old inputs or the merged output — all still
+    // exist on disk, so the merge can resume from it.
+    std::vector<std::string> consumed_paths;
+    consumed_paths.reserve(inputs.size());
     for (const RunMeta& consumed : inputs) {
-      TOPK_RETURN_NOT_OK(spill->RemoveRun(consumed.id));
+      std::string path;
+      TOPK_ASSIGN_OR_RETURN(path, spill->ReleaseRun(consumed.id));
+      consumed_paths.push_back(std::move(path));
     }
     if (merged.rows > 0) {
       spill->AddRun(merged);
     } else {
-      TOPK_RETURN_NOT_OK(spill->env()->DeleteFile(merged.path));
+      // Nothing survived the cutoff filter; the registry still shrank, so
+      // checkpoint explicitly before the inputs disappear.
+      TOPK_RETURN_NOT_OK(spill->CheckpointManifest());
+      consumed_paths.push_back(merged.path);
+    }
+    if (spill->auto_manifest_enabled()) {
+      TOPK_RETURN_NOT_OK(spill->FlushManifest());
+    }
+    for (const std::string& path : consumed_paths) {
+      TOPK_RETURN_NOT_OK(spill->DeleteSpillFile(path));
     }
     if (stats != nullptr) {
       ++stats->intermediate_steps;

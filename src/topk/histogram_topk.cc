@@ -57,20 +57,15 @@ Result<std::unique_ptr<HistogramTopK>> HistogramTopK::Make(
 }
 
 std::optional<double> HistogramTopK::cutoff() const {
-  if (generator_ != nullptr) {
+  if (filter_ != nullptr) {
     return filter_->cutoff();
   }
   if (heap_saturated_ && !heap_.empty()) return heap_.top().key;
   return std::nullopt;
 }
 
-Status HistogramTopK::SwitchToExternal() {
-  TraceSpan span("topk.switch_to_external", "topk",
-                 {TraceArg("buffered_rows", heap_.size() + ties_.size())});
-  TOPK_ASSIGN_OR_RETURN(spill_,
-                        SpillManager::Create(options_.env, options_.spill_dir,
-                                             options_.io_pipeline()));
-
+CutoffFilter::Options HistogramTopK::MakeFilterOptions(
+    uint64_t expected_run_rows) {
   CutoffFilter::Options filter_options;
   filter_options.k = options_.approx_filter_k > 0 ? options_.approx_filter_k
                                                   : options_.output_rows();
@@ -102,6 +97,23 @@ Status HistogramTopK::SwitchToExternal() {
                       TraceArg("rows_eliminated_input", eliminated),
                       TraceArg("input_pass_rate", pass_rate)});
       };
+  filter_options.target_run_rows = expected_run_rows;
+  return filter_options;
+}
+
+Status HistogramTopK::SwitchToExternal() {
+  TraceSpan span("topk.switch_to_external", "topk",
+                 {TraceArg("buffered_rows", heap_.size() + ties_.size())});
+  TOPK_ASSIGN_OR_RETURN(spill_,
+                        SpillManager::Create(options_.env, options_.spill_dir,
+                                             options_.io_pipeline()));
+  if (!options_.manifest_filename.empty()) {
+    // Keep a manifest checkpointed from the very first run so a crash at
+    // any later point finds a resumable state on disk.
+    spill_->SetAutoManifest(options_.manifest_filename);
+    TOPK_RETURN_NOT_OK(spill_->CheckpointManifest());
+  }
+
   // Bucket width is derived from the expected run length: replacement
   // selection produces runs near twice the rows that fit in memory,
   // truncated by the run-size limit ("A best effort is made to decide the
@@ -112,8 +124,7 @@ Status HistogramTopK::SwitchToExternal() {
   if (options_.limit_run_size_to_output) {
     expected_run_rows = std::min(expected_run_rows, options_.output_rows());
   }
-  filter_options.target_run_rows = expected_run_rows;
-  filter_ = std::make_unique<CutoffFilter>(filter_options);
+  filter_ = std::make_unique<CutoffFilter>(MakeFilterOptions(expected_run_rows));
   observer_ = std::make_unique<FilterObserver>(filter_.get());
 
   RunGeneratorOptions gen_options;
@@ -153,6 +164,10 @@ Status HistogramTopK::SwitchToExternal() {
 Status HistogramTopK::Consume(Row row) {
   if (finished_) {
     return Status::FailedPrecondition("Consume after Finish");
+  }
+  if (resumed_) {
+    return Status::FailedPrecondition(
+        "a resumed operator accepts no input; its runs are already on disk");
   }
   Stopwatch watch;
   ++stats_.rows_consumed;
@@ -249,7 +264,7 @@ Result<std::vector<Row>> HistogramTopK::Finish() {
   Stopwatch watch;
   std::vector<Row> result;
 
-  if (generator_ == nullptr) {
+  if (generator_ == nullptr && !resumed_) {
     // Pure in-memory execution.
     stats_.final_cutoff = cutoff();
     std::vector<Row> rows;
@@ -277,59 +292,80 @@ Result<std::vector<Row>> HistogramTopK::Finish() {
     return result;
   }
 
-  {
-    TraceSpan flush_span("rungen.flush", "topk");
-    TOPK_RETURN_NOT_OK(generator_->Flush());
+  if (resumed_) {
+    // Run generation happened in the pre-crash process; the restored
+    // registry totals are all that remain of it.
+    stats_.rows_spilled = spill_->total_rows_spilled();
+    stats_.runs_created = spill_->total_runs_created();
+  } else {
+    {
+      TraceSpan flush_span("rungen.flush", "topk");
+      TOPK_RETURN_NOT_OK(generator_->Flush());
+    }
+    stats_.rows_eliminated_spill =
+        generator_->stats().rows_eliminated_at_spill;
+    stats_.rows_spilled = generator_->stats().rows_spilled;
+    stats_.runs_created = spill_->total_runs_created();
+    stats_.peak_memory_bytes = std::max(
+        stats_.peak_memory_bytes, generator_->stats().peak_memory_bytes);
   }
-  stats_.rows_eliminated_spill = generator_->stats().rows_eliminated_at_spill;
-  stats_.rows_spilled = generator_->stats().rows_spilled;
-  stats_.runs_created = spill_->total_runs_created();
-  stats_.peak_memory_bytes = std::max(stats_.peak_memory_bytes,
-                                      generator_->stats().peak_memory_bytes);
 
-  MergePlannerOptions planner_options;
-  planner_options.fan_in = options_.merge_fan_in;
-  planner_options.policy = options_.merge_policy;
-  planner_options.intermediate_limit = options_.output_rows();
-  planner_options.with_ties = options_.with_ties;
-  planner_options.filter = filter_.get();
   MergePlanStats plan_stats;
-  std::vector<RunMeta> final_runs;
-  {
-    TraceSpan plan_span("merge.reduce_runs", "topk",
-                        {TraceArg("runs", spill_->run_count())});
-    TOPK_ASSIGN_OR_RETURN(
-        final_runs, ReduceRunsForFinalMerge(spill_.get(), comparator_,
-                                            planner_options, &plan_stats));
-  }
-  stats_.merge_rows_written = plan_stats.intermediate_rows_written;
-
-  MergeOptions merge_options;
-  merge_options.limit = options_.k;
-  merge_options.skip = options_.offset;
-  merge_options.with_ties = options_.with_ties;
   MergeStats merge_stats;
-  const RowSink collect = [&](Row&& row) {
-    result.push_back(std::move(row));
+  const auto merge_phase = [&]() -> Status {
+    MergePlannerOptions planner_options;
+    planner_options.fan_in = options_.merge_fan_in;
+    planner_options.policy = options_.merge_policy;
+    planner_options.intermediate_limit = options_.output_rows();
+    planner_options.with_ties = options_.with_ties;
+    planner_options.filter = filter_.get();
+    std::vector<RunMeta> final_runs;
+    {
+      TraceSpan plan_span("merge.reduce_runs", "topk",
+                          {TraceArg("runs", spill_->run_count())});
+      TOPK_ASSIGN_OR_RETURN(
+          final_runs, ReduceRunsForFinalMerge(spill_.get(), comparator_,
+                                              planner_options, &plan_stats));
+    }
+    stats_.merge_rows_written = plan_stats.intermediate_rows_written;
+
+    MergeOptions merge_options;
+    merge_options.limit = options_.k;
+    merge_options.skip = options_.offset;
+    merge_options.with_ties = options_.with_ties;
+    const RowSink collect = [&](Row&& row) {
+      result.push_back(std::move(row));
+      return Status::OK();
+    };
+    TraceSpan merge_span("merge.final", "topk",
+                         {TraceArg("runs", final_runs.size())});
+    if (options_.offset > 0 && options_.histogram_offset_skip) {
+      // Sec 4.1: start the merge at the highest key with rank below the
+      // offset, seeking past each run's skippable prefix.
+      OffsetSkipPlan plan;
+      TOPK_ASSIGN_OR_RETURN(
+          merge_stats, MergeRunsWithOffsetSkip(spill_.get(), final_runs,
+                                               comparator_, merge_options,
+                                               collect, &plan));
+      stats_.offset_rows_seek_skipped = plan.rows_skipped;
+    } else {
+      TOPK_ASSIGN_OR_RETURN(merge_stats,
+                            MergeRuns(spill_.get(), final_runs, comparator_,
+                                      merge_options, collect));
+    }
     return Status::OK();
   };
-  TraceSpan merge_span("merge.final", "topk",
-                       {TraceArg("runs", final_runs.size())});
-  if (options_.offset > 0 && options_.histogram_offset_skip) {
-    // Sec 4.1: start the merge at the highest key with rank below the
-    // offset, seeking past each run's skippable prefix.
-    OffsetSkipPlan plan;
-    TOPK_ASSIGN_OR_RETURN(
-        merge_stats, MergeRunsWithOffsetSkip(spill_.get(), final_runs,
-                                             comparator_, merge_options,
-                                             collect, &plan));
-    stats_.offset_rows_seek_skipped = plan.rows_skipped;
-  } else {
-    TOPK_ASSIGN_OR_RETURN(merge_stats,
-                          MergeRuns(spill_.get(), final_runs, comparator_,
-                                    merge_options, collect));
+  Status merged = merge_phase();
+  if (!merged.ok()) {
+    if (spill_->auto_manifest_enabled()) {
+      // The merge failed, but the manifest still describes a consistent run
+      // set on disk (the planner deletes inputs only after checkpointing).
+      // Keep the directory so ResumeFromManifest can pick the query up.
+      (void)spill_->FlushManifest();
+      spill_->DisownDir();
+    }
+    return merged;
   }
-  merge_span.End();
   stats_.merge_rows_read =
       plan_stats.intermediate_rows_read + merge_stats.rows_read;
   stats_.bytes_spilled = spill_->total_bytes_spilled();
@@ -338,6 +374,81 @@ Result<std::vector<Row>> HistogramTopK::Finish() {
   stats_.filter_consolidations = filter_->consolidations();
   stats_.finish_nanos = watch.ElapsedNanos();
   return result;
+}
+
+Status HistogramTopK::Suspend() {
+  if (finished_) {
+    return Status::FailedPrecondition("Suspend after Finish");
+  }
+  if (resumed_) {
+    return Status::FailedPrecondition("Suspend of a resumed operator");
+  }
+  if (options_.manifest_filename.empty()) {
+    return Status::FailedPrecondition(
+        "Suspend requires TopKOptions::manifest_filename");
+  }
+  finished_ = true;
+  TraceSpan span("topk.suspend", "topk");
+  // Everything still buffered in memory must reach a run on disk — an
+  // in-memory operator spills via the normal external switch.
+  if (generator_ == nullptr) {
+    TOPK_RETURN_NOT_OK(SwitchToExternal());
+  }
+  TOPK_RETURN_NOT_OK(generator_->Flush());
+  TOPK_RETURN_NOT_OK(spill_->CheckpointManifest());
+  TOPK_RETURN_NOT_OK(spill_->FlushManifest());
+  stats_.rows_eliminated_spill = generator_->stats().rows_eliminated_at_spill;
+  stats_.rows_spilled = generator_->stats().rows_spilled;
+  stats_.runs_created = spill_->total_runs_created();
+  stats_.bytes_spilled = spill_->total_bytes_spilled();
+  spill_->DisownDir();
+  return Status::OK();
+}
+
+Result<std::unique_ptr<HistogramTopK>> HistogramTopK::ResumeFromManifest(
+    const TopKOptions& options, RestoreReport* report) {
+  TOPK_RETURN_NOT_OK(ValidateTopKOptions(options, /*requires_storage=*/true));
+  if (options.manifest_filename.empty()) {
+    return Status::InvalidArgument(
+        "ResumeFromManifest requires TopKOptions::manifest_filename");
+  }
+  auto op = std::unique_ptr<HistogramTopK>(new HistogramTopK(options));
+  op->resumed_ = true;
+  TraceSpan span("topk.resume_from_manifest", "topk");
+  TOPK_ASSIGN_OR_RETURN(
+      op->spill_,
+      SpillManager::OpenExisting(options.env, options.spill_dir,
+                                 options.manifest_filename, op->comparator_,
+                                 options.io_pipeline(), report));
+  // Keep checkpointing across the resumed merge so another crash is also
+  // recoverable.
+  op->spill_->SetAutoManifest(options.manifest_filename);
+
+  // Rebuild the cutoff filter from the per-run histograms the manifest
+  // preserved ("retain any information once gained" surviving a process
+  // death): merge steps resume with the same eager filtering the original
+  // execution had earned.
+  uint64_t max_run_rows = 1;
+  uint64_t buckets = 0;
+  for (const RunMeta& run : op->spill_->runs()) {
+    max_run_rows = std::max(max_run_rows, run.rows);
+    buckets += run.histogram.size();
+  }
+  op->filter_ =
+      std::make_unique<CutoffFilter>(op->MakeFilterOptions(max_run_rows));
+  for (const RunMeta& run : op->spill_->runs()) {
+    for (const HistogramBucket& bucket : run.histogram) {
+      op->filter_->InsertBucket(bucket);
+    }
+  }
+  if (TracingEnabled()) {
+    TraceInstant("resume.filter_rebuilt", "topk",
+                 {TraceArg("runs", op->spill_->run_count()),
+                  TraceArg("buckets", buckets),
+                  TraceArg("cutoff_established",
+                           op->filter_->cutoff().has_value() ? 1 : 0)});
+  }
+  return op;
 }
 
 }  // namespace topk

@@ -36,11 +36,30 @@ class HistogramTopK : public TopKOperator {
   static Result<std::unique_ptr<HistogramTopK>> Make(
       const TopKOptions& options);
 
+  /// Reconstructs the merge phase of a suspended or crashed operator from
+  /// the manifest in `options.manifest_filename` (Sec 2.7's pause-and-resume
+  /// across process boundaries). Runs failing verification are quarantined
+  /// and reported via `report` rather than aborting. The resumed operator
+  /// accepts no further input: call Finish() to produce the result from the
+  /// surviving runs. The cutoff filter is rebuilt from the per-run
+  /// histograms the manifest preserved.
+  static Result<std::unique_ptr<HistogramTopK>> ResumeFromManifest(
+      const TopKOptions& options, RestoreReport* report = nullptr);
+
   ~HistogramTopK() override;  // out-of-line: FilterObserver is incomplete
                               // here
 
   Status Consume(Row row) override;
   Result<std::vector<Row>> Finish() override;
+
+  /// Makes the operator's state durable and relinquishes it instead of
+  /// producing a result: buffered rows are spilled (switching to external
+  /// mode if needed), the manifest is written and flushed, and the spill
+  /// directory is left on disk for a later ResumeFromManifest — possibly in
+  /// another process. Requires options.manifest_filename. The operator is
+  /// finished afterwards.
+  Status Suspend() override;
+
   std::string name() const override { return "histogram"; }
 
   /// Current cutoff key (from the heap top in in-memory mode, from the
@@ -48,7 +67,10 @@ class HistogramTopK : public TopKOperator {
   std::optional<double> cutoff() const;
 
   /// True once the operator switched to external (spilling) mode.
-  bool is_external() const { return generator_ != nullptr; }
+  bool is_external() const { return generator_ != nullptr || resumed_; }
+
+  /// True for an operator reconstructed by ResumeFromManifest.
+  bool is_resumed() const { return resumed_; }
 
   /// The cutoff filter (valid in external mode; for tests/benchmarks).
   const CutoffFilter* filter() const { return filter_.get(); }
@@ -59,6 +81,7 @@ class HistogramTopK : public TopKOperator {
   explicit HistogramTopK(const TopKOptions& options);
 
   Status SwitchToExternal();
+  CutoffFilter::Options MakeFilterOptions(uint64_t expected_run_rows);
 
   TopKOptions options_;
   RowComparator comparator_;
@@ -77,6 +100,9 @@ class HistogramTopK : public TopKOperator {
   std::unique_ptr<RunGenerator> generator_;
 
   bool finished_ = false;
+  /// Built by ResumeFromManifest: runs come from a restored spill manager,
+  /// there is no run generator, and Consume is rejected.
+  bool resumed_ = false;
 };
 
 }  // namespace topk

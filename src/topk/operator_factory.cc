@@ -63,4 +63,28 @@ Result<std::unique_ptr<TopKOperator>> MakeTopKOperator(
   return Status::InvalidArgument("unknown top-k algorithm");
 }
 
+Result<std::unique_ptr<TopKOperator>> ResumeTopKOperator(
+    TopKAlgorithm algorithm, const TopKOptions& options,
+    RestoreReport* report) {
+  switch (algorithm) {
+    case TopKAlgorithm::kHistogram: {
+      std::unique_ptr<HistogramTopK> op;
+      TOPK_ASSIGN_OR_RETURN(op,
+                            HistogramTopK::ResumeFromManifest(options, report));
+      return std::unique_ptr<TopKOperator>(std::move(op));
+    }
+    case TopKAlgorithm::kTraditionalExternal: {
+      std::unique_ptr<TraditionalExternalTopK> op;
+      TOPK_ASSIGN_OR_RETURN(
+          op, TraditionalExternalTopK::ResumeFromManifest(options, report));
+      return std::unique_ptr<TopKOperator>(std::move(op));
+    }
+    case TopKAlgorithm::kHeap:
+    case TopKAlgorithm::kOptimizedExternal:
+      break;
+  }
+  return Status::InvalidArgument("algorithm " + TopKAlgorithmName(algorithm) +
+                                 " does not support manifest resume");
+}
+
 }  // namespace topk

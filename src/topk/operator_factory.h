@@ -4,6 +4,7 @@
 #include <memory>
 #include <string>
 
+#include "io/spill_manager.h"
 #include "topk/topk_operator.h"
 
 namespace topk {
@@ -23,6 +24,15 @@ bool ParseTopKAlgorithm(const std::string& name, TopKAlgorithm* out);
 /// Creates the requested operator, validating `options` for it.
 Result<std::unique_ptr<TopKOperator>> MakeTopKOperator(
     TopKAlgorithm algorithm, const TopKOptions& options);
+
+/// Resumes a suspended or crashed execution from the manifest named by
+/// `options.manifest_filename` inside `options.spill_dir`. Supported for
+/// the spilling algorithms (kHistogram, kTraditionalExternal); the resumed
+/// operator accepts no further input — call Finish() for the result. Runs
+/// failing verification are quarantined and recorded in `report`.
+Result<std::unique_ptr<TopKOperator>> ResumeTopKOperator(
+    TopKAlgorithm algorithm, const TopKOptions& options,
+    RestoreReport* report = nullptr);
 
 }  // namespace topk
 

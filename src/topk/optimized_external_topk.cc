@@ -126,14 +126,27 @@ Status OptimizedExternalTopK::MaybeEarlyMerge() {
                              [&](Row&& row) { return writer->Append(row); }));
   RunMeta merged;
   TOPK_ASSIGN_OR_RETURN(merged, writer->Finish());
+  // Same crash-safe ordering as the merge planner: keep the input files
+  // until the output's registration is checkpointed in the manifest.
+  std::vector<std::string> consumed_paths;
+  consumed_paths.reserve(inputs.size());
   for (const RunMeta& consumed : inputs) {
-    TOPK_RETURN_NOT_OK(spill_->RemoveRun(consumed.id));
+    std::string path;
+    TOPK_ASSIGN_OR_RETURN(path, spill_->ReleaseRun(consumed.id));
+    consumed_paths.push_back(std::move(path));
   }
   if (merged.rows > 0) {
     spill_->AddRun(merged);
     ++early_merge_runs_registered_;
   } else {
-    TOPK_RETURN_NOT_OK(spill_->env()->DeleteFile(merged.path));
+    TOPK_RETURN_NOT_OK(spill_->CheckpointManifest());
+    consumed_paths.push_back(merged.path);
+  }
+  if (spill_->auto_manifest_enabled()) {
+    TOPK_RETURN_NOT_OK(spill_->FlushManifest());
+  }
+  for (const std::string& path : consumed_paths) {
+    TOPK_RETURN_NOT_OK(spill_->DeleteSpillFile(path));
   }
   stats_.merge_rows_written += merge_stats.rows_emitted;
   stats_.merge_rows_read += merge_stats.rows_read;

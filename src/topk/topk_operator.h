@@ -91,11 +91,26 @@ struct TopKOptions {
   /// threads).
   bool enable_io_prefetch = true;
 
-  /// The spill pipeline configuration derived from the two knobs above.
+  /// Retry policy applied to every spill read/write/delete and manifest
+  /// round trip (transient Unavailable errors only; see io/retry.h).
+  RetryPolicy io_retry;
+  /// Verify each run's CRC-32C inline while the merge reads it (a mismatch
+  /// is permanent Corruption, never retried).
+  bool verify_spill_checksums = true;
+
+  /// When non-empty, the operator keeps a manifest of this name inside the
+  /// spill directory, checkpointed after every registered run and merge
+  /// step, and leaves the spill directory on disk if Finish fails — the
+  /// crash-recovery contract behind ResumeFromManifest.
+  std::string manifest_filename;
+
+  /// The spill pipeline configuration derived from the knobs above.
   IoPipelineOptions io_pipeline() const {
     IoPipelineOptions io;
     io.background_threads = io_background_threads;
     io.enable_prefetch = enable_io_prefetch;
+    io.retry = io_retry;
+    io.verify_read_checksums = verify_spill_checksums;
     return io;
   }
 
@@ -184,6 +199,14 @@ class TopKOperator {
 
   /// Ends the input and produces the result. Must be called exactly once.
   virtual Result<std::vector<Row>> Finish() = 0;
+
+  /// Makes the operator's state durable on disk and relinquishes it for a
+  /// later manifest-based resume instead of producing a result (mutually
+  /// exclusive with Finish). Only the spilling operators that support
+  /// ResumeFromManifest implement this.
+  virtual Status Suspend() {
+    return Status::FailedPrecondition(name() + " does not support Suspend");
+  }
 
   virtual std::string name() const = 0;
   const OperatorStats& stats() const { return stats_; }

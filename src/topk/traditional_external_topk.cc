@@ -23,6 +23,10 @@ Status TraditionalExternalTopK::SwitchToExternal() {
   TOPK_ASSIGN_OR_RETURN(spill_,
                         SpillManager::Create(options_.env, options_.spill_dir,
                                              options_.io_pipeline()));
+  if (!options_.manifest_filename.empty()) {
+    spill_->SetAutoManifest(options_.manifest_filename);
+    TOPK_RETURN_NOT_OK(spill_->CheckpointManifest());
+  }
   RunGeneratorOptions gen_options;
   gen_options.memory_limit_bytes = options_.memory_limit_bytes;
   // Vanilla sort: no run-size limit, no filtering.
@@ -45,6 +49,10 @@ Status TraditionalExternalTopK::SwitchToExternal() {
 Status TraditionalExternalTopK::Consume(Row row) {
   if (finished_) {
     return Status::FailedPrecondition("Consume after Finish");
+  }
+  if (resumed_) {
+    return Status::FailedPrecondition(
+        "a resumed operator accepts no input; its runs are already on disk");
   }
   Stopwatch watch;
   ++stats_.rows_consumed;
@@ -73,7 +81,7 @@ Result<std::vector<Row>> TraditionalExternalTopK::Finish() {
   Stopwatch watch;
   std::vector<Row> result;
 
-  if (generator_ == nullptr) {
+  if (generator_ == nullptr && !resumed_) {
     // The input fit in memory: sort and slice.
     std::sort(buffer_.begin(), buffer_.end(), comparator_);
     const size_t begin = std::min<size_t>(options_.offset, buffer_.size());
@@ -89,44 +97,108 @@ Result<std::vector<Row>> TraditionalExternalTopK::Finish() {
     return result;
   }
 
-  {
-    TraceSpan flush_span("rungen.flush", "topk");
-    TOPK_RETURN_NOT_OK(generator_->Flush());
+  if (resumed_) {
+    stats_.rows_spilled = spill_->total_rows_spilled();
+    stats_.runs_created = spill_->total_runs_created();
+  } else {
+    {
+      TraceSpan flush_span("rungen.flush", "topk");
+      TOPK_RETURN_NOT_OK(generator_->Flush());
+    }
+    stats_.rows_spilled = generator_->stats().rows_spilled;
+    stats_.runs_created = spill_->total_runs_created();
+    stats_.peak_memory_bytes = std::max(
+        stats_.peak_memory_bytes, generator_->stats().peak_memory_bytes);
   }
-  stats_.rows_spilled = generator_->stats().rows_spilled;
-  stats_.runs_created = spill_->total_runs_created();
-  stats_.peak_memory_bytes =
-      std::max(stats_.peak_memory_bytes, generator_->stats().peak_memory_bytes);
 
-  MergePlannerOptions planner_options;
-  planner_options.fan_in = options_.merge_fan_in;
-  planner_options.policy = MergePolicy::kSmallestRunsFirst;
   MergePlanStats plan_stats;
-  std::vector<RunMeta> final_runs;
-  TOPK_ASSIGN_OR_RETURN(
-      final_runs, ReduceRunsForFinalMerge(spill_.get(), comparator_,
-                                          planner_options, &plan_stats));
-  stats_.merge_rows_written = plan_stats.intermediate_rows_written;
-
-  MergeOptions merge_options;
-  merge_options.limit = options_.k;
-  merge_options.skip = options_.offset;
-  merge_options.with_ties = options_.with_ties;
   MergeStats merge_stats;
-  TraceSpan merge_span("merge.final", "topk",
-                       {TraceArg("runs", final_runs.size())});
-  TOPK_ASSIGN_OR_RETURN(merge_stats,
-                        MergeRuns(spill_.get(), final_runs, comparator_,
-                                  merge_options, [&](Row&& row) {
-                                    result.push_back(std::move(row));
-                                    return Status::OK();
-                                  }));
-  merge_span.End();
+  const auto merge_phase = [&]() -> Status {
+    MergePlannerOptions planner_options;
+    planner_options.fan_in = options_.merge_fan_in;
+    planner_options.policy = MergePolicy::kSmallestRunsFirst;
+    std::vector<RunMeta> final_runs;
+    TOPK_ASSIGN_OR_RETURN(
+        final_runs, ReduceRunsForFinalMerge(spill_.get(), comparator_,
+                                            planner_options, &plan_stats));
+    stats_.merge_rows_written = plan_stats.intermediate_rows_written;
+
+    MergeOptions merge_options;
+    merge_options.limit = options_.k;
+    merge_options.skip = options_.offset;
+    merge_options.with_ties = options_.with_ties;
+    TraceSpan merge_span("merge.final", "topk",
+                         {TraceArg("runs", final_runs.size())});
+    TOPK_ASSIGN_OR_RETURN(merge_stats,
+                          MergeRuns(spill_.get(), final_runs, comparator_,
+                                    merge_options, [&](Row&& row) {
+                                      result.push_back(std::move(row));
+                                      return Status::OK();
+                                    }));
+    return Status::OK();
+  };
+  Status merged = merge_phase();
+  if (!merged.ok()) {
+    if (spill_->auto_manifest_enabled()) {
+      // The manifest still describes a consistent run set on disk; keep the
+      // directory so ResumeFromManifest can pick the query up.
+      (void)spill_->FlushManifest();
+      spill_->DisownDir();
+    }
+    return merged;
+  }
   stats_.merge_rows_read =
       plan_stats.intermediate_rows_read + merge_stats.rows_read;
   stats_.bytes_spilled = spill_->total_bytes_spilled();
   stats_.finish_nanos = watch.ElapsedNanos();
   return result;
+}
+
+Status TraditionalExternalTopK::Suspend() {
+  if (finished_) {
+    return Status::FailedPrecondition("Suspend after Finish");
+  }
+  if (resumed_) {
+    return Status::FailedPrecondition("Suspend of a resumed operator");
+  }
+  if (options_.manifest_filename.empty()) {
+    return Status::FailedPrecondition(
+        "Suspend requires TopKOptions::manifest_filename");
+  }
+  finished_ = true;
+  TraceSpan span("topk.suspend", "topk");
+  if (generator_ == nullptr) {
+    TOPK_RETURN_NOT_OK(SwitchToExternal());
+  }
+  TOPK_RETURN_NOT_OK(generator_->Flush());
+  TOPK_RETURN_NOT_OK(spill_->CheckpointManifest());
+  TOPK_RETURN_NOT_OK(spill_->FlushManifest());
+  stats_.rows_spilled = generator_->stats().rows_spilled;
+  stats_.runs_created = spill_->total_runs_created();
+  stats_.bytes_spilled = spill_->total_bytes_spilled();
+  spill_->DisownDir();
+  return Status::OK();
+}
+
+Result<std::unique_ptr<TraditionalExternalTopK>>
+TraditionalExternalTopK::ResumeFromManifest(const TopKOptions& options,
+                                            RestoreReport* report) {
+  TOPK_RETURN_NOT_OK(ValidateTopKOptions(options, /*requires_storage=*/true));
+  if (options.manifest_filename.empty()) {
+    return Status::InvalidArgument(
+        "ResumeFromManifest requires TopKOptions::manifest_filename");
+  }
+  auto op = std::unique_ptr<TraditionalExternalTopK>(
+      new TraditionalExternalTopK(options));
+  op->resumed_ = true;
+  TraceSpan span("topk.resume_from_manifest", "topk");
+  TOPK_ASSIGN_OR_RETURN(
+      op->spill_,
+      SpillManager::OpenExisting(options.env, options.spill_dir,
+                                 options.manifest_filename, op->comparator_,
+                                 options.io_pipeline(), report));
+  op->spill_->SetAutoManifest(options.manifest_filename);
+  return op;
 }
 
 }  // namespace topk

@@ -24,8 +24,21 @@ class TraditionalExternalTopK : public TopKOperator {
   static Result<std::unique_ptr<TraditionalExternalTopK>> Make(
       const TopKOptions& options);
 
+  /// Reconstructs the merge phase of a suspended or crashed execution from
+  /// the manifest in `options.manifest_filename`. Runs failing verification
+  /// are quarantined and reported via `report`. The resumed operator
+  /// accepts no further input; Finish() merges the surviving runs.
+  static Result<std::unique_ptr<TraditionalExternalTopK>> ResumeFromManifest(
+      const TopKOptions& options, RestoreReport* report = nullptr);
+
   Status Consume(Row row) override;
   Result<std::vector<Row>> Finish() override;
+
+  /// Spills all buffered state, flushes the manifest, and leaves the spill
+  /// directory on disk for a later ResumeFromManifest. Requires
+  /// options.manifest_filename. The operator is finished afterwards.
+  Status Suspend() override;
+
   std::string name() const override { return "traditional-external"; }
 
  private:
@@ -45,6 +58,9 @@ class TraditionalExternalTopK : public TopKOperator {
   std::unique_ptr<RunGenerator> generator_;
 
   bool finished_ = false;
+  /// Built by ResumeFromManifest: runs come from a restored spill manager,
+  /// there is no run generator, and Consume is rejected.
+  bool resumed_ = false;
 };
 
 }  // namespace topk

@@ -198,8 +198,11 @@ TEST_F(AsyncIoTest, PrefetchUnconsumedCounterTracksAbandonedBlocks) {
   }
   EXPECT_EQ(unconsumed->value(), before + 1);
 
-  // Abandoned mid-read: the consumed block doesn't count, the in-flight
-  // next block does.
+  // Abandoned inside the first block: pipelining ahead is deferred until
+  // the run survives its first refill, so no second block was fetched and
+  // nothing is wasted. (Most runs of a k-limited merge die right here —
+  // the eager behaviour this regression test guards against prefetched
+  // block two for every one of them.)
   before = unconsumed->value();
   {
     auto in = env_.NewSequentialFile(Path("f"));
@@ -209,6 +212,23 @@ TEST_F(AsyncIoTest, PrefetchUnconsumedCounterTracksAbandonedBlocks) {
     char buf[10];
     size_t n = 0;
     ASSERT_TRUE(reader.Read(sizeof(buf), buf, &n).ok());
+    ASSERT_EQ(n, 10u);
+  }
+  EXPECT_EQ(unconsumed->value(), before);
+
+  // Abandoned inside the second block: the run survived a refill, the
+  // pipeline is ahead again, and the in-flight third block is wasted.
+  before = unconsumed->value();
+  {
+    auto in = env_.NewSequentialFile(Path("f"));
+    ASSERT_TRUE(in.ok());
+    PrefetchingBlockReader reader(std::move(*in), &pool_,
+                                  /*block_bytes=*/100);
+    char buf[100];
+    size_t n = 0;
+    ASSERT_TRUE(reader.Read(sizeof(buf), buf, &n).ok());
+    ASSERT_EQ(n, 100u);
+    ASSERT_TRUE(reader.Read(10, buf, &n).ok());
     ASSERT_EQ(n, 10u);
   }
   EXPECT_EQ(unconsumed->value(), before + 1);

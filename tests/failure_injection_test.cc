@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "io/block_io.h"
+#include "io/spill_manager.h"
 #include "tests/test_util.h"
 #include "topk/operator_factory.h"
 
@@ -102,6 +103,53 @@ TEST_P(FailureInjectionTest, ReadFailureDuringMergePropagates) {
   EXPECT_EQ(result.status().code(), StatusCode::kIoError);
 }
 
+/// Flush() failures must propagate exactly like Append() failures — every
+/// BlockWriter::Close runs Append → Flush → Close on the file, and a call
+/// site that drops the Flush status would silently lose buffered data.
+TEST_P(FailureInjectionTest, FlushFailurePropagates) {
+  ScratchDir scratch;
+  StorageEnv env;
+  env.InjectFlushFailure(1);
+  DatasetSpec spec;
+  spec.WithRows(50000).WithSeed(5);
+  auto rows = MaterializeDataset(spec);
+
+  auto op = MakeTopKOperator(GetParam(), Options(&env, scratch.str()));
+  ASSERT_TRUE(op.ok());
+  Status status = Status::OK();
+  for (const Row& row : rows) {
+    status = (*op)->Consume(row);
+    if (!status.ok()) break;
+  }
+  if (status.ok()) {
+    auto result = (*op)->Finish();
+    status = result.status();
+  }
+  EXPECT_EQ(status.code(), StatusCode::kIoError) << status.ToString();
+}
+
+TEST_P(FailureInjectionTest, CloseFailurePropagates) {
+  ScratchDir scratch;
+  StorageEnv env;
+  env.InjectCloseFailure(1);
+  DatasetSpec spec;
+  spec.WithRows(50000).WithSeed(6);
+  auto rows = MaterializeDataset(spec);
+
+  auto op = MakeTopKOperator(GetParam(), Options(&env, scratch.str()));
+  ASSERT_TRUE(op.ok());
+  Status status = Status::OK();
+  for (const Row& row : rows) {
+    status = (*op)->Consume(row);
+    if (!status.ok()) break;
+  }
+  if (status.ok()) {
+    auto result = (*op)->Finish();
+    status = result.status();
+  }
+  EXPECT_EQ(status.code(), StatusCode::kIoError) << status.ToString();
+}
+
 INSTANTIATE_TEST_SUITE_P(
     ExternalAlgorithms, FailureInjectionTest,
     ::testing::Values(TopKAlgorithm::kTraditionalExternal,
@@ -148,6 +196,43 @@ TEST(BlockWriterFailureTest, BytesAppendedNotCountedOnFailedAppend) {
   // Close after the failed flush must not crash (it may fail again or
   // succeed depending on what remains buffered).
   writer.Close();
+}
+
+/// DeleteFile() failures: RemoveRun must surface the error (a merge step
+/// that cannot reclaim its inputs reports it, not ignores it), and the
+/// manager's best-effort destructor cleanup must absorb one without
+/// crashing.
+TEST(DeleteFailureTest, RemoveRunSurfacesDeleteFailure) {
+  ScratchDir scratch;
+  StorageEnv env;
+  auto spill = SpillManager::Create(&env, scratch.str() + "/spill");
+  ASSERT_TRUE(spill.ok());
+  auto writer = (*spill)->NewRun(RowComparator());
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)->Append(Row(1.0, 1, "p")).ok());
+  auto meta = (*writer)->Finish();
+  ASSERT_TRUE(meta.ok());
+  (*spill)->AddRun(*meta);
+
+  env.InjectDeleteFailure(1);
+  Status status = (*spill)->RemoveRun(meta->id);
+  EXPECT_EQ(status.code(), StatusCode::kIoError) << status.ToString();
+}
+
+TEST(DeleteFailureTest, DestructorCleanupSurvivesDeleteFailure) {
+  ScratchDir scratch;
+  StorageEnv env;
+  {
+    auto spill = SpillManager::Create(&env, scratch.str() + "/spill");
+    ASSERT_TRUE(spill.ok());
+    auto writer = (*spill)->NewRun(RowComparator());
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE((*writer)->Append(Row(1.0, 1, "p")).ok());
+    auto meta = (*writer)->Finish();
+    ASSERT_TRUE(meta.ok());
+    (*spill)->AddRun(*meta);
+    env.InjectDeleteFailure(1);
+  }  // destructor cleanup: the failed delete is logged, not fatal
 }
 
 TEST(FailureCleanupTest, SpillDirRemovedDespiteFailure) {

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/crc32.h"
 #include "common/random.h"
 #include "io/spill_manager.h"
 #include "sort/merger.h"
@@ -94,6 +95,13 @@ TEST_F(ManifestTest, CorruptManifestsRejected) {
     EXPECT_TRUE((*file)->Close().ok());
     return dir + "/" + name;
   };
+  // Appends a correct `end <count> <crc>` record so the case under test
+  // reaches the semantic checks instead of dying on the checksum.
+  auto seal = [](std::string content, uint64_t count) {
+    const uint32_t crc = Crc32c(0, content.data(), content.size());
+    return content + "end " + std::to_string(count) + " " +
+           std::to_string(crc) + "\n";
+  };
 
   EXPECT_EQ(ReadManifest(&env_, write("bad1", "not a manifest\n"))
                 .status()
@@ -102,32 +110,113 @@ TEST_F(ManifestTest, CorruptManifestsRejected) {
   EXPECT_EQ(ReadManifest(&env_, write("bad2", "topk-manifest v1\n"))
                 .status()
                 .code(),
+            StatusCode::kCorruption);  // old version header
+  EXPECT_EQ(ReadManifest(&env_, write("bad3", "topk-manifest v2\n"))
+                .status()
+                .code(),
             StatusCode::kCorruption);  // no end record
   EXPECT_EQ(
-      ReadManifest(&env_,
-                   write("bad3", "topk-manifest v1\nrun zzz\nend 1\n"))
+      ReadManifest(
+          &env_,
+          write("bad4", seal("topk-manifest v2\nrun zzz\n", 1)))
           .status()
           .code(),
-      StatusCode::kCorruption);
+      StatusCode::kCorruption);  // malformed run record
   EXPECT_EQ(
-      ReadManifest(&env_, write("bad4", "topk-manifest v1\nend 3\n"))
+      ReadManifest(&env_, write("bad5", seal("topk-manifest v2\n", 3)))
           .status()
           .code(),
       StatusCode::kCorruption);  // count mismatch
   EXPECT_EQ(
       ReadManifest(
           &env_,
-          write("bad5",
-                "topk-manifest v1\nhist 0 0.5 10\nend 0\n"))
+          write("bad6", seal("topk-manifest v2\nhist 0 0.5 10\n", 0)))
           .status()
           .code(),
       StatusCode::kCorruption);  // hist before its run
   EXPECT_EQ(
-      ReadManifest(&env_, write("bad6",
-                                "topk-manifest v1\nend 0\nrun trailing\n"))
+      ReadManifest(
+          &env_,
+          write("bad7", seal("topk-manifest v2\n", 0) + "run trailing\n"))
           .status()
           .code(),
       StatusCode::kCorruption);  // content after end
+  EXPECT_EQ(
+      ReadManifest(&env_, write("bad8", "topk-manifest v2\nend 0 12345\n"))
+          .status()
+          .code(),
+      StatusCode::kCorruption);  // end CRC wrong
+  EXPECT_EQ(
+      ReadManifest(
+          &env_,
+          write("bad9", seal("topk-manifest v2\n", 0).substr(
+                            0, seal("topk-manifest v2\n", 0).size() - 1) +
+                            "garbage\n"))
+          .status()
+          .code(),
+      StatusCode::kCorruption);  // trailing bytes on the end record
+}
+
+/// The corruption grid (Sec 8 fault model): starting from a real manifest,
+/// truncate at every line boundary and flip a bit in every byte. Every
+/// mutation must be rejected with Corruption — never a crash, never a
+/// partially-loaded registry. Single-bit flips ahead of the end record are
+/// caught by its CRC-32C even when the mutated field still parses.
+TEST_F(ManifestTest, CorruptionGridRejectsEveryMutation) {
+  auto spill = SpillManager::Create(&env_, scratch_.str() + "/spill");
+  ASSERT_TRUE(spill.ok());
+  auto runs = BuildRuns(spill->get(), 3, 64, 5);
+  const std::string path = scratch_.str() + "/grid.manifest";
+  ASSERT_TRUE(WriteManifest(&env_, path, runs).ok());
+
+  std::string content;
+  {
+    auto file = env_.NewSequentialFile(path);
+    ASSERT_TRUE(file.ok());
+    char buf[64 * 1024];
+    size_t got = 0;
+    ASSERT_TRUE((*file)->Read(sizeof(buf), buf, &got).ok());
+    ASSERT_LT(got, sizeof(buf)) << "grid assumes the manifest fits one read";
+    content.assign(buf, got);
+  }
+  ASSERT_GT(content.size(), 0u);
+
+  const std::string mutant_path = scratch_.str() + "/mutant.manifest";
+  auto write_mutant = [&](const std::string& mutated) {
+    auto file = env_.NewWritableFile(mutant_path);
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE((*file)->Append(mutated).ok());
+    ASSERT_TRUE((*file)->Close().ok());
+  };
+
+  // Truncation at every line boundary (both keeping and dropping the
+  // newline). Only the untruncated file may load; everything shorter is a
+  // torn write and must be rejected.
+  for (size_t i = 0; i < content.size(); ++i) {
+    if (content[i] != '\n') continue;
+    for (const size_t cut : {i, i + 1}) {
+      // cut == size is the intact manifest; cut == size-1 merely drops the
+      // trailing newline, which the parser deliberately tolerates.
+      if (cut + 1 >= content.size()) continue;
+      SCOPED_TRACE("truncated to " + std::to_string(cut) + " bytes");
+      write_mutant(content.substr(0, cut));
+      auto loaded = ReadManifest(&env_, mutant_path);
+      ASSERT_FALSE(loaded.ok());
+      EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+    }
+  }
+
+  // A single-bit flip in every byte, covering every field of every record
+  // (run, hist, index, header, and the end record itself).
+  for (size_t i = 0; i < content.size(); ++i) {
+    SCOPED_TRACE("bit flip at byte " + std::to_string(i));
+    std::string mutated = content;
+    mutated[i] = static_cast<char>(mutated[i] ^ 0x40);
+    write_mutant(mutated);
+    auto loaded = ReadManifest(&env_, mutant_path);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+  }
 }
 
 TEST_F(ManifestTest, RestoreResumesMergePhase) {
@@ -135,8 +224,8 @@ TEST_F(ManifestTest, RestoreResumesMergePhase) {
   std::vector<double> all_keys;
 
   // Phase 1: an "operator" generates runs, saves a manifest, and dies
-  // without cleaning up (simulated crash: release() leaks the manager so
-  // the directory survives).
+  // without cleaning up (simulated crash: DisownDir() makes the destructor
+  // leave the directory behind, as a real crash would).
   {
     auto spill = SpillManager::Create(&env_, dir);
     ASSERT_TRUE(spill.ok());
@@ -153,7 +242,7 @@ TEST_F(ManifestTest, RestoreResumesMergePhase) {
       }
     }
     ASSERT_TRUE(spill.value()->SaveManifest("state.manifest").ok());
-    (void)spill->release();  // crash: no destructor, directory stays
+    spill.value()->DisownDir();  // crash: the directory stays
   }
 
   // Phase 2: a fresh process restores the spill state and finishes the
@@ -207,7 +296,7 @@ TEST_F(ManifestTest, AsyncSaveManifestRoundTripsThroughIoPool) {
       EXPECT_EQ((*loaded)[i].rows, runs[i].rows);
       EXPECT_EQ((*loaded)[i].crc32c, runs[i].crc32c);
     }
-    (void)spill->release();  // keep the directory for Restore below
+    spill.value()->DisownDir();  // keep the directory for Restore below
   }
 
   // A restored manager (itself pooled) sees exactly the saved registry.
@@ -250,7 +339,7 @@ TEST_F(ManifestTest, RestoreVerifyCatchesTamperedRun) {
     std::fseek(f, 100, SEEK_SET);
     std::fputc('X', f);
     std::fclose(f);
-    (void)spill->release();
+    spill.value()->DisownDir();
   }
   auto restored = SpillManager::Restore(&env_, dir, "state.manifest",
                                         /*verify_runs=*/true);

@@ -1,0 +1,235 @@
+/// The transient-fault retry layer: Status classification, backoff shape,
+/// the RetryOp loop (success-after-transients, exhaustion, deadline), and
+/// the file decorators against scripted StorageEnv faults. Only
+/// Unavailable may ever be retried — permanent errors must surface on the
+/// first attempt, unchanged.
+
+#include "io/retry.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "obs/metrics.h"
+#include "tests/test_util.h"
+
+namespace topk {
+namespace {
+
+using testing_util::ScratchDir;
+
+/// Fast policy so tests spend microseconds, not milliseconds, sleeping.
+RetryPolicy FastPolicy(int max_attempts = 4) {
+  RetryPolicy policy;
+  policy.max_attempts = max_attempts;
+  policy.initial_backoff_nanos = 1'000;  // 1 us
+  policy.max_backoff_nanos = 100'000;
+  return policy;
+}
+
+TEST(RetryClassificationTest, OnlyUnavailableIsRetryable) {
+  EXPECT_TRUE(IsRetryable(Status::Unavailable("hiccup")));
+  EXPECT_FALSE(IsRetryable(Status::OK()));
+  EXPECT_FALSE(IsRetryable(Status::IoError("disk gone")));
+  EXPECT_FALSE(IsRetryable(Status::Corruption("bad checksum")));
+  EXPECT_FALSE(IsRetryable(Status::ResourceExhausted("quota")));
+  EXPECT_FALSE(IsRetryable(Status::NotFound("missing")));
+  EXPECT_FALSE(IsRetryable(Status::InvalidArgument("bad")));
+}
+
+TEST(RetryBackoffTest, GrowsExponentiallyAndCaps) {
+  RetryPolicy policy;
+  policy.initial_backoff_nanos = 1'000'000;
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff_nanos = 4'000'000;
+  policy.jitter = 0.0;  // deterministic for this test
+  Random rng(1);
+  EXPECT_EQ(RetryBackoffNanos(policy, 1, &rng), 1'000'000);
+  EXPECT_EQ(RetryBackoffNanos(policy, 2, &rng), 2'000'000);
+  EXPECT_EQ(RetryBackoffNanos(policy, 3, &rng), 4'000'000);
+  EXPECT_EQ(RetryBackoffNanos(policy, 4, &rng), 4'000'000);  // capped
+  EXPECT_EQ(RetryBackoffNanos(policy, 10, &rng), 4'000'000);
+}
+
+TEST(RetryBackoffTest, JitterStaysWithinBounds) {
+  RetryPolicy policy;
+  policy.initial_backoff_nanos = 1'000'000;
+  policy.jitter = 0.5;
+  Random rng(7);
+  bool saw_below = false, saw_above = false;
+  for (int i = 0; i < 200; ++i) {
+    const int64_t backoff = RetryBackoffNanos(policy, 1, &rng);
+    EXPECT_GE(backoff, 500'000);
+    EXPECT_LE(backoff, 1'500'000);
+    saw_below |= backoff < 1'000'000;
+    saw_above |= backoff > 1'000'000;
+  }
+  // The jitter actually spreads in both directions.
+  EXPECT_TRUE(saw_below);
+  EXPECT_TRUE(saw_above);
+}
+
+TEST(RetryOpTest, SucceedsAfterTransients) {
+  MetricsCounter* attempts = GlobalMetrics().GetCounter("io.retry.attempts");
+  const uint64_t attempts_before = attempts->value();
+  Random rng(1);
+  int calls = 0;
+  Status status = RetryOp(FastPolicy(), "test op", &rng, [&] {
+    ++calls;
+    return calls < 3 ? Status::Unavailable("hiccup") : Status::OK();
+  });
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(attempts->value(), attempts_before + 2);
+}
+
+TEST(RetryOpTest, PermanentErrorSurfacesImmediately) {
+  Random rng(1);
+  int calls = 0;
+  Status status = RetryOp(FastPolicy(), "test op", &rng, [&] {
+    ++calls;
+    return Status::IoError("disk on fire");
+  });
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+  EXPECT_EQ(calls, 1);  // never retried
+  EXPECT_EQ(status.message(), "disk on fire");  // message untouched
+}
+
+TEST(RetryOpTest, ExhaustionRecordsAttemptCount) {
+  MetricsCounter* exhausted = GlobalMetrics().GetCounter("io.retry.exhausted");
+  const uint64_t exhausted_before = exhausted->value();
+  Random rng(1);
+  int calls = 0;
+  Status status = RetryOp(FastPolicy(3), "write blk", &rng, [&] {
+    ++calls;
+    return Status::Unavailable("still down");
+  });
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(calls, 3);
+  // The latched error must record how many retries were burned.
+  EXPECT_NE(status.message().find("write blk failed after 3 attempts"),
+            std::string::npos)
+      << status.ToString();
+  EXPECT_NE(status.message().find("still down"), std::string::npos);
+  EXPECT_EQ(exhausted->value(), exhausted_before + 1);
+}
+
+TEST(RetryOpTest, DeadlineBoundsTotalWait) {
+  RetryPolicy policy = FastPolicy(1000);
+  policy.initial_backoff_nanos = 2'000'000;  // 2 ms per retry
+  policy.deadline_nanos = 5'000'000;         // but only 5 ms overall
+  Random rng(1);
+  int calls = 0;
+  Status status = RetryOp(policy, "test op", &rng, [&] {
+    ++calls;
+    return Status::Unavailable("still down");
+  });
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  EXPECT_NE(status.message().find("retry deadline exceeded"),
+            std::string::npos)
+      << status.ToString();
+  EXPECT_LT(calls, 1000);  // the deadline cut the attempt budget short
+}
+
+TEST(RetryOpTest, NoRetriesPolicySingleAttempt) {
+  Random rng(1);
+  int calls = 0;
+  Status status = RetryOp(RetryPolicy::NoRetries(), "test op", &rng, [&] {
+    ++calls;
+    return Status::Unavailable("hiccup");
+  });
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RetryingFileTest, WriteRidesThroughScriptedTransients) {
+  ScratchDir scratch;
+  StorageEnv env;
+  const std::string path = scratch.str() + "/f";
+  auto base = env.NewWritableFile(path);
+  ASSERT_TRUE(base.ok());
+  auto file = MaybeWrapWithRetries(std::move(*base), path, FastPolicy());
+
+  env.InjectTransientWriteFailures(2);  // next two Appends fail, then heal
+  EXPECT_TRUE(file->Append("hello ").ok());
+  EXPECT_TRUE(file->Append("world").ok());
+  EXPECT_TRUE(file->Flush().ok());
+  EXPECT_TRUE(file->Close().ok());
+
+  auto in = env.NewSequentialFile(path);
+  ASSERT_TRUE(in.ok());
+  char buf[32];
+  size_t got = 0;
+  ASSERT_TRUE((*in)->Read(sizeof(buf), buf, &got).ok());
+  EXPECT_EQ(std::string(buf, got), "hello world");
+}
+
+TEST(RetryingFileTest, ReadRidesThroughScriptedTransients) {
+  ScratchDir scratch;
+  StorageEnv env;
+  const std::string path = scratch.str() + "/f";
+  {
+    auto out = env.NewWritableFile(path);
+    ASSERT_TRUE(out.ok());
+    ASSERT_TRUE((*out)->Append("payload").ok());
+    ASSERT_TRUE((*out)->Close().ok());
+  }
+  auto base = env.NewSequentialFile(path);
+  ASSERT_TRUE(base.ok());
+  auto file = MaybeWrapWithRetries(std::move(*base), path, FastPolicy());
+  env.InjectTransientReadFailures(3);
+  char buf[32];
+  size_t got = 0;
+  ASSERT_TRUE(file->Read(sizeof(buf), buf, &got).ok());
+  EXPECT_EQ(std::string(buf, got), "payload");
+}
+
+TEST(RetryingFileTest, ExhaustedTransientsSurfaceUnavailable) {
+  ScratchDir scratch;
+  StorageEnv env;
+  const std::string path = scratch.str() + "/f";
+  auto base = env.NewWritableFile(path);
+  ASSERT_TRUE(base.ok());
+  auto file = MaybeWrapWithRetries(std::move(*base), path, FastPolicy(2));
+  env.InjectTransientWriteFailures(10);  // more faults than attempts
+  Status status = file->Append("data");
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  EXPECT_NE(status.message().find("failed after 2 attempts"),
+            std::string::npos)
+      << status.ToString();
+}
+
+TEST(RetryingFileTest, NthCallPermanentInjectionIsNotRetried) {
+  // The legacy Nth-call injection produces kIoError: the retry layer must
+  // pass it through on the first attempt (existing failure-injection
+  // semantics survive retries being on by default).
+  ScratchDir scratch;
+  StorageEnv env;
+  const std::string path = scratch.str() + "/f";
+  auto base = env.NewWritableFile(path);
+  ASSERT_TRUE(base.ok());
+  auto file = MaybeWrapWithRetries(std::move(*base), path, FastPolicy());
+  env.InjectWriteFailure(1);
+  Status status = file->Append("data");
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+  // And the next call goes through (the injection fired exactly once).
+  EXPECT_TRUE(file->Append("data").ok());
+  EXPECT_TRUE(file->Close().ok());
+}
+
+TEST(RetryingFileTest, PassThroughWhenRetriesDisabled) {
+  ScratchDir scratch;
+  StorageEnv env;
+  const std::string path = scratch.str() + "/f";
+  auto base = env.NewWritableFile(path);
+  ASSERT_TRUE(base.ok());
+  WritableFile* raw = base->get();
+  auto file =
+      MaybeWrapWithRetries(std::move(*base), path, RetryPolicy::NoRetries());
+  EXPECT_EQ(file.get(), raw);  // no decorator inserted
+  env.InjectTransientWriteFailures(1);
+  EXPECT_EQ(file->Append("data").code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(file->Close().ok());
+}
+
+}  // namespace
+}  // namespace topk

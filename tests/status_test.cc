@@ -27,11 +27,15 @@ TEST(StatusTest, FactoryFunctionsSetCodeAndMessage) {
             StatusCode::kResourceExhausted);
   EXPECT_EQ(Status::Cancelled("c").code(), StatusCode::kCancelled);
   EXPECT_EQ(Status::Unknown("u").code(), StatusCode::kUnknown);
+  EXPECT_EQ(Status::Unavailable("hiccup").code(), StatusCode::kUnavailable);
   EXPECT_EQ(Status::IoError("disk").message(), "disk");
 }
 
 TEST(StatusTest, ToStringIncludesCodeName) {
   EXPECT_EQ(Status::IoError("disk full").ToString(), "IoError: disk full");
+  // Unavailable is the transient (retryable) class — distinct from the
+  // permanent IoError in name as well as code.
+  EXPECT_EQ(Status::Unavailable("blip").ToString(), "Unavailable: blip");
 }
 
 TEST(StatusTest, EqualityComparesCodeAndMessage) {

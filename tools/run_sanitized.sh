@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Builds and runs the test suite under a sanitizer.
 #
-#   tools/run_sanitized.sh [thread|address] [extra ctest args...]
+#   tools/run_sanitized.sh [thread|address|address-undefined] [extra ctest args...]
 #
 # Default is thread (TSan) — the configuration that validates the
 # background I/O pipeline (DoubleBufferedWriter / PrefetchingBlockReader)
@@ -11,8 +11,9 @@ set -euo pipefail
 SANITIZER="${1:-thread}"
 shift || true
 case "$SANITIZER" in
-  thread|address) ;;
-  *) echo "usage: $0 [thread|address] [ctest args...]" >&2; exit 2 ;;
+  thread|address|address-undefined) ;;
+  *) echo "usage: $0 [thread|address|address-undefined] [ctest args...]" >&2
+     exit 2 ;;
 esac
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"

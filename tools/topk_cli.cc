@@ -22,6 +22,18 @@
 ///   --prefetch    read one block ahead of the merge cursor (true)
 ///   --io-latency-us  injected storage latency per I/O call, emulating
 ///                 disaggregated storage (0)
+///   --fault-profile  inject storage faults, e.g.
+///                 "transient=0.01,spike=0.005,spike-us=2000,torn=0.001,
+///                 bitflip=0.0001,seed=7" (off)
+///   --io-retry-attempts  max attempts per storage call for transient
+///                 faults, 1 = no retries (4)
+///   --manifest    keep a spill manifest of this name checkpointed inside
+///                 --spill-dir, enabling crash recovery (off)
+///   --suspend-before-merge  consume the input, persist the runs + manifest,
+///                 and exit without merging — the crash/suspend half of a
+///                 resume exercise (false)
+///   --resume-from=NAME  resume the merge phase from manifest NAME inside
+///                 --spill-dir instead of consuming input (off)
 ///   --seed        RNG seed (42)
 ///   --spill-dir   run directory (under $TMPDIR)
 ///   --verify      cross-check against the in-memory reference (false)
@@ -99,9 +111,10 @@ int main(int argc, char** argv) {
   DatasetSpec spec;
   int64_t n = 0, k = 0, offset = 0, payload = 0, buckets = 0, fan_in = 0,
           seed = 0;
-  int64_t io_threads = 0, io_latency_us = 0;
+  int64_t io_threads = 0, io_latency_us = 0, io_retry_attempts = 0;
   double memory_mb = 0, shape = 0;
   bool early_merge = true, verify = false, prefetch = true, progress = false;
+  bool suspend_before_merge = false;
   {
     auto status = [&]() -> Status {
       TOPK_ASSIGN_OR_RETURN(n, flags.GetInt("n", 1000000));
@@ -125,8 +138,16 @@ int main(int argc, char** argv) {
         return Status::InvalidArgument("--io-latency-us must be >= 0");
       }
       TOPK_ASSIGN_OR_RETURN(prefetch, flags.GetBool("prefetch", true));
+      TOPK_ASSIGN_OR_RETURN(io_retry_attempts,
+                            flags.GetInt("io-retry-attempts", 4));
+      if (io_retry_attempts < 1 || io_retry_attempts > 100) {
+        return Status::InvalidArgument(
+            "--io-retry-attempts must be in [1, 100]");
+      }
       TOPK_ASSIGN_OR_RETURN(verify, flags.GetBool("verify", false));
       TOPK_ASSIGN_OR_RETURN(progress, flags.GetBool("progress", false));
+      TOPK_ASSIGN_OR_RETURN(suspend_before_merge,
+                            flags.GetBool("suspend-before-merge", false));
       return Status::OK();
     }();
     if (!status.ok()) return Fail(status);
@@ -141,6 +162,9 @@ int main(int argc, char** argv) {
   const std::string input_path = flags.GetString("input", "");
   const std::string trace_out = flags.GetString("trace-out", "");
   const std::string metrics_json = flags.GetString("metrics-json", "");
+  const std::string fault_profile_spec = flags.GetString("fault-profile", "");
+  const std::string manifest_name = flags.GetString("manifest", "");
+  const std::string resume_from = flags.GetString("resume-from", "");
   const std::string spill_dir = flags.GetString(
       "spill-dir", (std::filesystem::temp_directory_path() /
                     ("topk_cli_" + std::to_string(::getpid())))
@@ -164,10 +188,25 @@ int main(int argc, char** argv) {
       .WithSeed(static_cast<uint64_t>(seed));
   spec.keys.fal_shape = shape;
 
+  if (suspend_before_merge && manifest_name.empty()) {
+    return Fail(Status::InvalidArgument(
+        "--suspend-before-merge requires --manifest"));
+  }
+  if (!resume_from.empty() && suspend_before_merge) {
+    return Fail(Status::InvalidArgument(
+        "--resume-from and --suspend-before-merge are mutually exclusive"));
+  }
+
   StorageEnv::Options env_options;
   env_options.write_latency_nanos = io_latency_us * 1000;
   env_options.read_latency_nanos = io_latency_us * 1000;
   StorageEnv env(env_options);
+  if (!fault_profile_spec.empty()) {
+    auto profile = FaultProfile::Parse(fault_profile_spec);
+    if (!profile.ok()) return Fail(profile.status());
+    env.SetFaultProfile(*profile);
+    std::printf("fault profile: %s\n", profile->ToString().c_str());
+  }
   TopKOptions options;
   options.k = static_cast<uint64_t>(k);
   options.offset = static_cast<uint64_t>(offset);
@@ -180,24 +219,47 @@ int main(int argc, char** argv) {
   options.enable_early_merge = early_merge;
   options.io_background_threads = static_cast<size_t>(io_threads);
   options.enable_io_prefetch = prefetch;
+  options.io_retry.max_attempts = static_cast<int>(io_retry_attempts);
+  options.manifest_filename =
+      resume_from.empty() ? manifest_name : resume_from;
   options.env = &env;
   options.spill_dir = spill_dir;
   if (algorithm == TopKAlgorithm::kHeap) {
     options.allow_unbounded_memory = true;
   }
 
-  auto op = MakeTopKOperator(algorithm, options);
-  if (!op.ok()) return Fail(op.status());
-
-  std::printf("running %s: top-%lld%s of %lld %s rows, %.1f MiB memory\n",
-              TopKAlgorithmName(algorithm).c_str(),
-              static_cast<long long>(k),
-              offset > 0 ? (" offset " + std::to_string(offset)).c_str() : "",
-              static_cast<long long>(n),
-              trace_keys.empty() ? dist_name.c_str() : "trace", memory_mb);
-
   if (!trace_out.empty()) {
     GlobalTracer().Start();
+  }
+
+  RestoreReport restore_report;
+  Result<std::unique_ptr<TopKOperator>> op =
+      resume_from.empty()
+          ? MakeTopKOperator(algorithm, options)
+          : ResumeTopKOperator(algorithm, options, &restore_report);
+  if (!op.ok()) return Fail(op.status());
+
+  if (resume_from.empty()) {
+    std::printf("running %s: top-%lld%s of %lld %s rows, %.1f MiB memory\n",
+                TopKAlgorithmName(algorithm).c_str(),
+                static_cast<long long>(k),
+                offset > 0 ? (" offset " + std::to_string(offset)).c_str()
+                           : "",
+                static_cast<long long>(n),
+                trace_keys.empty() ? dist_name.c_str() : "trace", memory_mb);
+  } else {
+    std::printf(
+        "resuming %s: top-%lld%s from %s/%s (%zu runs restored, %zu "
+        "quarantined)\n",
+        TopKAlgorithmName(algorithm).c_str(), static_cast<long long>(k),
+        offset > 0 ? (" offset " + std::to_string(offset)).c_str() : "",
+        spill_dir.c_str(), resume_from.c_str(), restore_report.runs_restored,
+        restore_report.quarantined.size());
+    for (const QuarantinedRun& bad : restore_report.quarantined) {
+      std::printf("  quarantined run %llu (%s): %s\n",
+                  static_cast<unsigned long long>(bad.meta.id),
+                  bad.meta.path.c_str(), bad.reason.ToString().c_str());
+    }
   }
 
   // Progress reporting: one line every ~5% of the input showing how the
@@ -223,22 +285,56 @@ int main(int argc, char** argv) {
 
   Row row;
   Stopwatch watch;
-  if (!trace_keys.empty()) {
-    const std::string fill(static_cast<size_t>(payload), 'p');
-    for (size_t i = 0; i < trace_keys.size(); ++i) {
-      Status status = (*op)->Consume(Row(trace_keys[i], i, fill));
-      if (!status.ok()) return Fail(status);
-      ++consumed;
-      maybe_report(watch);
+  if (resume_from.empty()) {
+    if (!trace_keys.empty()) {
+      const std::string fill(static_cast<size_t>(payload), 'p');
+      for (size_t i = 0; i < trace_keys.size(); ++i) {
+        Status status = (*op)->Consume(Row(trace_keys[i], i, fill));
+        if (!status.ok()) return Fail(status);
+        ++consumed;
+        maybe_report(watch);
+      }
+    } else {
+      RowGenerator gen(spec);
+      while (gen.Next(&row)) {
+        Status status = (*op)->Consume(std::move(row));
+        if (!status.ok()) return Fail(status);
+        ++consumed;
+        maybe_report(watch);
+      }
     }
-  } else {
-    RowGenerator gen(spec);
-    while (gen.Next(&row)) {
-      Status status = (*op)->Consume(std::move(row));
-      if (!status.ok()) return Fail(status);
-      ++consumed;
-      maybe_report(watch);
+  }
+  if (suspend_before_merge) {
+    Status status = (*op)->Suspend();
+    if (!status.ok()) return Fail(status);
+    std::printf(
+        "suspended after %llu rows: runs and manifest '%s' left in %s\n"
+        "resume with --resume-from=%s --spill-dir=%s\n",
+        static_cast<unsigned long long>(consumed), manifest_name.c_str(),
+        spill_dir.c_str(), manifest_name.c_str(), spill_dir.c_str());
+    std::printf("\n%s", FormatOperatorStats((*op)->stats()).c_str());
+    std::printf("  %-28s %s\n", "storage traffic",
+                env.stats()->ToString().c_str());
+    if (!trace_out.empty()) {
+      GlobalTracer().Stop();
+      Status trace_status = GlobalTracer().WriteJsonFile(trace_out);
+      if (!trace_status.ok()) return Fail(trace_status);
     }
+    if (!metrics_json.empty()) {
+      StatsExport exported;
+      exported.operator_name = (*op)->name();
+      exported.operator_stats = (*op)->stats();
+      exported.io = env.stats()->snapshot();
+      exported.registry = &GlobalMetrics();
+      std::ofstream out(metrics_json, std::ios::binary | std::ios::trunc);
+      if (!out) {
+        return Fail(Status::IoError("cannot open --metrics-json file " +
+                                    metrics_json));
+      }
+      out << FormatStatsJson(exported) << "\n";
+      std::printf("metrics written to %s\n", metrics_json.c_str());
+    }
+    return 0;
   }
   Result<std::vector<Row>> result = [&]() {
     TraceSpan finish_span("topk.finish", "topk");
