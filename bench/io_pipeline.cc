@@ -8,8 +8,115 @@
 /// (2 threads) at several per-call latencies.
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench/bench_util.h"
+#include "io/spill_manager.h"
+#include "sort/merger.h"
+
+namespace {
+
+using namespace topk;
+using namespace topk::bench;
+
+/// Timed MergeRuns drain of every registered run with a given per-reader
+/// window cap (1 = legacy fixed lookahead, 0 = adaptive/apportioned).
+RunResult MeasureMergeDrain(SpillManager* spill, size_t depth_cap) {
+  const RowComparator cmp;
+  MergeOptions options;
+  options.prefetch_depth_cap = depth_cap;
+  RunResult out;
+  Stopwatch watch;
+  auto stats = MergeRuns(spill, spill->runs(), cmp, options, [&out](Row&& row) {
+    out.last_key = row.key;
+    ++out.result_rows;
+    return Status::OK();
+  });
+  TOPK_CHECK(stats.ok()) << stats.status().ToString();
+  out.seconds = watch.ElapsedSeconds();
+  return out;
+}
+
+/// Prefetch-depth sweep over the merge read path: the same spilled runs
+/// are drained with a fixed one-block window, a capped two-block window,
+/// and the adaptive window (budget-apportioned). Runs carry near-disjoint
+/// key ranges, so the loser tree drains them one after another — the
+/// latency-bound case where a deep window's concurrent in-flight reads
+/// pay off.
+void RunPrefetchDepthSweep(const BenchDir& dir) {
+  PrintHeader("Adaptive prefetch depth: merge drain of 6 spilled runs");
+
+  const size_t num_runs = 6;
+  const uint64_t rows_per_run = Scaled(50000);
+  const int64_t latencies_us[] = {100, 500, 1000, 2000};
+  const int reps = 3;
+
+  std::printf("6 runs x %llu rows, near-disjoint key ranges, 4 io threads. "
+              "depth1 = fixed one-block lookahead, depth2 = capped window, "
+              "adaptive = 8 MiB budget apportioned (depth 6 here).\n\n",
+              static_cast<unsigned long long>(rows_per_run));
+  std::printf("%-12s | %-9s %-9s %-9s %-18s\n", "latency_us", "depth1_s",
+              "depth2_s", "adaptive_s", "adaptive_speedup");
+
+  for (int64_t latency_us : latencies_us) {
+    StorageEnv::Options env_options;
+    env_options.read_latency_nanos = latency_us * 1000;
+    StorageEnv env(env_options);  // writes are free: only reads are swept
+
+    IoPipelineOptions io;
+    io.background_threads = 4;
+    auto spill = SpillManager::Create(
+        &env, dir.Sub("depth" + std::to_string(latency_us)), io);
+    TOPK_CHECK(spill.ok()) << spill.status().ToString();
+    const RowComparator cmp;
+    // Wide rows keep the per-block merge time well under the round trip,
+    // so the EWMA ratio asks for a deep window — the regime the adaptive
+    // depth exists for.
+    const std::string payload(120, 'x');
+    for (size_t r = 0; r < num_runs; ++r) {
+      auto writer = (*spill)->NewRun(cmp);
+      TOPK_CHECK(writer.ok()) << writer.status().ToString();
+      const double base = static_cast<double>(r) * rows_per_run;
+      for (uint64_t i = 0; i < rows_per_run; ++i) {
+        Status status =
+            (*writer)->Append(Row(base + static_cast<double>(i), i, payload));
+        TOPK_CHECK(status.ok()) << status.ToString();
+      }
+      auto meta = (*writer)->Finish();
+      TOPK_CHECK(meta.ok()) << meta.status().ToString();
+      (*spill)->AddRun(*meta);
+    }
+
+    RunResult fixed, capped, adaptive;
+    for (int rep = 0; rep < reps; ++rep) {
+      RunResult f = MeasureMergeDrain(spill->get(), 1);
+      if (rep == 0 || f.seconds < fixed.seconds) fixed = f;
+      RunResult c = MeasureMergeDrain(spill->get(), 2);
+      if (rep == 0 || c.seconds < capped.seconds) capped = c;
+      RunResult a = MeasureMergeDrain(spill->get(), 0);
+      if (rep == 0 || a.seconds < adaptive.seconds) adaptive = a;
+    }
+
+    // Depth must never change the merged stream.
+    TOPK_CHECK(fixed.result_rows == num_runs * rows_per_run);
+    TOPK_CHECK(capped.result_rows == fixed.result_rows);
+    TOPK_CHECK(adaptive.result_rows == fixed.result_rows);
+    TOPK_CHECK(capped.last_key == fixed.last_key);
+    TOPK_CHECK(adaptive.last_key == fixed.last_key);
+    std::printf("%-12lld | %-9.3f %-9.3f %-9.3f %-18.2f\n",
+                static_cast<long long>(latency_us), fixed.seconds,
+                capped.seconds, adaptive.seconds,
+                Ratio(fixed.seconds, adaptive.seconds));
+  }
+  std::printf(
+      "\nWith near-disjoint runs the merge hammers one reader at a time; a "
+      "one-block window serialises that run's round trips while a deeper "
+      "window stripes them across extra handles. The win saturates once "
+      "depth reaches the pool's thread count.\n");
+}
+
+}  // namespace
 
 int main() {
   using namespace topk;
@@ -87,5 +194,7 @@ int main() {
       "with it. The spill-heavy traditional operator benefits most — the "
       "histogram operator eliminates most spills before they happen, which "
       "is the paper's point.\n");
+
+  RunPrefetchDepthSweep(dir);
   return 0;
 }

@@ -1,6 +1,7 @@
 #include "io/async_io.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 
 #include "common/logging.h"
@@ -11,6 +12,18 @@
 namespace topk {
 
 namespace {
+
+/// Smoothing factor of the round-trip / consume-interval EWMAs: heavy
+/// enough on history that one slow block does not whipsaw the window.
+constexpr double kEwmaAlpha = 0.3;
+/// Consume-interval samples required before the window may grow past one
+/// block: the first refill interval includes reader-open noise, and a run
+/// that dies young (the k-limited common case) never reaches the bar.
+constexpr size_t kDepthWarmupSamples = 2;
+
+double UpdateEwma(double ewma, double sample) {
+  return ewma == 0.0 ? sample : kEwmaAlpha * sample + (1.0 - kEwmaAlpha) * ewma;
+}
 
 // Pipeline-wide metrics; handles resolved once, recording is lock-free.
 MetricsCounter& FlushBlocksCounter() {
@@ -38,8 +51,52 @@ MetricsCounter& PrefetchUnconsumedCounter() {
       GlobalMetrics().GetCounter("io.prefetch.blocks_unconsumed");
   return *counter;
 }
+MetricsCounter& PrefetchCancelledCounter() {
+  static MetricsCounter* counter =
+      GlobalMetrics().GetCounter("io.prefetch.blocks_cancelled");
+  return *counter;
+}
+MetricsGauge& PrefetchDepthGauge() {
+  static MetricsGauge* gauge = GlobalMetrics().GetGauge("io.prefetch.depth");
+  return *gauge;
+}
+LatencyHistogram& PrefetchDepthHistogram() {
+  static LatencyHistogram* histogram =
+      GlobalMetrics().GetHistogram("io.prefetch.depth");
+  return *histogram;
+}
 
 }  // namespace
+
+bool PrefetchBudget::TryAcquire(size_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (acquired_ + bytes > total_) return false;
+  acquired_ += bytes;
+  return true;
+}
+
+void PrefetchBudget::Release(size_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  acquired_ = bytes > acquired_ ? 0 : acquired_ - bytes;
+}
+
+size_t PrefetchBudget::acquired() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return acquired_;
+}
+
+size_t PrefetchBudget::available() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_ - acquired_;
+}
+
+size_t ApportionPrefetchDepth(size_t budget_bytes, size_t live_runs,
+                              size_t block_bytes) {
+  if (block_bytes == 0) return 1;
+  if (live_runs == 0) live_runs = 1;
+  const size_t extra_slots = budget_bytes / block_bytes / live_runs;
+  return std::min<size_t>(1 + extra_slots, kMaxPrefetchDepth);
+}
 
 DoubleBufferedWriter::DoubleBufferedWriter(std::unique_ptr<WritableFile> base,
                                            ThreadPool* pool)
@@ -120,91 +177,276 @@ Status DoubleBufferedWriter::Close() {
 }
 
 PrefetchingBlockReader::PrefetchingBlockReader(
-    std::unique_ptr<SequentialFile> base, ThreadPool* pool,
-    size_t block_bytes)
-    : base_(std::move(base)), pool_(pool), block_bytes_(block_bytes) {
+    std::unique_ptr<SequentialFile> base, ThreadPool* pool, size_t block_bytes,
+    size_t depth_cap, PrefetchBudget* budget, SequentialFileFactory reopen)
+    : pool_(pool),
+      block_bytes_(block_bytes),
+      depth_cap_(std::clamp<size_t>(depth_cap, 1, kMaxPrefetchDepth)),
+      budget_(budget),
+      reopen_(std::move(reopen)) {
   TOPK_CHECK(pool_ != nullptr) << "PrefetchingBlockReader needs a thread pool";
   TOPK_CHECK(block_bytes_ > 0) << "block size must be positive";
+  auto handle = std::make_shared<Handle>();
+  handle->file = std::move(base);
   // Fetch the first block immediately: when a merge opens many runs, their
   // first blocks ride the storage round trip concurrently instead of one
   // after another.
-  StartPrefetch();
+  std::lock_guard<std::mutex> lock(mu_);
+  idle_handles_.push_back(std::move(handle));
+  handles_total_ = 1;
+  IssueOneLocked();
 }
 
 PrefetchingBlockReader::~PrefetchingBlockReader() {
-  WaitForInflight();
-  // Blocks fetched off storage but never handed to the consumer: wasted
-  // round trips. A k-limited merge abandons each run with one block still
-  // in the pipeline (and possibly an untouched ready block), so this
-  // counter quantifies the ROADMAP's "prefetch overshoot" item.
-  uint64_t unconsumed = fetched_size_ > 0 ? 1 : 0;
-  if (ready_size_ > 0 && ready_pos_ == 0) ++unconsumed;
-  if (unconsumed > 0) PrefetchUnconsumedCounter().Add(unconsumed);
-}
-
-void PrefetchingBlockReader::WaitForInflight() {
   std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [this] { return !inflight_; });
+  stopping_ = true;
+  cv_.wait(lock, [this] { return inflight_ == 0; });
+  // Blocks fetched off storage but never handed to the consumer. After a
+  // deliberate CancelPrefetch (merge stopped at k rows / the cutoff) they
+  // are accounted as cancelled; otherwise they are overshoot — wasted
+  // round trips the adaptive window should have avoided.
+  uint64_t leftover = ring_.size();
+  if (ready_size_ > 0 && ready_pos_ == 0) ++leftover;
+  if (leftover > 0) {
+    (cancelled_ ? PrefetchCancelledCounter() : PrefetchUnconsumedCounter())
+        .Add(leftover);
+  }
+  if (budget_ != nullptr && reserved_slots_ > 0) {
+    budget_->Release(reserved_slots_ * block_bytes_);
+    reserved_slots_ = 0;
+  }
 }
 
-void PrefetchingBlockReader::StartPrefetch() {
-  if (at_eof_ || !latched_.ok()) return;
-  fetched_.resize(block_bytes_);
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    inflight_ = true;
+void PrefetchingBlockReader::CancelPrefetch() {
+  std::lock_guard<std::mutex> lock(mu_);
+  cancelled_ = true;
+  stopping_ = true;  // in-flight fetches finish, but no new readahead
+}
+
+size_t PrefetchingBlockReader::target_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return target_depth_;
+}
+
+size_t PrefetchingBlockReader::max_target_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_target_depth_;
+}
+
+bool PrefetchingBlockReader::IssueOneLocked() {
+  if (!latched_.ok()) return false;
+  if (fetch_offset_ >= eof_offset_) return false;
+  // Prefer the idle handle closest behind the claim (usually exactly at
+  // it: the handle that completed the previous stripe).
+  size_t best = idle_handles_.size();
+  for (size_t i = 0; i < idle_handles_.size(); ++i) {
+    if (idle_handles_[i]->pos > fetch_offset_) continue;
+    if (best == idle_handles_.size() ||
+        idle_handles_[i]->pos > idle_handles_[best]->pos) {
+      best = i;
+    }
   }
-  pool_->Schedule([this] {
+  std::shared_ptr<Handle> handle;
+  if (best < idle_handles_.size()) {
+    handle = std::move(idle_handles_[best]);
+    idle_handles_.erase(idle_handles_.begin() + best);
+  } else if (reopen_ != nullptr && handles_total_ < depth_cap_) {
+    auto opened = reopen_();
+    if (!opened.ok()) return false;  // fewer slots, not a stream error
+    handle = std::make_shared<Handle>();
+    handle->file = std::move(*opened);
+    ++handles_total_;
+  } else {
+    return false;  // the single handle is busy; its completion re-issues
+  }
+  const uint64_t offset = fetch_offset_;
+  const uint64_t skip = offset - handle->pos;
+  fetch_offset_ += block_bytes_;
+  ++inflight_;
+  pool_->Schedule([this, handle = std::move(handle), offset, skip]() mutable {
+    FetchStep(std::move(handle), offset, skip);
+  });
+  return true;
+}
+
+void PrefetchingBlockReader::TopUpLocked() {
+  if (stopping_ || !latched_.ok()) return;
+  if (fetch_offset_ >= eof_offset_) {
+    // Every remaining byte is claimed or consumed: the window is done
+    // growing, so shed reservations instead of re-acquiring them.
+    target_depth_ = 1;
+    ReleaseExcessLocked();
+    return;
+  }
+  // Pipelining ahead only starts once the run survived its first refill.
+  // Most runs of a k-limited merge die inside block one; prefetching their
+  // second block is the overshoot the io.prefetch.blocks_unconsumed
+  // counter measures.
+  if (blocks_promoted_ < 2) return;
+  AcquireForTargetLocked();
+  size_t usable = target_depth_;
+  if (budget_ != nullptr) {
+    usable = std::min(usable, 1 + reserved_slots_);
+  }
+  while (ring_.size() + inflight_ < usable) {
+    if (!IssueOneLocked()) break;
+  }
+}
+
+void PrefetchingBlockReader::FetchStep(std::shared_ptr<Handle> handle,
+                                       uint64_t offset, uint64_t skip) {
+  FetchedBlock block;
+  block.data.resize(block_bytes_);
+  Status status;
+  int64_t nanos = 0;
+  if (skip > 0) {
+    // Reposition a reused (or freshly opened) handle onto this slot's
+    // stripe: a relative seek, no storage round trip.
+    status = handle->file->Skip(skip);
+  }
+  if (status.ok()) {
     TraceSpan span("merge.prefetch_block", "io.bg");
     Stopwatch watch;
-    size_t got = 0;
-    Status status = base_->Read(block_bytes_, fetched_.data(), &got);
-    PrefetchBlocksCounter().Add(1);
-    PrefetchBlockHistogram().Record(watch.ElapsedNanos());
+    status = handle->file->Read(block_bytes_, block.data.data(), &block.size);
+    nanos = watch.ElapsedNanos();
     if (span.active()) {
-      span.AddArg(TraceArg("bytes", got));
+      span.AddArg(TraceArg("bytes", block.size));
     }
-    std::lock_guard<std::mutex> lock(mu_);
-    if (!status.ok()) {
-      if (latched_.ok()) latched_ = status;
-    } else {
-      fetched_size_ = got;
-      if (got == 0) at_eof_ = true;
+    PrefetchBlocksCounter().Add(1);
+    PrefetchBlockHistogram().Record(nanos);
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  --inflight_;
+  if (!status.ok()) {
+    if (latched_.ok()) latched_ = status;
+    // The handle's position is unknown after a failed seek/read; drop it.
+    --handles_total_;
+  } else {
+    handle->pos = offset + block.size;
+    if (block.size < block_bytes_) {
+      // Short or empty read: the end of the file is at offset + size, and
+      // no claim at or past it can produce data.
+      eof_offset_ = std::min(eof_offset_, offset + block.size);
     }
-    inflight_ = false;
-    cv_.notify_all();
-  });
+    if (block.size > 0) {
+      rtt_ewma_nanos_ = UpdateEwma(rtt_ewma_nanos_, static_cast<double>(nanos));
+      ring_.emplace(offset, std::move(block));
+    }
+    idle_handles_.push_back(std::move(handle));
+  }
+  if (fetch_offset_ >= eof_offset_ || !latched_.ok()) {
+    if (inflight_ == 0) {
+      // No further fetches can happen; shed reservations the held blocks
+      // do not need so sibling runs can deepen.
+      target_depth_ = 1;
+      ReleaseExcessLocked();
+    }
+  } else if (!stopping_) {
+    TopUpLocked();
+  }
+  cv_.notify_all();
 }
 
-Status PrefetchingBlockReader::PromoteFetched() {
-  // Called with no prefetch in flight. Ensure a block is available (a Skip
-  // may have drained everything without restarting the pipeline).
-  if (fetched_size_ == 0 && !at_eof_) {
-    if (!latched_.ok()) return latched_;
-    StartPrefetch();
-    WaitForInflight();
+void PrefetchingBlockReader::AcquireForTargetLocked() {
+  if (budget_ == nullptr) return;
+  while (reserved_slots_ + 1 < target_depth_ &&
+         budget_->TryAcquire(block_bytes_)) {
+    ++reserved_slots_;
   }
-  if (!latched_.ok()) return latched_;
-  ready_.swap(fetched_);
-  ready_size_ = fetched_size_;
+}
+
+void PrefetchingBlockReader::ReleaseExcessLocked() {
+  if (budget_ == nullptr) return;
+  // Reservations must keep covering blocks physically held in memory (the
+  // ring plus every in-flight fetch buffer), minus the free first slot.
+  const size_t held = ring_.size() + inflight_;
+  const size_t needed =
+      std::max(target_depth_ - 1, held > 0 ? held - 1 : 0);
+  if (reserved_slots_ > needed) {
+    budget_->Release((reserved_slots_ - needed) * block_bytes_);
+    reserved_slots_ = needed;
+  }
+}
+
+void PrefetchingBlockReader::UpdateTargetLocked() {
+  if (consume_samples_ < kDepthWarmupSamples) return;
+  if (rtt_ewma_nanos_ <= 0.0 || consume_ewma_nanos_ <= 0.0) return;
+  const double ratio = rtt_ewma_nanos_ / consume_ewma_nanos_;
+  const size_t want = std::clamp<size_t>(
+      static_cast<size_t>(std::ceil(ratio)), 1, depth_cap_);
+  if (want == target_depth_) return;
+  const size_t old = target_depth_;
+  target_depth_ = want;
+  max_target_depth_ = std::max(max_target_depth_, want);
+  PrefetchDepthGauge().Set(static_cast<int64_t>(want));
+  PrefetchDepthHistogram().Record(static_cast<int64_t>(want));
+  if (TracingEnabled()) {
+    TraceInstant("prefetch.depth_change", "io",
+                 {TraceArg("old", old), TraceArg("new", want),
+                  TraceArg("rtt_ewma_nanos", rtt_ewma_nanos_),
+                  TraceArg("consume_ewma_nanos", consume_ewma_nanos_)});
+  }
+}
+
+void PrefetchingBlockReader::PromoteLocked() {
+  auto it = ring_.begin();
+  ready_ = std::move(it->second.data);
+  ready_size_ = it->second.size;
   ready_pos_ = 0;
-  fetched_size_ = 0;
+  ring_.erase(it);
+  consume_offset_ += ready_size_;
   ++blocks_promoted_;
-  // Keep one block ahead of the consumer — but only once the run survived
-  // its first refill. Most runs of a k-limited merge die inside block one;
-  // prefetching their second block is the overshoot the
-  // io.prefetch.blocks_unconsumed counter measures.
-  if (blocks_promoted_ >= 2) StartPrefetch();
-  return Status::OK();
+  last_promote_ = std::chrono::steady_clock::now();
+  last_promote_valid_ = true;
+  ReleaseExcessLocked();
+  TopUpLocked();
 }
 
 Status PrefetchingBlockReader::Read(size_t n, char* scratch,
                                     size_t* bytes_read) {
   *bytes_read = 0;
   if (ready_pos_ == ready_size_) {
-    WaitForInflight();
-    TOPK_RETURN_NOT_OK(PromoteFetched());
-    if (ready_size_ == 0) return Status::OK();  // clean EOF
+    std::unique_lock<std::mutex> lock(mu_);
+    if (last_promote_valid_ && ready_size_ > 0) {
+      // The time from the last promotion to this refill *request* is the
+      // consumer's pure merge time for one block — sampled before any
+      // waiting below, so storage stalls never inflate it.
+      const double delta = static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - last_promote_)
+              .count());
+      consume_ewma_nanos_ = UpdateEwma(consume_ewma_nanos_, delta);
+      ++consume_samples_;
+      UpdateTargetLocked();
+    }
+    for (;;) {
+      // Blocks are promoted strictly in offset order; out-of-order
+      // completions park in the ring until the cursor reaches them.
+      if (!ring_.empty() && ring_.begin()->first == consume_offset_) break;
+      if (consume_offset_ >= eof_offset_) {
+        ready_size_ = 0;
+        ready_pos_ = 0;
+        return Status::OK();  // clean EOF
+      }
+      if (inflight_ == 0) {
+        // Every claim has completed. A missing cursor block now means its
+        // fetch failed (ring blocks before the error were served first).
+        if (!latched_.ok()) return latched_;
+        // Demand fetch: a Skip may have drained everything, or the
+        // deferral kept the pipeline idle after the first block. Allowed
+        // even after CancelPrefetch — a cancelled reader still serves its
+        // consumer, one un-chained block per refill.
+        if (!IssueOneLocked()) {
+          return Status::IoError("prefetch pipeline has no readable handle");
+        }
+      }
+      cv_.wait(lock, [this] {
+        return (!ring_.empty() && ring_.begin()->first == consume_offset_) ||
+               inflight_ == 0 || consume_offset_ >= eof_offset_;
+      });
+    }
+    PromoteLocked();
   }
   const size_t take = std::min(n, ready_size_ - ready_pos_);
   std::memcpy(scratch, ready_.data() + ready_pos_, take);
@@ -214,27 +456,43 @@ Status PrefetchingBlockReader::Read(size_t n, char* scratch,
 }
 
 Status PrefetchingBlockReader::Skip(uint64_t n) {
-  WaitForInflight();
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return inflight_ == 0; });
   if (!latched_.ok()) return latched_;
   uint64_t remaining = n;
   const uint64_t from_ready =
       std::min<uint64_t>(remaining, ready_size_ - ready_pos_);
   ready_pos_ += from_ready;
   remaining -= from_ready;
-  if (remaining > 0 && fetched_size_ > 0) {
-    // Consume the completed prefetch before seeking the base file.
-    ready_.swap(fetched_);
-    ready_size_ = fetched_size_;
-    fetched_size_ = 0;
-    ready_pos_ = std::min<uint64_t>(remaining, ready_size_);
-    remaining -= ready_pos_;
+  while (remaining > 0 && !ring_.empty() &&
+         ring_.begin()->first == consume_offset_) {
+    // Consume completed prefetches before moving the cursor. Skips are
+    // not promotions: the deferral still applies to the first block the
+    // consumer actually reads.
+    auto it = ring_.begin();
+    FetchedBlock block = std::move(it->second);
+    ring_.erase(it);
+    consume_offset_ += block.size;
+    const uint64_t use = std::min<uint64_t>(remaining, block.size);
+    remaining -= use;
+    if (use < block.size) {
+      ready_ = std::move(block.data);
+      ready_size_ = block.size;
+      ready_pos_ = use;
+    }
   }
+  ReleaseExcessLocked();
   if (remaining > 0) {
-    TOPK_RETURN_NOT_OK(base_->Skip(remaining));
+    // Nothing buffered covers the rest: just advance the cursor. The next
+    // fetch repositions whichever handle it picks with a relative seek, so
+    // no storage call happens here.
+    consume_offset_ += remaining;
+    if (fetch_offset_ < consume_offset_) fetch_offset_ = consume_offset_;
   }
-  if (ready_pos_ == ready_size_) {
-    // Buffers drained past the seek point: restart the pipeline.
-    StartPrefetch();
+  if (ready_pos_ == ready_size_ && ring_.empty() &&
+      consume_offset_ < eof_offset_) {
+    // Buffers drained past the seek point: restart the eager first fetch.
+    IssueOneLocked();
   }
   return Status::OK();
 }

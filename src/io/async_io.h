@@ -1,8 +1,13 @@
 #ifndef TOPK_IO_ASYNC_IO_H_
 #define TOPK_IO_ASYNC_IO_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -14,6 +19,11 @@
 #include "io/storage_env.h"
 
 namespace topk {
+
+/// Hard ceiling on the lookahead window of one PrefetchingBlockReader, no
+/// matter how large the memory budget is: beyond ~32 blocks the merge is
+/// bound by pool parallelism, not by queued lookahead.
+inline constexpr size_t kMaxPrefetchDepth = 32;
 
 /// Background I/O pipeline configuration. On disaggregated storage every
 /// block write/read pays a full round trip (StorageEnv latency injection
@@ -41,7 +51,52 @@ struct IoPipelineOptions {
   /// count inline on the merge read path (checksum mismatch = permanent
   /// Corruption, never retried).
   bool verify_read_checksums = true;
+  /// Total bytes of prefetched-but-unconsumed block memory all readers of
+  /// one SpillManager may hold *beyond* their first lookahead block. The
+  /// merge planner apportions it across the live runs of a merge step
+  /// (ApportionPrefetchDepth); each reader then grows its window only as
+  /// far as it can reserve slots from the shared PrefetchBudget, and runs
+  /// abandoned by the cutoff hand their slots back. 0 = fixed one-block
+  /// lookahead (the pre-adaptive behaviour).
+  size_t prefetch_memory_budget = 8 << 20;
 };
+
+/// Thread-safe byte pool bounding the total prefetch lookahead of one
+/// SpillManager. The first lookahead block of every reader is free (that
+/// is the baseline double-buffer the pipeline always had); every deeper
+/// slot must be reserved here first, so a merge can never queue more than
+/// `total` bytes of speculative reads no matter how many runs it opens.
+class PrefetchBudget {
+ public:
+  explicit PrefetchBudget(size_t total_bytes) : total_(total_bytes) {}
+
+  PrefetchBudget(const PrefetchBudget&) = delete;
+  PrefetchBudget& operator=(const PrefetchBudget&) = delete;
+
+  /// Reserves `bytes`; false when the pool is exhausted (the caller keeps
+  /// its current window instead of growing).
+  bool TryAcquire(size_t bytes);
+  /// Returns a previous reservation to the pool.
+  void Release(size_t bytes);
+
+  size_t total() const { return total_; }
+  size_t acquired() const;
+  size_t available() const;
+
+ private:
+  const size_t total_;
+  mutable std::mutex mu_;
+  size_t acquired_ = 0;
+};
+
+/// How many blocks of lookahead one reader may use when `budget_bytes` of
+/// prefetch memory is split evenly across `live_runs` concurrently merged
+/// runs: 1 free slot + this run's share of the budget, clamped to
+/// kMaxPrefetchDepth. The merge planner calls this at plan time; abandoned
+/// runs return their share through the PrefetchBudget, so late-surviving
+/// runs can still deepen up to the same cap.
+size_t ApportionPrefetchDepth(size_t budget_bytes, size_t live_runs,
+                              size_t block_bytes);
 
 /// WritableFile decorator that hands full blocks to a background flusher.
 /// Append copies the data and returns immediately; at most one block is in
@@ -79,51 +134,170 @@ class DoubleBufferedWriter : public WritableFile {
   bool closed_ = false;
 };
 
-/// SequentialFile decorator that keeps one block-size read ahead of the
-/// consumer. The prefetch of the first block starts at construction (so a
-/// K-way merge opening many runs overlaps their first round trips); the
-/// *second* block, however, is only fetched once the consumer actually
-/// exhausts the first — a run must survive its first refill before the
-/// pipeline reads ahead. A k-limited merge abandons most runs inside their
-/// first block, so this deferral removes the one-wasted-block-per-run
-/// overshoot (ROADMAP item, quantified by io.prefetch.blocks_unconsumed)
-/// at the cost of one unoverlapped round trip per surviving run. From the
-/// second refill on every Read is served from the completed prefetch while
-/// the next one is already in flight. Errors from background reads are
-/// latched and surfaced on the Read/Skip that would have consumed the
-/// data.
+/// Opens one more SequentialFile on the same (immutable, fully written)
+/// file, positioned at byte 0. PrefetchingBlockReader uses it to put more
+/// than one storage round trip in flight per stream: a plain sequential
+/// handle serialises its reads, but extra handles on a finished run file
+/// can each ride their own round trip concurrently.
+using SequentialFileFactory =
+    std::function<Result<std::unique_ptr<SequentialFile>>()>;
+
+/// SequentialFile decorator that keeps an adaptive window of block-size
+/// reads in flight ahead of the consumer. The prefetch of the first block
+/// starts at construction (so a K-way merge opening many runs overlaps
+/// their first round trips); the *second* block, however, is only fetched
+/// once the consumer actually exhausts the first — a run must survive its
+/// first refill before the pipeline reads ahead. A k-limited merge
+/// abandons most runs inside their first block, so this deferral removes
+/// the one-wasted-block-per-run overshoot (quantified by
+/// io.prefetch.blocks_unconsumed) at the cost of one unoverlapped round
+/// trip per surviving run.
+///
+/// From the second refill on, the reader maintains a multi-slot ring of
+/// in-flight reads: each slot claims the next block offset and fetches it
+/// on the pool, completions land in an offset-keyed ring and are promoted
+/// to the consumer strictly in file order. One sequential handle can only
+/// serialise its reads, so slots beyond the first open additional handles
+/// on the same file through the `reopen` factory (run files are immutable
+/// once finished) and stripe themselves across block offsets with cheap
+/// relative seeks — up to depth round trips genuinely overlap, and a
+/// latency-bound merge drains a hot run depth times faster. Without a
+/// factory the reader degrades to the single-handle pump (at most one
+/// call in flight; depth then only buys burst absorption).
+///
+/// The window scales itself: the reader tracks an EWMA of the block
+/// round-trip time (measured around each storage Read) and of the
+/// consumer's per-block merge time (measured from one promotion to the
+/// next refill *request*, so stall time is excluded), and targets
+/// ceil(rtt / consume) blocks, clamped to [1, depth_cap]. Slots beyond
+/// the first are reserved from the shared PrefetchBudget and returned as
+/// the window shrinks, at EOF, and on destruction — a run abandoned by
+/// the cutoff hands its share back to the surviving runs. With the
+/// default depth_cap of 1 the reader behaves exactly like the fixed
+/// one-block pipeline.
+///
+/// Errors from background reads are latched and surfaced on the Read/Skip
+/// that would have consumed the data (ring blocks fetched before the error
+/// are served first). CancelPrefetch marks the remaining lookahead as
+/// deliberately discarded: the destructor then counts leftover blocks
+/// under io.prefetch.blocks_cancelled instead of blocks_unconsumed, so a
+/// merge stopping early at k rows does not masquerade as overshoot.
 ///
 /// Intended to sit under a BlockReader configured with the same
 /// `block_bytes`, so each Refill consumes exactly one prefetched block.
 class PrefetchingBlockReader : public SequentialFile {
  public:
+  /// `depth_cap` bounds the adaptive window (1 = fixed single-block
+  /// lookahead, the legacy behaviour). A non-null `budget` gates every
+  /// slot beyond the first; without one the cap alone bounds the window.
+  /// A non-null `reopen` lets slots open extra handles for genuinely
+  /// concurrent reads (see the class comment).
   PrefetchingBlockReader(std::unique_ptr<SequentialFile> base,
-                         ThreadPool* pool, size_t block_bytes);
+                         ThreadPool* pool, size_t block_bytes,
+                         size_t depth_cap = 1,
+                         PrefetchBudget* budget = nullptr,
+                         SequentialFileFactory reopen = nullptr);
 
   ~PrefetchingBlockReader() override;
 
   Status Read(size_t n, char* scratch, size_t* bytes_read) override;
   Status Skip(uint64_t n) override;
 
- private:
-  /// Issues an async read of the next block (no-op at EOF / after error).
-  void StartPrefetch();
-  /// Blocks until the in-flight prefetch (if any) completed.
-  void WaitForInflight();
-  /// Moves the completed prefetch into the ready buffer.
-  Status PromoteFetched();
+  /// Stops the pump after its in-flight block and marks the remaining
+  /// lookahead as deliberately discarded (counted under
+  /// io.prefetch.blocks_cancelled). Called by the merge when it stops
+  /// early at k rows / the cutoff; does not block.
+  void CancelPrefetch();
 
-  std::unique_ptr<SequentialFile> base_;
+  /// Current adaptive window target (blocks of lookahead). Exposed for
+  /// tests and debugging.
+  size_t target_depth() const;
+
+  /// Highest window target this reader ever adapted to (the current
+  /// target shrinks back to 1 at EOF). Exposed for tests and debugging.
+  size_t max_target_depth() const;
+
+ private:
+  struct FetchedBlock {
+    std::vector<char> data;
+    size_t size = 0;
+  };
+
+  /// One sequential handle on the underlying file plus the byte offset it
+  /// is positioned at. A handle is either idle (owned by idle_handles_)
+  /// or checked out by exactly one in-flight fetch task.
+  struct Handle {
+    std::unique_ptr<SequentialFile> file;
+    uint64_t pos = 0;
+  };
+
+  /// Claims the next block offset and schedules its fetch on the pool,
+  /// reusing the best-positioned idle handle (or opening a new one via
+  /// reopen_). False when nothing can be issued: EOF reached, error
+  /// latched, or no handle is available. Not gated on stopping_ or the
+  /// deferral — those belong to TopUpLocked; the consumer's demand fetch
+  /// must always work. Caller holds mu_.
+  bool IssueOneLocked();
+  /// Issues readahead fetches until ring + in-flight reaches the usable
+  /// window (deferral passed, budget slots acquired). Caller holds mu_.
+  void TopUpLocked();
+  /// Body of one fetch task: seeks the handle to `offset` if needed,
+  /// reads one block, and lands the completion in the ring.
+  void FetchStep(std::shared_ptr<Handle> handle, uint64_t offset,
+                 uint64_t skip);
+  /// Reserves budget slots up to target_depth_ - 1. Caller holds mu_.
+  void AcquireForTargetLocked();
+  /// Returns slots not needed by the current target or the blocks still
+  /// held in memory or in flight. Caller holds mu_.
+  void ReleaseExcessLocked();
+  /// Recomputes target_depth_ from the EWMAs (after warmup) and records
+  /// the gauge/histogram/trace instant on change. Caller holds mu_.
+  void UpdateTargetLocked();
+  /// Moves the ring's front block (which the caller has checked sits at
+  /// consume_offset_) into the ready buffer. Caller holds mu_.
+  void PromoteLocked();
+
   ThreadPool* pool_;
   size_t block_bytes_;
+  size_t depth_cap_;
+  PrefetchBudget* budget_;
+  SequentialFileFactory reopen_;
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
-  bool inflight_ = false;
+  size_t inflight_ = 0;     // fetch tasks currently on the pool
+  bool stopping_ = false;   // destructor/cancel: no more readahead
+  bool cancelled_ = false;  // leftovers are deliberate, not overshoot
   Status latched_;
-  bool at_eof_ = false;        // base returned a short/empty block
-  std::vector<char> fetched_;  // buffer owned by the background task
-  size_t fetched_size_ = 0;
+  /// Next byte offset a fetch slot will claim (block_bytes_ strides).
+  uint64_t fetch_offset_ = 0;
+  /// Offset of the next block the consumer will promote; blocks are
+  /// promoted strictly in offset order.
+  uint64_t consume_offset_ = 0;
+  /// End of file as discovered by a short or empty read; fetches are
+  /// never issued at or past it.
+  uint64_t eof_offset_ = std::numeric_limits<uint64_t>::max();
+  /// Completed blocks ahead of the consumer, keyed by byte offset
+  /// (completions land out of order when several slots are in flight).
+  std::map<uint64_t, FetchedBlock> ring_;
+  /// Handles not checked out by a fetch task, each tagged with its file
+  /// position. handles_total_ counts idle + checked-out, capped at
+  /// depth_cap_.
+  std::vector<std::shared_ptr<Handle>> idle_handles_;
+  size_t handles_total_ = 0;
+  /// Budget slots currently reserved (each block_bytes_ large); the first
+  /// lookahead slot is free and not counted here.
+  size_t reserved_slots_ = 0;
+  size_t target_depth_ = 1;
+  size_t max_target_depth_ = 1;
+
+  /// EWMA of the storage round trip per block (pump-side) and of the
+  /// consumer's merge time per block (promotion -> next refill request).
+  double rtt_ewma_nanos_ = 0.0;
+  double consume_ewma_nanos_ = 0.0;
+  size_t consume_samples_ = 0;
+  std::chrono::steady_clock::time_point last_promote_;
+  bool last_promote_valid_ = false;
 
   std::vector<char> ready_;  // completed block being consumed
   size_t ready_size_ = 0;

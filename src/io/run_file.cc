@@ -81,24 +81,42 @@ Result<RunMeta> RunWriter::Finish() {
 }
 
 RunReader::RunReader(std::unique_ptr<BlockReader> reader,
-                     const RunReadVerification& verify)
-    : reader_(std::move(reader)), verify_(verify) {
+                     const RunReadVerification& verify,
+                     PrefetchingBlockReader* prefetcher)
+    : reader_(std::move(reader)), prefetcher_(prefetcher), verify_(verify) {
   scratch_.resize(kRowHeaderBytes);
 }
 
 Result<std::unique_ptr<RunReader>> RunReader::Open(
     StorageEnv* env, const std::string& path, size_t block_bytes,
     ThreadPool* prefetch_pool, const RetryPolicy& retry,
-    const RunReadVerification& verify) {
+    const RunReadVerification& verify, size_t prefetch_depth_cap,
+    PrefetchBudget* prefetch_budget) {
   std::unique_ptr<SequentialFile> file;
   TOPK_ASSIGN_OR_RETURN(file, env->NewSequentialFile(path));
   // Stack: base -> retry -> prefetcher. Background prefetches retry their
   // transient failures on the pool thread; only an exhausted budget is
   // latched and surfaced to the merge.
   file = MaybeWrapWithRetries(std::move(file), path, retry);
+  PrefetchingBlockReader* prefetcher = nullptr;
   if (prefetch_pool != nullptr) {
-    file = std::make_unique<PrefetchingBlockReader>(std::move(file),
-                                                    prefetch_pool, block_bytes);
+    // A window deeper than one block only overlaps round trips if the
+    // slots can read concurrently; the factory opens extra handles on the
+    // (immutable, fully written) run file, each retry-wrapped like the
+    // first.
+    SequentialFileFactory reopen;
+    if (prefetch_depth_cap > 1) {
+      reopen = [env, path, retry]() -> Result<std::unique_ptr<SequentialFile>> {
+        std::unique_ptr<SequentialFile> extra;
+        TOPK_ASSIGN_OR_RETURN(extra, env->NewSequentialFile(path));
+        return MaybeWrapWithRetries(std::move(extra), path, retry);
+      };
+    }
+    auto prefetching = std::make_unique<PrefetchingBlockReader>(
+        std::move(file), prefetch_pool, block_bytes, prefetch_depth_cap,
+        prefetch_budget, std::move(reopen));
+    prefetcher = prefetching.get();
+    file = std::move(prefetching);
   }
   auto block_reader =
       std::make_unique<BlockReader>(std::move(file), block_bytes);
@@ -109,7 +127,11 @@ Result<std::unique_ptr<RunReader>> RunReader::Open(
     return Status::Corruption("not a run file: " + path);
   }
   return std::unique_ptr<RunReader>(
-      new RunReader(std::move(block_reader), verify));
+      new RunReader(std::move(block_reader), verify, prefetcher));
+}
+
+void RunReader::CancelPrefetch() {
+  if (prefetcher_ != nullptr) prefetcher_->CancelPrefetch();
 }
 
 Status RunReader::SkipToByte(uint64_t bytes) {

@@ -17,6 +17,9 @@
 
 namespace topk {
 
+class PrefetchBudget;
+class PrefetchingBlockReader;
+
 /// One entry of a run's sparse seek index: after `rows` rows (the last of
 /// which has sort key `key`), the run file position is `bytes`. Runs stored
 /// with such an index act as the paper's "runs stored in search structures"
@@ -118,13 +121,17 @@ class RunReader {
   /// merged; the reader must not outlive the pool. `retry` governs
   /// transient-failure retries of every block read (under the prefetcher,
   /// so backoff rides the pool thread); `verify` enables inline CRC/row
-  /// count verification at EOF.
+  /// count verification at EOF. `prefetch_depth_cap` bounds the adaptive
+  /// lookahead window (1 = fixed single-block lookahead) and
+  /// `prefetch_budget` gates every window slot beyond the first.
   static Result<std::unique_ptr<RunReader>> Open(
       StorageEnv* env, const std::string& path,
       size_t block_bytes = kDefaultBlockBytes,
       ThreadPool* prefetch_pool = nullptr,
       const RetryPolicy& retry = RetryPolicy(),
-      const RunReadVerification& verify = RunReadVerification());
+      const RunReadVerification& verify = RunReadVerification(),
+      size_t prefetch_depth_cap = 1,
+      PrefetchBudget* prefetch_budget = nullptr);
 
   /// Reads the next row. Sets `*eof` at end of run; with verification
   /// enabled a clean EOF that fails the CRC / row-count check returns
@@ -136,11 +143,21 @@ class RunReader {
   /// Disables EOF verification: the skipped prefix cannot be checksummed.
   Status SkipToByte(uint64_t bytes);
 
+  /// Marks the remaining prefetch lookahead as deliberately discarded and
+  /// stops the background pump (no-op without a prefetcher). Merges call
+  /// this on every input when they stop early at k rows / the cutoff, so
+  /// abandoned lookahead is counted under io.prefetch.blocks_cancelled
+  /// instead of polluting the blocks_unconsumed overshoot signal.
+  void CancelPrefetch();
+
  private:
   RunReader(std::unique_ptr<BlockReader> reader,
-            const RunReadVerification& verify);
+            const RunReadVerification& verify,
+            PrefetchingBlockReader* prefetcher);
 
   std::unique_ptr<BlockReader> reader_;
+  /// Borrowed from the stack under reader_ (null when prefetch is off).
+  PrefetchingBlockReader* prefetcher_;
   std::vector<char> scratch_;
   RunReadVerification verify_;
   uint32_t crc_ = 0;

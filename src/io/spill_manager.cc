@@ -30,7 +30,10 @@ MetricsCounter& RunsQuarantinedCounter() {
 
 SpillManager::SpillManager(StorageEnv* env, std::string dir,
                            const IoPipelineOptions& io)
-    : env_(env), dir_(std::move(dir)), io_options_(io) {
+    : env_(env),
+      dir_(std::move(dir)),
+      io_options_(io),
+      prefetch_budget_(io.prefetch_memory_budget) {
   if (io_options_.background_threads > 0) {
     io_pool_ = std::make_unique<ThreadPool>(io_options_.background_threads);
   }
@@ -258,7 +261,7 @@ void SpillManager::DisownDir() {
 }
 
 Result<std::unique_ptr<RunReader>> SpillManager::OpenRun(
-    const RunMeta& meta) const {
+    const RunMeta& meta, size_t prefetch_depth_cap) const {
   ThreadPool* prefetch_pool =
       io_options_.enable_prefetch ? io_pool_.get() : nullptr;
   RunReadVerification verify;
@@ -268,8 +271,16 @@ Result<std::unique_ptr<RunReader>> SpillManager::OpenRun(
     verify.expected_rows = meta.rows;
     verify.run_id = meta.id;
   }
+  if (prefetch_depth_cap == 0) {
+    // No plan-time cap from the caller: assume every registered run may be
+    // read concurrently and split the budget evenly.
+    prefetch_depth_cap =
+        ApportionPrefetchDepth(io_options_.prefetch_memory_budget, run_count(),
+                               kDefaultBlockBytes);
+  }
   return RunReader::Open(env_, meta.path, kDefaultBlockBytes, prefetch_pool,
-                         io_options_.retry, verify);
+                         io_options_.retry, verify, prefetch_depth_cap,
+                         &prefetch_budget_);
 }
 
 Status SpillManager::VerifyRun(const RunMeta& meta,

@@ -135,8 +135,15 @@ class SpillManager {
   /// recoverable through the manifest.
   void DisownDir();
 
-  /// Opens a registered run for reading.
-  Result<std::unique_ptr<RunReader>> OpenRun(const RunMeta& meta) const;
+  /// Opens a registered run for reading. `prefetch_depth_cap` bounds the
+  /// reader's adaptive lookahead window; 0 (the default) apportions the
+  /// manager's prefetch memory budget across the currently registered runs
+  /// (callers that know the merge width — the planner — pass an explicit
+  /// cap instead). Every slot beyond the first is gated by the manager's
+  /// shared PrefetchBudget, so concurrent merges can never exceed the
+  /// configured budget regardless of the caps they pass.
+  Result<std::unique_ptr<RunReader>> OpenRun(
+      const RunMeta& meta, size_t prefetch_depth_cap = 0) const;
 
   /// Re-reads `meta`'s file end-to-end and checks row count, sort order,
   /// and the CRC-32C recorded at write time. Returns Corruption on any
@@ -164,6 +171,11 @@ class SpillManager {
   /// and RunReaders obtained from this manager borrow it, so they must be
   /// destroyed before the manager.
   ThreadPool* io_pool() const { return io_pool_.get(); }
+  /// The I/O pipeline configuration this manager was created with.
+  const IoPipelineOptions& io_options() const { return io_options_; }
+  /// The shared prefetch-lookahead byte pool (see IoPipelineOptions::
+  /// prefetch_memory_budget). Readers borrow it like the pool.
+  PrefetchBudget* prefetch_budget() const { return &prefetch_budget_; }
 
  private:
   SpillManager(StorageEnv* env, std::string dir, const IoPipelineOptions& io);
@@ -176,6 +188,9 @@ class SpillManager {
   /// the destructor body removed the directory — by then every borrowed
   /// writer/reader is gone.
   std::unique_ptr<ThreadPool> io_pool_;
+  /// Bounds the summed prefetch lookahead of every reader opened through
+  /// this manager. Mutable: opening a run for reading is logically const.
+  mutable PrefetchBudget prefetch_budget_;
   /// Whether the destructor removes the directory. Cleared while Restore
   /// is still loading so a failed restore never destroys the on-disk state
   /// it was asked to recover.

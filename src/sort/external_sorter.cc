@@ -30,6 +30,7 @@ Status ExternalSorter::SwitchToExternal() {
   IoPipelineOptions io;
   io.background_threads = options_.io_background_threads;
   io.enable_prefetch = options_.enable_io_prefetch;
+  io.prefetch_memory_budget = options_.prefetch_memory_budget;
   TOPK_ASSIGN_OR_RETURN(
       spill_, SpillManager::Create(options_.env, options_.spill_dir, io));
   RunGeneratorOptions gen_options;

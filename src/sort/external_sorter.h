@@ -30,6 +30,10 @@ class ExternalSorter {
     /// 0 = synchronous spills and merge reads.
     size_t io_background_threads = 2;
     bool enable_io_prefetch = true;
+    /// Merge-wide adaptive prefetch memory budget in bytes (see
+    /// TopKOptions::prefetch_memory_budget). 0 = fixed one-block
+    /// lookahead.
+    size_t prefetch_memory_budget = 8 << 20;
   };
 
   static Result<std::unique_ptr<ExternalSorter>> Make(const Options& options);

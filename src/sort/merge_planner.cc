@@ -49,9 +49,17 @@ Result<std::vector<RunMeta>> ReduceRunsForFinalMerge(
     const size_t excess = runs.size() - options.fan_in;
     const size_t step = std::min(options.fan_in, excess + 1);
     std::vector<RunMeta> inputs(runs.begin(), runs.begin() + step);
+    // Plan-time prefetch apportioning: the step's readers share the
+    // manager-wide prefetch memory budget evenly. Runs the cutoff abandons
+    // mid-step release their reservations back through the shared
+    // PrefetchBudget, letting the surviving readers deepen up to this cap.
+    const size_t prefetch_depth_cap = ApportionPrefetchDepth(
+        spill->io_options().prefetch_memory_budget, inputs.size(),
+        kDefaultBlockBytes);
     TraceSpan step_span("merge.intermediate_step", "sort",
                         {TraceArg("fan_in", step),
-                         TraceArg("runs_remaining", runs.size())});
+                         TraceArg("runs_remaining", runs.size()),
+                         TraceArg("prefetch_depth_cap", prefetch_depth_cap)});
 
     std::unique_ptr<RunWriter> writer;
     TOPK_ASSIGN_OR_RETURN(writer, spill->NewRun(comparator));
@@ -60,6 +68,7 @@ Result<std::vector<RunMeta>> ReduceRunsForFinalMerge(
     merge_options.with_ties = options.with_ties;
     merge_options.stop_filter = options.filter;
     merge_options.refine_filter = options.filter;
+    merge_options.prefetch_depth_cap = prefetch_depth_cap;
     MergeStats merge_stats;
     TOPK_ASSIGN_OR_RETURN(
         merge_stats,

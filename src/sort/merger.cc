@@ -27,6 +27,21 @@ struct MergeWay {
   }
 };
 
+/// Cancels every way's prefetch pipeline on scope exit — before the ways
+/// (and their readers) are destroyed. A merge that stops early at k rows
+/// or the cutoff leaves lookahead blocks in flight on most ways; cancel
+/// marks them deliberately discarded (io.prefetch.blocks_cancelled) and
+/// stops the pumps, so reader teardown waits at most one in-flight block
+/// per run and the blocks_unconsumed overshoot signal stays clean.
+struct PrefetchCancelGuard {
+  std::vector<MergeWay>* ways;
+  ~PrefetchCancelGuard() {
+    for (MergeWay& way : *ways) {
+      if (way.reader != nullptr) way.reader->CancelPrefetch();
+    }
+  }
+};
+
 }  // namespace
 
 Result<MergeStats> MergeRuns(SpillManager* spill,
@@ -50,9 +65,19 @@ Result<MergeStats> MergeRuns(SpillManager* spill,
     return Status::InvalidArgument("seek skips more rows than the offset");
   }
 
+  // The planner passes the lookahead cap it apportioned at plan time;
+  // direct callers (final merges, tests) derive it here from this merge's
+  // actual width.
+  const size_t depth_cap =
+      options.prefetch_depth_cap != 0
+          ? options.prefetch_depth_cap
+          : ApportionPrefetchDepth(
+                spill->io_options().prefetch_memory_budget, runs.size(),
+                kDefaultBlockBytes);
   std::vector<MergeWay> ways(runs.size());
+  PrefetchCancelGuard cancel_guard{&ways};
   for (size_t i = 0; i < runs.size(); ++i) {
-    TOPK_ASSIGN_OR_RETURN(ways[i].reader, spill->OpenRun(runs[i]));
+    TOPK_ASSIGN_OR_RETURN(ways[i].reader, spill->OpenRun(runs[i], depth_cap));
     if (!options.seek_bytes.empty() && options.seek_bytes[i] > 0) {
       TOPK_RETURN_NOT_OK(ways[i].reader->SkipToByte(options.seek_bytes[i]));
     }

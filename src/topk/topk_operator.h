@@ -90,6 +90,14 @@ struct TopKOptions {
   /// Read one block ahead of every merge cursor (needs background
   /// threads).
   bool enable_io_prefetch = true;
+  /// Merge-wide prefetch memory budget (bytes): how much
+  /// prefetched-but-unmerged block data all runs of a merge may hold
+  /// beyond their first lookahead block. The merge planner apportions it
+  /// across the live runs; each reader then adapts its lookahead depth to
+  /// the observed round-trip / merge-rate ratio within its share, and runs
+  /// abandoned by the cutoff return their share to the pool. 0 pins the
+  /// fixed one-block lookahead.
+  size_t prefetch_memory_budget = 8 << 20;
 
   /// Retry policy applied to every spill read/write/delete and manifest
   /// round trip (transient Unavailable errors only; see io/retry.h).
@@ -111,6 +119,7 @@ struct TopKOptions {
     io.enable_prefetch = enable_io_prefetch;
     io.retry = io_retry;
     io.verify_read_checksums = verify_spill_checksums;
+    io.prefetch_memory_budget = prefetch_memory_budget;
     return io;
   }
 

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Check that local markdown links resolve to real files.
+
+Walks the given markdown files (or the repo's documentation set when run
+with no arguments), extracts inline links and images, and verifies that
+every non-external target exists relative to the file that references it.
+Anchors (#...) are stripped before the existence check; http(s)/mailto
+links are skipped. Exits non-zero listing every broken link.
+
+Usage:
+    tools/check_md_links.py [FILE.md ...]
+"""
+
+import re
+import sys
+from pathlib import Path
+
+# Inline links/images: [text](target) / ![alt](target). Reference-style
+# definitions: "[label]: target". Code spans are stripped first so that
+# `foo[i](bar)` in inline code does not register as a link.
+INLINE_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+REF_DEF = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+CODE_SPAN = re.compile(r"`[^`]*`")
+FENCED_BLOCK = re.compile(r"^(```|~~~).*?^\1\s*$", re.MULTILINE | re.DOTALL)
+EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+DEFAULT_SET = ["README.md", "DESIGN.md", "EXPERIMENTS.md", "ROADMAP.md"]
+
+
+def targets_in(text):
+    text = FENCED_BLOCK.sub("", text)
+    text = CODE_SPAN.sub("", text)
+    for pattern in (INLINE_LINK, REF_DEF):
+        for match in pattern.finditer(text):
+            yield match.group(1)
+
+
+def check_file(md_path):
+    broken = []
+    text = md_path.read_text(encoding="utf-8")
+    for target in targets_in(text):
+        if target.startswith(EXTERNAL) or target.startswith("#"):
+            continue
+        path_part = target.split("#", 1)[0]
+        if not path_part:
+            continue
+        resolved = (md_path.parent / path_part).resolve()
+        if not resolved.exists():
+            broken.append((target, resolved))
+    return broken
+
+
+def main(argv):
+    if argv:
+        files = [Path(a) for a in argv]
+    else:
+        root = Path(__file__).resolve().parent.parent
+        files = [root / name for name in DEFAULT_SET]
+        files += sorted((root / "docs").glob("*.md"))
+
+    failures = 0
+    for md in files:
+        if not md.exists():
+            print(f"MISSING FILE: {md}")
+            failures += 1
+            continue
+        for target, resolved in check_file(md):
+            print(f"{md}: broken link '{target}' -> {resolved}")
+            failures += 1
+    if failures:
+        print(f"\n{failures} broken link(s)")
+        return 1
+    print(f"checked {len(files)} file(s): all local links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

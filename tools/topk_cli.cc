@@ -19,7 +19,9 @@
 ///   --fan-in      merge fan-in (64)
 ///   --early-merge optimized baseline: enable early merge (true)
 ///   --io-threads  background I/O pipeline threads, 0 = synchronous (2)
-///   --prefetch    read one block ahead of the merge cursor (true)
+///   --prefetch    read ahead of the merge cursor (true)
+///   --prefetch-budget-mb  merge-wide adaptive prefetch memory budget in
+///                 MiB; 0 pins the fixed one-block lookahead (8)
 ///   --io-latency-us  injected storage latency per I/O call, emulating
 ///                 disaggregated storage (0)
 ///   --fault-profile  inject storage faults, e.g.
@@ -112,7 +114,7 @@ int main(int argc, char** argv) {
   int64_t n = 0, k = 0, offset = 0, payload = 0, buckets = 0, fan_in = 0,
           seed = 0;
   int64_t io_threads = 0, io_latency_us = 0, io_retry_attempts = 0;
-  double memory_mb = 0, shape = 0;
+  double memory_mb = 0, shape = 0, prefetch_budget_mb = 8.0;
   bool early_merge = true, verify = false, prefetch = true, progress = false;
   bool suspend_before_merge = false;
   {
@@ -138,6 +140,12 @@ int main(int argc, char** argv) {
         return Status::InvalidArgument("--io-latency-us must be >= 0");
       }
       TOPK_ASSIGN_OR_RETURN(prefetch, flags.GetBool("prefetch", true));
+      TOPK_ASSIGN_OR_RETURN(prefetch_budget_mb,
+                            flags.GetDouble("prefetch-budget-mb", 8.0));
+      if (prefetch_budget_mb < 0 || prefetch_budget_mb > 4096) {
+        return Status::InvalidArgument(
+            "--prefetch-budget-mb must be in [0, 4096]");
+      }
       TOPK_ASSIGN_OR_RETURN(io_retry_attempts,
                             flags.GetInt("io-retry-attempts", 4));
       if (io_retry_attempts < 1 || io_retry_attempts > 100) {
@@ -219,6 +227,8 @@ int main(int argc, char** argv) {
   options.enable_early_merge = early_merge;
   options.io_background_threads = static_cast<size_t>(io_threads);
   options.enable_io_prefetch = prefetch;
+  options.prefetch_memory_budget =
+      static_cast<size_t>(prefetch_budget_mb * 1024.0 * 1024.0);
   options.io_retry.max_attempts = static_cast<int>(io_retry_attempts);
   options.manifest_filename =
       resume_from.empty() ? manifest_name : resume_from;
