@@ -13,6 +13,7 @@
 
 #include "bench/bench_util.h"
 #include "io/spill_manager.h"
+#include "obs/metrics.h"
 #include "sort/merger.h"
 
 namespace {
@@ -85,7 +86,8 @@ void RunPrefetchDepthSweep(const BenchDir& dir) {
       }
       auto meta = (*writer)->Finish();
       TOPK_CHECK(meta.ok()) << meta.status().ToString();
-      (*spill)->AddRun(*meta);
+      Status added = (*spill)->AddRun(*meta);
+      TOPK_CHECK(added.ok()) << added.ToString();
     }
 
     RunResult fixed, capped, adaptive;
@@ -114,6 +116,111 @@ void RunPrefetchDepthSweep(const BenchDir& dir) {
       "one-block window serialises that run's round trips while a deeper "
       "window stripes them across extra handles. The win saturates once "
       "depth reaches the pool's thread count.\n");
+}
+
+/// Hedged reads against a spiky storage service: the same 6 spilled runs
+/// are drained with hedging off and on while 2% of reads stall for 50x the
+/// base round trip. Without hedging every spike lands on the merge's
+/// critical path; with hedging a duplicate read on a second handle races
+/// the straggler and the first completion wins — byte-identically.
+void RunHedgeSweep(const BenchDir& dir) {
+  PrintHeader("Hedged reads: merge drain of 6 runs under latency spikes");
+
+  const size_t num_runs = 6;
+  const uint64_t rows_per_run = Scaled(50000);
+  const int64_t latencies_us[] = {200, 500, 1000};
+  const double spike_rate = 0.02;
+  const int reps = 3;
+
+  MetricsCounter* issued = GlobalMetrics().GetCounter("io.hedge.issued");
+  MetricsCounter* wins = GlobalMetrics().GetCounter("io.hedge.wins");
+  MetricsCounter* wasted = GlobalMetrics().GetCounter("io.hedge.wasted");
+
+  std::printf("6 runs x %llu rows, 4 io threads, adaptive prefetch. 2%% of "
+              "reads spike to 50x the base latency; hedge threshold is 3x "
+              "the EWMA round trip.\n\n",
+              static_cast<unsigned long long>(rows_per_run));
+  std::printf("%-12s | %-11s %-9s %-9s | %-7s %-5s %-6s\n", "latency_us",
+              "unhedged_s", "hedged_s", "speedup", "issued", "wins",
+              "wasted");
+
+  for (int64_t latency_us : latencies_us) {
+    StorageEnv::Options env_options;
+    env_options.read_latency_nanos = latency_us * 1000;
+
+    RunResult unhedged, hedged;
+    uint64_t issued_delta = 0, wins_delta = 0, wasted_delta = 0;
+    for (const bool hedge : {false, true}) {
+      StorageEnv env(env_options);
+      FaultProfile profile;
+      profile.latency_spike_rate = spike_rate;
+      profile.latency_spike_nanos = 50 * latency_us * 1000;
+      profile.seed = 0x5eed;  // same spike sequence for both configs
+      env.SetFaultProfile(profile);
+
+      IoPipelineOptions io;
+      io.background_threads = 4;
+      io.hedge_reads = hedge;
+      auto spill = SpillManager::Create(
+          &env,
+          dir.Sub(std::string(hedge ? "hedged" : "unhedged") +
+                  std::to_string(latency_us)),
+          io);
+      TOPK_CHECK(spill.ok()) << spill.status().ToString();
+      const RowComparator cmp;
+      const std::string payload(120, 'x');
+      for (size_t r = 0; r < num_runs; ++r) {
+        auto writer = (*spill)->NewRun(cmp);
+        TOPK_CHECK(writer.ok()) << writer.status().ToString();
+        const double base = static_cast<double>(r) * rows_per_run;
+        for (uint64_t i = 0; i < rows_per_run; ++i) {
+          Status status = (*writer)->Append(
+              Row(base + static_cast<double>(i), i, payload));
+          TOPK_CHECK(status.ok()) << status.ToString();
+        }
+        auto meta = (*writer)->Finish();
+        TOPK_CHECK(meta.ok()) << meta.status().ToString();
+        Status added = (*spill)->AddRun(*meta);
+        TOPK_CHECK(added.ok()) << added.ToString();
+      }
+
+      const uint64_t issued_before = issued->value();
+      const uint64_t wins_before = wins->value();
+      const uint64_t wasted_before = wasted->value();
+      RunResult best;
+      for (int rep = 0; rep < reps; ++rep) {
+        RunResult r = MeasureMergeDrain(spill->get(), 0);
+        if (rep == 0 || r.seconds < best.seconds) best = r;
+      }
+      if (hedge) {
+        hedged = best;
+        issued_delta = issued->value() - issued_before;
+        wins_delta = wins->value() - wins_before;
+        wasted_delta = wasted->value() - wasted_before;
+      } else {
+        unhedged = best;
+      }
+    }
+
+    // Hedging must never change the merged stream.
+    TOPK_CHECK(unhedged.result_rows == num_runs * rows_per_run);
+    TOPK_CHECK(hedged.result_rows == unhedged.result_rows);
+    TOPK_CHECK(hedged.last_key == unhedged.last_key);
+    // Late stragglers are dropped, not double-counted: every hedge either
+    // won or was wasted, and the wasted share stays below what was issued.
+    TOPK_CHECK(wasted_delta <= issued_delta);
+    std::printf("%-12lld | %-11.3f %-9.3f %-9.2f | %-7llu %-5llu %-6llu\n",
+                static_cast<long long>(latency_us), unhedged.seconds,
+                hedged.seconds, Ratio(unhedged.seconds, hedged.seconds),
+                static_cast<unsigned long long>(issued_delta),
+                static_cast<unsigned long long>(wins_delta),
+                static_cast<unsigned long long>(wasted_delta));
+  }
+  std::printf(
+      "\nA 50x spike on the merge's critical read stalls the whole loser "
+      "tree; the hedge bounds the stall at roughly one extra round trip. "
+      "At 2%% spike incidence most blocks never hedge, so the wasted-read "
+      "overhead stays negligible.\n");
 }
 
 }  // namespace
@@ -196,5 +303,6 @@ int main() {
       "is the paper's point.\n");
 
   RunPrefetchDepthSweep(dir);
+  RunHedgeSweep(dir);
   return 0;
 }

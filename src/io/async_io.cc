@@ -65,6 +65,25 @@ LatencyHistogram& PrefetchDepthHistogram() {
       GlobalMetrics().GetHistogram("io.prefetch.depth");
   return *histogram;
 }
+MetricsCounter& HedgeIssuedCounter() {
+  static MetricsCounter* counter =
+      GlobalMetrics().GetCounter("io.hedge.issued");
+  return *counter;
+}
+MetricsCounter& HedgeWinsCounter() {
+  static MetricsCounter* counter = GlobalMetrics().GetCounter("io.hedge.wins");
+  return *counter;
+}
+MetricsCounter& HedgeWastedCounter() {
+  static MetricsCounter* counter =
+      GlobalMetrics().GetCounter("io.hedge.wasted");
+  return *counter;
+}
+MetricsCounter& ReadDeadlineCounter() {
+  static MetricsCounter* counter =
+      GlobalMetrics().GetCounter("io.prefetch.deadline_exceeded");
+  return *counter;
+}
 
 }  // namespace
 
@@ -83,6 +102,21 @@ void PrefetchBudget::Release(size_t bytes) {
 size_t PrefetchBudget::acquired() const {
   std::lock_guard<std::mutex> lock(mu_);
   return acquired_;
+}
+
+void PrefetchBudget::AddReader() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++live_readers_;
+}
+
+void PrefetchBudget::RemoveReader() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (live_readers_ > 0) --live_readers_;
+}
+
+size_t PrefetchBudget::live_readers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return live_readers_;
 }
 
 size_t PrefetchBudget::available() const {
@@ -178,12 +212,14 @@ Status DoubleBufferedWriter::Close() {
 
 PrefetchingBlockReader::PrefetchingBlockReader(
     std::unique_ptr<SequentialFile> base, ThreadPool* pool, size_t block_bytes,
-    size_t depth_cap, PrefetchBudget* budget, SequentialFileFactory reopen)
+    size_t depth_cap, PrefetchBudget* budget, SequentialFileFactory reopen,
+    const PrefetchTuning& tuning)
     : pool_(pool),
       block_bytes_(block_bytes),
       depth_cap_(std::clamp<size_t>(depth_cap, 1, kMaxPrefetchDepth)),
       budget_(budget),
-      reopen_(std::move(reopen)) {
+      reopen_(std::move(reopen)),
+      tuning_(tuning) {
   TOPK_CHECK(pool_ != nullptr) << "PrefetchingBlockReader needs a thread pool";
   TOPK_CHECK(block_bytes_ > 0) << "block size must be positive";
   auto handle = std::make_shared<Handle>();
@@ -192,6 +228,10 @@ PrefetchingBlockReader::PrefetchingBlockReader(
   // first blocks ride the storage round trip concurrently instead of one
   // after another.
   std::lock_guard<std::mutex> lock(mu_);
+  if (budget_ != nullptr) {
+    budget_->AddReader();
+    budget_registered_ = true;
+  }
   idle_handles_.push_back(std::move(handle));
   handles_total_ = 1;
   IssueOneLocked();
@@ -215,12 +255,38 @@ PrefetchingBlockReader::~PrefetchingBlockReader() {
     budget_->Release(reserved_slots_ * block_bytes_);
     reserved_slots_ = 0;
   }
+  DeregisterLocked();
 }
 
 void PrefetchingBlockReader::CancelPrefetch() {
   std::lock_guard<std::mutex> lock(mu_);
   cancelled_ = true;
   stopping_ = true;  // in-flight fetches finish, but no new readahead
+  // An abandoned run will never grow its window again: hand the budget
+  // share back right now so surviving readers can re-apportion mid-step
+  // instead of waiting for this reader's destruction.
+  target_depth_ = 1;
+  ReleaseExcessLocked();
+  DeregisterLocked();
+}
+
+void PrefetchingBlockReader::DeregisterLocked() {
+  if (budget_registered_) {
+    budget_->RemoveReader();
+    budget_registered_ = false;
+  }
+}
+
+size_t PrefetchingBlockReader::DynamicDepthCapLocked() const {
+  if (budget_ == nullptr || !tuning_.reapportion_depth) return depth_cap_;
+  // The cap was apportioned over the merge step's live runs at open time;
+  // re-apportion over whoever is still alive so freed budget is inherited
+  // immediately. Never below the opening cap — shrinking mid-run would
+  // strand already-reserved slots.
+  const size_t apportioned = ApportionPrefetchDepth(
+      budget_->total(), budget_->live_readers(), block_bytes_);
+  return std::clamp<size_t>(std::max(depth_cap_, apportioned), 1,
+                            kMaxPrefetchDepth);
 }
 
 size_t PrefetchingBlockReader::target_depth() const {
@@ -250,7 +316,7 @@ bool PrefetchingBlockReader::IssueOneLocked() {
   if (best < idle_handles_.size()) {
     handle = std::move(idle_handles_[best]);
     idle_handles_.erase(idle_handles_.begin() + best);
-  } else if (reopen_ != nullptr && handles_total_ < depth_cap_) {
+  } else if (reopen_ != nullptr && handles_total_ < DynamicDepthCapLocked()) {
     auto opened = reopen_();
     if (!opened.ok()) return false;  // fewer slots, not a stream error
     handle = std::make_shared<Handle>();
@@ -263,8 +329,53 @@ bool PrefetchingBlockReader::IssueOneLocked() {
   const uint64_t skip = offset - handle->pos;
   fetch_offset_ += block_bytes_;
   ++inflight_;
+  ++inflight_by_offset_[offset];
   pool_->Schedule([this, handle = std::move(handle), offset, skip]() mutable {
-    FetchStep(std::move(handle), offset, skip);
+    FetchStep(std::move(handle), offset, skip, /*is_hedge=*/false);
+  });
+  return true;
+}
+
+bool PrefetchingBlockReader::IssueHedgeLocked() {
+  const uint64_t offset = consume_offset_;
+  // Any handle at or before the block can serve the duplicate (forward
+  // Skip only); prefer the furthest-advanced one.
+  size_t best = idle_handles_.size();
+  for (size_t i = 0; i < idle_handles_.size(); ++i) {
+    if (idle_handles_[i]->pos > offset) continue;
+    if (best == idle_handles_.size() ||
+        idle_handles_[i]->pos > idle_handles_[best]->pos) {
+      best = i;
+    }
+  }
+  std::shared_ptr<Handle> handle;
+  if (best < idle_handles_.size()) {
+    handle = std::move(idle_handles_[best]);
+    idle_handles_.erase(idle_handles_.begin() + best);
+  } else if (reopen_ != nullptr &&
+             handles_total_ < DynamicDepthCapLocked() + 1) {
+    // One handle beyond the window cap is reserved for the hedge: the
+    // whole window may legitimately be in flight when the straggler hits.
+    auto opened = reopen_();
+    if (!opened.ok()) return false;
+    handle = std::make_shared<Handle>();
+    handle->file = std::move(*opened);
+    ++handles_total_;
+  } else {
+    return false;
+  }
+  hedged_.insert(offset);
+  HedgeIssuedCounter().Add(1);
+  if (TracingEnabled()) {
+    TraceInstant("io.hedge", "io",
+                 {TraceArg("offset", offset),
+                  TraceArg("rtt_ewma_nanos", rtt_ewma_nanos_)});
+  }
+  const uint64_t skip = offset - handle->pos;
+  ++inflight_;
+  ++inflight_by_offset_[offset];
+  pool_->Schedule([this, handle = std::move(handle), offset, skip]() mutable {
+    FetchStep(std::move(handle), offset, skip, /*is_hedge=*/true);
   });
   return true;
 }
@@ -294,7 +405,8 @@ void PrefetchingBlockReader::TopUpLocked() {
 }
 
 void PrefetchingBlockReader::FetchStep(std::shared_ptr<Handle> handle,
-                                       uint64_t offset, uint64_t skip) {
+                                       uint64_t offset, uint64_t skip,
+                                       bool is_hedge) {
   FetchedBlock block;
   block.data.resize(block_bytes_);
   Status status;
@@ -318,20 +430,38 @@ void PrefetchingBlockReader::FetchStep(std::shared_ptr<Handle> handle,
 
   std::lock_guard<std::mutex> lock(mu_);
   --inflight_;
+  auto of_it = inflight_by_offset_.find(offset);
+  if (of_it != inflight_by_offset_.end() && --(of_it->second) <= 0) {
+    inflight_by_offset_.erase(of_it);
+  }
+  // Did the other copy of this offset already deliver (hedge raced its
+  // primary)? Then this completion — success or failure — is moot.
+  const bool covered =
+      offset < consume_offset_ || ring_.count(offset) > 0;
+  const bool duplicate_in_flight = inflight_by_offset_.count(offset) > 0;
   if (!status.ok()) {
-    if (latched_.ok()) latched_ = status;
     // The handle's position is unknown after a failed seek/read; drop it.
     --handles_total_;
+    // Only latch when no other copy of the block can still arrive: a dead
+    // hedge (or a dead primary whose hedge won) is not a stream error.
+    if (!covered && !duplicate_in_flight && latched_.ok()) latched_ = status;
   } else {
     handle->pos = offset + block.size;
-    if (block.size < block_bytes_) {
-      // Short or empty read: the end of the file is at offset + size, and
-      // no claim at or past it can produce data.
-      eof_offset_ = std::min(eof_offset_, offset + block.size);
-    }
-    if (block.size > 0) {
-      rtt_ewma_nanos_ = UpdateEwma(rtt_ewma_nanos_, static_cast<double>(nanos));
-      ring_.emplace(offset, std::move(block));
+    if (covered) {
+      // Lost the race; the block already reached the consumer path.
+      if (is_hedge) HedgeWastedCounter().Add(1);
+    } else {
+      if (block.size < block_bytes_) {
+        // Short or empty read: the end of the file is at offset + size,
+        // and no claim at or past it can produce data.
+        eof_offset_ = std::min(eof_offset_, offset + block.size);
+      }
+      if (block.size > 0) {
+        rtt_ewma_nanos_ =
+            UpdateEwma(rtt_ewma_nanos_, static_cast<double>(nanos));
+        ring_.emplace(offset, std::move(block));
+        if (is_hedge) HedgeWinsCounter().Add(1);
+      }
     }
     idle_handles_.push_back(std::move(handle));
   }
@@ -341,6 +471,7 @@ void PrefetchingBlockReader::FetchStep(std::shared_ptr<Handle> handle,
       // do not need so sibling runs can deepen.
       target_depth_ = 1;
       ReleaseExcessLocked();
+      DeregisterLocked();
     }
   } else if (!stopping_) {
     TopUpLocked();
@@ -374,7 +505,7 @@ void PrefetchingBlockReader::UpdateTargetLocked() {
   if (rtt_ewma_nanos_ <= 0.0 || consume_ewma_nanos_ <= 0.0) return;
   const double ratio = rtt_ewma_nanos_ / consume_ewma_nanos_;
   const size_t want = std::clamp<size_t>(
-      static_cast<size_t>(std::ceil(ratio)), 1, depth_cap_);
+      static_cast<size_t>(std::ceil(ratio)), 1, DynamicDepthCapLocked());
   if (want == target_depth_) return;
   const size_t old = target_depth_;
   target_depth_ = want;
@@ -397,6 +528,7 @@ void PrefetchingBlockReader::PromoteLocked() {
   ring_.erase(it);
   consume_offset_ += ready_size_;
   ++blocks_promoted_;
+  hedged_.erase(hedged_.begin(), hedged_.lower_bound(consume_offset_));
   last_promote_ = std::chrono::steady_clock::now();
   last_promote_valid_ = true;
   ReleaseExcessLocked();
@@ -420,6 +552,7 @@ Status PrefetchingBlockReader::Read(size_t n, char* scratch,
       ++consume_samples_;
       UpdateTargetLocked();
     }
+    Stopwatch wait_watch;
     for (;;) {
       // Blocks are promoted strictly in offset order; out-of-order
       // completions park in the ring until the cursor reaches them.
@@ -427,6 +560,7 @@ Status PrefetchingBlockReader::Read(size_t n, char* scratch,
       if (consume_offset_ >= eof_offset_) {
         ready_size_ = 0;
         ready_pos_ = 0;
+        DeregisterLocked();  // fully drained: never grows again
         return Status::OK();  // clean EOF
       }
       if (inflight_ == 0) {
@@ -441,10 +575,51 @@ Status PrefetchingBlockReader::Read(size_t n, char* scratch,
           return Status::IoError("prefetch pipeline has no readable handle");
         }
       }
-      cv_.wait(lock, [this] {
+      const auto pred = [this] {
         return (!ring_.empty() && ring_.begin()->first == consume_offset_) ||
                inflight_ == 0 || consume_offset_ >= eof_offset_;
-      });
+      };
+      // Bounded waits, two reasons: a hedge threshold (duplicate the
+      // straggling cursor fetch on a second handle) and the consumer
+      // deadline (a hung storage call must surface as Unavailable, not
+      // park the merge forever).
+      const bool hedge_eligible =
+          tuning_.hedge_reads && reopen_ != nullptr &&
+          hedged_.count(consume_offset_) == 0 &&
+          inflight_by_offset_.count(consume_offset_) > 0;
+      int64_t wait_nanos = -1;
+      if (hedge_eligible) {
+        wait_nanos = std::max<int64_t>(
+            tuning_.hedge_min_nanos,
+            static_cast<int64_t>(tuning_.hedge_latency_multiplier *
+                                 rtt_ewma_nanos_));
+      }
+      if (tuning_.read_deadline_nanos > 0) {
+        const int64_t remaining =
+            tuning_.read_deadline_nanos - wait_watch.ElapsedNanos();
+        if (remaining <= 0) {
+          ReadDeadlineCounter().Add(1);
+          Status deadline = Status::Unavailable(
+              "deadline exceeded waiting for block at offset " +
+              std::to_string(consume_offset_));
+          if (latched_.ok()) latched_ = deadline;
+          return deadline;
+        }
+        wait_nanos =
+            wait_nanos < 0 ? remaining : std::min(wait_nanos, remaining);
+      }
+      if (wait_nanos < 0) {
+        cv_.wait(lock, pred);
+      } else if (!cv_.wait_for(lock, std::chrono::nanoseconds(wait_nanos),
+                               pred)) {
+        if (hedge_eligible &&
+            hedged_.count(consume_offset_) == 0 &&
+            inflight_by_offset_.count(consume_offset_) > 0) {
+          IssueHedgeLocked();
+        }
+        // A deadline overrun is caught by the remaining-time check above
+        // on the next iteration.
+      }
     }
     PromoteLocked();
   }

@@ -10,6 +10,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -24,6 +25,28 @@ namespace topk {
 /// matter how large the memory budget is: beyond ~32 blocks the merge is
 /// bound by pool parallelism, not by queued lookahead.
 inline constexpr size_t kMaxPrefetchDepth = 32;
+
+/// Degraded-storage knobs for one PrefetchingBlockReader. Hedged reads
+/// follow Dean & Barroso's "Tail at Scale" recipe: when the consumer has
+/// waited `hedge_latency_multiplier` x the observed round-trip EWMA for
+/// the block it needs (but at least `hedge_min_nanos`), a duplicate read
+/// of the same block is issued on a second handle; the first completion
+/// wins and the loser is discarded. Run files are immutable, so the
+/// duplicate is always safe. `read_deadline_nanos` bounds how long one
+/// consumer Read may wait for its block before surfacing Unavailable
+/// ("deadline exceeded") instead of parking the merge behind a hung call.
+struct PrefetchTuning {
+  bool hedge_reads = false;
+  double hedge_latency_multiplier = 3.0;
+  int64_t hedge_min_nanos = 1'000'000;  // never hedge before 1 ms
+  /// 0 = wait forever (legacy behaviour).
+  int64_t read_deadline_nanos = 0;
+  /// True when the depth cap was apportioned from the shared budget (not
+  /// pinned by the caller): the reader may then re-apportion mid-step as
+  /// sibling readers finish and live_readers() shrinks, inheriting freed
+  /// budget without waiting for the next merge step.
+  bool reapportion_depth = false;
+};
 
 /// Background I/O pipeline configuration. On disaggregated storage every
 /// block write/read pays a full round trip (StorageEnv latency injection
@@ -59,6 +82,14 @@ struct IoPipelineOptions {
   /// abandoned by the cutoff hand their slots back. 0 = fixed one-block
   /// lookahead (the pre-adaptive behaviour).
   size_t prefetch_memory_budget = 8 << 20;
+  /// Hedge straggling block reads on the merge path (see PrefetchTuning).
+  bool hedge_reads = false;
+  double hedge_latency_multiplier = 3.0;
+  int64_t hedge_min_nanos = 1'000'000;
+  /// Disk-space quota for one SpillManager's directory: total bytes its
+  /// run files may occupy (0 = unlimited). Breaches surface as
+  /// ResourceExhausted naming spill_quota_bytes.
+  uint64_t spill_quota_bytes = 0;
 };
 
 /// Thread-safe byte pool bounding the total prefetch lookahead of one
@@ -79,6 +110,15 @@ class PrefetchBudget {
   /// Returns a previous reservation to the pool.
   void Release(size_t bytes);
 
+  /// Live-reader registry: every PrefetchingBlockReader sharing this
+  /// budget registers at construction and deregisters when it can no
+  /// longer grow (cancelled, clean EOF, or destroyed). Survivors use the
+  /// count to re-apportion the budget mid-merge-step, inheriting the
+  /// slots a finished sibling freed.
+  void AddReader();
+  void RemoveReader();
+  size_t live_readers() const;
+
   size_t total() const { return total_; }
   size_t acquired() const;
   size_t available() const;
@@ -87,6 +127,7 @@ class PrefetchBudget {
   const size_t total_;
   mutable std::mutex mu_;
   size_t acquired_ = 0;
+  size_t live_readers_ = 0;
 };
 
 /// How many blocks of lookahead one reader may use when `budget_bytes` of
@@ -191,12 +232,16 @@ class PrefetchingBlockReader : public SequentialFile {
   /// lookahead, the legacy behaviour). A non-null `budget` gates every
   /// slot beyond the first; without one the cap alone bounds the window.
   /// A non-null `reopen` lets slots open extra handles for genuinely
-  /// concurrent reads (see the class comment).
+  /// concurrent reads (see the class comment); it is also what hedged
+  /// reads duplicate straggling fetches onto. `tuning` carries the
+  /// degraded-storage knobs (hedging, consumer deadline, mid-step
+  /// re-apportioning).
   PrefetchingBlockReader(std::unique_ptr<SequentialFile> base,
                          ThreadPool* pool, size_t block_bytes,
                          size_t depth_cap = 1,
                          PrefetchBudget* budget = nullptr,
-                         SequentialFileFactory reopen = nullptr);
+                         SequentialFileFactory reopen = nullptr,
+                         const PrefetchTuning& tuning = PrefetchTuning());
 
   ~PrefetchingBlockReader() override;
 
@@ -242,9 +287,25 @@ class PrefetchingBlockReader : public SequentialFile {
   /// window (deferral passed, budget slots acquired). Caller holds mu_.
   void TopUpLocked();
   /// Body of one fetch task: seeks the handle to `offset` if needed,
-  /// reads one block, and lands the completion in the ring.
+  /// reads one block, and lands the completion in the ring. A hedge task
+  /// (`is_hedge`) is a deliberate duplicate of an in-flight fetch: the
+  /// first completion for an offset supplies the block, the loser is
+  /// discarded (io.hedge.wasted when the hedge lost) and its handle is
+  /// recycled.
   void FetchStep(std::shared_ptr<Handle> handle, uint64_t offset,
-                 uint64_t skip);
+                 uint64_t skip, bool is_hedge);
+  /// Issues a duplicate fetch of the cursor block on a spare or freshly
+  /// opened handle (one handle beyond the depth cap is allowed for the
+  /// hedge). Caller holds mu_.
+  bool IssueHedgeLocked();
+  /// The effective depth cap right now: the construction-time cap, or —
+  /// when the cap was apportioned (tuning.reapportion_depth) — the
+  /// apportionment over the budget's *current* live readers, so survivors
+  /// inherit freed budget mid-step. Caller holds mu_.
+  size_t DynamicDepthCapLocked() const;
+  /// Removes this reader from the budget's live-reader registry exactly
+  /// once. Caller holds mu_.
+  void DeregisterLocked();
   /// Reserves budget slots up to target_depth_ - 1. Caller holds mu_.
   void AcquireForTargetLocked();
   /// Returns slots not needed by the current target or the blocks still
@@ -262,6 +323,7 @@ class PrefetchingBlockReader : public SequentialFile {
   size_t depth_cap_;
   PrefetchBudget* budget_;
   SequentialFileFactory reopen_;
+  PrefetchTuning tuning_;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
@@ -280,6 +342,15 @@ class PrefetchingBlockReader : public SequentialFile {
   /// Completed blocks ahead of the consumer, keyed by byte offset
   /// (completions land out of order when several slots are in flight).
   std::map<uint64_t, FetchedBlock> ring_;
+  /// In-flight fetch tasks per offset (2 while a hedge races its primary).
+  /// A failed fetch only latches when no other copy of its offset is in
+  /// flight or already landed — the hedge's whole point.
+  std::map<uint64_t, int> inflight_by_offset_;
+  /// Offsets a hedge was issued for (never hedge the same block twice);
+  /// pruned as the consumer moves past them.
+  std::set<uint64_t> hedged_;
+  /// This reader is counted in budget_->live_readers().
+  bool budget_registered_ = false;
   /// Handles not checked out by a fetch task, each tagged with its file
   /// position. handles_total_ counts idle + checked-out, capped at
   /// depth_cap_.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <thread>
+#include <unordered_map>
 
 #include "common/stopwatch.h"
 #include "obs/metrics.h"
@@ -22,6 +23,21 @@ MetricsCounter& RetryExhaustedCounter() {
       GlobalMetrics().GetCounter("io.retry.exhausted");
   return *counter;
 }
+MetricsCounter& RetryDeadlineCounter() {
+  static MetricsCounter* counter =
+      GlobalMetrics().GetCounter("io.retry.deadline_exceeded");
+  return *counter;
+}
+MetricsCounter& BudgetWithdrawnCounter() {
+  static MetricsCounter* counter =
+      GlobalMetrics().GetCounter("io.retry.budget_withdrawn");
+  return *counter;
+}
+MetricsCounter& BudgetExhaustedCounter() {
+  static MetricsCounter* counter =
+      GlobalMetrics().GetCounter("io.retry.budget_exhausted");
+  return *counter;
+}
 LatencyHistogram& RetryBackoffHistogram() {
   static LatencyHistogram* histogram =
       GlobalMetrics().GetHistogram("io.retry.backoff_nanos");
@@ -38,6 +54,40 @@ Status WithAttempts(const Status& status, const std::string& op_name,
 
 }  // namespace
 
+RetryBudget::RetryBudget(double capacity, double refill_per_success)
+    : capacity_(std::max(0.0, capacity)),
+      refill_per_success_(std::max(0.0, refill_per_success)),
+      tokens_(capacity_) {}
+
+bool RetryBudget::TryWithdraw() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tokens_ < 1.0) return false;
+  tokens_ -= 1.0;
+  return true;
+}
+
+void RetryBudget::RecordSuccess() {
+  std::lock_guard<std::mutex> lock(mu_);
+  tokens_ = std::min(capacity_, tokens_ + refill_per_success_);
+}
+
+double RetryBudget::tokens() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tokens_;
+}
+
+void RetryBudget::Reset(double capacity, double refill_per_success) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = std::max(0.0, capacity);
+  refill_per_success_ = std::max(0.0, refill_per_success);
+  tokens_ = capacity_;
+}
+
+RetryBudget* GlobalRetryBudget() {
+  static RetryBudget* budget = new RetryBudget();
+  return budget;
+}
+
 bool IsRetryable(const Status& status) {
   return status.code() == StatusCode::kUnavailable;
 }
@@ -53,26 +103,62 @@ int64_t RetryBackoffNanos(const RetryPolicy& policy, int retry, Random* rng) {
   return std::max<int64_t>(0, static_cast<int64_t>(backoff));
 }
 
+Random* PerThreadJitterRng(uint64_t jitter_seed) {
+  // One stream per (thread, seed): keyed on the seed so two policies with
+  // different seeds on the same thread do not alternate within one stream.
+  thread_local std::unordered_map<uint64_t, Random> streams;
+  auto it = streams.find(jitter_seed);
+  if (it == streams.end()) {
+    const uint64_t thread_salt =
+        std::hash<std::thread::id>{}(std::this_thread::get_id());
+    it = streams.emplace(jitter_seed, Random(jitter_seed ^ thread_salt)).first;
+  }
+  return &it->second;
+}
+
 Status RetryOp(const RetryPolicy& policy, const std::string& op_name,
                Random* jitter_rng, const std::function<Status()>& op) {
   const int max_attempts = std::max(1, policy.max_attempts);
+  if (jitter_rng == nullptr) jitter_rng = PerThreadJitterRng(policy.jitter_seed);
   Stopwatch deadline_watch;
   Status status;
   for (int attempt = 1;; ++attempt) {
     status = op();
-    if (status.ok() || !IsRetryable(status)) return status;
+    if (status.ok()) {
+      if (policy.retry_budget != nullptr) policy.retry_budget->RecordSuccess();
+      return status;
+    }
+    if (!IsRetryable(status)) return status;
     if (attempt >= max_attempts) {
       RetryExhaustedCounter().Add(1);
       return WithAttempts(status, op_name, attempt);
     }
-    if (policy.deadline_nanos > 0 &&
-        deadline_watch.ElapsedNanos() >= policy.deadline_nanos) {
+    const int64_t elapsed = deadline_watch.ElapsedNanos();
+    if (policy.deadline_nanos > 0 && elapsed >= policy.deadline_nanos) {
       RetryExhaustedCounter().Add(1);
+      RetryDeadlineCounter().Add(1);
       return WithAttempts(
           Status(status.code(), "retry deadline exceeded: " + status.message()),
           op_name, attempt);
     }
-    const int64_t backoff = RetryBackoffNanos(policy, attempt, jitter_rng);
+    if (policy.retry_budget != nullptr &&
+        !policy.retry_budget->TryWithdraw()) {
+      BudgetExhaustedCounter().Add(1);
+      if (TracingEnabled()) {
+        TraceInstant("io.retry.budget_exhausted", "io",
+                     {TraceArg("op", op_name), TraceArg("attempt", attempt)});
+      }
+      return WithAttempts(
+          Status(status.code(), "retry budget exhausted: " + status.message()),
+          op_name, attempt);
+    }
+    if (policy.retry_budget != nullptr) BudgetWithdrawnCounter().Add(1);
+    int64_t backoff = RetryBackoffNanos(policy, attempt, jitter_rng);
+    if (policy.deadline_nanos > 0) {
+      // Never sleep past the deadline: cap the backoff to what remains so
+      // the final wait cannot overshoot the per-operation budget.
+      backoff = std::min(backoff, policy.deadline_nanos - elapsed);
+    }
     RetryAttemptsCounter().Add(1);
     RetryBackoffHistogram().Record(backoff);
     if (TracingEnabled()) {
@@ -89,42 +175,36 @@ Status RetryOp(const RetryPolicy& policy, const std::string& op_name,
 RetryingWritableFile::RetryingWritableFile(std::unique_ptr<WritableFile> base,
                                            std::string name,
                                            const RetryPolicy& policy)
-    : base_(std::move(base)),
-      name_(std::move(name)),
-      policy_(policy),
-      rng_(policy.jitter_seed) {}
+    : base_(std::move(base)), name_(std::move(name)), policy_(policy) {}
 
 Status RetryingWritableFile::Append(std::string_view data) {
-  return RetryOp(policy_, "write " + name_, &rng_,
+  return RetryOp(policy_, "write " + name_, nullptr,
                  [&] { return base_->Append(data); });
 }
 
 Status RetryingWritableFile::Flush() {
-  return RetryOp(policy_, "flush " + name_, &rng_,
+  return RetryOp(policy_, "flush " + name_, nullptr,
                  [&] { return base_->Flush(); });
 }
 
 Status RetryingWritableFile::Close() {
-  return RetryOp(policy_, "close " + name_, &rng_,
+  return RetryOp(policy_, "close " + name_, nullptr,
                  [&] { return base_->Close(); });
 }
 
 RetryingSequentialFile::RetryingSequentialFile(
     std::unique_ptr<SequentialFile> base, std::string name,
     const RetryPolicy& policy)
-    : base_(std::move(base)),
-      name_(std::move(name)),
-      policy_(policy),
-      rng_(policy.jitter_seed) {}
+    : base_(std::move(base)), name_(std::move(name)), policy_(policy) {}
 
 Status RetryingSequentialFile::Read(size_t n, char* scratch,
                                     size_t* bytes_read) {
-  return RetryOp(policy_, "read " + name_, &rng_,
+  return RetryOp(policy_, "read " + name_, nullptr,
                  [&] { return base_->Read(n, scratch, bytes_read); });
 }
 
 Status RetryingSequentialFile::Skip(uint64_t n) {
-  return RetryOp(policy_, "skip " + name_, &rng_,
+  return RetryOp(policy_, "skip " + name_, nullptr,
                  [&] { return base_->Skip(n); });
 }
 

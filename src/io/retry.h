@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "common/random.h"
@@ -11,6 +12,42 @@
 #include "io/storage_env.h"
 
 namespace topk {
+
+/// Process-wide admission control for retries: a token bucket shared by
+/// every decorator that carries a pointer to it. Each retry withdraws one
+/// token; each *successful* storage call refills a fraction of one. During
+/// a brownout an N-way parallel merge then degrades to one bounded wave of
+/// retries across all pool threads instead of N independent exponential
+/// storms — once the bucket drains, further retries fail fast with
+/// Unavailable until real successes refill it.
+class RetryBudget {
+ public:
+  /// `capacity` tokens when full (also the starting balance);
+  /// `refill_per_success` tokens credited per successful operation.
+  explicit RetryBudget(double capacity = 64.0,
+                       double refill_per_success = 0.1);
+
+  /// Takes one token if available; false means the budget is exhausted and
+  /// the caller must not retry.
+  bool TryWithdraw();
+  /// Credits the bucket for a successful call (saturating at capacity).
+  void RecordSuccess();
+
+  double capacity() const { return capacity_; }
+  double tokens() const;
+  /// Re-arms the bucket (tests and CLI reconfiguration).
+  void Reset(double capacity, double refill_per_success);
+
+ private:
+  mutable std::mutex mu_;
+  double capacity_;
+  double refill_per_success_;
+  double tokens_;
+};
+
+/// The budget shared by default across the process (all pool threads, all
+/// operators). Decorators only consult it when a RetryPolicy points at it.
+RetryBudget* GlobalRetryBudget();
 
 /// Bounded-retry configuration for storage calls. On disaggregated storage
 /// a transient failure (dropped round trip, storage-service hiccup) is the
@@ -33,8 +70,14 @@ struct RetryPolicy {
   /// (0 = unbounded). Once exceeded, the last error surfaces even if
   /// attempts remain.
   int64_t deadline_nanos = 0;
-  /// Seed for the deterministic jitter stream.
+  /// Seed for the deterministic jitter stream. Each pool thread derives its
+  /// own stream from this seed xor its thread id (PerThreadJitterRng), so
+  /// concurrent threads never share a jitter sequence.
   uint64_t jitter_seed = 0x7e77;
+  /// Optional shared retry-admission budget. When set, every retry must
+  /// withdraw a token first; an empty bucket converts the retry into an
+  /// immediate Unavailable ("retry budget exhausted"). Not owned.
+  RetryBudget* retry_budget = nullptr;
 
   static RetryPolicy NoRetries() {
     RetryPolicy policy;
@@ -53,13 +96,21 @@ bool IsRetryable(const Status& status);
 /// `rng`. Exposed for tests.
 int64_t RetryBackoffNanos(const RetryPolicy& policy, int retry, Random* rng);
 
+/// The calling thread's jitter stream for `jitter_seed`: lazily seeded from
+/// `jitter_seed ^ hash(thread id)` and cached thread-locally per seed, so
+/// pool threads retrying the same policy draw independent jitter and never
+/// back off in lockstep.
+Random* PerThreadJitterRng(uint64_t jitter_seed);
+
 /// Runs `op` under `policy`: retries Unavailable results with exponential
 /// backoff + jitter until success, a permanent error, attempt exhaustion,
-/// or the deadline. Exhaustion/deadline return the last error with the
-/// attempt count appended to its message (so a latched background error
-/// records how many retries were burned). Emits io.retry.attempts /
-/// io.retry.exhausted counters, the io.retry.backoff_nanos histogram, and
-/// io.retry trace instants.
+/// budget exhaustion, or the deadline. Exhaustion/deadline return the last
+/// error with the attempt count appended to its message (so a latched
+/// background error records how many retries were burned). Emits
+/// io.retry.attempts / io.retry.exhausted / io.retry.deadline_exceeded /
+/// io.retry.budget_* counters, the io.retry.backoff_nanos histogram, and
+/// io.retry trace instants. Pass jitter_rng = nullptr to use the calling
+/// thread's PerThreadJitterRng stream.
 Status RetryOp(const RetryPolicy& policy, const std::string& op_name,
                Random* jitter_rng, const std::function<Status()>& op);
 
@@ -79,7 +130,6 @@ class RetryingWritableFile : public WritableFile {
   std::unique_ptr<WritableFile> base_;
   std::string name_;
   RetryPolicy policy_;
-  Random rng_;
 };
 
 /// SequentialFile decorator applying RetryPolicy to Read/Skip. A failed
@@ -96,7 +146,6 @@ class RetryingSequentialFile : public SequentialFile {
   std::unique_ptr<SequentialFile> base_;
   std::string name_;
   RetryPolicy policy_;
-  Random rng_;
 };
 
 /// Wraps `file` in a RetryingWritableFile unless the policy disables

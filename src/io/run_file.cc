@@ -5,6 +5,7 @@
 #include "common/crc32.h"
 #include "common/logging.h"
 #include "io/async_io.h"
+#include "io/spill_quota.h"
 #include "row/serialization.h"
 
 namespace topk {
@@ -22,14 +23,21 @@ RunWriter::RunWriter(std::unique_ptr<BlockWriter> writer, std::string path,
 Result<std::unique_ptr<RunWriter>> RunWriter::Create(
     StorageEnv* env, std::string path, uint64_t run_id,
     const RowComparator& comparator, size_t block_bytes,
-    uint64_t index_stride, ThreadPool* io_pool, const RetryPolicy& retry) {
+    uint64_t index_stride, ThreadPool* io_pool, const RetryPolicy& retry,
+    SpillQuota* quota) {
   std::unique_ptr<WritableFile> file;
   TOPK_ASSIGN_OR_RETURN(file, env->NewWritableFile(path));
-  // Stack: base -> retry -> double buffer. Background flushes retry their
-  // transient failures on the pool thread; only an exhausted retry budget
-  // reaches the double buffer's latch (with the attempt count recorded in
-  // the message).
+  // Stack: base -> retry -> quota -> double buffer. Background flushes
+  // retry their transient failures on the pool thread; only an exhausted
+  // retry budget reaches the double buffer's latch (with the attempt count
+  // recorded in the message). The quota check sits above the retries:
+  // ResourceExhausted is permanent, so a full quota fails the block
+  // immediately instead of burning backoff on it.
   file = MaybeWrapWithRetries(std::move(file), path, retry);
+  if (quota != nullptr) {
+    file = std::make_unique<QuotaChargingWritableFile>(std::move(file), path,
+                                                       quota);
+  }
   if (io_pool != nullptr) {
     file = std::make_unique<DoubleBufferedWriter>(std::move(file), io_pool);
   }
@@ -91,7 +99,7 @@ Result<std::unique_ptr<RunReader>> RunReader::Open(
     StorageEnv* env, const std::string& path, size_t block_bytes,
     ThreadPool* prefetch_pool, const RetryPolicy& retry,
     const RunReadVerification& verify, size_t prefetch_depth_cap,
-    PrefetchBudget* prefetch_budget) {
+    PrefetchBudget* prefetch_budget, const PrefetchTuning& tuning) {
   std::unique_ptr<SequentialFile> file;
   TOPK_ASSIGN_OR_RETURN(file, env->NewSequentialFile(path));
   // Stack: base -> retry -> prefetcher. Background prefetches retry their
@@ -105,7 +113,8 @@ Result<std::unique_ptr<RunReader>> RunReader::Open(
     // (immutable, fully written) run file, each retry-wrapped like the
     // first.
     SequentialFileFactory reopen;
-    if (prefetch_depth_cap > 1) {
+    if (prefetch_depth_cap > 1 || prefetch_budget != nullptr ||
+        tuning.hedge_reads) {
       reopen = [env, path, retry]() -> Result<std::unique_ptr<SequentialFile>> {
         std::unique_ptr<SequentialFile> extra;
         TOPK_ASSIGN_OR_RETURN(extra, env->NewSequentialFile(path));
@@ -114,7 +123,7 @@ Result<std::unique_ptr<RunReader>> RunReader::Open(
     }
     auto prefetching = std::make_unique<PrefetchingBlockReader>(
         std::move(file), prefetch_pool, block_bytes, prefetch_depth_cap,
-        prefetch_budget, std::move(reopen));
+        prefetch_budget, std::move(reopen), tuning);
     prefetcher = prefetching.get();
     file = std::move(prefetching);
   }

@@ -10,6 +10,7 @@
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "histogram/bucket.h"
+#include "io/async_io.h"
 #include "io/block_io.h"
 #include "io/retry.h"
 #include "io/storage_env.h"
@@ -17,8 +18,7 @@
 
 namespace topk {
 
-class PrefetchBudget;
-class PrefetchingBlockReader;
+class SpillQuota;
 
 /// One entry of a run's sparse seek index: after `rows` rows (the last of
 /// which has sort key `key`), the run file position is `bytes`. Runs stored
@@ -66,14 +66,18 @@ class RunWriter {
   /// so the storage round trip overlaps with run generation; the writer
   /// must not outlive the pool. `retry` governs transient-failure retries
   /// of every block write (stacked *under* the double buffer, so backoff
-  /// runs on the pool thread).
+  /// runs on the pool thread). A non-null `quota` charges every block
+  /// against the spill disk-space quota before it is written (above the
+  /// retry layer: a quota breach is permanent ResourceExhausted, never
+  /// retried).
   static Result<std::unique_ptr<RunWriter>> Create(
       StorageEnv* env, std::string path, uint64_t run_id,
       const RowComparator& comparator,
       size_t block_bytes = kDefaultBlockBytes,
       uint64_t index_stride = kDefaultIndexStride,
       ThreadPool* io_pool = nullptr,
-      const RetryPolicy& retry = RetryPolicy());
+      const RetryPolicy& retry = RetryPolicy(),
+      SpillQuota* quota = nullptr);
 
   Status Append(const Row& row);
 
@@ -123,7 +127,8 @@ class RunReader {
   /// so backoff rides the pool thread); `verify` enables inline CRC/row
   /// count verification at EOF. `prefetch_depth_cap` bounds the adaptive
   /// lookahead window (1 = fixed single-block lookahead) and
-  /// `prefetch_budget` gates every window slot beyond the first.
+  /// `prefetch_budget` gates every window slot beyond the first. `tuning`
+  /// carries the degraded-storage knobs (hedged reads, consumer deadline).
   static Result<std::unique_ptr<RunReader>> Open(
       StorageEnv* env, const std::string& path,
       size_t block_bytes = kDefaultBlockBytes,
@@ -131,7 +136,8 @@ class RunReader {
       const RetryPolicy& retry = RetryPolicy(),
       const RunReadVerification& verify = RunReadVerification(),
       size_t prefetch_depth_cap = 1,
-      PrefetchBudget* prefetch_budget = nullptr);
+      PrefetchBudget* prefetch_budget = nullptr,
+      const PrefetchTuning& tuning = PrefetchTuning());
 
   /// Reads the next row. Sets `*eof` at end of run; with verification
   /// enabled a clean EOF that fails the CRC / row-count check returns

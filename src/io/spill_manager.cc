@@ -33,7 +33,8 @@ SpillManager::SpillManager(StorageEnv* env, std::string dir,
     : env_(env),
       dir_(std::move(dir)),
       io_options_(io),
-      prefetch_budget_(io.prefetch_memory_budget) {
+      prefetch_budget_(io.prefetch_memory_budget),
+      spill_quota_(io.spill_quota_bytes) {
   if (io_options_.background_threads > 0) {
     io_pool_ = std::make_unique<ThreadPool>(io_options_.background_threads);
   }
@@ -175,19 +176,40 @@ Status SpillManager::FlushManifest() const {
 }
 
 Result<std::unique_ptr<RunWriter>> SpillManager::NewRun(
-    const RowComparator& comparator, uint64_t index_stride) {
+    const RowComparator& comparator, uint64_t index_stride,
+    bool quota_exempt) {
+  if (spill_quota_.enabled() && !quota_exempt &&
+      spill_quota_.charged_bytes() >= spill_quota_.quota_bytes()) {
+    // Fail before creating the file: a run that cannot accept a single
+    // block only burns an id and leaves an empty file to clean up.
+    return Status::ResourceExhausted(
+        "spill quota exhausted: " +
+        std::to_string(spill_quota_.charged_bytes()) + " of " +
+        std::to_string(spill_quota_.quota_bytes()) +
+        " bytes already on disk (spill_quota_bytes)");
+  }
   uint64_t id = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     id = next_run_id_++;
   }
   std::string path = dir_ + "/run-" + std::to_string(id) + ".tkr";
+  if (spill_quota_.enabled() && quota_exempt) {
+    spill_quota_.AddExemption(path);
+  }
   return RunWriter::Create(env_, std::move(path), id, comparator,
                            kDefaultBlockBytes, index_stride, io_pool_.get(),
-                           io_options_.retry);
+                           io_options_.retry,
+                           spill_quota_.enabled() ? &spill_quota_ : nullptr);
 }
 
-void SpillManager::AddRun(RunMeta meta) {
+Status SpillManager::AddRun(RunMeta meta) {
+  if (spill_quota_.enabled()) {
+    // Settle the charge to the run's final size (covers restored runs and
+    // merge output written through other paths) and end any write-time
+    // exemption — from here on the run occupies real quota.
+    spill_quota_.ChargeAtLeast(meta.path, meta.bytes);
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     total_rows_spilled_ += meta.rows;
@@ -197,7 +219,7 @@ void SpillManager::AddRun(RunMeta meta) {
   }
   // Outside mu_: CheckpointManifest snapshots the registry itself. Errors
   // are latched there; registration is not undone by a failed checkpoint.
-  CheckpointManifest();
+  return CheckpointManifest();
 }
 
 Status SpillManager::RemoveRun(uint64_t run_id) {
@@ -224,8 +246,13 @@ Status SpillManager::DeleteSpillFile(const std::string& path) {
   // deletes race-free without another manager-wide lock.
   Random rng(io_options_.retry.jitter_seed ^
              static_cast<uint64_t>(std::hash<std::string>{}(path)));
-  return RetryOp(io_options_.retry, "delete " + path, &rng,
-                 [&] { return env_->DeleteFile(path); });
+  Status status = RetryOp(io_options_.retry, "delete " + path, &rng,
+                          [&] { return env_->DeleteFile(path); });
+  if (status.ok() && spill_quota_.enabled()) {
+    // The bytes are off the disk: return them to the quota.
+    spill_quota_.CreditFile(path);
+  }
+  return status;
 }
 
 void SpillManager::SetAutoManifest(std::string manifest_filename) {
@@ -271,16 +298,24 @@ Result<std::unique_ptr<RunReader>> SpillManager::OpenRun(
     verify.expected_rows = meta.rows;
     verify.run_id = meta.id;
   }
+  PrefetchTuning tuning;
+  tuning.hedge_reads = io_options_.hedge_reads;
+  tuning.hedge_latency_multiplier = io_options_.hedge_latency_multiplier;
+  tuning.hedge_min_nanos = io_options_.hedge_min_nanos;
+  tuning.read_deadline_nanos = io_options_.retry.deadline_nanos;
   if (prefetch_depth_cap == 0) {
     // No plan-time cap from the caller: assume every registered run may be
-    // read concurrently and split the budget evenly.
+    // read concurrently and split the budget evenly. Such apportioned caps
+    // may be re-derived mid-merge as sibling readers finish and leave the
+    // shared budget (explicit caps from the planner stay pinned).
+    tuning.reapportion_depth = true;
     prefetch_depth_cap =
         ApportionPrefetchDepth(io_options_.prefetch_memory_budget, run_count(),
                                kDefaultBlockBytes);
   }
   return RunReader::Open(env_, meta.path, kDefaultBlockBytes, prefetch_pool,
                          io_options_.retry, verify, prefetch_depth_cap,
-                         &prefetch_budget_);
+                         &prefetch_budget_, tuning);
 }
 
 Status SpillManager::VerifyRun(const RunMeta& meta,

@@ -13,6 +13,7 @@
 #include "common/thread_pool.h"
 #include "io/async_io.h"
 #include "io/run_file.h"
+#include "io/spill_quota.h"
 #include "io/storage_env.h"
 #include "row/row.h"
 
@@ -91,15 +92,26 @@ class SpillManager {
   SpillManager& operator=(const SpillManager&) = delete;
 
   /// Starts a new run file with a fresh id. `index_stride` controls the
-  /// run's sparse seek index granularity (rows per entry).
+  /// run's sparse seek index granularity (rows per entry). With a spill
+  /// quota configured (IoPipelineOptions::spill_quota_bytes) the run's
+  /// block writes are charged against it and fail with ResourceExhausted
+  /// when it would be exceeded; an already-exhausted quota fails NewRun
+  /// itself. `quota_exempt` marks the run as quota-exempt while it is
+  /// written — used for consolidation output, which *reduces* net spill
+  /// usage once its inputs are deleted, so refusing it under pressure
+  /// would be self-defeating. The exemption ends when the finished run is
+  /// registered via AddRun.
   Result<std::unique_ptr<RunWriter>> NewRun(
       const RowComparator& comparator,
-      uint64_t index_stride = kDefaultIndexStride);
+      uint64_t index_stride = kDefaultIndexStride, bool quota_exempt = false);
 
   /// Registers a finished run in the registry. With auto-manifest enabled
   /// (SetAutoManifest) this also checkpoints the manifest, making the run
-  /// registration itself the durable commit point of a merge step.
-  void AddRun(RunMeta meta);
+  /// registration itself the durable commit point of a merge step; a failed
+  /// checkpoint is returned (and latched for FlushManifest) but does not
+  /// undo the registration. Also settles the run's spill-quota charge to
+  /// its final byte size and clears any write-time exemption.
+  Status AddRun(RunMeta meta);
 
   /// Removes a run from the registry and deletes its file (used after a
   /// merge step consumed it).
@@ -176,6 +188,8 @@ class SpillManager {
   /// The shared prefetch-lookahead byte pool (see IoPipelineOptions::
   /// prefetch_memory_budget). Readers borrow it like the pool.
   PrefetchBudget* prefetch_budget() const { return &prefetch_budget_; }
+  /// The spill disk-space quota (disabled when spill_quota_bytes was 0).
+  SpillQuota* spill_quota() const { return &spill_quota_; }
 
  private:
   SpillManager(StorageEnv* env, std::string dir, const IoPipelineOptions& io);
@@ -191,6 +205,9 @@ class SpillManager {
   /// Bounds the summed prefetch lookahead of every reader opened through
   /// this manager. Mutable: opening a run for reading is logically const.
   mutable PrefetchBudget prefetch_budget_;
+  /// Caps the bytes this manager may hold on disk at once (see
+  /// IoPipelineOptions::spill_quota_bytes; 0 disables enforcement).
+  mutable SpillQuota spill_quota_;
   /// Whether the destructor removes the directory. Cleared while Restore
   /// is still loading so a failed restore never destroys the on-disk state
   /// it was asked to recover.

@@ -128,6 +128,28 @@ void StorageEnv::SetFaultProfile(const FaultProfile& profile) {
   fault_rng_ = Random(profile.seed);
 }
 
+void StorageEnv::EnableStorageHealth(const StorageHealth::Options& options) {
+  health_ = std::make_unique<StorageHealth>(options);
+}
+
+namespace {
+StorageHealth::OpClass HealthOpClass(int op) {
+  // FaultOp and StorageHealth::OpClass enumerate the same five calls in the
+  // same order.
+  return static_cast<StorageHealth::OpClass>(op);
+}
+}  // namespace
+
+Status StorageEnv::HealthAllow(FaultOp op) {
+  if (health_ == nullptr) return Status::OK();
+  return health_->AllowRequest(HealthOpClass(static_cast<int>(op)));
+}
+
+void StorageEnv::HealthRecord(FaultOp op, const Status& status, int64_t nanos) {
+  if (health_ == nullptr) return;
+  health_->RecordOutcome(HealthOpClass(static_cast<int>(op)), status, nanos);
+}
+
 StorageEnv::FaultAction StorageEnv::DrawFault(FaultOp op) {
   if (!fault_profile_.enabled()) return FaultAction::kNone;
   std::lock_guard<std::mutex> lock(fault_mu_);
@@ -182,6 +204,37 @@ class LocalWritableFile : public WritableFile {
   }
 
   Status Append(std::string_view data) override {
+    Status admit = env_->HealthAllow(StorageEnv::FaultOp::kWrite);
+    if (!admit.ok()) return admit;
+    Stopwatch health_watch;
+    Status status = AppendImpl(data);
+    env_->HealthRecord(StorageEnv::FaultOp::kWrite, status,
+                       health_watch.ElapsedNanos());
+    return status;
+  }
+
+  Status Flush() override {
+    Status admit = env_->HealthAllow(StorageEnv::FaultOp::kFlush);
+    if (!admit.ok()) return admit;
+    Stopwatch health_watch;
+    Status status = FlushImpl();
+    env_->HealthRecord(StorageEnv::FaultOp::kFlush, status,
+                       health_watch.ElapsedNanos());
+    return status;
+  }
+
+  Status Close() override {
+    Status admit = env_->HealthAllow(StorageEnv::FaultOp::kClose);
+    if (!admit.ok()) return admit;
+    Stopwatch health_watch;
+    Status status = CloseImpl();
+    env_->HealthRecord(StorageEnv::FaultOp::kClose, status,
+                       health_watch.ElapsedNanos());
+    return status;
+  }
+
+ private:
+  Status AppendImpl(std::string_view data) {
     if (file_ == nullptr) {
       return Status::FailedPrecondition("append to closed file " + path_);
     }
@@ -238,7 +291,7 @@ class LocalWritableFile : public WritableFile {
     return Status::OK();
   }
 
-  Status Flush() override {
+  Status FlushImpl() {
     if (file_ == nullptr) {
       return Status::FailedPrecondition("flush of closed file " + path_);
     }
@@ -256,7 +309,7 @@ class LocalWritableFile : public WritableFile {
     return Status::OK();
   }
 
-  Status Close() override {
+  Status CloseImpl() {
     if (file_ == nullptr) return Status::OK();
     if (env_->ShouldFailClose()) {
       return Status::IoError("injected close failure on " + path_);
@@ -275,7 +328,6 @@ class LocalWritableFile : public WritableFile {
     return Status::OK();
   }
 
- private:
   std::FILE* file_;
   std::string path_;
   StorageEnv* env_;
@@ -293,6 +345,20 @@ class LocalSequentialFile : public SequentialFile {
   }
 
   Status Read(size_t n, char* scratch, size_t* bytes_read) override {
+    Status admit = env_->HealthAllow(StorageEnv::FaultOp::kRead);
+    if (!admit.ok()) {
+      *bytes_read = 0;
+      return admit;
+    }
+    Stopwatch health_watch;
+    Status status = ReadImpl(n, scratch, bytes_read);
+    env_->HealthRecord(StorageEnv::FaultOp::kRead, status,
+                       health_watch.ElapsedNanos());
+    return status;
+  }
+
+ private:
+  Status ReadImpl(size_t n, char* scratch, size_t* bytes_read) {
     *bytes_read = 0;
     if (env_->ShouldFailRead()) {
       return Status::IoError("injected read failure on " + path_);
@@ -330,6 +396,7 @@ class LocalSequentialFile : public SequentialFile {
     return Status::OK();
   }
 
+ public:
   Status Skip(uint64_t n) override {
     if (std::fseek(file_, static_cast<long>(n), SEEK_CUR) != 0) {
       return Status::IoError(ErrnoMessage("seek failed for " + path_));
@@ -454,19 +521,28 @@ Result<std::unique_ptr<SequentialFile>> StorageEnv::NewSequentialFile(
 }
 
 Status StorageEnv::DeleteFile(const std::string& path) {
-  if (ShouldFailDelete()) {
-    return Status::IoError("injected delete failure on " + path);
-  }
-  if (DrawFault(FaultOp::kDelete) == FaultAction::kTransient) {
-    return Status::Unavailable("transient delete fault on " + path);
-  }
-  std::error_code ec;
-  if (!std::filesystem::remove(path, ec)) {
-    if (ec) return Status::IoError("cannot delete " + path + ": " + ec.message());
-    return Status::NotFound("no such file: " + path);
-  }
-  stats_.RecordFileDeleted();
-  return Status::OK();
+  Status admit = HealthAllow(FaultOp::kDelete);
+  if (!admit.ok()) return admit;
+  Stopwatch health_watch;
+  Status status = [&]() -> Status {
+    if (ShouldFailDelete()) {
+      return Status::IoError("injected delete failure on " + path);
+    }
+    if (DrawFault(FaultOp::kDelete) == FaultAction::kTransient) {
+      return Status::Unavailable("transient delete fault on " + path);
+    }
+    std::error_code ec;
+    if (!std::filesystem::remove(path, ec)) {
+      if (ec) {
+        return Status::IoError("cannot delete " + path + ": " + ec.message());
+      }
+      return Status::NotFound("no such file: " + path);
+    }
+    stats_.RecordFileDeleted();
+    return Status::OK();
+  }();
+  HealthRecord(FaultOp::kDelete, status, health_watch.ElapsedNanos());
+  return status;
 }
 
 Status StorageEnv::CreateDirs(const std::string& path) {

@@ -12,6 +12,7 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "io/io_stats.h"
+#include "io/storage_health.h"
 
 namespace topk {
 
@@ -156,6 +157,15 @@ class StorageEnv {
   void SetFaultProfile(const FaultProfile& profile);
   const FaultProfile& fault_profile() const { return fault_profile_; }
 
+  /// Installs a StorageHealth circuit breaker over every storage call this
+  /// env serves: calls are admission-checked first (failing fast with
+  /// Unavailable while the breaker is open) and their outcomes feed the
+  /// per-op-class sliding windows. Install before handing the env to an
+  /// operator; not thread-safe against in-flight I/O.
+  void EnableStorageHealth(const StorageHealth::Options& options);
+  /// The installed breaker, or nullptr when disabled.
+  StorageHealth* health() { return health_.get(); }
+
  private:
   friend class LocalWritableFile;
   friend class LocalSequentialFile;
@@ -184,6 +194,10 @@ class StorageEnv {
   /// lengths and bit-flip positions).
   uint64_t DrawFaultUint64(uint64_t bound);
 
+  /// Circuit-breaker hooks (no-ops when no breaker is installed).
+  Status HealthAllow(FaultOp op);
+  void HealthRecord(FaultOp op, const Status& status, int64_t nanos);
+
   Options options_;
   IoStats stats_;
   std::atomic<uint64_t> fail_write_at_{0};
@@ -204,6 +218,9 @@ class StorageEnv {
   FaultProfile fault_profile_;
   std::mutex fault_mu_;
   Random fault_rng_;
+
+  /// Optional circuit breaker (EnableStorageHealth).
+  std::unique_ptr<StorageHealth> health_;
 };
 
 }  // namespace topk

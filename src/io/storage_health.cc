@@ -1,0 +1,197 @@
+#include "io/storage_health.h"
+
+#include <algorithm>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace topk {
+
+namespace {
+
+MetricsGauge& HealthStateGauge() {
+  static MetricsGauge* gauge = GlobalMetrics().GetGauge("io.health.state");
+  return *gauge;
+}
+MetricsCounter& HealthOpenedCounter() {
+  static MetricsCounter* counter =
+      GlobalMetrics().GetCounter("io.health.opened");
+  return *counter;
+}
+MetricsCounter& HealthFastFailCounter() {
+  static MetricsCounter* counter =
+      GlobalMetrics().GetCounter("io.health.fast_fail");
+  return *counter;
+}
+MetricsCounter& HealthProbesCounter() {
+  static MetricsCounter* counter =
+      GlobalMetrics().GetCounter("io.health.probes");
+  return *counter;
+}
+
+bool IsHealthFailure(const Status& status) {
+  return status.code() == StatusCode::kUnavailable ||
+         status.code() == StatusCode::kIoError;
+}
+
+}  // namespace
+
+StorageHealth::StorageHealth() : StorageHealth(Options()) {}
+
+StorageHealth::StorageHealth(const Options& options) : options_(options) {
+  for (ClassState& cls : classes_) {
+    cls.window.assign(std::max<size_t>(1, options_.window_size), false);
+  }
+}
+
+const char* StorageHealth::OpClassName(OpClass op) {
+  switch (op) {
+    case OpClass::kWrite: return "write";
+    case OpClass::kRead: return "read";
+    case OpClass::kFlush: return "flush";
+    case OpClass::kClose: return "close";
+    case OpClass::kDelete: return "delete";
+  }
+  return "unknown";
+}
+
+const char* StorageHealth::StateName(State state) {
+  switch (state) {
+    case State::kClosed: return "closed";
+    case State::kHalfOpen: return "half_open";
+    case State::kOpen: return "open";
+  }
+  return "unknown";
+}
+
+Status StorageHealth::AllowRequest(OpClass op) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ClassState& cls = classes_[static_cast<int>(op)];
+  switch (cls.state) {
+    case State::kClosed:
+      return Status::OK();
+    case State::kOpen: {
+      if (clock_.ElapsedNanos() - cls.opened_at >=
+          options_.open_cooldown_nanos) {
+        TransitionLocked(&cls, op, State::kHalfOpen);
+        ++cls.probes_admitted;
+        HealthProbesCounter().Add(1);
+        return Status::OK();
+      }
+      HealthFastFailCounter().Add(1);
+      return Status::Unavailable(
+          std::string("circuit breaker open for storage ") + OpClassName(op) +
+          " calls (failing fast)");
+    }
+    case State::kHalfOpen: {
+      if (cls.probes_admitted < options_.half_open_probes) {
+        ++cls.probes_admitted;
+        HealthProbesCounter().Add(1);
+        return Status::OK();
+      }
+      HealthFastFailCounter().Add(1);
+      return Status::Unavailable(
+          std::string("circuit breaker half-open for storage ") +
+          OpClassName(op) + " calls (probe slots taken)");
+    }
+  }
+  return Status::OK();
+}
+
+void StorageHealth::RecordOutcome(OpClass op, const Status& status,
+                                  int64_t latency_nanos) {
+  (void)latency_nanos;
+  const bool failure = IsHealthFailure(status);
+  if (!status.ok() && !failure) return;  // caller-state codes: not a signal
+  std::lock_guard<std::mutex> lock(mu_);
+  ClassState& cls = classes_[static_cast<int>(op)];
+  if (cls.state == State::kHalfOpen) {
+    if (failure) {
+      // A probe died: the service is still sick. Snap back to Open and
+      // restart the cooldown.
+      TransitionLocked(&cls, op, State::kOpen);
+    } else {
+      ++cls.probe_successes;
+      if (cls.probe_successes >= options_.half_open_probes) {
+        TransitionLocked(&cls, op, State::kClosed);
+      }
+    }
+    return;
+  }
+  if (cls.state == State::kOpen) return;  // stragglers from before the trip
+  // Closed: slide the window.
+  const size_t slot = cls.next;
+  cls.next = (cls.next + 1) % cls.window.size();
+  if (cls.samples < cls.window.size()) {
+    ++cls.samples;
+  } else if (cls.window[slot]) {
+    --cls.failures;
+  }
+  cls.window[slot] = failure;
+  if (failure) ++cls.failures;
+  if (cls.samples >= std::max<size_t>(1, options_.min_samples) &&
+      static_cast<double>(cls.failures) >=
+          options_.failure_threshold * static_cast<double>(cls.samples)) {
+    TransitionLocked(&cls, op, State::kOpen);
+  }
+}
+
+StorageHealth::State StorageHealth::state(OpClass op) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return classes_[static_cast<int>(op)].state;
+}
+
+StorageHealth::State StorageHealth::worst_state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  State worst = State::kClosed;
+  for (const ClassState& cls : classes_) {
+    if (static_cast<int>(cls.state) > static_cast<int>(worst)) {
+      worst = cls.state;
+    }
+  }
+  return worst;
+}
+
+void StorageHealth::TransitionLocked(ClassState* cls, OpClass op,
+                                     State next_state) {
+  const State prev = cls->state;
+  if (prev == next_state) return;
+  cls->state = next_state;
+  if (next_state == State::kOpen) {
+    cls->opened_at = clock_.ElapsedNanos();
+    HealthOpenedCounter().Add(1);
+  }
+  if (next_state == State::kHalfOpen) {
+    cls->probes_admitted = 0;
+    cls->probe_successes = 0;
+  }
+  if (next_state == State::kClosed) ResetWindowLocked(cls);
+  PublishGaugeLocked();
+  if (TracingEnabled()) {
+    TraceInstant("io.health.state_change", "io",
+                 {TraceArg("op", OpClassName(op)),
+                  TraceArg("from", StateName(prev)),
+                  TraceArg("to", StateName(next_state))});
+  }
+}
+
+void StorageHealth::ResetWindowLocked(ClassState* cls) {
+  std::fill(cls->window.begin(), cls->window.end(), false);
+  cls->next = 0;
+  cls->samples = 0;
+  cls->failures = 0;
+  cls->probes_admitted = 0;
+  cls->probe_successes = 0;
+}
+
+void StorageHealth::PublishGaugeLocked() {
+  State worst = State::kClosed;
+  for (const ClassState& cls : classes_) {
+    if (static_cast<int>(cls.state) > static_cast<int>(worst)) {
+      worst = cls.state;
+    }
+  }
+  HealthStateGauge().Set(static_cast<int64_t>(worst));
+}
+
+}  // namespace topk

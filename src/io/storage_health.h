@@ -1,0 +1,97 @@
+#ifndef TOPK_IO_STORAGE_HEALTH_H_
+#define TOPK_IO_STORAGE_HEALTH_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/stopwatch.h"
+
+namespace topk {
+
+/// Circuit breaker over the storage substrate. Each op class (write, read,
+/// flush, close, delete) keeps a sliding window of recent call outcomes;
+/// when the window shows sustained failure the breaker trips Open and every
+/// further call in that class fails fast with Unavailable — no round trip,
+/// no injected latency, no pool thread parked behind a dead storage
+/// service. After a cooldown the breaker Half-Opens and admits a handful of
+/// probe calls: if they all succeed it Closes again, if any fails it snaps
+/// back to Open for another cooldown.
+///
+/// Failure classification: Unavailable and IoError count as failures (the
+/// storage service misbehaved); ResourceExhausted / FailedPrecondition /
+/// NotFound describe caller state and are not health signals (they are not
+/// recorded at all).
+class StorageHealth {
+ public:
+  enum class OpClass { kWrite = 0, kRead, kFlush, kClose, kDelete };
+  static constexpr int kNumOpClasses = 5;
+
+  /// Gauge encoding (worst state across op classes): 0 = closed,
+  /// 1 = half-open, 2 = open.
+  enum class State { kClosed = 0, kHalfOpen = 1, kOpen = 2 };
+
+  struct Options {
+    /// Outcomes remembered per op class.
+    size_t window_size = 32;
+    /// The breaker never trips before this many samples are in the window.
+    size_t min_samples = 16;
+    /// Failure fraction of the window at which the breaker trips Open.
+    double failure_threshold = 0.5;
+    /// Wall-clock spent Open before probes are admitted.
+    int64_t open_cooldown_nanos = 50'000'000;  // 50 ms
+    /// Consecutive probe successes required to Close from Half-Open.
+    int half_open_probes = 3;
+  };
+
+  StorageHealth();
+  explicit StorageHealth(const Options& options);
+
+  /// Admission check before a storage call. OK while Closed (and for
+  /// admitted Half-Open probes); Unavailable("circuit breaker open ...")
+  /// while Open or when Half-Open probe slots are taken.
+  Status AllowRequest(OpClass op);
+
+  /// Feeds one completed call's outcome back into the window. Statuses
+  /// that are neither success nor storage failure (see class comment) are
+  /// ignored.
+  void RecordOutcome(OpClass op, const Status& status, int64_t latency_nanos);
+
+  State state(OpClass op) const;
+  /// Worst state across all op classes (what the io.health.state gauge
+  /// shows).
+  State worst_state() const;
+
+  static const char* OpClassName(OpClass op);
+  static const char* StateName(State state);
+
+ private:
+  struct ClassState {
+    State state = State::kClosed;
+    /// Ring buffer of the last `window_size` outcomes (true = failure).
+    std::vector<bool> window;
+    size_t next = 0;
+    size_t samples = 0;
+    size_t failures = 0;
+    /// ElapsedNanos() timestamp of the last Open transition.
+    int64_t opened_at = 0;
+    /// Half-open probe bookkeeping.
+    int probes_admitted = 0;
+    int probe_successes = 0;
+  };
+
+  void TransitionLocked(ClassState* cls, OpClass op, State next_state);
+  void ResetWindowLocked(ClassState* cls);
+  void PublishGaugeLocked();
+
+  const Options options_;
+  Stopwatch clock_;
+  mutable std::mutex mu_;
+  ClassState classes_[kNumOpClasses];
+};
+
+}  // namespace topk
+
+#endif  // TOPK_IO_STORAGE_HEALTH_H_

@@ -90,7 +90,7 @@ Result<std::vector<RunMeta>> ReduceRunsForFinalMerge(
       consumed_paths.push_back(std::move(path));
     }
     if (merged.rows > 0) {
-      spill->AddRun(merged);
+      TOPK_RETURN_NOT_OK(spill->AddRun(merged));
     } else {
       // Nothing survived the cutoff filter; the registry still shrank, so
       // checkpoint explicitly before the inputs disappear.

@@ -20,6 +20,10 @@ struct MergeWay {
     TOPK_RETURN_NOT_OK(reader->Next(&current, &eof));
     if (eof) {
       exhausted = true;
+      // Leave the shared prefetch budget immediately: the freed slots are
+      // re-apportioned to the surviving ways, whose lookahead windows may
+      // grow mid-step instead of waiting for the merge to finish.
+      reader->CancelPrefetch();
     } else {
       ++stats->rows_read;
     }

@@ -47,7 +47,7 @@ Status QuicksortRunGenerator::SortAndSpill() {
       if (options_.observer != nullptr) {
         meta.histogram = options_.observer->OnRunFinished();
       }
-      spill_->AddRun(std::move(meta));
+      TOPK_RETURN_NOT_OK(spill_->AddRun(std::move(meta)));
       writer.reset();
       rows_in_run = 0;
     }
@@ -66,7 +66,7 @@ Status QuicksortRunGenerator::SortAndSpill() {
     if (options_.observer != nullptr) {
       meta.histogram = options_.observer->OnRunFinished();
     }
-    spill_->AddRun(std::move(meta));
+    TOPK_RETURN_NOT_OK(spill_->AddRun(std::move(meta)));
   } else if (options_.observer != nullptr) {
     // Everything was eliminated; still reset the observer's per-run state.
     options_.observer->OnRunFinished();

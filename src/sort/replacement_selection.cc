@@ -87,7 +87,7 @@ Status ReplacementSelectionRunGenerator::CloseRun() {
   RunMeta meta;
   TOPK_ASSIGN_OR_RETURN(meta, writer_->Finish());
   meta.histogram = std::move(histogram);
-  spill_->AddRun(std::move(meta));
+  TOPK_RETURN_NOT_OK(spill_->AddRun(std::move(meta)));
   writer_.reset();
   rows_in_physical_run_ = 0;
   return Status::OK();

@@ -19,6 +19,11 @@ MetricsCounter& CutoffUpdatesCounter() {
       GlobalMetrics().GetCounter("filter.cutoff_updates");
   return *counter;
 }
+MetricsCounter& QuotaConsolidationsCounter() {
+  static MetricsCounter* counter =
+      GlobalMetrics().GetCounter("spill.quota_consolidations");
+  return *counter;
+}
 }  // namespace
 
 /// Bridges the run generator's spill events into the cutoff filter
@@ -161,6 +166,79 @@ Status HistogramTopK::SwitchToExternal() {
   return Status::OK();
 }
 
+Status HistogramTopK::MaybeConsolidateForQuota() {
+  SpillQuota* quota = spill_->spill_quota();
+  if (!quota->enabled()) return Status::OK();
+  const double charged = static_cast<double>(quota->charged_bytes());
+  if (charged < 0.85 * static_cast<double>(quota->quota_bytes())) {
+    return Status::OK();
+  }
+  if (spill_->run_count() < 2) return Status::OK();
+  if (spill_->total_runs_created() == runs_created_at_last_quota_merge_) {
+    return Status::OK();
+  }
+  return ConsolidateSpillForQuota();
+}
+
+Status HistogramTopK::ConsolidateSpillForQuota() {
+  std::vector<RunMeta> inputs = spill_->runs();
+  // Lowest keys first, the same policy intermediate merges use: those runs
+  // are where the cutoff filter discards the most rows, so merging them
+  // frees the most disk per merge.
+  OrderRunsForMerge(&inputs, comparator_, MergePolicy::kLowestKeysFirst);
+  if (inputs.size() > options_.merge_fan_in) {
+    inputs.resize(options_.merge_fan_in);
+  }
+  uint64_t input_bytes = 0;
+  for (const RunMeta& run : inputs) input_bytes += run.bytes;
+  TraceSpan span("spill.quota_consolidate", "topk",
+                 {TraceArg("runs", inputs.size()),
+                  TraceArg("input_bytes", input_bytes),
+                  TraceArg("charged_bytes", spill_->spill_quota()->charged_bytes())});
+  QuotaConsolidationsCounter().Add(1);
+
+  std::unique_ptr<RunWriter> writer;
+  TOPK_ASSIGN_OR_RETURN(writer,
+                        spill_->NewRun(comparator_, kDefaultIndexStride,
+                                       /*quota_exempt=*/true));
+  MergeOptions merge_options;
+  merge_options.limit = options_.output_rows();
+  merge_options.with_ties = options_.with_ties;
+  merge_options.stop_filter = filter_.get();
+  merge_options.refine_filter = filter_.get();
+  MergeStats merge_stats;
+  TOPK_ASSIGN_OR_RETURN(
+      merge_stats, MergeRuns(spill_.get(), inputs, comparator_, merge_options,
+                             [&](Row&& row) { return writer->Append(row); }));
+  RunMeta merged;
+  TOPK_ASSIGN_OR_RETURN(merged, writer->Finish());
+  // Same crash-safe ordering as the merge planner: keep the input files
+  // until the output's registration is checkpointed in the manifest.
+  std::vector<std::string> consumed_paths;
+  consumed_paths.reserve(inputs.size());
+  for (const RunMeta& consumed : inputs) {
+    std::string path;
+    TOPK_ASSIGN_OR_RETURN(path, spill_->ReleaseRun(consumed.id));
+    consumed_paths.push_back(std::move(path));
+  }
+  if (merged.rows > 0) {
+    TOPK_RETURN_NOT_OK(spill_->AddRun(merged));
+  } else {
+    TOPK_RETURN_NOT_OK(spill_->CheckpointManifest());
+    consumed_paths.push_back(merged.path);
+  }
+  if (spill_->auto_manifest_enabled()) {
+    TOPK_RETURN_NOT_OK(spill_->FlushManifest());
+  }
+  for (const std::string& path : consumed_paths) {
+    TOPK_RETURN_NOT_OK(spill_->DeleteSpillFile(path));
+  }
+  stats_.merge_rows_written += merge_stats.rows_emitted;
+  stats_.merge_rows_read += merge_stats.rows_read;
+  runs_created_at_last_quota_merge_ = spill_->total_runs_created();
+  return Status::OK();
+}
+
 Status HistogramTopK::Consume(Row row) {
   if (finished_) {
     return Status::FailedPrecondition("Consume after Finish");
@@ -177,6 +255,9 @@ Status HistogramTopK::Consume(Row row) {
     if (filter_->Eliminate(row)) {
       ++stats_.rows_eliminated_input;
     } else {
+      // Reclaim disk headroom *before* handing over the row: Add takes it
+      // by value, so a quota breach inside run generation would lose it.
+      TOPK_RETURN_NOT_OK(MaybeConsolidateForQuota());
       TOPK_RETURN_NOT_OK(generator_->Add(std::move(row)));
     }
     stats_.consume_nanos += watch.ElapsedNanos();
@@ -327,7 +408,7 @@ Result<std::vector<Row>> HistogramTopK::Finish() {
           final_runs, ReduceRunsForFinalMerge(spill_.get(), comparator_,
                                               planner_options, &plan_stats));
     }
-    stats_.merge_rows_written = plan_stats.intermediate_rows_written;
+    stats_.merge_rows_written += plan_stats.intermediate_rows_written;
 
     MergeOptions merge_options;
     merge_options.limit = options_.k;
@@ -366,7 +447,7 @@ Result<std::vector<Row>> HistogramTopK::Finish() {
     }
     return merged;
   }
-  stats_.merge_rows_read =
+  stats_.merge_rows_read +=
       plan_stats.intermediate_rows_read + merge_stats.rows_read;
   stats_.bytes_spilled = spill_->total_bytes_spilled();
   stats_.final_cutoff = filter_->cutoff();

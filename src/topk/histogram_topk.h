@@ -83,6 +83,17 @@ class HistogramTopK : public TopKOperator {
   Status SwitchToExternal();
   CutoffFilter::Options MakeFilterOptions(uint64_t expected_run_rows);
 
+  /// Consolidates spilled runs early when the spill quota is nearly full
+  /// (checked before every row handed to run generation): merges up to
+  /// merge_fan_in registered runs — lowest keys first, stopping at the
+  /// cutoff — into one quota-exempt output, then deletes the inputs. The
+  /// cutoff filter usually makes the output much smaller than its inputs,
+  /// so disk headroom is reclaimed *before* a block write trips the quota.
+  /// Only after consolidation can no longer help does a write surface
+  /// ResourceExhausted.
+  Status MaybeConsolidateForQuota();
+  Status ConsolidateSpillForQuota();
+
   TopKOptions options_;
   RowComparator comparator_;
 
@@ -103,6 +114,10 @@ class HistogramTopK : public TopKOperator {
   /// Built by ResumeFromManifest: runs come from a restored spill manager,
   /// there is no run generator, and Consume is rejected.
   bool resumed_ = false;
+  /// total_runs_created() at the last quota consolidation attempt; a new
+  /// attempt waits for at least one new run so a consolidation that could
+  /// not free enough space is not retried on every row.
+  uint64_t runs_created_at_last_quota_merge_ = 0;
 };
 
 }  // namespace topk

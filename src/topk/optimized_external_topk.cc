@@ -136,7 +136,7 @@ Status OptimizedExternalTopK::MaybeEarlyMerge() {
     consumed_paths.push_back(std::move(path));
   }
   if (merged.rows > 0) {
-    spill_->AddRun(merged);
+    TOPK_RETURN_NOT_OK(spill_->AddRun(merged));
     ++early_merge_runs_registered_;
   } else {
     TOPK_RETURN_NOT_OK(spill_->CheckpointManifest());

@@ -100,11 +100,28 @@ struct TopKOptions {
   size_t prefetch_memory_budget = 8 << 20;
 
   /// Retry policy applied to every spill read/write/delete and manifest
-  /// round trip (transient Unavailable errors only; see io/retry.h).
+  /// round trip (transient Unavailable errors only; see io/retry.h). Its
+  /// deadline_nanos also bounds how long a merge read waits for a
+  /// prefetched block, and its retry_budget caps retries across the whole
+  /// pipeline.
   RetryPolicy io_retry;
   /// Verify each run's CRC-32C inline while the merge reads it (a mismatch
   /// is permanent Corruption, never retried).
   bool verify_spill_checksums = true;
+
+  /// Hedge straggling prefetch reads (see PrefetchTuning::hedge_reads): a
+  /// block overdue against the reader's observed round-trip EWMA is
+  /// re-requested on a second handle and the first completion wins. Tames
+  /// tail latency on degraded storage at the cost of some duplicate reads.
+  bool io_hedge_reads = false;
+  /// Issue the hedge once the wait exceeds this multiple of the EWMA.
+  double io_hedge_latency_multiplier = 3.0;
+
+  /// Cap on spill bytes simultaneously on disk, 0 = unlimited. Under
+  /// pressure the histogram operator first consolidates runs through the
+  /// cutoff filter to reclaim space; only when that cannot help does a
+  /// spill write fail with ResourceExhausted naming the quota.
+  uint64_t spill_quota_bytes = 0;
 
   /// When non-empty, the operator keeps a manifest of this name inside the
   /// spill directory, checkpointed after every registered run and merge
@@ -120,6 +137,9 @@ struct TopKOptions {
     io.retry = io_retry;
     io.verify_read_checksums = verify_spill_checksums;
     io.prefetch_memory_budget = prefetch_memory_budget;
+    io.hedge_reads = io_hedge_reads;
+    io.hedge_latency_multiplier = io_hedge_latency_multiplier;
+    io.spill_quota_bytes = spill_quota_bytes;
     return io;
   }
 

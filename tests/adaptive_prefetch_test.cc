@@ -234,6 +234,58 @@ TEST_F(AdaptivePrefetchTest, CancelReclassifiesLeftoverBlocks) {
   EXPECT_EQ(cancelled->value(), cancelled_before + 1);
 }
 
+/// Mid-step re-apportioning: when sibling readers leave the budget (their
+/// runs were exhausted or dropped), a survivor opened with
+/// reapportion_depth must inherit the freed slots — its window grows past
+/// the cap that was apportioned while all siblings were alive.
+TEST_F(AdaptivePrefetchTest, SurvivorInheritsFreedBudgetMidStep) {
+  StorageEnv::Options env_options;
+  env_options.read_latency_nanos = 1'000'000;  // depth-hungry storage
+  StorageEnv env(env_options);
+  const std::string path = WriteFile(&env, "survivor", 60 * kBlock);
+
+  ThreadPool pool(4);
+  PrefetchBudget budget(8 * kBlock);
+  // Opened while 4 runs share the step: 8 slots / 4 runs + the free first
+  // slot = depth 3 each.
+  const size_t opening_cap = ApportionPrefetchDepth(8 * kBlock, 4, kBlock);
+  ASSERT_EQ(opening_cap, 3u);
+  PrefetchTuning tuning;
+  tuning.reapportion_depth = true;
+  std::vector<std::unique_ptr<PrefetchingBlockReader>> readers;
+  for (int i = 0; i < 4; ++i) {
+    auto in = env.NewSequentialFile(path);
+    ASSERT_TRUE(in.ok());
+    readers.push_back(std::make_unique<PrefetchingBlockReader>(
+        std::move(*in), &pool, kBlock, opening_cap, &budget, nullptr,
+        tuning));
+  }
+
+  std::vector<char> buf(kBlock);
+  for (auto& reader : readers) {
+    for (int i = 0; i < 4; ++i) {
+      size_t n = 0;
+      ASSERT_TRUE(reader->Read(buf.size(), buf.data(), &n).ok());
+      ASSERT_GT(n, 0u);
+    }
+  }
+  // While all four are alive, nobody may exceed the apportioned cap.
+  EXPECT_LE(readers[0]->max_target_depth(), opening_cap);
+
+  // Three runs leave the step; their slots return to the pool.
+  readers.resize(1);
+  for (;;) {
+    size_t n = 0;
+    ASSERT_TRUE(readers[0]->Read(buf.size(), buf.data(), &n).ok());
+    if (n == 0) break;
+  }
+  // The survivor re-apportioned over 1 live run: 8 slots + the free first
+  // slot, far past its opening cap of 3.
+  EXPECT_GT(readers[0]->max_target_depth(), opening_cap);
+  readers.clear();
+  EXPECT_EQ(budget.acquired(), 0u);
+}
+
 std::vector<Row> SequentialRows(size_t n, double first_key) {
   std::vector<Row> rows;
   rows.reserve(n);
@@ -269,7 +321,7 @@ TEST_F(AdaptivePrefetchTest, EarlyMergeStopLeavesNoUnconsumedBlocks) {
     }
     auto meta = (*writer)->Finish();
     ASSERT_TRUE(meta.ok());
-    (*spill)->AddRun(*meta);
+    ASSERT_TRUE((*spill)->AddRun(*meta).ok());
   }
 
   const uint64_t before = unconsumed->value();

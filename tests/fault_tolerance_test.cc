@@ -10,7 +10,9 @@
 #include <fstream>
 
 #include "io/manifest.h"
+#include "io/retry.h"
 #include "io/spill_manager.h"
+#include "io/storage_health.h"
 #include "obs/metrics.h"
 #include "tests/test_util.h"
 #include "topk/histogram_topk.h"
@@ -44,6 +46,18 @@ std::vector<Row> Dataset(uint64_t rows, uint64_t seed = 11) {
   DatasetSpec spec;
   spec.WithRows(rows).WithSeed(seed).WithPayload(24, 24);
   return MaterializeDataset(spec);
+}
+
+/// Descending keys against an ascending top-k: the cutoff filter never
+/// eliminates anything, so every row spills — maximum storage traffic for
+/// tests that need the I/O path thoroughly exercised.
+std::vector<Row> DescendingDataset(uint64_t n) {
+  std::vector<Row> rows;
+  rows.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    rows.emplace_back(static_cast<double>(n - i), i, std::string(24, 'p'));
+  }
+  return rows;
 }
 
 TEST(FaultProfileTest, ParseRoundTrip) {
@@ -128,6 +142,105 @@ TEST(TransientFaultTest, LatencySpikesDoNotChangeResults) {
   auto result = RunOperator(op->get(), rows);
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   ExpectSameRows(expected, *result);
+}
+
+/// A hedged spilling query under a latency-spike profile: with 200 µs of
+/// base read latency and 10% of reads spiking to 20 ms, the merge path
+/// hedges the stragglers (visible in io.hedge.issued) and the result is
+/// still byte-identical. The read deadline is set generously, so the
+/// deadline path stays quiet.
+TEST(TransientFaultTest, HedgedReadsUnderLatencySpikesIdentical) {
+  const auto rows = DescendingDataset(30000);
+  const auto expected =
+      ReferenceTopK(rows, 500, 0, SortDirection::kAscending);
+
+  MetricsCounter* issued = GlobalMetrics().GetCounter("io.hedge.issued");
+  MetricsCounter* wasted = GlobalMetrics().GetCounter("io.hedge.wasted");
+  MetricsCounter* deadline =
+      GlobalMetrics().GetCounter("io.prefetch.deadline_exceeded");
+  const uint64_t issued_before = issued->value();
+  const uint64_t wasted_before = wasted->value();
+  const uint64_t deadline_before = deadline->value();
+
+  ScratchDir scratch;
+  StorageEnv::Options env_options;
+  env_options.read_latency_nanos = 200'000;  // 0.2 ms baseline round trip
+  StorageEnv env(env_options);
+  FaultProfile profile;
+  profile.latency_spike_rate = 0.1;
+  profile.latency_spike_nanos = 20'000'000;  // 100x the baseline
+  profile.seed = 0x51deu;
+  env.SetFaultProfile(profile);
+
+  TopKOptions options = SmallOptions(&env, scratch.str());
+  options.io_hedge_reads = true;
+  options.io_retry.deadline_nanos = 5'000'000'000;  // 5 s: never in play
+
+  auto op = HistogramTopK::Make(options);
+  ASSERT_TRUE(op.ok());
+  auto result = RunOperator(op->get(), rows);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ExpectSameRows(expected, *result);
+
+  const uint64_t hedges = issued->value() - issued_before;
+  EXPECT_GT(hedges, 0u) << "no hedge fired against a 20 ms straggler";
+  EXPECT_LE(wasted->value() - wasted_before, hedges);
+  EXPECT_EQ(deadline->value(), deadline_before);
+}
+
+/// Brownout: half of all storage calls fail. The circuit breaker trips
+/// open, the shared retry budget caps how much retrying the pipeline may
+/// spend, and the query dies promptly with one coherent Unavailable —
+/// instead of hanging in per-call backoff loops against dead storage.
+TEST(TransientFaultTest, BrownoutTripsBreakerWithinRetryBudget) {
+  const auto rows = DescendingDataset(30000);
+
+  MetricsCounter* opened = GlobalMetrics().GetCounter("io.health.opened");
+  MetricsCounter* withdrawn =
+      GlobalMetrics().GetCounter("io.retry.budget_withdrawn");
+  MetricsCounter* exhausted =
+      GlobalMetrics().GetCounter("io.retry.budget_exhausted");
+  const uint64_t opened_before = opened->value();
+  const uint64_t withdrawn_before = withdrawn->value();
+  const uint64_t exhausted_before = exhausted->value();
+
+  ScratchDir scratch;
+  StorageEnv env;
+  // A small sample window so the breaker reacts within the first few
+  // retried operations of the brownout.
+  StorageHealth::Options breaker;
+  breaker.window_size = 8;
+  breaker.min_samples = 4;
+  env.EnableStorageHealth(breaker);
+  FaultProfile profile;
+  profile.transient_fault_rate = 0.5;
+  profile.seed = 0xb10u;
+  env.SetFaultProfile(profile);
+
+  // Small enough that the brownout drains it before some operation burns
+  // through max_attempts on its own.
+  RetryBudget budget(/*capacity=*/4.0, /*refill_per_success=*/0.1);
+  TopKOptions options = SmallOptions(&env, scratch.str());
+  options.io_retry.retry_budget = &budget;
+
+  auto op = HistogramTopK::Make(options);
+  ASSERT_TRUE(op.ok());
+  Status status;
+  for (const Row& row : rows) {
+    status = (*op)->Consume(row);
+    if (!status.ok()) break;
+  }
+  if (status.ok()) status = (*op)->Finish().status();
+
+  ASSERT_FALSE(status.ok()) << "a 50% brownout cannot succeed";
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable) << status.ToString();
+  // The breaker tripped (seen in metrics) and retrying stayed within the
+  // shared budget: withdrawals happened, then the budget ran dry and
+  // further retries were refused instead of backing off forever.
+  EXPECT_GT(opened->value(), opened_before);
+  EXPECT_GT(withdrawn->value(), withdrawn_before);
+  EXPECT_GT(exhausted->value(), exhausted_before);
+  EXPECT_LT(budget.tokens(), 1.0);
 }
 
 TEST(TransientFaultTest, FaultSequenceIsDeterministic) {

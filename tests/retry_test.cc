@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+
 #include "common/random.h"
 #include "obs/metrics.h"
 #include "tests/test_util.h"
@@ -139,6 +141,130 @@ TEST(RetryOpTest, NoRetriesPolicySingleAttempt) {
   });
   EXPECT_EQ(status.code(), StatusCode::kUnavailable);
   EXPECT_EQ(calls, 1);
+}
+
+TEST(RetryBudgetTest, WithdrawsUntilEmptyAndRefillsOnSuccess) {
+  RetryBudget budget(/*capacity=*/2.0, /*refill_per_success=*/0.5);
+  EXPECT_EQ(budget.capacity(), 2.0);
+  EXPECT_TRUE(budget.TryWithdraw());
+  EXPECT_TRUE(budget.TryWithdraw());
+  EXPECT_FALSE(budget.TryWithdraw());  // empty: the caller must not retry
+  // Two successes refill one whole token.
+  budget.RecordSuccess();
+  budget.RecordSuccess();
+  EXPECT_TRUE(budget.TryWithdraw());
+  EXPECT_FALSE(budget.TryWithdraw());
+}
+
+TEST(RetryBudgetTest, RefillSaturatesAtCapacity) {
+  RetryBudget budget(/*capacity=*/1.0, /*refill_per_success=*/1.0);
+  for (int i = 0; i < 10; ++i) budget.RecordSuccess();
+  EXPECT_EQ(budget.tokens(), 1.0);  // never above capacity
+  EXPECT_TRUE(budget.TryWithdraw());
+  EXPECT_FALSE(budget.TryWithdraw());
+}
+
+TEST(RetryBudgetTest, ResetRearmsTheBucket) {
+  RetryBudget budget(/*capacity=*/1.0, /*refill_per_success=*/0.0);
+  EXPECT_TRUE(budget.TryWithdraw());
+  EXPECT_FALSE(budget.TryWithdraw());
+  budget.Reset(/*capacity=*/3.0, /*refill_per_success=*/0.0);
+  EXPECT_EQ(budget.tokens(), 3.0);
+  EXPECT_TRUE(budget.TryWithdraw());
+}
+
+TEST(RetryBudgetTest, GlobalBudgetIsAProcessSingleton) {
+  ASSERT_NE(GlobalRetryBudget(), nullptr);
+  EXPECT_EQ(GlobalRetryBudget(), GlobalRetryBudget());
+}
+
+TEST(RetryBudgetTest, RetryOpStopsWhenBudgetRunsDry) {
+  MetricsCounter* withdrawn =
+      GlobalMetrics().GetCounter("io.retry.budget_withdrawn");
+  MetricsCounter* exhausted =
+      GlobalMetrics().GetCounter("io.retry.budget_exhausted");
+  const uint64_t withdrawn_before = withdrawn->value();
+  const uint64_t exhausted_before = exhausted->value();
+
+  RetryBudget budget(/*capacity=*/2.0, /*refill_per_success=*/0.0);
+  RetryPolicy policy = FastPolicy(10);
+  policy.retry_budget = &budget;
+  Random rng(1);
+  int calls = 0;
+  Status status = RetryOp(policy, "test op", &rng, [&] {
+    ++calls;
+    return Status::Unavailable("brownout");
+  });
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  // Two retries were admitted (tokens), the third was refused — three
+  // calls total, not ten.
+  EXPECT_EQ(calls, 3);
+  EXPECT_NE(status.message().find("retry budget exhausted"),
+            std::string::npos)
+      << status.ToString();
+  EXPECT_EQ(withdrawn->value(), withdrawn_before + 2);
+  EXPECT_EQ(exhausted->value(), exhausted_before + 1);
+}
+
+TEST(RetryBudgetTest, SuccessesRefillTheSharedBucket) {
+  RetryBudget budget(/*capacity=*/1.0, /*refill_per_success=*/1.0);
+  RetryPolicy policy = FastPolicy(4);
+  policy.retry_budget = &budget;
+  Random rng(1);
+  // First op: one failure, one admitted retry, then success (which
+  // refills the token it spent).
+  int calls = 0;
+  Status status = RetryOp(policy, "op a", &rng, [&] {
+    ++calls;
+    return calls < 2 ? Status::Unavailable("hiccup") : Status::OK();
+  });
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(budget.tokens(), 1.0);
+  // Second op can therefore retry again.
+  calls = 0;
+  status = RetryOp(policy, "op b", &rng, [&] {
+    ++calls;
+    return calls < 2 ? Status::Unavailable("hiccup") : Status::OK();
+  });
+  EXPECT_TRUE(status.ok()) << status.ToString();
+}
+
+TEST(JitterRngTest, PerThreadStreamsAreIndependent) {
+  // Same seed, two threads: each thread gets its own deterministic stream
+  // (seeded seed ^ hash(thread id)), so concurrent retries never back off
+  // in lockstep.
+  Random* here = PerThreadJitterRng(0x7e77);
+  ASSERT_NE(here, nullptr);
+  EXPECT_EQ(here, PerThreadJitterRng(0x7e77));  // cached per thread
+  uint64_t other_draw = 0;
+  Random* other_ptr = nullptr;
+  std::thread worker([&] {
+    other_ptr = PerThreadJitterRng(0x7e77);
+    other_draw = other_ptr->NextUint64();
+  });
+  worker.join();
+  EXPECT_NE(other_ptr, here);
+  EXPECT_NE(other_draw, here->NextUint64());
+}
+
+TEST(JitterRngTest, DistinctSeedsGetDistinctStreams) {
+  Random* a = PerThreadJitterRng(1);
+  Random* b = PerThreadJitterRng(2);
+  EXPECT_NE(a, b);
+}
+
+TEST(RetryOpTest, DeadlineEmitsMetric) {
+  MetricsCounter* deadline =
+      GlobalMetrics().GetCounter("io.retry.deadline_exceeded");
+  const uint64_t deadline_before = deadline->value();
+  RetryPolicy policy = FastPolicy(1000);
+  policy.initial_backoff_nanos = 2'000'000;
+  policy.deadline_nanos = 5'000'000;
+  Random rng(1);
+  Status status = RetryOp(policy, "test op", &rng,
+                          [&] { return Status::Unavailable("still down"); });
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(deadline->value(), deadline_before + 1);
 }
 
 TEST(RetryingFileTest, WriteRidesThroughScriptedTransients) {

@@ -29,6 +29,22 @@
 ///                 bitflip=0.0001,seed=7" (off)
 ///   --io-retry-attempts  max attempts per storage call for transient
 ///                 faults, 1 = no retries (4)
+///   --io-deadline-ms  wall-clock deadline per storage operation across all
+///                 of its retries, and per merge-read block wait; 0 =
+///                 unbounded (0)
+///   --io-retry-budget  shared retry-token budget across all pool threads;
+///                 an exhausted budget fails retries fast, successes refill
+///                 it; 0 = unbounded (0)
+///   --hedge       hedge straggling prefetch reads: re-request an overdue
+///                 block on a second handle, first completion wins (false)
+///   --hedge-multiplier  issue the hedge when the wait exceeds this multiple
+///                 of the reader's round-trip EWMA (3.0)
+///   --storage-breaker  trip a circuit breaker per storage op class under
+///                 sustained failure and fail fast until probes succeed
+///                 (false)
+///   --spill-quota-mb  cap on spill bytes on disk at once; the histogram
+///                 operator consolidates runs before giving up; 0 =
+///                 unlimited (0)
 ///   --manifest    keep a spill manifest of this name checkpointed inside
 ///                 --spill-dir, enabling crash recovery (off)
 ///   --suspend-before-merge  consume the input, persist the runs + manifest,
@@ -114,9 +130,11 @@ int main(int argc, char** argv) {
   int64_t n = 0, k = 0, offset = 0, payload = 0, buckets = 0, fan_in = 0,
           seed = 0;
   int64_t io_threads = 0, io_latency_us = 0, io_retry_attempts = 0;
+  int64_t io_deadline_ms = 0, io_retry_budget = 0;
   double memory_mb = 0, shape = 0, prefetch_budget_mb = 8.0;
+  double hedge_multiplier = 3.0, spill_quota_mb = 0;
   bool early_merge = true, verify = false, prefetch = true, progress = false;
-  bool suspend_before_merge = false;
+  bool suspend_before_merge = false, hedge = false, storage_breaker = false;
   {
     auto status = [&]() -> Status {
       TOPK_ASSIGN_OR_RETURN(n, flags.GetInt("n", 1000000));
@@ -151,6 +169,29 @@ int main(int argc, char** argv) {
       if (io_retry_attempts < 1 || io_retry_attempts > 100) {
         return Status::InvalidArgument(
             "--io-retry-attempts must be in [1, 100]");
+      }
+      TOPK_ASSIGN_OR_RETURN(io_deadline_ms,
+                            flags.GetInt("io-deadline-ms", 0));
+      if (io_deadline_ms < 0) {
+        return Status::InvalidArgument("--io-deadline-ms must be >= 0");
+      }
+      TOPK_ASSIGN_OR_RETURN(io_retry_budget,
+                            flags.GetInt("io-retry-budget", 0));
+      if (io_retry_budget < 0) {
+        return Status::InvalidArgument("--io-retry-budget must be >= 0");
+      }
+      TOPK_ASSIGN_OR_RETURN(hedge, flags.GetBool("hedge", false));
+      TOPK_ASSIGN_OR_RETURN(hedge_multiplier,
+                            flags.GetDouble("hedge-multiplier", 3.0));
+      if (hedge_multiplier < 1.0) {
+        return Status::InvalidArgument("--hedge-multiplier must be >= 1");
+      }
+      TOPK_ASSIGN_OR_RETURN(storage_breaker,
+                            flags.GetBool("storage-breaker", false));
+      TOPK_ASSIGN_OR_RETURN(spill_quota_mb,
+                            flags.GetDouble("spill-quota-mb", 0.0));
+      if (spill_quota_mb < 0) {
+        return Status::InvalidArgument("--spill-quota-mb must be >= 0");
       }
       TOPK_ASSIGN_OR_RETURN(verify, flags.GetBool("verify", false));
       TOPK_ASSIGN_OR_RETURN(progress, flags.GetBool("progress", false));
@@ -215,6 +256,9 @@ int main(int argc, char** argv) {
     env.SetFaultProfile(*profile);
     std::printf("fault profile: %s\n", profile->ToString().c_str());
   }
+  if (storage_breaker) {
+    env.EnableStorageHealth(StorageHealth::Options());
+  }
   TopKOptions options;
   options.k = static_cast<uint64_t>(k);
   options.offset = static_cast<uint64_t>(offset);
@@ -230,6 +274,16 @@ int main(int argc, char** argv) {
   options.prefetch_memory_budget =
       static_cast<size_t>(prefetch_budget_mb * 1024.0 * 1024.0);
   options.io_retry.max_attempts = static_cast<int>(io_retry_attempts);
+  options.io_retry.deadline_nanos = io_deadline_ms * 1'000'000;
+  if (io_retry_budget > 0) {
+    GlobalRetryBudget()->Reset(static_cast<double>(io_retry_budget),
+                               /*refill_per_success=*/0.1);
+    options.io_retry.retry_budget = GlobalRetryBudget();
+  }
+  options.io_hedge_reads = hedge;
+  options.io_hedge_latency_multiplier = hedge_multiplier;
+  options.spill_quota_bytes =
+      static_cast<uint64_t>(spill_quota_mb * 1024.0 * 1024.0);
   options.manifest_filename =
       resume_from.empty() ? manifest_name : resume_from;
   options.env = &env;
