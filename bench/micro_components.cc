@@ -12,8 +12,10 @@
 #include "common/random.h"
 #include "histogram/cutoff_filter.h"
 #include "io/spill_manager.h"
+#include "obs/metrics.h"
 #include "row/serialization.h"
 #include "sort/loser_tree.h"
+#include "sort/merger.h"
 #include "sort/replacement_selection.h"
 
 namespace topk {
@@ -143,6 +145,63 @@ void BM_RunWriterAppend(benchmark::State& state) {
       static_cast<int64_t>(kRowHeaderBytes + payload.size()));
 }
 BENCHMARK(BM_RunWriterAppend)->Arg(0)->Arg(64)->Arg(256);
+
+/// The tentpole A/B: a 6-run merge with offset-value coding on vs off.
+/// Arg(1) carries OVC codes through the loser tree (most repairs decide on
+/// one integer compare), Arg(0) runs the legacy full-row comparator.
+/// Output is byte-identical either way; the win shows up as wall clock and
+/// as the full_cmp_per_row counter collapsing.
+void BM_MergeSixRunsOvc(benchmark::State& state) {
+  const bool use_ovc = state.range(0) != 0;
+  const std::string dir = "/tmp/topk_micro_merge";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  StorageEnv env;
+  auto spill = SpillManager::Create(&env, dir);
+  TOPK_CHECK(spill.ok());
+  const RowComparator comparator;
+  constexpr size_t kRuns = 6;
+  constexpr size_t kRowsPerRun = 20000;
+  Random rng(13);
+  for (size_t r = 0; r < kRuns; ++r) {
+    std::vector<double> keys(kRowsPerRun);
+    for (double& key : keys) key = rng.NextDouble();
+    std::sort(keys.begin(), keys.end());
+    auto writer = spill->get()->NewRun(comparator);
+    TOPK_CHECK(writer.ok());
+    uint64_t id = r;
+    for (double key : keys) {
+      TOPK_CHECK((*writer)->Append(Row(key, id, "payload")).ok());
+      id += kRuns;
+    }
+    auto meta = (*writer)->Finish();
+    TOPK_CHECK(meta.ok());
+    TOPK_CHECK(spill->get()->AddRun(std::move(*meta)).ok());
+  }
+  const std::vector<RunMeta> runs = spill->get()->runs();
+
+  MetricsCounter* full = GlobalMetrics().GetCounter("sort.compare.count");
+  MetricsCounter* hits = GlobalMetrics().GetCounter("sort.compare.ovc_hits");
+  const uint64_t full_before = full->value();
+  const uint64_t hits_before = hits->value();
+  uint64_t rows_merged = 0;
+  for (auto _ : state) {
+    MergeOptions options;
+    options.use_ovc = use_ovc;
+    auto stats = MergeRuns(spill->get(), runs, comparator, options,
+                           [](Row&&) { return Status::OK(); });
+    TOPK_CHECK(stats.ok());
+    rows_merged += stats->rows_emitted;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(rows_merged));
+  const double rows = rows_merged > 0 ? static_cast<double>(rows_merged) : 1;
+  state.counters["full_cmp_per_row"] =
+      static_cast<double>(full->value() - full_before) / rows;
+  state.counters["ovc_hits_per_row"] =
+      static_cast<double>(hits->value() - hits_before) / rows;
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_MergeSixRunsOvc)->Arg(0)->Arg(1);
 
 void BM_Crc32c(benchmark::State& state) {
   std::string data(static_cast<size_t>(state.range(0)), 'd');

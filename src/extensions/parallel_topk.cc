@@ -282,6 +282,7 @@ Result<std::vector<Row>> ParallelTopK::Finish() {
   planner_options.fan_in = options_.base.merge_fan_in;
   planner_options.policy = MergePolicy::kLowestKeysFirst;
   planner_options.intermediate_limit = options_.base.output_rows();
+  planner_options.use_ovc = options_.base.use_ovc;
   MergePlanStats plan_stats;
   std::vector<RunMeta> final_runs;
   TOPK_ASSIGN_OR_RETURN(
@@ -293,6 +294,7 @@ Result<std::vector<Row>> ParallelTopK::Finish() {
   MergeOptions merge_options;
   merge_options.limit = options_.base.k;
   merge_options.skip = options_.base.offset;
+  merge_options.use_ovc = options_.base.use_ovc;
   MergeStats merge_stats;
   TOPK_ASSIGN_OR_RETURN(merge_stats,
                         MergeRuns(spill_.get(), final_runs, comparator_,

@@ -13,7 +13,7 @@ CutoffFilter::CutoffFilter(const Options& options)
       consolidation_(options.consolidation),
       policy_(options.target_buckets_per_run, options.target_run_rows),
       builder_(policy_),
-      queue_(BucketWorse{comparator_}),
+      queue_(BucketWorse{}),
       on_cutoff_change_(options.on_cutoff_change) {
   TOPK_CHECK(options.k > 0) << "cutoff filter requires k > 0";
 }
@@ -44,12 +44,14 @@ std::vector<HistogramBucket> CutoffFilter::RunFinished() {
 
 void CutoffFilter::InsertBucket(HistogramBucket bucket) {
   if (bucket.count == 0) return;
+  const uint64_t norm =
+      NormalizeDoubleKey(bucket.boundary, comparator_.direction());
   // A bucket entirely beyond the cutoff proves nothing new and would only
   // be popped again; skip it (keeps the queue small on adversarial inputs).
-  if (has_cutoff_ && comparator_.KeyBeyond(bucket.boundary, cutoff_)) {
+  if (has_cutoff_ && norm > cutoff_norm_) {
     return;
   }
-  queue_.push(bucket);
+  queue_.push(NormBucket{norm, bucket.boundary, bucket.count});
   tracked_rows_ += bucket.count;
   ++buckets_inserted_;
   Refine();
@@ -66,26 +68,31 @@ void CutoffFilter::Refine() {
     ++buckets_popped_;
   }
   TOPK_DCHECK(!queue_.empty());
-  const double top_boundary = queue_.top().boundary;
-  if (!has_cutoff_ || comparator_.KeyLess(top_boundary, cutoff_)) {
-    const bool tightened = has_cutoff_;
-    has_cutoff_ = true;
-    cutoff_ = top_boundary;
-    NotifyCutoffChange(tightened, /*proposed=*/false);
+  const NormBucket& top = queue_.top();
+  if (!has_cutoff_ || top.norm_boundary < cutoff_norm_) {
+    SetCutoff(top.norm_boundary, top.boundary, /*proposed=*/false);
   }
 }
 
 void CutoffFilter::ProposeCutoff(double key) {
-  if (!has_cutoff_ || comparator_.KeyLess(key, cutoff_)) {
-    const bool tightened = has_cutoff_;
-    has_cutoff_ = true;
-    cutoff_ = key;
-    NotifyCutoffChange(tightened, /*proposed=*/true);
+  const uint64_t norm = NormalizeDoubleKey(key, comparator_.direction());
+  if (!has_cutoff_ || norm < cutoff_norm_) {
+    SetCutoff(norm, key, /*proposed=*/true);
   }
 }
 
+void CutoffFilter::SetCutoff(uint64_t norm, double key, bool proposed) {
+  const bool tightened = has_cutoff_;
+  has_cutoff_ = true;
+  cutoff_ = key;
+  cutoff_norm_ = norm;
+  NotifyCutoffChange(tightened, proposed);
+}
+
+size_t CutoffFilter::BucketBytes() { return sizeof(NormBucket); }
+
 size_t CutoffFilter::memory_bytes() const {
-  return queue_.size() * sizeof(HistogramBucket);
+  return queue_.size() * sizeof(NormBucket);
 }
 
 void CutoffFilter::MaybeConsolidate() {
@@ -95,10 +102,10 @@ void CutoffFilter::MaybeConsolidate() {
     // Replace every bucket with a single one: boundary = current top
     // boundary, count = sum of all counts (Sec 5.1.2). Guarantee
     // preserved: all tracked rows sort at or before the top boundary.
-    const double boundary = queue_.top().boundary;
+    const NormBucket top = queue_.top();
     const uint64_t total = tracked_rows_;
     while (!queue_.empty()) queue_.pop();
-    queue_.push(HistogramBucket{boundary, total});
+    queue_.push(NormBucket{top.norm_boundary, top.boundary, total});
     return;
   }
   // kAdaptive: pop the worst-boundary half and merge it into one bucket.
@@ -115,13 +122,13 @@ void CutoffFilter::MaybeConsolidate() {
     builder_.CoarsenWidth();
     const size_t to_merge =
         std::min(queue_.size(), std::max<size_t>(queue_.size() / 2, 2));
-    double boundary = queue_.top().boundary;
+    const NormBucket worst = queue_.top();
     uint64_t merged = 0;
     for (size_t i = 0; i < to_merge; ++i) {
       merged += queue_.top().count;
       queue_.pop();
     }
-    queue_.push(HistogramBucket{boundary, merged});
+    queue_.push(NormBucket{worst.norm_boundary, worst.boundary, merged});
   }
 }
 

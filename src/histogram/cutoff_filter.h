@@ -94,10 +94,18 @@ class CutoffFilter {
 
   /// True when `row` provably cannot be in the top-k output. Always false
   /// until a cutoff key is established. Rows whose key equals the cutoff are
-  /// never eliminated (ties with the kth key may be needed).
+  /// never eliminated (ties with the kth key may be needed). The cutoff is
+  /// held in normalized form (row/normalized_key.h), so a probe is one
+  /// integer compare — and NaN / -0.0 keys order exactly as they sort.
   bool Eliminate(const Row& row) const { return EliminateKey(row.key); }
   bool EliminateKey(double key) const {
-    return has_cutoff_ && comparator_.KeyBeyond(key, cutoff_);
+    return has_cutoff_ &&
+           NormalizeDoubleKey(key, comparator_.direction()) > cutoff_norm_;
+  }
+  /// Probe with an already-normalized key (the merge loop carries one per
+  /// way); must be encoded with this filter's direction.
+  bool EliminateNormalizedKey(uint64_t key_norm) const {
+    return has_cutoff_ && key_norm > cutoff_norm_;
   }
 
   /// Accounts a row that was written to the current run (Algorithm 1's
@@ -124,6 +132,11 @@ class CutoffFilter {
   }
 
   // --- introspection (tests, stats, benchmarks) ---
+  /// Bytes the model charges per tracked bucket — the unit to use when
+  /// sizing memory_limit_bytes as "N buckets". Larger than the persisted
+  /// HistogramBucket: the in-memory form also carries the pre-normalized
+  /// boundary.
+  static size_t BucketBytes();
   uint64_t k() const { return k_; }
   size_t bucket_count() const { return queue_.size(); }
   /// Sum of bucket counts currently in the model.
@@ -135,21 +148,33 @@ class CutoffFilter {
   const RowComparator& comparator() const { return comparator_; }
 
  private:
+  /// A bucket as stored in the model: the boundary is pre-encoded into its
+  /// normalized form, so every queue reorder and every refinement compare
+  /// is one integer compare (the double is retained for RunMeta histograms
+  /// and stats — persistence stays in doubles). Ordering is decided once,
+  /// at insert time; a NaN boundary takes the defined last-in-direction
+  /// slot instead of breaking the priority queue's invariants.
+  struct NormBucket {
+    uint64_t norm_boundary = 0;
+    double boundary = 0.0;
+    uint64_t count = 0;
+  };
+
   /// Pops buckets while the model still proves k rows without the top
   /// bucket; updates the cutoff.
   void Refine();
   void MaybeConsolidate();
+  void SetCutoff(uint64_t norm, double key, bool proposed);
   /// Fires on_cutoff_change after the cutoff moved.
   void NotifyCutoffChange(bool tightened, bool proposed) const;
 
   /// Orders the priority queue inversely to the query direction: the top
-  /// bucket carries the *worst* boundary (largest, for ascending queries).
+  /// bucket carries the *worst* boundary (largest normalized value — for
+  /// ascending queries, the largest key).
   struct BucketWorse {
-    RowComparator comparator;
-    bool operator()(const HistogramBucket& a,
-                    const HistogramBucket& b) const {
-      if (a.boundary != b.boundary) {
-        return comparator.KeyLess(a.boundary, b.boundary);
+    bool operator()(const NormBucket& a, const NormBucket& b) const {
+      if (a.norm_boundary != b.norm_boundary) {
+        return a.norm_boundary < b.norm_boundary;
       }
       return a.count < b.count;
     }
@@ -162,12 +187,14 @@ class CutoffFilter {
   BucketSizingPolicy policy_;
   RunHistogramBuilder builder_;
 
-  std::priority_queue<HistogramBucket, std::vector<HistogramBucket>,
-                      BucketWorse>
+  std::priority_queue<NormBucket, std::vector<NormBucket>, BucketWorse>
       queue_;
   uint64_t tracked_rows_ = 0;
   bool has_cutoff_ = false;
   double cutoff_ = 0.0;
+  /// cutoff_ in normalized form (valid iff has_cutoff_); the hot probes
+  /// compare against this.
+  uint64_t cutoff_norm_ = 0;
 
   uint64_t consolidations_ = 0;
   uint64_t buckets_inserted_ = 0;

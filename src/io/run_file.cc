@@ -54,20 +54,19 @@ Status RunWriter::Append(const Row& row) {
   if (finished_) {
     return Status::FailedPrecondition("append to finished run");
   }
-  if (meta_.rows > 0 && comparator_.Less(row, last_row_)) {
+  const NormalizedKey norm = row.normalized_key(comparator_.direction());
+  if (meta_.rows > 0 && norm < last_key_norm_) {
     return Status::InvalidArgument(
         "rows must be appended to a run in sorted order");
   }
-  if (row.payload.size() > kMaxRowPayloadBytes) {
-    return Status::InvalidArgument("row payload exceeds the format limit");
-  }
+  TOPK_RETURN_NOT_OK(ValidateRowPayload(row));
   scratch_.clear();
   SerializeRow(row, &scratch_);
   TOPK_RETURN_NOT_OK(writer_->Append(scratch_));
   meta_.crc32c = Crc32c(meta_.crc32c, scratch_.data(), scratch_.size());
   if (meta_.rows == 0) meta_.first_key = row.key;
   meta_.last_key = row.key;
-  last_row_ = row;
+  last_key_norm_ = norm;
   ++meta_.rows;
   if (index_stride_ > 0 && meta_.rows % index_stride_ == 0) {
     // Position after this row, relative to the start of row data (i.e.

@@ -96,7 +96,10 @@ class RunWriter {
   std::unique_ptr<BlockWriter> writer_;
   RowComparator comparator_;
   RunMeta meta_;
-  Row last_row_;
+  /// Normalized key of the last appended row: the sorted-order invariant
+  /// check is one integer compare and needs no copy of the row (the old
+  /// full-Row copy duplicated the payload on every append).
+  NormalizedKey last_key_norm_;
   std::string scratch_;
   uint64_t index_stride_;
   bool finished_ = false;

@@ -1,0 +1,18 @@
+#include "row/normalized_key.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace topk {
+
+bool DefaultOvcEnabled() {
+  static const bool enabled = [] {
+    const char* env = std::getenv("TOPK_OVC");
+    if (env == nullptr) return true;
+    return !(std::strcmp(env, "0") == 0 || std::strcmp(env, "false") == 0 ||
+             std::strcmp(env, "off") == 0);
+  }();
+  return enabled;
+}
+
+}  // namespace topk

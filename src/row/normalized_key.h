@@ -1,0 +1,166 @@
+#ifndef TOPK_ROW_NORMALIZED_KEY_H_
+#define TOPK_ROW_NORMALIZED_KEY_H_
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+
+namespace topk {
+
+/// Direction of the ORDER BY clause a top-k query sorts on. "Top k" means
+/// the first k rows in this direction (kAscending: the k smallest keys).
+/// Defined here (not row.h) because the normalized-key encoding bakes the
+/// direction in; row.h re-exports it by including this header.
+enum class SortDirection { kAscending, kDescending };
+
+/// --- Normalized keys -----------------------------------------------------
+///
+/// A binary-comparable ("normalized") encoding of the sort attributes
+/// (key, id), the layout both Do & Graefe ("Robust and Efficient Sorting
+/// with Offset-Value Coding") and Polyntsov et al. ("Implementing the
+/// Comparison-Based External Sort") build their sort fast paths on. All
+/// ordering decisions are made ONCE, at encode time; afterwards the query
+/// order is plain unsigned integer comparison (equivalently: memcmp over the
+/// big-endian byte string). This structurally removes the comparator
+/// edge-case bug class:
+///
+///   * NaN breaks `<` strict-weak-ordering — here NaN is canonicalized to
+///     the largest encoding, so it totally orders last in query direction.
+///   * -0.0 and +0.0 compare equal but have different bit patterns — here
+///     -0.0 is folded into +0.0 before encoding, so they are the same key.
+///   * ascending/descending needs no branch per comparison — descending is
+///     the bitwise complement of the ascending encoding.
+///
+/// Encoding table for the key word (8 bytes, then compared as uint64):
+///
+///   input double          IEEE-754 bits      ascending encoding
+///   ------------------    ---------------    -------------------------
+///   NaN (any payload)     s111...1xxxx       0xFFFFFFFFFFFFFFFF (fixed)
+///   +inf                  0x7FF0...0         0xFFF0000000000000
+///   positive finite       0x000...0x7FEF..   bits | 0x8000000000000000
+///   +0.0 and -0.0         0x0 / 0x8000...0   0x8000000000000000
+///   negative finite       0x8000...0xFFEF..  ~bits
+///   -inf                  0xFFF0...0         0x000FFFFFFFFFFFFF
+///
+///   descending encoding = ~ascending, except NaN stays 0xFF..FF (last in
+///   the *query* direction either way). No non-NaN double can produce
+///   0xFF..FF in either direction (it would require a NaN bit pattern), so
+///   the NaN encoding never collides with a real key.
+
+/// The canonical encoding of a NaN key: sorts after every real key.
+inline constexpr uint64_t kNormalizedNaN = ~uint64_t{0};
+
+/// Order-preserving encoding of `key` for `direction`:
+/// NormalizeDoubleKey(a) < NormalizeDoubleKey(b) iff a sorts strictly
+/// before b in the query direction (with NaN last and -0.0 == +0.0).
+inline uint64_t NormalizeDoubleKey(double key, SortDirection direction) {
+  if (std::isnan(key)) return kNormalizedNaN;
+  // key == 0.0 is true for both zeros; writing +0.0 folds the sign away.
+  const uint64_t bits = std::bit_cast<uint64_t>(key == 0.0 ? 0.0 : key);
+  const uint64_t sign = uint64_t{1} << 63;
+  const uint64_t ascending = (bits & sign) ? ~bits : (bits | sign);
+  return direction == SortDirection::kAscending ? ascending : ~ascending;
+}
+
+/// The total-order, memcmp-comparable 16-byte encoding of a row's sort
+/// attributes: the normalized key word followed by the row id as the
+/// tiebreak word (ids ascend regardless of direction, preserving
+/// RowComparator's deterministic tie order). Stored as two host uint64s
+/// whose numeric order equals lexicographic order over the conceptual
+/// big-endian 16-byte string; ByteAt() exposes that byte view for
+/// offset-value coding.
+struct NormalizedKey {
+  uint64_t key_word = 0;
+  uint64_t id_word = 0;
+
+  static NormalizedKey Encode(double key, uint64_t id,
+                              SortDirection direction) {
+    return NormalizedKey{NormalizeDoubleKey(key, direction), id};
+  }
+
+  /// Byte `i` (0..15) of the big-endian byte string.
+  uint8_t ByteAt(size_t i) const {
+    const uint64_t word = i < 8 ? key_word : id_word;
+    return static_cast<uint8_t>(word >> (56 - 8 * (i & 7)));
+  }
+
+  /// Index (0..15) of the first byte where `*this` and `other` differ, or
+  /// 16 when they are identical.
+  size_t FirstDifferingByte(const NormalizedKey& other) const {
+    if (const uint64_t x = key_word ^ other.key_word; x != 0) {
+      return static_cast<size_t>(std::countl_zero(x)) / 8;
+    }
+    if (const uint64_t x = id_word ^ other.id_word; x != 0) {
+      return 8 + static_cast<size_t>(std::countl_zero(x)) / 8;
+    }
+    return 16;
+  }
+
+  friend bool operator==(const NormalizedKey& a, const NormalizedKey& b) {
+    return a.key_word == b.key_word && a.id_word == b.id_word;
+  }
+  friend bool operator!=(const NormalizedKey& a, const NormalizedKey& b) {
+    return !(a == b);
+  }
+  friend bool operator<(const NormalizedKey& a, const NormalizedKey& b) {
+    if (a.key_word != b.key_word) return a.key_word < b.key_word;
+    return a.id_word < b.id_word;
+  }
+  friend bool operator<=(const NormalizedKey& a, const NormalizedKey& b) {
+    return !(b < a);
+  }
+};
+
+/// --- Offset-value codes --------------------------------------------------
+///
+/// An offset-value code (Conner 1977; Do & Graefe 2022) summarizes a
+/// normalized key *relative to a base key it sorts at or after* (in a merge:
+/// the most recent output row). With offset = index of the first byte where
+/// the key differs from the base and value = the key's byte there:
+///
+///   code = ((16 - offset) << 8) | value        (0 when key == base)
+///
+/// For two keys coded against the SAME base, code order equals key order,
+/// and equal codes leave the order undecided — only then is a full key
+/// comparison needed, after which the LOSER (the later-sorting key) takes a
+/// new code relative to the winner (see MakeOvcAgainstBase applied to the
+/// winner). When codes differ no update is needed: the loser's code
+/// relative to its conqueror provably equals its code relative to the old
+/// base (Do & Graefe's theorem — the property that makes tournament trees
+/// and OVCs compose).
+using OffsetValueCode = uint32_t;
+
+/// Sorts after every real code: the "exhausted merge input" sentinel.
+inline constexpr OffsetValueCode kOvcExhausted = ~OffsetValueCode{0};
+
+inline OffsetValueCode MakeOvc(size_t offset, uint8_t value) {
+  return offset >= 16
+             ? 0
+             : static_cast<OffsetValueCode>((16 - offset) << 8) | value;
+}
+
+/// Code of `key` relative to `base`, requiring base <= key in the encoded
+/// order (in a merge every candidate sorts at or after the last output).
+inline OffsetValueCode MakeOvcAgainstBase(const NormalizedKey& key,
+                                          const NormalizedKey& base) {
+  const size_t offset = key.FirstDifferingByte(base);
+  return offset >= 16 ? 0 : MakeOvc(offset, key.ByteAt(offset));
+}
+
+/// Code of `key` relative to the virtual "sorts before everything" base all
+/// merge inputs start from: offset 0, value = the first key byte. Every
+/// initial code uses the same virtual base, so they are mutually
+/// comparable.
+inline OffsetValueCode MakeInitialOvc(const NormalizedKey& key) {
+  return MakeOvc(0, key.ByteAt(0));
+}
+
+/// Process-wide default for the merge path's offset-value-coding fast path.
+/// True unless the environment variable TOPK_OVC is set to "0" or "false"
+/// (the CI matrix runs the suite both ways); TopKOptions::use_ovc and the
+/// CLI --ovc flag override it per query.
+bool DefaultOvcEnabled();
+
+}  // namespace topk
+
+#endif  // TOPK_ROW_NORMALIZED_KEY_H_

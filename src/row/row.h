@@ -5,11 +5,9 @@
 #include <string>
 #include <utility>
 
-namespace topk {
+#include "row/normalized_key.h"
 
-/// Direction of the ORDER BY clause a top-k query sorts on. "Top k" means
-/// the first k rows in this direction (kAscending: the k smallest keys).
-enum class SortDirection { kAscending, kDescending };
+namespace topk {
 
 /// A row as seen by the top-k operator: a numeric sort key (the score/ORDER
 /// BY expression, already computed upstream per Sec 2 of the paper), a unique
@@ -27,18 +25,42 @@ struct Row {
   Row(double k, uint64_t i, std::string p)
       : key(k), id(i), payload(std::move(p)) {}
 
+  /// Allocator bookkeeping bytes charged per heap-allocated payload block
+  /// (malloc header/rounding).
+  static constexpr size_t kPayloadHeapOverheadBytes = 16;
+
   /// Bytes this row occupies in operator memory; used against the memory
-  /// budget. Counts the struct plus the payload heap allocation.
+  /// budget. Counts the struct plus, when the payload outgrew the string's
+  /// inline (SSO) buffer, its heap block: capacity, the terminating NUL the
+  /// allocation carries, and the allocator overhead. The SSO threshold is
+  /// probed from the implementation instead of guessed from
+  /// sizeof(std::string) — the old guess admitted heap-allocated payloads
+  /// of up to sizeof(std::string) bytes free of charge, so small-payload
+  /// workloads buffered more rows than memory_limit_bytes intended.
   size_t MemoryFootprint() const {
-    return sizeof(Row) + (payload.capacity() > sizeof(std::string)
-                              ? payload.capacity()
-                              : 0);
+    static const size_t sso_capacity = std::string().capacity();
+    const size_t heap =
+        payload.capacity() > sso_capacity
+            ? payload.capacity() + 1 + kPayloadHeapOverheadBytes
+            : 0;
+    return sizeof(Row) + heap;
   }
 
-  /// Bytes this row occupies when serialized to a run file.
+  /// Bytes this row occupies when serialized to a run file. The wire format
+  /// stores the payload length in 32 bits; payloads above the format limit
+  /// are rejected with InvalidArgument where rows enter an operator or a
+  /// run (see kMaxRowPayloadBytes in row/serialization.h) — never silently
+  /// truncated here.
   size_t SerializedSize() const {
     return sizeof(double) + sizeof(uint64_t) + sizeof(uint32_t) +
            payload.size();
+  }
+
+  /// The row's position in the query order, decided once: all comparisons
+  /// downstream (run generation, loser tree, cutoff probes) reduce to
+  /// integer comparisons on this encoding.
+  NormalizedKey normalized_key(SortDirection direction) const {
+    return NormalizedKey::Encode(key, id, direction);
   }
 
   bool operator==(const Row& other) const {
@@ -48,6 +70,14 @@ struct Row {
 
 /// Total order over rows for a given sort direction: by key in the query
 /// direction, ties broken by ascending row id so results are deterministic.
+///
+/// All comparisons delegate to the normalized-key encoding
+/// (row/normalized_key.h), which makes the order TOTAL for every double:
+/// NaN keys sort last in the query direction (a raw `<` on doubles makes
+/// NaN incomparable, violating strict weak ordering and corrupting
+/// quicksort/loser-tree invariants), and -0.0 is the same key as +0.0 (raw
+/// comparison treats them as equal but they serialize differently, so run
+/// order could disagree with resume-time verification).
 class RowComparator {
  public:
   explicit RowComparator(SortDirection direction = SortDirection::kAscending)
@@ -59,7 +89,9 @@ class RowComparator {
 
   /// True when `a` sorts strictly before `b` in the query order.
   bool Less(const Row& a, const Row& b) const {
-    if (a.key != b.key) return ascending_ ? a.key < b.key : a.key > b.key;
+    const uint64_t na = NormalizeDoubleKey(a.key, direction());
+    const uint64_t nb = NormalizeDoubleKey(b.key, direction());
+    if (na != nb) return na < nb;
     return a.id < b.id;
   }
 
@@ -67,7 +99,8 @@ class RowComparator {
 
   /// True when key `a` sorts strictly before key `b` (ignoring ties).
   bool KeyLess(double a, double b) const {
-    return ascending_ ? a < b : a > b;
+    return NormalizeDoubleKey(a, direction()) <
+           NormalizeDoubleKey(b, direction());
   }
 
   /// True when a row with key `key` lies strictly beyond the cutoff, i.e. it
@@ -75,7 +108,8 @@ class RowComparator {
   /// Rows whose key equals the cutoff are kept (the kth output row may share
   /// the cutoff key).
   bool KeyBeyond(double key, double cutoff) const {
-    return ascending_ ? key > cutoff : key < cutoff;
+    return NormalizeDoubleKey(key, direction()) >
+           NormalizeDoubleKey(cutoff, direction());
   }
 
  private:

@@ -21,6 +21,16 @@ bool ReadRaw(const char* data, size_t size, size_t* offset, T* v) {
 
 }  // namespace
 
+Status ValidateRowPayload(const Row& row) {
+  if (row.payload.size() > kMaxRowPayloadBytes) {
+    return Status::InvalidArgument(
+        "row payload of " + std::to_string(row.payload.size()) +
+        " bytes exceeds the format limit of " +
+        std::to_string(kMaxRowPayloadBytes) + " bytes");
+  }
+  return Status::OK();
+}
+
 void SerializeRow(const Row& row, std::string* out) {
   AppendRaw(row.key, out);
   AppendRaw(row.id, out);

@@ -27,8 +27,16 @@ inline constexpr size_t kRowHeaderBytes =
 
 /// Hard format limit on a row's payload. Enforced at write time
 /// (InvalidArgument) and at read time (Corruption) — a corrupt length
-/// field must not trigger a multi-gigabyte allocation.
+/// field must not trigger a multi-gigabyte allocation. The wire format's
+/// length field is 32 bits; this limit (far below 4 GiB) guarantees the
+/// narrowing cast in SerializeRow can never truncate.
 inline constexpr uint32_t kMaxRowPayloadBytes = 64u << 20;
+
+/// Rejects rows whose payload exceeds the wire-format limit. Called where
+/// rows enter an operator or a run file, so an oversized payload fails
+/// loudly with InvalidArgument at append time instead of silently
+/// truncating its length through the uint32_t cast at serialization time.
+Status ValidateRowPayload(const Row& row);
 
 }  // namespace topk
 

@@ -69,6 +69,7 @@ Result<std::vector<RunMeta>> ReduceRunsForFinalMerge(
     merge_options.stop_filter = options.filter;
     merge_options.refine_filter = options.filter;
     merge_options.prefetch_depth_cap = prefetch_depth_cap;
+    merge_options.use_ovc = options.use_ovc;
     MergeStats merge_stats;
     TOPK_ASSIGN_OR_RETURN(
         merge_stats,

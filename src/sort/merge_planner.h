@@ -37,6 +37,9 @@ struct MergePlannerOptions {
   /// WITH TIES queries: intermediate runs must keep key-ties of their
   /// limit-th row or the final merge could lose tied output rows.
   bool with_ties = false;
+  /// Offset-value coding on each intermediate step's loser tree (see
+  /// MergeOptions::use_ovc).
+  bool use_ovc = DefaultOvcEnabled();
 };
 
 struct MergePlanStats {

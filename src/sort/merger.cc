@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sort/loser_tree.h"
 
@@ -9,23 +10,52 @@ namespace topk {
 
 namespace {
 
-/// One merge input: a run reader with a one-row lookahead buffer.
+/// One merge input: a run reader with a one-row lookahead buffer, plus the
+/// row's normalized key and offset-value code (the OVC is relative to the
+/// most recent row this way surrendered to the output — see
+/// row/normalized_key.h for the coding rules).
 struct MergeWay {
   std::unique_ptr<RunReader> reader;
   Row current;
+  NormalizedKey norm;
+  OffsetValueCode ovc = kOvcExhausted;
   bool exhausted = false;
 
-  Status Advance(MergeStats* stats) {
+  Status Advance(MergeStats* stats, SortDirection direction) {
     bool eof = false;
     TOPK_RETURN_NOT_OK(reader->Next(&current, &eof));
     if (eof) {
       exhausted = true;
+      ovc = kOvcExhausted;
       // Leave the shared prefetch budget immediately: the freed slots are
       // re-apportioned to the surviving ways, whose lookahead windows may
       // grow mid-step instead of waiting for the merge to finish.
       reader->CancelPrefetch();
     } else {
       ++stats->rows_read;
+      // The row this one replaces was just surrendered to the output (it is
+      // the previous overall winner), so it is exactly the base the new
+      // code must be relative to.
+      const NormalizedKey base = norm;
+      norm = current.normalized_key(direction);
+      ovc = MakeOvcAgainstBase(norm, base);
+    }
+    return Status::OK();
+  }
+
+  /// First read of the run: the code is relative to the virtual
+  /// sorts-before-everything base all ways start from.
+  Status AdvanceFirst(MergeStats* stats, SortDirection direction) {
+    bool eof = false;
+    TOPK_RETURN_NOT_OK(reader->Next(&current, &eof));
+    if (eof) {
+      exhausted = true;
+      ovc = kOvcExhausted;
+      reader->CancelPrefetch();
+    } else {
+      ++stats->rows_read;
+      norm = current.normalized_key(direction);
+      ovc = MakeInitialOvc(norm);
     }
     return Status::OK();
   }
@@ -46,6 +76,25 @@ struct PrefetchCancelGuard {
   }
 };
 
+/// Tournament-comparison tallies, accumulated locally (the merge loop is
+/// far too hot for a relaxed atomic per comparison) and published to
+/// GlobalMetrics once per merge step.
+struct CompareCounts {
+  /// Full key comparisons performed (comparator or normalized-key bytes).
+  uint64_t full = 0;
+  /// Comparisons decided by the offset-value codes alone.
+  uint64_t ovc_hits = 0;
+
+  ~CompareCounts() {
+    static MetricsCounter* count =
+        GlobalMetrics().GetCounter("sort.compare.count");
+    static MetricsCounter* hits =
+        GlobalMetrics().GetCounter("sort.compare.ovc_hits");
+    count->Add(full);
+    hits->Add(ovc_hits);
+  }
+};
+
 }  // namespace
 
 Result<MergeStats> MergeRuns(SpillManager* spill,
@@ -59,6 +108,7 @@ Result<MergeStats> MergeRuns(SpillManager* spill,
     return stats;
   }
   TraceSpan span("merge.run", "sort", {TraceArg("ways", runs.size())});
+  const SortDirection direction = comparator.direction();
 
   if (!options.seek_bytes.empty() &&
       options.seek_bytes.size() != runs.size()) {
@@ -85,14 +135,51 @@ Result<MergeStats> MergeRuns(SpillManager* spill,
     if (!options.seek_bytes.empty() && options.seek_bytes[i] > 0) {
       TOPK_RETURN_NOT_OK(ways[i].reader->SkipToByte(options.seek_bytes[i]));
     }
-    TOPK_RETURN_NOT_OK(ways[i].Advance(&stats));
+    TOPK_RETURN_NOT_OK(ways[i].AdvanceFirst(&stats, direction));
   }
 
-  LoserTree tree(ways.size(), [&](size_t a, size_t b) {
-    if (ways[a].exhausted) return false;
-    if (ways[b].exhausted) return true;
-    return comparator.Less(ways[a].current, ways[b].current);
-  });
+  CompareCounts compares;
+  LoserTree::LessFn less;
+  if (options.use_ovc) {
+    // OVC fast path. Both contestants' codes are always relative to the
+    // same base (initially the virtual start key, later the previous
+    // overall winner — the loser tree preserves this, see
+    // row/normalized_key.h), so differing codes decide the comparison
+    // outright. Equal codes fall back to one normalized-key comparison,
+    // after which the loser's code is recomputed relative to the winner —
+    // the update that keeps every stored loser comparable on later
+    // replays. Exhausted ways carry the sentinel code and lose to every
+    // live way for free.
+    less = [&ways, &compares](size_t a, size_t b) {
+      MergeWay& wa = ways[a];
+      MergeWay& wb = ways[b];
+      if (wa.ovc != wb.ovc) {
+        ++compares.ovc_hits;
+        return wa.ovc < wb.ovc;
+      }
+      if (wa.exhausted) return false;  // both exhausted: order is moot
+      ++compares.full;
+      const size_t offset = wa.norm.FirstDifferingByte(wb.norm);
+      if (offset >= 16) return false;  // identical (key, id): keep stable
+      if (wa.norm.ByteAt(offset) < wb.norm.ByteAt(offset)) {
+        wb.ovc = MakeOvc(offset, wb.norm.ByteAt(offset));
+        return true;
+      }
+      wa.ovc = MakeOvc(offset, wa.norm.ByteAt(offset));
+      return false;
+    };
+  } else {
+    // Legacy path: every repair re-compares the full (key, id) pair through
+    // RowComparator. Kept for the CI equivalence matrix and as the A/B
+    // baseline; the ordering is identical, so output bytes are too.
+    less = [&ways, &compares, &comparator](size_t a, size_t b) {
+      if (ways[a].exhausted) return false;
+      if (ways[b].exhausted) return true;
+      ++compares.full;
+      return comparator.Less(ways[a].current, ways[b].current);
+    };
+  }
+  LoserTree tree(ways.size(), std::move(less));
   tree.Build();
 
   // Rows already skipped via seeks count toward the offset.
@@ -103,12 +190,15 @@ Result<MergeStats> MergeRuns(SpillManager* spill,
                               ? kMax
                               : residual_skip + options.limit;
   uint64_t produced = 0;  // skipped + emitted
+  uint64_t last_key_norm = 0;
   for (;;) {
     const size_t w = tree.winner();
     if (produced >= target) {
       // Limit reached; only key-ties of the last emitted row may follow.
+      // Tie detection runs on the normalized key word, so NaN and ±0.0
+      // boundary keys tie exactly as they order.
       if (!options.with_ties || stats.rows_emitted == 0 ||
-          ways[w].exhausted || ways[w].current.key != stats.last_key) {
+          ways[w].exhausted || ways[w].norm.key_word != last_key_norm) {
         break;
       }
     }
@@ -117,12 +207,13 @@ Result<MergeStats> MergeRuns(SpillManager* spill,
       break;
     }
     if (options.stop_filter != nullptr &&
-        options.stop_filter->Eliminate(ways[w].current)) {
+        options.stop_filter->EliminateNormalizedKey(ways[w].norm.key_word)) {
       // Every remaining row in every run sorts at or after this one.
       break;
     }
     Row row = std::move(ways[w].current);
-    TOPK_RETURN_NOT_OK(ways[w].Advance(&stats));
+    const uint64_t row_key_norm = ways[w].norm.key_word;
+    TOPK_RETURN_NOT_OK(ways[w].Advance(&stats, direction));
     tree.ReplayWinner();
 
     ++produced;
@@ -131,6 +222,7 @@ Result<MergeStats> MergeRuns(SpillManager* spill,
       continue;
     }
     stats.last_key = row.key;
+    last_key_norm = row_key_norm;
     ++stats.rows_emitted;
     if (options.refine_filter != nullptr &&
         stats.rows_emitted + stats.rows_skipped ==

@@ -56,6 +56,14 @@ struct MergeOptions {
   /// it computed at plan time. 1 pins the legacy fixed one-block
   /// lookahead.
   size_t prefetch_depth_cap = 0;
+
+  /// Offset-value coding on the loser tree (Do & Graefe): each way carries
+  /// its row's normalized key plus an offset-value code, so most tournament
+  /// repairs are a single integer compare and only equal codes fall back to
+  /// one key memcmp. Output is byte-identical either way; the off switch
+  /// exists for the CI equivalence matrix and A/B benchmarks
+  /// (sort.compare.count / sort.compare.ovc_hits quantify the win).
+  bool use_ovc = DefaultOvcEnabled();
 };
 
 struct MergeStats {

@@ -1,6 +1,7 @@
 #include <algorithm>
 
 #include "obs/trace.h"
+#include "row/serialization.h"
 #include "sort/run_generation.h"
 
 namespace topk {
@@ -11,6 +12,7 @@ QuicksortRunGenerator::QuicksortRunGenerator(
     : spill_(spill), comparator_(comparator), options_(options) {}
 
 Status QuicksortRunGenerator::Add(Row row) {
+  TOPK_RETURN_NOT_OK(ValidateRowPayload(row));
   const size_t cost = row.MemoryFootprint() + kPerRowOverheadBytes;
   if (buffered_bytes_ + cost > options_.memory_limit_bytes &&
       !buffer_.empty()) {
@@ -28,14 +30,30 @@ Status QuicksortRunGenerator::Add(Row row) {
 Status QuicksortRunGenerator::SortAndSpill() {
   TraceSpan span("rungen.sort_and_spill", "sort",
                  {TraceArg("rows", buffer_.size())});
+  // Sort (normalized key, buffer index) pairs instead of the rows
+  // themselves: ordering was decided once at encode time (NaN-total,
+  // -0.0 folded, direction baked in), every quicksort comparison is a
+  // two-word integer compare, and the variable-size payloads are never
+  // moved during the sort — only the 24-byte pairs are.
+  std::vector<std::pair<NormalizedKey, uint32_t>> order;
+  order.reserve(buffer_.size());
+  const SortDirection direction = comparator_.direction();
+  for (uint32_t i = 0; i < buffer_.size(); ++i) {
+    order.emplace_back(buffer_[i].normalized_key(direction), i);
+  }
   {
     TraceSpan sort_span("rungen.quicksort", "sort");
-    std::sort(buffer_.begin(), buffer_.end(), comparator_);
+    std::sort(order.begin(), order.end(),
+              [](const std::pair<NormalizedKey, uint32_t>& a,
+                 const std::pair<NormalizedKey, uint32_t>& b) {
+                return a.first < b.first;
+              });
   }
 
   std::unique_ptr<RunWriter> writer;
   uint64_t rows_in_run = 0;
-  for (Row& row : buffer_) {
+  for (const auto& [norm, index] : order) {
+    Row& row = buffer_[index];
     if (options_.observer != nullptr &&
         options_.observer->EliminateAtSpill(row)) {
       ++stats_.rows_eliminated_at_spill;

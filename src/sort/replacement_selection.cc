@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/trace.h"
+#include "row/serialization.h"
 
 namespace topk {
 
@@ -12,17 +13,19 @@ ReplacementSelectionRunGenerator::ReplacementSelectionRunGenerator(
     : spill_(spill),
       comparator_(comparator),
       options_(options),
-      heap_(EntryGreater{comparator}) {}
+      heap_(EntryGreater{}) {}
 
 Status ReplacementSelectionRunGenerator::Add(Row row) {
+  TOPK_RETURN_NOT_OK(ValidateRowPayload(row));
+  const NormalizedKey norm = row.normalized_key(comparator_.direction());
   uint64_t seq = current_seq_;
-  if (has_last_spilled_ && comparator_.Less(row, last_spilled_)) {
+  if (has_last_spilled_ && norm < last_spilled_norm_) {
     // Too small to extend the current run in sorted order: defer.
     seq = current_seq_ + 1;
   }
   const size_t cost = row.MemoryFootprint() + kPerRowOverheadBytes;
   buffered_bytes_ += cost;
-  heap_.push(Entry{seq, std::move(row)});
+  heap_.push(Entry{seq, norm, std::move(row)});
   ++stats_.rows_added;
   stats_.rows_in_memory = heap_.size();
   stats_.peak_memory_bytes =
@@ -62,7 +65,7 @@ Status ReplacementSelectionRunGenerator::SpillOne() {
   }
   ++stats_.rows_spilled;
   ++rows_in_physical_run_;
-  last_spilled_ = std::move(entry.row);
+  last_spilled_norm_ = entry.norm;
   has_last_spilled_ = true;
   return Status::OK();
 }

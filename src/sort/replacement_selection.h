@@ -41,15 +41,19 @@ class ReplacementSelectionRunGenerator : public RunGenerator {
  private:
   struct Entry {
     uint64_t run_seq;
+    /// The row's sort order, encoded once at Add time: every heap sift
+    /// compares two integers instead of re-running RowComparator, and a
+    /// NaN key takes its defined place instead of corrupting the heap
+    /// invariant.
+    NormalizedKey norm;
     Row row;
   };
 
-  /// Orders the selection heap: smallest (run_seq, row) on top.
+  /// Orders the selection heap: smallest (run_seq, normalized key) on top.
   struct EntryGreater {
-    RowComparator comparator;
     bool operator()(const Entry& a, const Entry& b) const {
       if (a.run_seq != b.run_seq) return a.run_seq > b.run_seq;
-      return comparator.Less(b.row, a.row);
+      return b.norm < a.norm;
     }
   };
 
@@ -69,7 +73,9 @@ class ReplacementSelectionRunGenerator : public RunGenerator {
 
   uint64_t current_seq_ = 0;
   bool has_last_spilled_ = false;
-  Row last_spilled_;
+  /// Normalized key of the last row written to the current logical run;
+  /// the can-this-row-extend-the-run test is one integer compare.
+  NormalizedKey last_spilled_norm_;
 
   std::unique_ptr<RunWriter> writer_;
   uint64_t rows_in_physical_run_ = 0;

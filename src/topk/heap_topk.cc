@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "row/serialization.h"
+
 namespace topk {
 
 namespace {
@@ -29,6 +31,7 @@ Status HeapTopK::Consume(Row row) {
     return Status::FailedPrecondition("Consume after Finish");
   }
   Stopwatch watch;
+  TOPK_RETURN_NOT_OK(ValidateRowPayload(row));
   ++stats_.rows_consumed;
   const size_t cost = row.MemoryFootprint() + kHeapPerRowOverhead;
   if (heap_.size() < options_.output_rows()) {

@@ -5,6 +5,7 @@
 #include "extensions/offset_skip.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "row/serialization.h"
 #include "sort/merge_planner.h"
 #include "sort/merger.h"
 #include "sort/replacement_selection.h"
@@ -206,6 +207,7 @@ Status HistogramTopK::ConsolidateSpillForQuota() {
   merge_options.with_ties = options_.with_ties;
   merge_options.stop_filter = filter_.get();
   merge_options.refine_filter = filter_.get();
+  merge_options.use_ovc = options_.use_ovc;
   MergeStats merge_stats;
   TOPK_ASSIGN_OR_RETURN(
       merge_stats, MergeRuns(spill_.get(), inputs, comparator_, merge_options,
@@ -248,6 +250,7 @@ Status HistogramTopK::Consume(Row row) {
         "a resumed operator accepts no input; its runs are already on disk");
   }
   Stopwatch watch;
+  TOPK_RETURN_NOT_OK(ValidateRowPayload(row));
   ++stats_.rows_consumed;
 
   if (generator_ != nullptr) {
@@ -400,6 +403,7 @@ Result<std::vector<Row>> HistogramTopK::Finish() {
     planner_options.intermediate_limit = options_.output_rows();
     planner_options.with_ties = options_.with_ties;
     planner_options.filter = filter_.get();
+    planner_options.use_ovc = options_.use_ovc;
     std::vector<RunMeta> final_runs;
     {
       TraceSpan plan_span("merge.reduce_runs", "topk",
@@ -414,6 +418,7 @@ Result<std::vector<Row>> HistogramTopK::Finish() {
     merge_options.limit = options_.k;
     merge_options.skip = options_.offset;
     merge_options.with_ties = options_.with_ties;
+    merge_options.use_ovc = options_.use_ovc;
     const RowSink collect = [&](Row&& row) {
       result.push_back(std::move(row));
       return Status::OK();

@@ -120,6 +120,7 @@ Status OptimizedExternalTopK::MaybeEarlyMerge() {
   MergeOptions merge_options;
   merge_options.limit = options_.output_rows();
   merge_options.with_ties = options_.with_ties;
+  merge_options.use_ovc = options_.use_ovc;
   MergeStats merge_stats;
   TOPK_ASSIGN_OR_RETURN(
       merge_stats, MergeRuns(spill_.get(), inputs, comparator_, merge_options,
@@ -226,6 +227,7 @@ Result<std::vector<Row>> OptimizedExternalTopK::Finish() {
   planner_options.policy = options_.merge_policy;
   planner_options.intermediate_limit = options_.output_rows();
   planner_options.with_ties = options_.with_ties;
+  planner_options.use_ovc = options_.use_ovc;
   MergePlanStats plan_stats;
   std::vector<RunMeta> final_runs;
   TOPK_ASSIGN_OR_RETURN(
@@ -237,6 +239,7 @@ Result<std::vector<Row>> OptimizedExternalTopK::Finish() {
   merge_options.limit = options_.k;
   merge_options.skip = options_.offset;
   merge_options.with_ties = options_.with_ties;
+  merge_options.use_ovc = options_.use_ovc;
   MergeStats merge_stats;
   TraceSpan merge_span("merge.final", "topk",
                        {TraceArg("runs", final_runs.size())});

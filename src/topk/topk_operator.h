@@ -75,6 +75,13 @@ struct TopKOptions {
 
   RunGenerationKind run_generation = RunGenerationKind::kReplacementSelection;
 
+  /// Offset-value coding on every merge step's loser tree (Do & Graefe;
+  /// see row/normalized_key.h): most tournament repairs become one integer
+  /// compare. Output is byte-identical with it on or off; the switch
+  /// exists for A/B benchmarks and the CI equivalence matrix. Defaults to
+  /// on unless the TOPK_OVC environment variable disables it process-wide.
+  bool use_ovc = DefaultOvcEnabled();
+
   /// Storage substrate; required by the external operators. Not owned.
   StorageEnv* env = nullptr;
   /// Directory for spill files; required by the external operators.

@@ -117,6 +117,7 @@ Result<std::vector<Row>> TraditionalExternalTopK::Finish() {
     MergePlannerOptions planner_options;
     planner_options.fan_in = options_.merge_fan_in;
     planner_options.policy = MergePolicy::kSmallestRunsFirst;
+    planner_options.use_ovc = options_.use_ovc;
     std::vector<RunMeta> final_runs;
     TOPK_ASSIGN_OR_RETURN(
         final_runs, ReduceRunsForFinalMerge(spill_.get(), comparator_,
@@ -127,6 +128,7 @@ Result<std::vector<Row>> TraditionalExternalTopK::Finish() {
     merge_options.limit = options_.k;
     merge_options.skip = options_.offset;
     merge_options.with_ties = options_.with_ties;
+    merge_options.use_ovc = options_.use_ovc;
     TraceSpan merge_span("merge.final", "topk",
                          {TraceArg("runs", final_runs.size())});
     TOPK_ASSIGN_OR_RETURN(merge_stats,

@@ -145,7 +145,7 @@ TEST(CutoffFilterTest, ProposeCutoffAdoptsOnlySharper) {
 
 TEST(CutoffFilterTest, ConsolidationReplacesQueueWithSingleBucket) {
   CutoffFilter::Options options = MakeOptions(1000);
-  options.memory_limit_bytes = 8 * sizeof(HistogramBucket);
+  options.memory_limit_bytes = 8 * CutoffFilter::BucketBytes();
   CutoffFilter filter(options);
   for (int i = 0; i < 100; ++i) {
     filter.InsertBucket({static_cast<double>(i), 1});
@@ -160,7 +160,7 @@ TEST(CutoffFilterTest, ConsolidationPreservesGuarantee) {
   // sharper than the true kth smallest of the spilled keys.
   CutoffFilter::Options options = MakeOptions(50, /*buckets=*/100,
                                               /*run_rows=*/100);
-  options.memory_limit_bytes = 4 * sizeof(HistogramBucket);
+  options.memory_limit_bytes = 4 * CutoffFilter::BucketBytes();
   CutoffFilter filter(options);
   Random rng(5);
   std::vector<double> spilled;
@@ -184,7 +184,7 @@ TEST(CutoffFilterTest, ConsolidationPreservesGuarantee) {
 
 TEST(CutoffFilterTest, AdaptiveConsolidationKeepsSharpBuckets) {
   CutoffFilter::Options options = MakeOptions(1000);
-  options.memory_limit_bytes = 8 * sizeof(HistogramBucket);
+  options.memory_limit_bytes = 8 * CutoffFilter::BucketBytes();
   options.consolidation = CutoffFilter::ConsolidationPolicy::kAdaptive;
   CutoffFilter filter(options);
   for (int i = 0; i < 100; ++i) {
@@ -203,7 +203,7 @@ TEST(CutoffFilterTest, AdaptiveConsolidationEnforcesBudgetUnderTinyLimits) {
   // or has been collapsed to a single bucket.
   for (size_t limit_buckets : {1u, 2u, 3u}) {
     CutoffFilter::Options options = MakeOptions(1000000);  // nothing pops
-    options.memory_limit_bytes = limit_buckets * sizeof(HistogramBucket);
+    options.memory_limit_bytes = limit_buckets * CutoffFilter::BucketBytes();
     options.consolidation = CutoffFilter::ConsolidationPolicy::kAdaptive;
     CutoffFilter filter(options);
     for (int i = 0; i < 500; ++i) {
@@ -227,7 +227,7 @@ TEST(CutoffFilterTest, AdaptiveKeepsSharpeningWhereFullFreezes) {
     options.k = 5000;
     options.target_buckets_per_run = 9;
     options.target_run_rows = 1000;
-    options.memory_limit_bytes = 16 * sizeof(HistogramBucket);
+    options.memory_limit_bytes = 16 * CutoffFilter::BucketBytes();
     options.consolidation = policy;
     CutoffFilter filter(options);
     std::vector<double> spilled;

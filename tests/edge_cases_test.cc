@@ -2,6 +2,9 @@
 /// offset at or past the input size, k = 1, single-row inputs, extreme
 /// payloads, and degenerate memory budgets.
 
+#include <cmath>
+#include <limits>
+
 #include <gtest/gtest.h>
 
 #include "common/random.h"
@@ -12,6 +15,7 @@ namespace topk {
 namespace {
 
 using testing_util::ExpectSameRows;
+using testing_util::ExpectSameRowsBitwise;
 using testing_util::MaterializeDataset;
 using testing_util::ReferenceTopK;
 using testing_util::RunOperator;
@@ -161,6 +165,40 @@ TEST_P(EdgeCasesTest, NegativeAndExtremeKeys) {
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   ExpectSameRows(ReferenceTopK(rows, 300, 0, SortDirection::kAscending),
                  *result);
+}
+
+TEST_P(EdgeCasesTest, NaNZeroAndInfinityKeys) {
+  // Regression for the comparator's strict-weak-ordering violation: NaN
+  // keys used to compare "not less" in both directions while the id
+  // tiebreak still distinguished rows, which is undefined behavior in
+  // std::sort and left NaN placement to chance. NaN now totally orders
+  // last in query direction; -0.0 and +0.0 are one key; infinities sort as
+  // the extreme reals. All of it must hold through every operator — run
+  // generation, spill, cutoff filter, and merge included.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  std::vector<Row> rows;
+  Random rng(21);
+  const double pool[] = {nan, -nan, inf, -inf, -0.0, 0.0, 1.0, -1.0};
+  for (int i = 0; i < 6000; ++i) {
+    const uint64_t pick = rng.NextUint64(10);
+    const double key = pick < 8 ? pool[pick] : rng.NextDouble() - 0.5;
+    rows.push_back(Row(key, i));
+  }
+  for (auto direction :
+       {SortDirection::kAscending, SortDirection::kDescending}) {
+    TopKOptions options = Options(400, 8 * 1024);
+    options.direction = direction;
+    auto result = Run(options, rows);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    ExpectSameRowsBitwise(ReferenceTopK(rows, 400, 0, direction), *result);
+  }
+  // A k large enough that the NaN tail enters the output.
+  TopKOptions options = Options(5900, 64 * 1024);
+  auto result = Run(options, rows);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ExpectSameRowsBitwise(
+      ReferenceTopK(rows, 5900, 0, SortDirection::kAscending), *result);
 }
 
 TEST_P(EdgeCasesTest, AlreadySortedInput) {

@@ -3,11 +3,15 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <bit>
+#include <cmath>
 #include <filesystem>
+#include <limits>
 
 #include <gtest/gtest.h>
 
 #include "common/random.h"
+#include "obs/metrics.h"
 
 namespace topk {
 namespace {
@@ -242,6 +246,77 @@ TEST_F(MergerTest, SinkErrorPropagates) {
   EXPECT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
 }
+
+/// Exact (bitwise) row equality: EXPECT_EQ on a double is useless for NaN
+/// keys, and "byte-identical output" is precisely the OVC contract.
+void ExpectBitIdentical(const std::vector<Row>& a, const std::vector<Row>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<uint64_t>(a[i].key),
+              std::bit_cast<uint64_t>(b[i].key))
+        << i;
+    EXPECT_EQ(a[i].id, b[i].id) << i;
+    EXPECT_EQ(a[i].payload, b[i].payload) << i;
+  }
+}
+
+class MergerOvcEquivalenceTest : public MergerTest,
+                                 public ::testing::WithParamInterface<size_t> {
+};
+
+TEST_P(MergerOvcEquivalenceTest, OvcOnAndOffAreByteIdentical) {
+  // Duplicate-heavy keys with every special value: the inputs where a
+  // wrong offset-value-code update would first show as a reordered (or
+  // nondeterministic) merge. The OVC fast path must be invisible in the
+  // output and visible in the comparison counters.
+  const size_t num_ways = GetParam();
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  const double pool[] = {0.0, -0.0, 1.0, 1.0, 1.0, 2.5, -2.5, nan, inf, -inf};
+  Random rng(900 + num_ways);
+  const RowComparator cmp;
+  for (size_t w = 0; w < num_ways; ++w) {
+    std::vector<double> keys;
+    const size_t n = 1 + rng.NextUint64(120);
+    for (size_t i = 0; i < n; ++i) {
+      keys.push_back(pool[rng.NextUint64(sizeof(pool) / sizeof(pool[0]))]);
+    }
+    // Run order = query order over *normalized* keys (plain double sort
+    // cannot place the NaNs).
+    std::sort(keys.begin(), keys.end(), [&](double a, double b) {
+      return cmp.KeyLess(a, b);
+    });
+    WriteRun(keys);
+  }
+
+  MetricsCounter* full = GlobalMetrics().GetCounter("sort.compare.count");
+  auto merge_with = [&](bool use_ovc, std::vector<Row>* out) {
+    MergeOptions options;
+    options.use_ovc = use_ovc;
+    auto stats = Merge(options, out);
+    ASSERT_TRUE(stats.ok());
+  };
+  std::vector<Row> legacy, ovc;
+  const uint64_t before_legacy = full->value();
+  merge_with(false, &legacy);
+  const uint64_t legacy_compares = full->value() - before_legacy;
+  merge_with(true, &ovc);
+  const uint64_t ovc_compares = full->value() - before_legacy - legacy_compares;
+
+  ExpectBitIdentical(ovc, legacy);
+  // Both streams must be totally ordered under the comparator.
+  for (size_t i = 0; i + 1 < ovc.size(); ++i) {
+    EXPECT_FALSE(cmp.Less(ovc[i + 1], ovc[i])) << i;
+  }
+  if (num_ways > 1) {
+    // The point of the machinery: most tournament repairs decide on the
+    // code alone, so full key comparisons must drop.
+    EXPECT_LT(ovc_compares, legacy_compares);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(WayCounts, MergerOvcEquivalenceTest,
+                         ::testing::Values(1, 3, 5, 7, 13));
 
 }  // namespace
 }  // namespace topk

@@ -1,0 +1,238 @@
+#include "row/normalized_key.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "sort/loser_tree.h"
+
+namespace topk {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Keys in ascending query order (NaN defined to sort last); every pair
+/// must encode order-preservingly in both directions.
+std::vector<double> OrderedSpecialKeys() {
+  return {-kInf,
+          std::numeric_limits<double>::lowest(),
+          -1.5,
+          -std::numeric_limits<double>::min(),
+          -std::numeric_limits<double>::denorm_min(),
+          0.0,
+          std::numeric_limits<double>::denorm_min(),
+          std::numeric_limits<double>::min(),
+          1.5,
+          std::numeric_limits<double>::max(),
+          kInf,
+          kNaN};
+}
+
+TEST(NormalizedKeyTest, EncodingPreservesOrderBothDirections) {
+  const std::vector<double> keys = OrderedSpecialKeys();
+  for (size_t i = 0; i < keys.size(); ++i) {
+    for (size_t j = i + 1; j < keys.size(); ++j) {
+      const uint64_t asc_i = NormalizeDoubleKey(keys[i], SortDirection::kAscending);
+      const uint64_t asc_j = NormalizeDoubleKey(keys[j], SortDirection::kAscending);
+      EXPECT_LT(asc_i, asc_j) << keys[i] << " vs " << keys[j];
+      if (std::isnan(keys[i]) || std::isnan(keys[j])) continue;
+      // Descending reverses the order of real keys; NaN stays last (below).
+      const uint64_t desc_i =
+          NormalizeDoubleKey(keys[i], SortDirection::kDescending);
+      const uint64_t desc_j =
+          NormalizeDoubleKey(keys[j], SortDirection::kDescending);
+      EXPECT_GT(desc_i, desc_j) << keys[i] << " vs " << keys[j];
+    }
+  }
+}
+
+TEST(NormalizedKeyTest, NaNIsLastInBothDirectionsAndNeverCollides) {
+  for (auto dir : {SortDirection::kAscending, SortDirection::kDescending}) {
+    EXPECT_EQ(NormalizeDoubleKey(kNaN, dir), kNormalizedNaN);
+    EXPECT_EQ(NormalizeDoubleKey(-kNaN, dir), kNormalizedNaN);
+    for (double key : OrderedSpecialKeys()) {
+      if (std::isnan(key)) continue;
+      EXPECT_LT(NormalizeDoubleKey(key, dir), kNormalizedNaN) << key;
+    }
+  }
+}
+
+TEST(NormalizedKeyTest, SignedZerosFoldToOneKey) {
+  for (auto dir : {SortDirection::kAscending, SortDirection::kDescending}) {
+    EXPECT_EQ(NormalizeDoubleKey(-0.0, dir), NormalizeDoubleKey(0.0, dir));
+  }
+}
+
+TEST(NormalizedKeyTest, RandomPairsMatchDoubleComparison) {
+  Random rng(99);
+  for (int i = 0; i < 200000; ++i) {
+    const double a = rng.NextDouble() * 2e3 - 1e3;
+    const double b = rng.NextDouble() * 2e3 - 1e3;
+    EXPECT_EQ(NormalizeDoubleKey(a, SortDirection::kAscending) <
+                  NormalizeDoubleKey(b, SortDirection::kAscending),
+              a < b);
+    EXPECT_EQ(NormalizeDoubleKey(a, SortDirection::kDescending) <
+                  NormalizeDoubleKey(b, SortDirection::kDescending),
+              a > b);
+  }
+}
+
+TEST(NormalizedKeyTest, IdBreaksTiesAscendingInBothDirections) {
+  for (auto dir : {SortDirection::kAscending, SortDirection::kDescending}) {
+    const NormalizedKey low = NormalizedKey::Encode(1.0, 3, dir);
+    const NormalizedKey high = NormalizedKey::Encode(1.0, 4, dir);
+    EXPECT_TRUE(low < high);
+    EXPECT_FALSE(high < low);
+    EXPECT_TRUE(low != high);
+    EXPECT_EQ(low, NormalizedKey::Encode(1.0, 3, dir));
+  }
+}
+
+TEST(NormalizedKeyTest, ByteViewIsBigEndianOverBothWords) {
+  NormalizedKey key;
+  key.key_word = 0x0102030405060708ULL;
+  key.id_word = 0x090A0B0C0D0E0F10ULL;
+  for (size_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(key.ByteAt(i), static_cast<uint8_t>(i + 1)) << i;
+  }
+}
+
+TEST(NormalizedKeyTest, FirstDifferingByteFindsEveryPosition) {
+  NormalizedKey base;
+  base.key_word = 0x1111111111111111ULL;
+  base.id_word = 0x2222222222222222ULL;
+  EXPECT_EQ(base.FirstDifferingByte(base), 16u);
+  for (size_t i = 0; i < 16; ++i) {
+    NormalizedKey other = base;
+    uint64_t& word = i < 8 ? other.key_word : other.id_word;
+    word ^= uint64_t{0xFF} << (56 - 8 * (i & 7));
+    EXPECT_EQ(base.FirstDifferingByte(other), i);
+    EXPECT_EQ(other.FirstDifferingByte(base), i);
+  }
+}
+
+TEST(OffsetValueCodeTest, CodeOrderEqualsKeyOrderAgainstSameBase) {
+  // Against a shared base, code order must equal key order for any pair of
+  // keys at or after the base; equal codes mean "undecided", never a wrong
+  // decision.
+  Random rng(7);
+  const SortDirection dir = SortDirection::kAscending;
+  for (int trial = 0; trial < 50000; ++trial) {
+    double keys[3] = {rng.NextDouble(), rng.NextDouble(), rng.NextDouble()};
+    std::sort(keys, keys + 3);
+    const NormalizedKey base = NormalizedKey::Encode(keys[0], 0, dir);
+    const NormalizedKey a = NormalizedKey::Encode(keys[1], 1, dir);
+    const NormalizedKey b = NormalizedKey::Encode(keys[2], 2, dir);
+    const OffsetValueCode code_a = MakeOvcAgainstBase(a, base);
+    const OffsetValueCode code_b = MakeOvcAgainstBase(b, base);
+    if (code_a < code_b) {
+      EXPECT_TRUE(a < b);
+    } else if (code_b < code_a) {
+      EXPECT_TRUE(b < a);
+    }
+  }
+}
+
+TEST(OffsetValueCodeTest, EqualKeyYieldsZeroCodeAndSentinelSortsLast) {
+  const NormalizedKey key = NormalizedKey::Encode(42.0, 7, SortDirection::kAscending);
+  EXPECT_EQ(MakeOvcAgainstBase(key, key), 0u);
+  // The largest real code is offset 0 with value 0xFF; the exhausted
+  // sentinel must sort after it.
+  EXPECT_LT(MakeOvc(0, 0xFF), kOvcExhausted);
+  EXPECT_LT(MakeInitialOvc(key), kOvcExhausted);
+}
+
+/// The merge path's OVC loser-tree logic, replicated over in-memory ways:
+/// the property test behind the Merger rewrite. Each way carries (norm,
+/// code); codes decide when they differ, a full byte compare breaks the
+/// tie and re-codes the loser against the winner (Do & Graefe's update
+/// rule). Exhausted ways carry the sentinel code.
+std::vector<uint64_t> MergeIdsWithOvcTree(
+    const std::vector<std::vector<NormalizedKey>>& ways) {
+  struct WayState {
+    NormalizedKey norm;
+    OffsetValueCode ovc = kOvcExhausted;
+    size_t pos = 0;
+    bool exhausted = true;
+  };
+  std::vector<WayState> state(ways.size());
+  for (size_t w = 0; w < ways.size(); ++w) {
+    if (ways[w].empty()) continue;
+    state[w] = WayState{ways[w][0], MakeInitialOvc(ways[w][0]), 0, false};
+  }
+  LoserTree tree(ways.size(), [&state](size_t a, size_t b) {
+    WayState& wa = state[a];
+    WayState& wb = state[b];
+    if (wa.ovc != wb.ovc) return wa.ovc < wb.ovc;
+    if (wa.exhausted) return false;
+    const size_t offset = wa.norm.FirstDifferingByte(wb.norm);
+    if (offset >= 16) return false;
+    if (wa.norm.ByteAt(offset) < wb.norm.ByteAt(offset)) {
+      wb.ovc = MakeOvc(offset, wb.norm.ByteAt(offset));
+      return true;
+    }
+    wa.ovc = MakeOvc(offset, wa.norm.ByteAt(offset));
+    return false;
+  });
+  tree.Build();
+  std::vector<uint64_t> out;
+  while (!state[tree.winner()].exhausted) {
+    const size_t w = tree.winner();
+    WayState& winner = state[w];
+    out.push_back(winner.norm.id_word);
+    const NormalizedKey base = winner.norm;
+    if (++winner.pos < ways[w].size()) {
+      winner.norm = ways[w][winner.pos];
+      winner.ovc = MakeOvcAgainstBase(winner.norm, base);
+    } else {
+      winner.exhausted = true;
+      winner.ovc = kOvcExhausted;
+    }
+    tree.ReplayWinner();
+  }
+  return out;
+}
+
+class OvcLoserTreeWaysTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(OvcLoserTreeWaysTest, OvcMergeMatchesStdSort) {
+  const size_t num_ways = GetParam();
+  Random rng(500 + num_ways);
+  const SortDirection dir = SortDirection::kAscending;
+  // Heavy duplication plus special values: exactly the inputs where a
+  // buggy code update would surface as a mis-ordered or unstable merge.
+  const double pool[] = {0.0, -0.0, 1.0, 1.0, 2.5, -2.5, kInf, -kInf, kNaN};
+  uint64_t next_id = 0;
+  std::vector<std::vector<NormalizedKey>> ways(num_ways);
+  std::vector<NormalizedKey> all;
+  for (auto& way : ways) {
+    const size_t len = rng.NextUint64(100);
+    for (size_t i = 0; i < len; ++i) {
+      const double key = pool[rng.NextUint64(sizeof(pool) / sizeof(pool[0]))];
+      way.push_back(NormalizedKey::Encode(key, next_id++, dir));
+    }
+    std::sort(way.begin(), way.end(),
+              [](const NormalizedKey& a, const NormalizedKey& b) {
+                return a < b;
+              });
+    all.insert(all.end(), way.begin(), way.end());
+  }
+  std::sort(all.begin(), all.end(),
+            [](const NormalizedKey& a, const NormalizedKey& b) {
+              return a < b;
+            });
+  std::vector<uint64_t> expected;
+  for (const NormalizedKey& key : all) expected.push_back(key.id_word);
+  EXPECT_EQ(MergeIdsWithOvcTree(ways), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(WayCounts, OvcLoserTreeWaysTest,
+                         ::testing::Values(1, 3, 5, 7, 13));
+
+}  // namespace
+}  // namespace topk

@@ -1,5 +1,10 @@
 #include "row/row.h"
 
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "row/serialization.h"
@@ -23,6 +28,28 @@ TEST(RowTest, MemoryFootprintGrowsWithPayload) {
   Row small(1.0, 1, "");
   Row big(1.0, 1, std::string(1000, 'x'));
   EXPECT_GT(big.MemoryFootprint(), small.MemoryFootprint() + 900);
+}
+
+TEST(RowTest, MemoryFootprintChargesEveryHeapPayload) {
+  // Regression: the footprint compared capacity against sizeof(std::string)
+  // instead of the SSO capacity, so heap-allocated payloads between the two
+  // (16..31 bytes under libstdc++) were charged zero heap bytes. Any
+  // payload the string did NOT inline must cost at least its capacity plus
+  // the allocator overhead.
+  const size_t sso_capacity = std::string().capacity();
+  const size_t base = Row(1.0, 1, "").MemoryFootprint();
+  EXPECT_EQ(base, sizeof(Row));
+  for (size_t size : {size_t{0}, size_t{8}, sso_capacity, sso_capacity + 1,
+                      size_t{24}, size_t{31}, size_t{64}, size_t{1000}}) {
+    Row row(1.0, 1, std::string(size, 'x'));
+    if (size <= sso_capacity) {
+      EXPECT_EQ(row.MemoryFootprint(), sizeof(Row)) << size;
+    } else {
+      EXPECT_GE(row.MemoryFootprint(),
+                sizeof(Row) + size + Row::kPayloadHeapOverheadBytes)
+          << size;
+    }
+  }
 }
 
 TEST(RowComparatorTest, AscendingByKey) {
@@ -141,6 +168,66 @@ TEST(SerializationTest, NegativeAndSpecialKeys) {
     size_t offset = 0;
     ASSERT_TRUE(DeserializeRow(buf.data(), buf.size(), &offset, &out).ok());
     EXPECT_EQ(out.key, key);
+  }
+}
+
+TEST(SerializationTest, PayloadLimitBoundary) {
+  // Regression: payloads above the 32-bit wire length used to truncate
+  // silently through the uint32_t cast; they must be rejected where rows
+  // enter the system instead.
+  Row at_limit(1.0, 1, std::string(kMaxRowPayloadBytes, 'x'));
+  EXPECT_TRUE(ValidateRowPayload(at_limit).ok());
+  Row beyond(1.0, 1, std::string(size_t{kMaxRowPayloadBytes} + 1, 'x'));
+  const Status status = ValidateRowPayload(beyond);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.ToString().find("payload"), std::string::npos);
+}
+
+TEST(RowComparatorTest, NaNSortsLastAndKeepsStrictWeakOrdering) {
+  // Regression: IEEE `<` on a NaN key is always false, which used to make
+  // the comparator report Less(a, b) == Less(b, a) == false for a NaN
+  // against any key while the id tiebreak still distinguished them —
+  // violating strict weak ordering (undefined behavior in std::sort) and
+  // leaving "where does NaN go" unanswered. NaN now sorts after every real
+  // key in query direction, in both directions.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  for (auto dir : {SortDirection::kAscending, SortDirection::kDescending}) {
+    RowComparator cmp(dir);
+    for (double key : {-inf, -1.0, -0.0, 0.0, 1.0, inf}) {
+      EXPECT_TRUE(cmp.Less(Row(key, 99), Row(nan, 0))) << key;
+      EXPECT_FALSE(cmp.Less(Row(nan, 0), Row(key, 99))) << key;
+      EXPECT_TRUE(cmp.KeyLess(key, nan)) << key;
+      EXPECT_TRUE(cmp.KeyBeyond(nan, key)) << key;
+    }
+    // NaN keys tie with each other; ids order them deterministically.
+    EXPECT_TRUE(cmp.Less(Row(nan, 1), Row(nan, 2)));
+    EXPECT_FALSE(cmp.Less(Row(nan, 2), Row(nan, 1)));
+    // -0.0 and +0.0 are the same key: only the id decides.
+    EXPECT_TRUE(cmp.Less(Row(-0.0, 1), Row(0.0, 2)));
+    EXPECT_TRUE(cmp.Less(Row(0.0, 1), Row(-0.0, 2)));
+  }
+
+  // std::sort on a NaN-contaminated vector must be safe and deterministic.
+  std::vector<Row> rows;
+  for (uint64_t id = 0; id < 200; ++id) {
+    const double keys[] = {nan, 1.0, -inf, inf, -0.0, 0.0, 2.0};
+    rows.push_back(Row(keys[id % 7], id));
+  }
+  std::sort(rows.begin(), rows.end(), RowComparator());
+  for (size_t i = 0; i + 1 < rows.size(); ++i) {
+    EXPECT_FALSE(RowComparator().Less(rows[i + 1], rows[i])) << i;
+  }
+  // All NaNs at the tail.
+  size_t first_nan = rows.size();
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (std::isnan(rows[i].key)) {
+      first_nan = i;
+      break;
+    }
+  }
+  for (size_t i = first_nan; i < rows.size(); ++i) {
+    EXPECT_TRUE(std::isnan(rows[i].key)) << i;
   }
 }
 

@@ -149,6 +149,31 @@ TEST_P(RunGenerationTest, VariableSizeRowsRespectByteBudget) {
   EXPECT_EQ(total, 2000u);
 }
 
+TEST_P(RunGenerationTest, BudgetEnforcedAcrossPayloadSizes) {
+  // Regression for the MemoryFootprint under-count: payloads that left SSO
+  // but stayed under sizeof(std::string) were charged zero heap bytes, so
+  // small-payload workloads quietly buffered more rows than the budget
+  // intended. The peak may exceed the limit by at most one row's footprint
+  // (the row is added before the spill loop runs), for every payload shape.
+  for (const size_t payload : {size_t{0}, size_t{8}, size_t{24}, size_t{64}}) {
+    RunGeneratorOptions options;
+    options.memory_limit_bytes = 16 * 1024;
+    auto gen = MakeGenerator(options);
+    const std::string fill(payload, 'p');
+    const size_t row_cost =
+        Row(0.0, 0, fill).MemoryFootprint() + kPerRowOverheadBytes;
+    Random rng(31 + payload);
+    for (int i = 0; i < 4000; ++i) {
+      ASSERT_TRUE(gen->Add(Row(rng.NextDouble(), i, fill)).ok());
+    }
+    const size_t peak = gen->stats().peak_memory_bytes;
+    ASSERT_TRUE(gen->Flush().ok());
+    EXPECT_LE(peak, options.memory_limit_bytes + row_cost)
+        << "payload " << payload;
+    EXPECT_EQ(gen->stats().rows_spilled, 4000u) << "payload " << payload;
+  }
+}
+
 /// Observer that eliminates keys above a fixed threshold and records calls.
 class ThresholdObserver : public SpillObserver {
  public:

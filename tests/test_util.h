@@ -4,6 +4,8 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <bit>
+#include <cstdint>
 #include <filesystem>
 #include <string>
 #include <vector>
@@ -102,6 +104,20 @@ inline void ExpectSameRows(const std::vector<Row>& expected,
   ASSERT_EQ(expected.size(), actual.size());
   for (size_t i = 0; i < expected.size(); ++i) {
     ASSERT_EQ(expected[i].key, actual[i].key) << "row " << i;
+    ASSERT_EQ(expected[i].id, actual[i].id) << "row " << i;
+    ASSERT_EQ(expected[i].payload, actual[i].payload) << "row " << i;
+  }
+}
+
+/// Like ExpectSameRows, but compares keys by bit pattern: ASSERT_EQ on a
+/// double says NaN != NaN, so NaN-bearing expectations need this variant.
+inline void ExpectSameRowsBitwise(const std::vector<Row>& expected,
+                                  const std::vector<Row>& actual) {
+  ASSERT_EQ(expected.size(), actual.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    ASSERT_EQ(std::bit_cast<uint64_t>(expected[i].key),
+              std::bit_cast<uint64_t>(actual[i].key))
+        << "row " << i;
     ASSERT_EQ(expected[i].id, actual[i].id) << "row " << i;
     ASSERT_EQ(expected[i].payload, actual[i].payload) << "row " << i;
   }

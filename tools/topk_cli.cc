@@ -17,6 +17,9 @@
 ///   --buckets     histogram buckets per run (50)
 ///   --direction   asc | desc (asc)
 ///   --fan-in      merge fan-in (64)
+///   --ovc         offset-value coding on the merge loser trees; output is
+///                 byte-identical either way, the switch exists for A/B
+///                 comparisons (true, or the TOPK_OVC env default)
 ///   --early-merge optimized baseline: enable early merge (true)
 ///   --io-threads  background I/O pipeline threads, 0 = synchronous (2)
 ///   --prefetch    read ahead of the merge cursor (true)
@@ -135,6 +138,7 @@ int main(int argc, char** argv) {
   double hedge_multiplier = 3.0, spill_quota_mb = 0;
   bool early_merge = true, verify = false, prefetch = true, progress = false;
   bool suspend_before_merge = false, hedge = false, storage_breaker = false;
+  bool use_ovc = DefaultOvcEnabled();
   {
     auto status = [&]() -> Status {
       TOPK_ASSIGN_OR_RETURN(n, flags.GetInt("n", 1000000));
@@ -148,6 +152,7 @@ int main(int argc, char** argv) {
       TOPK_ASSIGN_OR_RETURN(shape, flags.GetDouble("shape", 1.25));
       TOPK_ASSIGN_OR_RETURN(early_merge,
                             flags.GetBool("early-merge", true));
+      TOPK_ASSIGN_OR_RETURN(use_ovc, flags.GetBool("ovc", use_ovc));
       TOPK_ASSIGN_OR_RETURN(io_threads, flags.GetInt("io-threads", 2));
       if (io_threads < 0 || io_threads > 64) {
         return Status::InvalidArgument("--io-threads must be in [0, 64]");
@@ -269,6 +274,7 @@ int main(int argc, char** argv) {
   options.histogram_buckets_per_run = static_cast<uint64_t>(buckets);
   options.merge_fan_in = static_cast<size_t>(fan_in);
   options.enable_early_merge = early_merge;
+  options.use_ovc = use_ovc;
   options.io_background_threads = static_cast<size_t>(io_threads);
   options.enable_io_prefetch = prefetch;
   options.prefetch_memory_budget =
