@@ -77,7 +77,10 @@ inline const char* TraceOutPath() {
 }
 
 /// TOPK_STATS_JSONL=FILE: one unified stats JSON document (operator stats +
-/// storage traffic + metrics registry) appended per measured execution.
+/// storage traffic + per-execution metrics delta) appended per measured
+/// execution. The metrics section is the delta of the global registry over
+/// the measured run, so back-to-back benches in one process don't bleed
+/// counters into each other's documents.
 inline const char* StatsJsonlPath() {
   static const char* path = std::getenv("TOPK_STATS_JSONL");
   return path;
@@ -91,6 +94,10 @@ inline RunResult MeasureTopK(TopKAlgorithm algorithm,
                              const DatasetSpec& spec) {
   if (TraceOutPath() != nullptr) {
     GlobalTracer().Start();
+  }
+  RegistrySnapshot baseline;
+  if (StatsJsonlPath() != nullptr) {
+    baseline = GlobalMetrics().TakeSnapshot();
   }
   auto op = MakeTopKOperator(algorithm, options);
   TOPK_CHECK(op.ok()) << op.status().ToString();
@@ -123,7 +130,7 @@ inline RunResult MeasureTopK(TopKAlgorithm algorithm,
     if (options.env != nullptr) {
       exported.io = options.env->stats()->snapshot();
     }
-    exported.registry = &GlobalMetrics();
+    exported.metrics = GlobalMetrics().TakeSnapshot().DeltaSince(baseline);
     std::FILE* file = std::fopen(StatsJsonlPath(), "a");
     TOPK_CHECK(file != nullptr) << "cannot open " << StatsJsonlPath();
     const std::string line = FormatStatsJson(exported);

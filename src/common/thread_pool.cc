@@ -1,6 +1,10 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "obs/obs_context.h"
 
 namespace topk {
 
@@ -24,6 +28,18 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Schedule(std::function<void()> task) {
+  // Propagate the scheduling thread's observability context: background
+  // spill flushes and prefetches then attribute their metrics, traces, and
+  // phase time to the query that asked for them (under its timeline's
+  // background tree) instead of vanishing into the global namespace. The
+  // shared_ptr capture keeps the context alive for tasks that outlast the
+  // query's foreground.
+  if (std::shared_ptr<ObsContext> obs = CurrentObsContextShared()) {
+    task = [obs = std::move(obs), inner = std::move(task)] {
+      ObsScope scope(obs, /*background=*/true);
+      inner();
+    };
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     queue_.push_back(std::move(task));

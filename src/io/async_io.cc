@@ -7,6 +7,7 @@
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "obs/metrics.h"
+#include "obs/obs_context.h"
 #include "obs/trace.h"
 
 namespace topk {
@@ -25,64 +26,56 @@ double UpdateEwma(double ewma, double sample) {
   return ewma == 0.0 ? sample : kEwmaAlpha * sample + (1.0 - kEwmaAlpha) * ewma;
 }
 
-// Pipeline-wide metrics; handles resolved once, recording is lock-free.
-MetricsCounter& FlushBlocksCounter() {
-  static MetricsCounter* counter =
-      GlobalMetrics().GetCounter("io.flush.blocks");
-  return *counter;
+// Pipeline-wide metrics; the global handle is resolved once, and each
+// event also lands in the current query's scoped registry when one is
+// installed (ObsCounter dual recording).
+ObsCounter& FlushBlocksCounter() {
+  static ObsCounter counter("io.flush.blocks");
+  return counter;
 }
-LatencyHistogram& FlushBlockHistogram() {
-  static LatencyHistogram* histogram =
-      GlobalMetrics().GetHistogram("io.flush.block_nanos");
-  return *histogram;
+ObsHistogram& FlushBlockHistogram() {
+  static ObsHistogram histogram("io.flush.block_nanos");
+  return histogram;
 }
-MetricsCounter& PrefetchBlocksCounter() {
-  static MetricsCounter* counter =
-      GlobalMetrics().GetCounter("io.prefetch.blocks");
-  return *counter;
+ObsCounter& PrefetchBlocksCounter() {
+  static ObsCounter counter("io.prefetch.blocks");
+  return counter;
 }
-LatencyHistogram& PrefetchBlockHistogram() {
-  static LatencyHistogram* histogram =
-      GlobalMetrics().GetHistogram("io.prefetch.block_nanos");
-  return *histogram;
+ObsHistogram& PrefetchBlockHistogram() {
+  static ObsHistogram histogram("io.prefetch.block_nanos");
+  return histogram;
 }
-MetricsCounter& PrefetchUnconsumedCounter() {
-  static MetricsCounter* counter =
-      GlobalMetrics().GetCounter("io.prefetch.blocks_unconsumed");
-  return *counter;
+ObsCounter& PrefetchUnconsumedCounter() {
+  static ObsCounter counter("io.prefetch.blocks_unconsumed");
+  return counter;
 }
-MetricsCounter& PrefetchCancelledCounter() {
-  static MetricsCounter* counter =
-      GlobalMetrics().GetCounter("io.prefetch.blocks_cancelled");
-  return *counter;
+ObsCounter& PrefetchCancelledCounter() {
+  static ObsCounter counter("io.prefetch.blocks_cancelled");
+  return counter;
 }
-MetricsGauge& PrefetchDepthGauge() {
-  static MetricsGauge* gauge = GlobalMetrics().GetGauge("io.prefetch.depth");
-  return *gauge;
+ObsGauge& PrefetchDepthGauge() {
+  static ObsGauge gauge("io.prefetch.depth");
+  return gauge;
 }
-LatencyHistogram& PrefetchDepthHistogram() {
-  static LatencyHistogram* histogram =
-      GlobalMetrics().GetHistogram("io.prefetch.depth");
-  return *histogram;
+ObsHistogram& PrefetchDepthHistogram() {
+  static ObsHistogram histogram("io.prefetch.depth");
+  return histogram;
 }
-MetricsCounter& HedgeIssuedCounter() {
-  static MetricsCounter* counter =
-      GlobalMetrics().GetCounter("io.hedge.issued");
-  return *counter;
+ObsCounter& HedgeIssuedCounter() {
+  static ObsCounter counter("io.hedge.issued");
+  return counter;
 }
-MetricsCounter& HedgeWinsCounter() {
-  static MetricsCounter* counter = GlobalMetrics().GetCounter("io.hedge.wins");
-  return *counter;
+ObsCounter& HedgeWinsCounter() {
+  static ObsCounter counter("io.hedge.wins");
+  return counter;
 }
-MetricsCounter& HedgeWastedCounter() {
-  static MetricsCounter* counter =
-      GlobalMetrics().GetCounter("io.hedge.wasted");
-  return *counter;
+ObsCounter& HedgeWastedCounter() {
+  static ObsCounter counter("io.hedge.wasted");
+  return counter;
 }
-MetricsCounter& ReadDeadlineCounter() {
-  static MetricsCounter* counter =
-      GlobalMetrics().GetCounter("io.prefetch.deadline_exceeded");
-  return *counter;
+ObsCounter& ReadDeadlineCounter() {
+  static ObsCounter counter("io.prefetch.deadline_exceeded");
+  return counter;
 }
 
 }  // namespace
@@ -149,7 +142,12 @@ DoubleBufferedWriter::~DoubleBufferedWriter() {
 
 Status DoubleBufferedWriter::WaitForInflight() {
   std::unique_lock<std::mutex> lock(mu_);
+  if (!inflight_) return latched_;
+  // Flush backpressure: the producer outran the background writer. Charge
+  // the stall to the current phase as I/O wait.
+  Stopwatch wait_watch;
   cv_.wait(lock, [this] { return !inflight_; });
+  ObsRecordIoWait(wait_watch.ElapsedNanos());
   return latched_;
 }
 
@@ -170,6 +168,7 @@ Status DoubleBufferedWriter::Append(std::string_view data) {
     inflight_ = true;
   }
   pool_->Schedule([this] {
+    PhaseScope phase("io.flush");
     TraceSpan span("spill.flush_block", "io.bg");
     if (span.active()) {
       span.AddArg(TraceArg("bytes", writing_.size()));
@@ -407,6 +406,7 @@ void PrefetchingBlockReader::TopUpLocked() {
 void PrefetchingBlockReader::FetchStep(std::shared_ptr<Handle> handle,
                                        uint64_t offset, uint64_t skip,
                                        bool is_hedge) {
+  PhaseScope phase("io.prefetch");
   FetchedBlock block;
   block.data.resize(block_bytes_);
   Status status;
@@ -561,12 +561,16 @@ Status PrefetchingBlockReader::Read(size_t n, char* scratch,
         ready_size_ = 0;
         ready_pos_ = 0;
         DeregisterLocked();  // fully drained: never grows again
+        ObsRecordIoWait(wait_watch.ElapsedNanos());
         return Status::OK();  // clean EOF
       }
       if (inflight_ == 0) {
         // Every claim has completed. A missing cursor block now means its
         // fetch failed (ring blocks before the error were served first).
-        if (!latched_.ok()) return latched_;
+        if (!latched_.ok()) {
+          ObsRecordIoWait(wait_watch.ElapsedNanos());
+          return latched_;
+        }
         // Demand fetch: a Skip may have drained everything, or the
         // deferral kept the pipeline idle after the first block. Allowed
         // even after CancelPrefetch — a cancelled reader still serves its
@@ -603,6 +607,7 @@ Status PrefetchingBlockReader::Read(size_t n, char* scratch,
               "deadline exceeded waiting for block at offset " +
               std::to_string(consume_offset_));
           if (latched_.ok()) latched_ = deadline;
+          ObsRecordIoWait(wait_watch.ElapsedNanos());
           return deadline;
         }
         wait_nanos =
@@ -621,6 +626,7 @@ Status PrefetchingBlockReader::Read(size_t n, char* scratch,
         // on the next iteration.
       }
     }
+    ObsRecordIoWait(wait_watch.ElapsedNanos());
     PromoteLocked();
   }
   const size_t take = std::min(n, ready_size_ - ready_pos_);

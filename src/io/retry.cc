@@ -7,41 +7,36 @@
 
 #include "common/stopwatch.h"
 #include "obs/metrics.h"
+#include "obs/obs_context.h"
 #include "obs/trace.h"
 
 namespace topk {
 
 namespace {
 
-MetricsCounter& RetryAttemptsCounter() {
-  static MetricsCounter* counter =
-      GlobalMetrics().GetCounter("io.retry.attempts");
-  return *counter;
+ObsCounter& RetryAttemptsCounter() {
+  static ObsCounter counter("io.retry.attempts");
+  return counter;
 }
-MetricsCounter& RetryExhaustedCounter() {
-  static MetricsCounter* counter =
-      GlobalMetrics().GetCounter("io.retry.exhausted");
-  return *counter;
+ObsCounter& RetryExhaustedCounter() {
+  static ObsCounter counter("io.retry.exhausted");
+  return counter;
 }
-MetricsCounter& RetryDeadlineCounter() {
-  static MetricsCounter* counter =
-      GlobalMetrics().GetCounter("io.retry.deadline_exceeded");
-  return *counter;
+ObsCounter& RetryDeadlineCounter() {
+  static ObsCounter counter("io.retry.deadline_exceeded");
+  return counter;
 }
-MetricsCounter& BudgetWithdrawnCounter() {
-  static MetricsCounter* counter =
-      GlobalMetrics().GetCounter("io.retry.budget_withdrawn");
-  return *counter;
+ObsCounter& BudgetWithdrawnCounter() {
+  static ObsCounter counter("io.retry.budget_withdrawn");
+  return counter;
 }
-MetricsCounter& BudgetExhaustedCounter() {
-  static MetricsCounter* counter =
-      GlobalMetrics().GetCounter("io.retry.budget_exhausted");
-  return *counter;
+ObsCounter& BudgetExhaustedCounter() {
+  static ObsCounter counter("io.retry.budget_exhausted");
+  return counter;
 }
-LatencyHistogram& RetryBackoffHistogram() {
-  static LatencyHistogram* histogram =
-      GlobalMetrics().GetHistogram("io.retry.backoff_nanos");
-  return *histogram;
+ObsHistogram& RetryBackoffHistogram() {
+  static ObsHistogram histogram("io.retry.backoff_nanos");
+  return histogram;
 }
 
 Status WithAttempts(const Status& status, const std::string& op_name,

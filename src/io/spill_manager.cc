@@ -8,6 +8,7 @@
 #include "common/random.h"
 #include "io/manifest.h"
 #include "obs/metrics.h"
+#include "obs/obs_context.h"
 #include "obs/trace.h"
 #include "row/serialization.h"
 
@@ -15,15 +16,13 @@ namespace topk {
 
 namespace {
 
-MetricsCounter& RunsRestoredCounter() {
-  static MetricsCounter* counter =
-      GlobalMetrics().GetCounter("resume.runs_restored");
-  return *counter;
+ObsCounter& RunsRestoredCounter() {
+  static ObsCounter counter("resume.runs_restored");
+  return counter;
 }
-MetricsCounter& RunsQuarantinedCounter() {
-  static MetricsCounter* counter =
-      GlobalMetrics().GetCounter("resume.runs_quarantined");
-  return *counter;
+ObsCounter& RunsQuarantinedCounter() {
+  static ObsCounter counter("resume.runs_quarantined");
+  return counter;
 }
 
 }  // namespace
@@ -216,6 +215,12 @@ Status SpillManager::AddRun(RunMeta meta) {
     total_bytes_spilled_ += meta.bytes;
     ++total_runs_created_;
     runs_.push_back(std::move(meta));
+    // Spill high-water mark for the profile report: bytes of registered
+    // runs simultaneously on disk (not the lifetime total_bytes_spilled_,
+    // which keeps counting runs the merges already consumed and deleted).
+    uint64_t on_disk = 0;
+    for (const RunMeta& run : runs_) on_disk += run.bytes;
+    ObsNoteSpillBytes(on_disk);
   }
   // Outside mu_: CheckpointManifest snapshots the registry itself. Errors
   // are latched there; registration is not undone by a failed checkpoint.

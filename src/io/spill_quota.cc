@@ -3,20 +3,19 @@
 #include <algorithm>
 
 #include "obs/metrics.h"
+#include "obs/obs_context.h"
 
 namespace topk {
 
 namespace {
 
-MetricsCounter& QuotaRejectedCounter() {
-  static MetricsCounter* counter =
-      GlobalMetrics().GetCounter("spill.quota_rejections");
-  return *counter;
+ObsCounter& QuotaRejectedCounter() {
+  static ObsCounter counter("spill.quota_rejections");
+  return counter;
 }
-MetricsGauge& QuotaChargedGauge() {
-  static MetricsGauge* gauge =
-      GlobalMetrics().GetGauge("spill.quota_charged_bytes");
-  return *gauge;
+ObsGauge& QuotaChargedGauge() {
+  static ObsGauge gauge("spill.quota_charged_bytes");
+  return gauge;
 }
 
 }  // namespace

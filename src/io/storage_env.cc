@@ -10,6 +10,7 @@
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "obs/metrics.h"
+#include "obs/obs_context.h"
 
 namespace topk {
 
@@ -17,38 +18,32 @@ namespace {
 
 // Per-call storage latency distributions (p50/p95/p99 in the metrics
 // export). Recorded per block, not per row — cheap relative to the I/O.
-LatencyHistogram& WriteLatencyHistogram() {
-  static LatencyHistogram* histogram =
-      GlobalMetrics().GetHistogram("storage.write_nanos");
-  return *histogram;
+ObsHistogram& WriteLatencyHistogram() {
+  static ObsHistogram histogram("storage.write_nanos");
+  return histogram;
 }
-LatencyHistogram& ReadLatencyHistogram() {
-  static LatencyHistogram* histogram =
-      GlobalMetrics().GetHistogram("storage.read_nanos");
-  return *histogram;
+ObsHistogram& ReadLatencyHistogram() {
+  static ObsHistogram histogram("storage.read_nanos");
+  return histogram;
 }
 
 // Injected-fault counters, by kind. Exported so a test (or an operator
 // dashboard) can confirm the profile actually fired.
-MetricsCounter& TransientFaultCounter() {
-  static MetricsCounter* counter =
-      GlobalMetrics().GetCounter("storage.fault.transient");
-  return *counter;
+ObsCounter& TransientFaultCounter() {
+  static ObsCounter counter("storage.fault.transient");
+  return counter;
 }
-MetricsCounter& LatencySpikeCounter() {
-  static MetricsCounter* counter =
-      GlobalMetrics().GetCounter("storage.fault.latency_spike");
-  return *counter;
+ObsCounter& LatencySpikeCounter() {
+  static ObsCounter counter("storage.fault.latency_spike");
+  return counter;
 }
-MetricsCounter& TornWriteCounter() {
-  static MetricsCounter* counter =
-      GlobalMetrics().GetCounter("storage.fault.torn_write");
-  return *counter;
+ObsCounter& TornWriteCounter() {
+  static ObsCounter counter("storage.fault.torn_write");
+  return counter;
 }
-MetricsCounter& BitFlipCounter() {
-  static MetricsCounter* counter =
-      GlobalMetrics().GetCounter("storage.fault.bit_flip");
-  return *counter;
+ObsCounter& BitFlipCounter() {
+  static ObsCounter counter("storage.fault.bit_flip");
+  return counter;
 }
 
 void MaybeSleep(int64_t nanos) {
@@ -288,6 +283,7 @@ class LocalWritableFile : public WritableFile {
     const int64_t nanos = watch.ElapsedNanos();
     env_->stats()->RecordWrite(data.size(), nanos);
     WriteLatencyHistogram().Record(nanos);
+    ObsRecordStorageWrite(data.size(), nanos);
     return Status::OK();
   }
 
@@ -393,6 +389,7 @@ class LocalSequentialFile : public SequentialFile {
     const int64_t nanos = watch.ElapsedNanos();
     env_->stats()->RecordRead(got, nanos);
     ReadLatencyHistogram().Record(nanos);
+    ObsRecordStorageRead(got, nanos);
     return Status::OK();
   }
 

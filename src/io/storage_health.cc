@@ -3,30 +3,28 @@
 #include <algorithm>
 
 #include "obs/metrics.h"
+#include "obs/obs_context.h"
 #include "obs/trace.h"
 
 namespace topk {
 
 namespace {
 
-MetricsGauge& HealthStateGauge() {
-  static MetricsGauge* gauge = GlobalMetrics().GetGauge("io.health.state");
-  return *gauge;
+ObsGauge& HealthStateGauge() {
+  static ObsGauge gauge("io.health.state");
+  return gauge;
 }
-MetricsCounter& HealthOpenedCounter() {
-  static MetricsCounter* counter =
-      GlobalMetrics().GetCounter("io.health.opened");
-  return *counter;
+ObsCounter& HealthOpenedCounter() {
+  static ObsCounter counter("io.health.opened");
+  return counter;
 }
-MetricsCounter& HealthFastFailCounter() {
-  static MetricsCounter* counter =
-      GlobalMetrics().GetCounter("io.health.fast_fail");
-  return *counter;
+ObsCounter& HealthFastFailCounter() {
+  static ObsCounter counter("io.health.fast_fail");
+  return counter;
 }
-MetricsCounter& HealthProbesCounter() {
-  static MetricsCounter* counter =
-      GlobalMetrics().GetCounter("io.health.probes");
-  return *counter;
+ObsCounter& HealthProbesCounter() {
+  static ObsCounter counter("io.health.probes");
+  return counter;
 }
 
 bool IsHealthFailure(const Status& status) {

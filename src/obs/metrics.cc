@@ -104,27 +104,68 @@ LatencyHistogram* MetricsRegistry::GetHistogram(std::string_view name) {
   return it->second.get();
 }
 
-void MetricsRegistry::WriteJson(JsonWriter* writer) const {
+RegistrySnapshot MetricsRegistry::TakeSnapshot() const {
+  RegistrySnapshot snap;
   std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.emplace(name, counter->value());
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.emplace(name, gauge->value());
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    snap.histograms.emplace(name, histogram->snapshot());
+  }
+  return snap;
+}
+
+RegistrySnapshot RegistrySnapshot::DeltaSince(
+    const RegistrySnapshot& baseline) const {
+  RegistrySnapshot delta = *this;
+  for (auto& [name, value] : delta.counters) {
+    auto it = baseline.counters.find(name);
+    if (it == baseline.counters.end()) continue;
+    value = value >= it->second ? value - it->second : 0;
+  }
+  for (auto& [name, snap] : delta.histograms) {
+    auto it = baseline.histograms.find(name);
+    if (it == baseline.histograms.end()) continue;
+    const LatencyHistogram::Snapshot& base = it->second;
+    snap.count = snap.count >= base.count ? snap.count - base.count : 0;
+    snap.sum_nanos =
+        snap.sum_nanos >= base.sum_nanos ? snap.sum_nanos - base.sum_nanos : 0;
+    for (size_t i = 0; i < LatencyHistogram::kBuckets; ++i) {
+      snap.buckets[i] = snap.buckets[i] >= base.buckets[i]
+                            ? snap.buckets[i] - base.buckets[i]
+                            : 0;
+    }
+    if (snap.count == 0) {
+      snap.min_nanos = 0;
+      snap.max_nanos = 0;
+    }
+  }
+  return delta;
+}
+
+void RegistrySnapshot::WriteJson(JsonWriter* writer) const {
   writer->BeginObject();
   writer->Key("counters");
   writer->BeginObject();
-  for (const auto& [name, counter] : counters_) {
+  for (const auto& [name, value] : counters) {
     writer->Key(name);
-    writer->Number(counter->value());
+    writer->Number(value);
   }
   writer->EndObject();
   writer->Key("gauges");
   writer->BeginObject();
-  for (const auto& [name, gauge] : gauges_) {
+  for (const auto& [name, value] : gauges) {
     writer->Key(name);
-    writer->Number(gauge->value());
+    writer->Number(value);
   }
   writer->EndObject();
   writer->Key("histograms");
   writer->BeginObject();
-  for (const auto& [name, histogram] : histograms_) {
-    const LatencyHistogram::Snapshot snap = histogram->snapshot();
+  for (const auto& [name, snap] : histograms) {
     writer->Key(name);
     writer->BeginObject();
     writer->Key("count");
@@ -147,6 +188,16 @@ void MetricsRegistry::WriteJson(JsonWriter* writer) const {
   }
   writer->EndObject();
   writer->EndObject();
+}
+
+std::string RegistrySnapshot::ToJson() const {
+  JsonWriter writer;
+  WriteJson(&writer);
+  return writer.TakeString();
+}
+
+void MetricsRegistry::WriteJson(JsonWriter* writer) const {
+  TakeSnapshot().WriteJson(writer);
 }
 
 std::string MetricsRegistry::ToJson() const {

@@ -96,6 +96,30 @@ class LatencyHistogram {
   std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
 };
 
+/// Point-in-time copy of every metric in a registry. Snapshots are plain
+/// values: take one as a baseline before a query, another after, and
+/// DeltaSince() yields that query's contribution without ever resetting
+/// the live registry — ResetAll() between queries races with in-flight
+/// pool-thread increments (lost or mis-attributed counts), deltas do not.
+struct RegistrySnapshot {
+  std::map<std::string, uint64_t, std::less<>> counters;
+  std::map<std::string, int64_t, std::less<>> gauges;
+  std::map<std::string, LatencyHistogram::Snapshot, std::less<>> histograms;
+
+  /// This snapshot minus `baseline`. Counters and histogram count/sum/
+  /// buckets subtract (clamped at zero, so a racy baseline never produces
+  /// wrap-around garbage); gauges are levels, not accumulations, and keep
+  /// this snapshot's value; histogram min/max likewise stay lifetime
+  /// values — an interval cannot recover its own extremes from two
+  /// endpoint snapshots.
+  RegistrySnapshot DeltaSince(const RegistrySnapshot& baseline) const;
+
+  /// Same JSON shape as MetricsRegistry::WriteJson (the "metrics" section
+  /// of the unified stats export).
+  void WriteJson(JsonWriter* writer) const;
+  std::string ToJson() const;
+};
+
 /// Process-wide registry of named metrics. Get*() registers on first use
 /// and returns a pointer that stays valid for the registry's lifetime —
 /// resolve once (constructor or function-local static), then record
@@ -105,6 +129,11 @@ class MetricsRegistry {
   MetricsCounter* GetCounter(std::string_view name);
   MetricsGauge* GetGauge(std::string_view name);
   LatencyHistogram* GetHistogram(std::string_view name);
+
+  /// Copies every registered metric under the registry mutex. Pair with
+  /// RegistrySnapshot::DeltaSince for non-destructive per-interval
+  /// readings.
+  RegistrySnapshot TakeSnapshot() const;
 
   /// JSON object: {"counters": {...}, "gauges": {...}, "histograms":
   /// {name: {count, sum_nanos, min_nanos, max_nanos, mean_nanos, p50, p95,

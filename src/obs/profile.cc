@@ -1,0 +1,297 @@
+#include "obs/profile.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "obs/json.h"
+
+namespace topk {
+
+namespace {
+
+/// Copies the live (atomic) phase tree into plain values; `wall_override`
+/// >= 0 replaces the node's accumulated wall (used for the root, whose
+/// wall is the query's elapsed time rather than a scope accumulation).
+ProfilePhase SnapshotPhase(const PhaseNode& node, int64_t wall_override) {
+  ProfilePhase out;
+  out.name = node.name;
+  out.wall_nanos = wall_override >= 0
+                       ? wall_override
+                       : node.wall_nanos.load(std::memory_order_relaxed);
+  out.io_wait_nanos = node.io_wait_nanos.load(std::memory_order_relaxed);
+  out.bytes_read = node.bytes_read.load(std::memory_order_relaxed);
+  out.bytes_written = node.bytes_written.load(std::memory_order_relaxed);
+  out.entered = node.entered.load(std::memory_order_relaxed);
+  int64_t children_wall = 0;
+  for (const auto& child : node.children) {
+    out.children.push_back(SnapshotPhase(*child, -1));
+    children_wall += out.children.back().wall_nanos;
+  }
+  out.self_nanos = std::max<int64_t>(0, out.wall_nanos - children_wall);
+  return out;
+}
+
+double Seconds(int64_t nanos) { return static_cast<double>(nanos) * 1e-9; }
+
+std::string HumanBytes(uint64_t bytes) {
+  char buf[32];
+  if (bytes >= 1024ull * 1024 * 1024) {
+    std::snprintf(buf, sizeof(buf), "%.2f GiB",
+                  static_cast<double>(bytes) / (1024.0 * 1024.0 * 1024.0));
+  } else if (bytes >= 1024ull * 1024) {
+    std::snprintf(buf, sizeof(buf), "%.2f MiB",
+                  static_cast<double>(bytes) / (1024.0 * 1024.0));
+  } else if (bytes >= 1024) {
+    std::snprintf(buf, sizeof(buf), "%.2f KiB",
+                  static_cast<double>(bytes) / 1024.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%" PRIu64 " B", bytes);
+  }
+  return buf;
+}
+
+uint64_t CounterOr0(const RegistrySnapshot& metrics, std::string_view name) {
+  auto it = metrics.counters.find(name);
+  return it == metrics.counters.end() ? 0 : it->second;
+}
+
+void AppendPhaseLines(const ProfilePhase& phase, int depth,
+                      std::string* out) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "  %*s%-*s %9.3fs self %9.3fs", depth * 2,
+                "", std::max(1, 28 - depth * 2), phase.name.c_str(),
+                Seconds(phase.wall_nanos), Seconds(phase.self_nanos));
+  *out += buf;
+  if (phase.io_wait_nanos > 0) {
+    std::snprintf(buf, sizeof(buf), "  io-wait %8.3fs",
+                  Seconds(phase.io_wait_nanos));
+    *out += buf;
+  }
+  if (phase.bytes_read > 0) {
+    *out += "  read " + HumanBytes(phase.bytes_read);
+  }
+  if (phase.bytes_written > 0) {
+    *out += "  written " + HumanBytes(phase.bytes_written);
+  }
+  if (phase.entered > 1) {
+    std::snprintf(buf, sizeof(buf), "  x%" PRIu64, phase.entered);
+    *out += buf;
+  }
+  *out += "\n";
+  for (const ProfilePhase& child : phase.children) {
+    AppendPhaseLines(child, depth + 1, out);
+  }
+}
+
+void AppendCutoffLine(const ObsContext::CutoffEvent& event, std::string* out) {
+  const uint64_t seen = event.rows_consumed + event.rows_eliminated_input;
+  const double pass_rate =
+      seen == 0 ? 1.0
+                : static_cast<double>(event.rows_consumed) /
+                      static_cast<double>(seen);
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "    t=%8.3fs  cutoff=%-12.6g %-9s consumed=%-10" PRIu64
+                " pruned=%-10" PRIu64 " pass=%5.1f%%\n",
+                Seconds(event.at_nanos), event.cutoff,
+                event.tightened ? "tighten" : "establish",
+                event.rows_consumed, event.rows_eliminated_input,
+                pass_rate * 100.0);
+  *out += buf;
+}
+
+void WritePhaseJson(const ProfilePhase& phase, JsonWriter* writer) {
+  writer->BeginObject();
+  writer->Key("name");
+  writer->String(phase.name);
+  writer->Key("wall_nanos");
+  writer->Number(phase.wall_nanos);
+  writer->Key("self_nanos");
+  writer->Number(phase.self_nanos);
+  writer->Key("io_wait_nanos");
+  writer->Number(phase.io_wait_nanos);
+  writer->Key("bytes_read");
+  writer->Number(phase.bytes_read);
+  writer->Key("bytes_written");
+  writer->Number(phase.bytes_written);
+  writer->Key("entered");
+  writer->Number(phase.entered);
+  writer->Key("children");
+  writer->BeginArray();
+  for (const ProfilePhase& child : phase.children) {
+    WritePhaseJson(child, writer);
+  }
+  writer->EndArray();
+  writer->EndObject();
+}
+
+}  // namespace
+
+ProfileReport BuildProfileReport(const ObsContext& obs) {
+  ProfileReport report;
+  report.label = obs.label();
+  report.total_wall_nanos = obs.ElapsedNanos();
+  {
+    std::lock_guard<std::mutex> lock(obs.timeline().mu());
+    report.phases =
+        SnapshotPhase(*obs.timeline().root(), report.total_wall_nanos);
+    report.background = SnapshotPhase(*obs.timeline().background(), -1);
+  }
+  report.metrics = obs.metrics().TakeSnapshot();
+  report.cutoff_events = obs.cutoff_events();
+  report.cutoff_events_dropped = obs.cutoff_events_dropped();
+  report.peak_memory_bytes = obs.peak_memory_bytes();
+  report.peak_spill_bytes = obs.peak_spill_bytes();
+  report.trace_events_dropped =
+      CounterOr0(report.metrics, "obs.trace.events_dropped");
+  return report;
+}
+
+std::string FormatProfileText(const ProfileReport& report) {
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "query profile [%s]  total %.3fs\n",
+                report.label.c_str(), Seconds(report.total_wall_nanos));
+  out += buf;
+
+  out += "phases (self times sum to total):\n";
+  AppendPhaseLines(report.phases, 0, &out);
+  if (!report.background.children.empty() ||
+      report.background.io_wait_nanos > 0 || report.background.bytes_read > 0 ||
+      report.background.bytes_written > 0) {
+    out += "background (pool threads, overlaps the phases above):\n";
+    for (const ProfilePhase& child : report.background.children) {
+      AppendPhaseLines(child, 0, &out);
+    }
+  }
+
+  const uint64_t compares = CounterOr0(report.metrics, "sort.compare.count");
+  if (compares > 0) {
+    const uint64_t ovc_hits =
+        CounterOr0(report.metrics, "sort.compare.ovc_hits");
+    std::snprintf(buf, sizeof(buf),
+                  "merge comparisons: %" PRIu64 " full, %" PRIu64
+                  " resolved by offset-value code (%.1f%% avoided)\n",
+                  compares, ovc_hits,
+                  100.0 * static_cast<double>(ovc_hits) /
+                      static_cast<double>(compares + ovc_hits));
+    out += buf;
+  }
+
+  if (!report.cutoff_events.empty()) {
+    size_t establish = 0;
+    for (const auto& event : report.cutoff_events) {
+      if (!event.tightened) ++establish;
+    }
+    std::snprintf(buf, sizeof(buf),
+                  "cutoff filter: %zu updates (%zu establish, %zu tighten)",
+                  report.cutoff_events.size(), establish,
+                  report.cutoff_events.size() - establish);
+    out += buf;
+    if (report.cutoff_events_dropped > 0) {
+      std::snprintf(buf, sizeof(buf), ", %" PRIu64 " elided",
+                    report.cutoff_events_dropped);
+      out += buf;
+    }
+    out += "\n";
+    // Head and tail of the evolution; the middle tightenings mostly
+    // interpolate between them.
+    constexpr size_t kHead = 4, kTail = 4;
+    const auto& events = report.cutoff_events;
+    if (events.size() <= kHead + kTail) {
+      for (const auto& event : events) AppendCutoffLine(event, &out);
+    } else {
+      for (size_t i = 0; i < kHead; ++i) AppendCutoffLine(events[i], &out);
+      std::snprintf(buf, sizeof(buf), "    ... %zu more updates ...\n",
+                    events.size() - kHead - kTail);
+      out += buf;
+      for (size_t i = events.size() - kTail; i < events.size(); ++i) {
+        AppendCutoffLine(events[i], &out);
+      }
+    }
+  }
+
+  struct Highlight {
+    const char* counter;
+    const char* text;
+  };
+  static constexpr Highlight kHighlights[] = {
+      {"io.prefetch.blocks", "prefetched blocks"},
+      {"io.prefetch.blocks_unconsumed", "prefetched blocks unconsumed"},
+      {"io.prefetch.deadline_exceeded", "read deadlines exceeded"},
+      {"io.hedge.issued", "hedged reads issued"},
+      {"io.hedge.wins", "hedge wins"},
+      {"io.hedge.wasted", "hedges wasted"},
+      {"io.retry.attempts", "I/O retries"},
+      {"io.retry.budget_withdrawn", "retry budget withdrawals"},
+      {"io.health.opened", "circuit-breaker opens"},
+      {"io.health.fast_fail", "circuit-breaker fast-fails"},
+      {"spill.quota_rejections", "spill-quota rejections"},
+      {"spill.quota_consolidations", "spill-quota consolidations"},
+      {"storage.fault.transient", "injected transient faults absorbed"},
+  };
+  std::string events_out;
+  for (const Highlight& h : kHighlights) {
+    const uint64_t value = CounterOr0(report.metrics, h.counter);
+    if (value == 0) continue;
+    std::snprintf(buf, sizeof(buf), "  %s: %" PRIu64 "\n", h.text, value);
+    events_out += buf;
+  }
+  if (!events_out.empty()) {
+    out += "I/O events:\n";
+    out += events_out;
+  }
+
+  out += "peaks: memory " + HumanBytes(report.peak_memory_bytes) +
+         ", spill on disk " + HumanBytes(report.peak_spill_bytes) + "\n";
+  if (report.trace_events_dropped > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "trace: %" PRIu64
+                  " events dropped at buffer capacity (raise "
+                  "max_events_per_thread)\n",
+                  report.trace_events_dropped);
+    out += buf;
+  }
+  return out;
+}
+
+void WriteProfileJson(const ProfileReport& report, JsonWriter* writer) {
+  writer->BeginObject();
+  writer->Key("label");
+  writer->String(report.label);
+  writer->Key("total_wall_nanos");
+  writer->Number(report.total_wall_nanos);
+  writer->Key("phases");
+  WritePhaseJson(report.phases, writer);
+  writer->Key("background");
+  WritePhaseJson(report.background, writer);
+  writer->Key("cutoff_events");
+  writer->BeginArray();
+  for (const auto& event : report.cutoff_events) {
+    writer->BeginObject();
+    writer->Key("at_nanos");
+    writer->Number(event.at_nanos);
+    writer->Key("cutoff");
+    writer->Number(event.cutoff);
+    writer->Key("tightened");
+    writer->Bool(event.tightened);
+    writer->Key("rows_consumed");
+    writer->Number(event.rows_consumed);
+    writer->Key("rows_eliminated_input");
+    writer->Number(event.rows_eliminated_input);
+    writer->EndObject();
+  }
+  writer->EndArray();
+  writer->Key("cutoff_events_dropped");
+  writer->Number(report.cutoff_events_dropped);
+  writer->Key("peak_memory_bytes");
+  writer->Number(report.peak_memory_bytes);
+  writer->Key("peak_spill_bytes");
+  writer->Number(report.peak_spill_bytes);
+  writer->Key("trace_events_dropped");
+  writer->Number(report.trace_events_dropped);
+  writer->EndObject();
+}
+
+}  // namespace topk

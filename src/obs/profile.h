@@ -1,0 +1,74 @@
+#ifndef TOPK_OBS_PROFILE_H_
+#define TOPK_OBS_PROFILE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/obs_context.h"
+
+namespace topk {
+
+class JsonWriter;
+
+/// One phase of a finished query, with times resolved to plain values.
+struct ProfilePhase {
+  std::string name;
+  int64_t wall_nanos = 0;
+  /// Wall time not covered by child phases (clamped at zero: background
+  /// threads can record into a foreground node while it is closed, and a
+  /// re-entered phase's children may overlap differently than its own
+  /// accumulation — never report negative time).
+  int64_t self_nanos = 0;
+  int64_t io_wait_nanos = 0;
+  uint64_t bytes_read = 0;
+  uint64_t bytes_written = 0;
+  uint64_t entered = 0;
+  std::vector<ProfilePhase> children;
+};
+
+/// EXPLAIN ANALYZE-style profile of one query, assembled from its
+/// ObsContext once the result is in hand. `phases` is the foreground tree
+/// (root wall time == the query's elapsed time, so the self times of the
+/// root and all descendants sum exactly to the total); `background` holds
+/// pool-thread work that overlapped the foreground and is reported beside
+/// it, not added to it.
+struct ProfileReport {
+  std::string label;
+  int64_t total_wall_nanos = 0;
+  ProfilePhase phases;
+  ProfilePhase background;
+
+  /// The query's scoped metrics (delta-free: the context registry only
+  /// ever saw this query).
+  RegistrySnapshot metrics;
+
+  std::vector<ObsContext::CutoffEvent> cutoff_events;
+  uint64_t cutoff_events_dropped = 0;
+
+  uint64_t peak_memory_bytes = 0;
+  uint64_t peak_spill_bytes = 0;
+  uint64_t trace_events_dropped = 0;
+};
+
+/// Snapshots `obs` into a report. Call after the query completed (ideally
+/// after ObsContext::MarkQueryComplete so the total is frozen); safe while
+/// background pool work is still trickling in — accumulators are read
+/// atomically.
+ProfileReport BuildProfileReport(const ObsContext& obs);
+
+/// Human-readable rendering (the `topk_cli --profile` output): the phase
+/// tree with wall/self/I/O columns, cutoff-filter evolution, counter
+/// highlights, and high-water marks.
+std::string FormatProfileText(const ProfileReport& report);
+
+/// The report as a JSON object (the "profile" section of the unified
+/// stats export). Scoped metrics are NOT repeated here — they are the
+/// document's "metrics" section; this holds the phase tree, cutoff
+/// evolution, and high-water marks.
+void WriteProfileJson(const ProfileReport& report, JsonWriter* writer);
+
+}  // namespace topk
+
+#endif  // TOPK_OBS_PROFILE_H_

@@ -2,6 +2,7 @@
 
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 
 namespace topk {
 
@@ -82,9 +83,16 @@ std::string FormatStatsJson(const StatsExport& stats) {
   WriteOperatorStats(stats.operator_stats, &writer);
   writer.Key("io");
   WriteIoSnapshot(stats.io, &writer);
-  if (stats.registry != nullptr) {
+  if (stats.metrics.has_value()) {
+    writer.Key("metrics");
+    stats.metrics->WriteJson(&writer);
+  } else if (stats.registry != nullptr) {
     writer.Key("metrics");
     stats.registry->WriteJson(&writer);
+  }
+  if (stats.obs != nullptr) {
+    writer.Key("profile");
+    WriteProfileJson(BuildProfileReport(*stats.obs), &writer);
   }
   writer.EndObject();
   return writer.TakeString();

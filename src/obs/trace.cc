@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "obs/json.h"
+#include "obs/obs_context.h"
 
 namespace topk {
 
@@ -59,6 +60,23 @@ void Tracer::Start() {
   enabled_.store(true, std::memory_order_release);
 }
 
+bool Tracer::DropIfFull(ThreadBuffer* buffer) {
+  // Not a metric wrapper cached per call site: drops are rare (the buffer
+  // has to fill first), so the registry lookup cost is irrelevant, and a
+  // function-local static would pin the counter to whichever registry
+  // existed at first drop.
+  if (buffer->events.size() <
+      max_events_per_thread_.load(std::memory_order_relaxed)) {
+    return false;
+  }
+  dropped_.fetch_add(1, std::memory_order_relaxed);
+  GlobalMetrics().GetCounter("obs.trace.events_dropped")->Add(1);
+  if (ObsContext* obs = CurrentObsContext()) {
+    obs->metrics().GetCounter("obs.trace.events_dropped")->Add(1);
+  }
+  return true;
+}
+
 void Tracer::Stop() { enabled_.store(false, std::memory_order_release); }
 
 int64_t Tracer::NowNanos() const {
@@ -97,6 +115,7 @@ void Tracer::RecordComplete(const char* name, const char* category,
   event.tid = buffer->tid;
   event.args = std::move(args);
   std::lock_guard<std::mutex> lock(buffer->mu);
+  if (DropIfFull(buffer)) return;
   buffer->events.push_back(std::move(event));
 }
 
@@ -112,6 +131,7 @@ void Tracer::RecordInstant(const char* name, const char* category,
   event.tid = buffer->tid;
   event.args = std::move(args);
   std::lock_guard<std::mutex> lock(buffer->mu);
+  if (DropIfFull(buffer)) return;
   buffer->events.push_back(std::move(event));
 }
 
@@ -198,6 +218,7 @@ void Tracer::Clear() {
     std::lock_guard<std::mutex> lock(buffer->mu);
     buffer->events.clear();
   }
+  dropped_.store(0, std::memory_order_relaxed);
 }
 
 Tracer& GlobalTracer() {
@@ -205,16 +226,27 @@ Tracer& GlobalTracer() {
   return *tracer;
 }
 
+Tracer& ActiveTracer() {
+  if (ObsContext* obs = CurrentObsContext()) {
+    if (obs->tracer() != nullptr) return *obs->tracer();
+  }
+  return GlobalTracer();
+}
+
+bool TracingEnabled() { return ActiveTracer().enabled(); }
+
 void TraceInstant(const char* name, const char* category,
                   std::vector<TraceArg> args) {
-  GlobalTracer().RecordInstant(name, category, std::move(args));
+  ActiveTracer().RecordInstant(name, category, std::move(args));
 }
 
 TraceSpan::TraceSpan(const char* name, const char* category)
-    : tracer_(GlobalTracer().enabled() ? &GlobalTracer() : nullptr),
-      name_(name),
-      category_(category) {
-  if (tracer_ != nullptr) start_nanos_ = tracer_->NowNanos();
+    : tracer_(nullptr), name_(name), category_(category) {
+  Tracer& active = ActiveTracer();
+  if (active.enabled()) {
+    tracer_ = &active;
+    start_nanos_ = tracer_->NowNanos();
+  }
 }
 
 TraceSpan::TraceSpan(const char* name, const char* category,

@@ -100,6 +100,23 @@ class Tracer {
   size_t event_count() const;
   void Clear();
 
+  /// Per-thread buffer capacity. Once a thread's buffer is full, further
+  /// events on that thread are dropped (counted, never silently): a
+  /// runaway query must not grow trace memory without bound. Default
+  /// 262144 events per thread; settable (before Start()) mainly so tests
+  /// can exercise the drop path cheaply.
+  size_t max_events_per_thread() const {
+    return max_events_per_thread_.load(std::memory_order_relaxed);
+  }
+  void set_max_events_per_thread(size_t cap) {
+    max_events_per_thread_.store(cap, std::memory_order_relaxed);
+  }
+  /// Events dropped to the capacity cap since the last Start()/Clear();
+  /// also mirrored to the "obs.trace.events_dropped" metric.
+  uint64_t dropped_count() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct ThreadBuffer {
     std::mutex mu;
@@ -107,11 +124,17 @@ class Tracer {
     uint32_t tid = 0;
   };
 
+  /// True (and counts the drop) when `buffer` has no room for one more
+  /// event.
+  bool DropIfFull(ThreadBuffer* buffer);
+
   /// This thread's buffer, registering it on first use.
   ThreadBuffer* GetThreadBuffer();
 
   const uint64_t tracer_id_;  // keys the thread-local buffer cache
   std::atomic<bool> enabled_{false};
+  std::atomic<size_t> max_events_per_thread_{262144};
+  std::atomic<uint64_t> dropped_{0};
   /// steady_clock nanos at Start(); atomic so NowNanos() is lock-free.
   std::atomic<int64_t> epoch_nanos_{0};
 
@@ -120,18 +143,23 @@ class Tracer {
   uint32_t next_tid_ = 1;
 };
 
-/// The process-wide tracer all built-in instrumentation records into.
+/// The process-wide tracer instrumentation records into by default.
 Tracer& GlobalTracer();
 
-/// One relaxed load: is the global tracer recording?
-inline bool TracingEnabled() { return GlobalTracer().enabled(); }
+/// The tracer for the current thread: the installed ObsContext's tracer
+/// when a per-query scope is active (obs_context.h), otherwise the global
+/// tracer. TraceSpan / TraceInstant route through this.
+Tracer& ActiveTracer();
 
-/// Emits an instant event on the global tracer (no-op when disabled).
+/// Is the active tracer recording? (One TLS read + one relaxed load.)
+bool TracingEnabled();
+
+/// Emits an instant event on the active tracer (no-op when disabled).
 /// Callers with expensive-to-build args should guard with TracingEnabled().
 void TraceInstant(const char* name, const char* category,
                   std::vector<TraceArg> args = {});
 
-/// RAII span on the global tracer: records a complete event covering the
+/// RAII span on the active tracer: records a complete event covering the
 /// scope's lifetime. When tracing is off at construction this is a no-op
 /// (a null tracer pointer; no clock reads, no allocations).
 class TraceSpan {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/obs_context.h"
 #include "obs/trace.h"
 #include "sort/merge_planner.h"
 #include "sort/replacement_selection.h"
@@ -55,6 +56,7 @@ Status ExternalSorter::Add(Row row) {
   if (finished_) {
     return Status::FailedPrecondition("Add after Sort");
   }
+  ObsScope obs_scope(options_.obs);
   ++rows_added_;
   if (generator_ != nullptr) {
     return generator_->Add(std::move(row));
@@ -73,6 +75,7 @@ Status ExternalSorter::Sort(const RowSink& sink) {
   if (finished_) {
     return Status::FailedPrecondition("Sort called twice");
   }
+  ObsScope obs_scope(options_.obs);
   finished_ = true;
   if (generator_ == nullptr) {
     std::sort(buffer_.begin(), buffer_.end(), comparator_);
@@ -83,6 +86,7 @@ Status ExternalSorter::Sort(const RowSink& sink) {
     return Status::OK();
   }
   {
+    PhaseScope flush_phase("rungen.flush");
     TraceSpan flush_span("rungen.flush", "sort");
     TOPK_RETURN_NOT_OK(generator_->Flush());
   }
@@ -94,9 +98,12 @@ Status ExternalSorter::Sort(const RowSink& sink) {
       final_runs,
       ReduceRunsForFinalMerge(spill_.get(), comparator_, planner_options));
   MergeStats merge_stats;
-  TOPK_ASSIGN_OR_RETURN(merge_stats,
-                        MergeRuns(spill_.get(), final_runs, comparator_,
-                                  MergeOptions{}, sink));
+  {
+    PhaseScope merge_phase("merge.final");
+    TOPK_ASSIGN_OR_RETURN(merge_stats,
+                          MergeRuns(spill_.get(), final_runs, comparator_,
+                                    MergeOptions{}, sink));
+  }
   return Status::OK();
 }
 

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "io/spill_manager.h"
+#include "obs/obs_context.h"
 #include "sort/merger.h"
 #include "sort/run_generation.h"
 
@@ -34,6 +35,9 @@ class ExternalSorter {
     /// TopKOptions::prefetch_memory_budget). 0 = fixed one-block
     /// lookahead.
     size_t prefetch_memory_budget = 8 << 20;
+    /// Per-query observability scope (see TopKOptions::obs). Null = record
+    /// into the global registry only.
+    std::shared_ptr<ObsContext> obs;
   };
 
   static Result<std::unique_ptr<ExternalSorter>> Make(const Options& options);

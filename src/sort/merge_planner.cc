@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/obs_context.h"
 #include "obs/trace.h"
 #include "sort/merger.h"
 
@@ -56,6 +57,7 @@ Result<std::vector<RunMeta>> ReduceRunsForFinalMerge(
     const size_t prefetch_depth_cap = ApportionPrefetchDepth(
         spill->io_options().prefetch_memory_budget, inputs.size(),
         kDefaultBlockBytes);
+    PhaseScope phase("merge.intermediate");
     TraceSpan step_span("merge.intermediate_step", "sort",
                         {TraceArg("fan_in", step),
                          TraceArg("runs_remaining", runs.size()),

@@ -3,6 +3,7 @@
 #include <memory>
 
 #include "obs/metrics.h"
+#include "obs/obs_context.h"
 #include "obs/trace.h"
 #include "sort/loser_tree.h"
 
@@ -77,8 +78,9 @@ struct PrefetchCancelGuard {
 };
 
 /// Tournament-comparison tallies, accumulated locally (the merge loop is
-/// far too hot for a relaxed atomic per comparison) and published to
-/// GlobalMetrics once per merge step.
+/// far too hot for a relaxed atomic per comparison) and published once per
+/// merge step — globally and, when a per-query context is installed, to
+/// that query's scoped registry.
 struct CompareCounts {
   /// Full key comparisons performed (comparator or normalized-key bytes).
   uint64_t full = 0;
@@ -86,12 +88,10 @@ struct CompareCounts {
   uint64_t ovc_hits = 0;
 
   ~CompareCounts() {
-    static MetricsCounter* count =
-        GlobalMetrics().GetCounter("sort.compare.count");
-    static MetricsCounter* hits =
-        GlobalMetrics().GetCounter("sort.compare.ovc_hits");
-    count->Add(full);
-    hits->Add(ovc_hits);
+    static ObsCounter count("sort.compare.count");
+    static ObsCounter hits("sort.compare.ovc_hits");
+    count.Add(full);
+    hits.Add(ovc_hits);
   }
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/obs_context.h"
 #include "row/serialization.h"
 
 namespace topk {
@@ -30,6 +31,7 @@ Status HeapTopK::Consume(Row row) {
   if (finished_) {
     return Status::FailedPrecondition("Consume after Finish");
   }
+  ObsScope obs_scope(options_.obs);
   Stopwatch watch;
   TOPK_RETURN_NOT_OK(ValidateRowPayload(row));
   ++stats_.rows_consumed;
@@ -95,6 +97,7 @@ Result<std::vector<Row>> HeapTopK::Finish() {
     return Status::FailedPrecondition("Finish called twice");
   }
   finished_ = true;
+  ObsScope obs_scope(options_.obs);
   Stopwatch watch;
   stats_.final_cutoff = cutoff();
 
@@ -126,6 +129,9 @@ Result<std::vector<Row>> HeapTopK::Finish() {
     rows.resize(end);
   }
   stats_.finish_nanos = watch.ElapsedNanos();
+  if (options_.obs != nullptr) {
+    options_.obs->NoteMemoryBytes(stats_.peak_memory_bytes);
+  }
   return rows;
 }
 

@@ -4,6 +4,7 @@
 
 #include "extensions/offset_skip.h"
 #include "obs/metrics.h"
+#include "obs/obs_context.h"
 #include "obs/trace.h"
 #include "row/serialization.h"
 #include "sort/merge_planner.h"
@@ -15,15 +16,13 @@ namespace topk {
 namespace {
 constexpr size_t kHeapPerRowOverhead = 32;
 
-MetricsCounter& CutoffUpdatesCounter() {
-  static MetricsCounter* counter =
-      GlobalMetrics().GetCounter("filter.cutoff_updates");
-  return *counter;
+ObsCounter& CutoffUpdatesCounter() {
+  static ObsCounter counter("filter.cutoff_updates");
+  return counter;
 }
-MetricsCounter& QuotaConsolidationsCounter() {
-  static MetricsCounter* counter =
-      GlobalMetrics().GetCounter("spill.quota_consolidations");
-  return *counter;
+ObsCounter& QuotaConsolidationsCounter() {
+  static ObsCounter counter("spill.quota_consolidations");
+  return counter;
 }
 }  // namespace
 
@@ -85,6 +84,17 @@ CutoffFilter::Options HistogramTopK::MakeFilterOptions(
   filter_options.on_cutoff_change =
       [this](const CutoffFilter::CutoffUpdate& update) {
         CutoffUpdatesCounter().Add(1);
+        if (options_.obs != nullptr) {
+          // The profile report's cutoff-evolution timeline, captured even
+          // when tracing is off (it is cheap: one capped vector append).
+          ObsContext::CutoffEvent event;
+          event.at_nanos = options_.obs->ElapsedNanos();
+          event.cutoff = update.cutoff;
+          event.tightened = update.tightened;
+          event.rows_consumed = stats_.rows_consumed;
+          event.rows_eliminated_input = stats_.rows_eliminated_input;
+          options_.obs->RecordCutoffEvent(event);
+        }
         if (!TracingEnabled()) return;
         const uint64_t consumed = stats_.rows_consumed;
         const uint64_t eliminated = stats_.rows_eliminated_input;
@@ -108,6 +118,7 @@ CutoffFilter::Options HistogramTopK::MakeFilterOptions(
 }
 
 Status HistogramTopK::SwitchToExternal() {
+  PhaseScope phase("switch_to_external");
   TraceSpan span("topk.switch_to_external", "topk",
                  {TraceArg("buffered_rows", heap_.size() + ties_.size())});
   TOPK_ASSIGN_OR_RETURN(spill_,
@@ -192,6 +203,7 @@ Status HistogramTopK::ConsolidateSpillForQuota() {
   }
   uint64_t input_bytes = 0;
   for (const RunMeta& run : inputs) input_bytes += run.bytes;
+  PhaseScope phase("spill.quota_consolidate");
   TraceSpan span("spill.quota_consolidate", "topk",
                  {TraceArg("runs", inputs.size()),
                   TraceArg("input_bytes", input_bytes),
@@ -242,6 +254,10 @@ Status HistogramTopK::ConsolidateSpillForQuota() {
 }
 
 Status HistogramTopK::Consume(Row row) {
+  // No-op when the caller (CLI, test harness) already installed the same
+  // context around its consume loop — the per-row cost is then one TLS
+  // read and a pointer compare.
+  ObsScope obs_scope(options_.obs);
   if (finished_) {
     return Status::FailedPrecondition("Consume after Finish");
   }
@@ -341,6 +357,7 @@ Status HistogramTopK::Consume(Row row) {
 }
 
 Result<std::vector<Row>> HistogramTopK::Finish() {
+  ObsScope obs_scope(options_.obs);
   if (finished_) {
     return Status::FailedPrecondition("Finish called twice");
   }
@@ -373,6 +390,9 @@ Result<std::vector<Row>> HistogramTopK::Finish() {
     result.assign(std::make_move_iterator(rows.begin() + begin),
                   std::make_move_iterator(rows.begin() + end));
     stats_.finish_nanos = watch.ElapsedNanos();
+    if (options_.obs != nullptr) {
+      options_.obs->NoteMemoryBytes(stats_.peak_memory_bytes);
+    }
     return result;
   }
 
@@ -383,6 +403,7 @@ Result<std::vector<Row>> HistogramTopK::Finish() {
     stats_.runs_created = spill_->total_runs_created();
   } else {
     {
+      PhaseScope flush_phase("rungen.flush");
       TraceSpan flush_span("rungen.flush", "topk");
       TOPK_RETURN_NOT_OK(generator_->Flush());
     }
@@ -423,6 +444,7 @@ Result<std::vector<Row>> HistogramTopK::Finish() {
       result.push_back(std::move(row));
       return Status::OK();
     };
+    PhaseScope merge_phase_scope("merge.final");
     TraceSpan merge_span("merge.final", "topk",
                          {TraceArg("runs", final_runs.size())});
     if (options_.offset > 0 && options_.histogram_offset_skip) {
@@ -459,10 +481,14 @@ Result<std::vector<Row>> HistogramTopK::Finish() {
   stats_.filter_buckets_inserted = filter_->buckets_inserted();
   stats_.filter_consolidations = filter_->consolidations();
   stats_.finish_nanos = watch.ElapsedNanos();
+  if (options_.obs != nullptr) {
+    options_.obs->NoteMemoryBytes(stats_.peak_memory_bytes);
+  }
   return result;
 }
 
 Status HistogramTopK::Suspend() {
+  ObsScope obs_scope(options_.obs);
   if (finished_) {
     return Status::FailedPrecondition("Suspend after Finish");
   }
@@ -500,6 +526,7 @@ Result<std::unique_ptr<HistogramTopK>> HistogramTopK::ResumeFromManifest(
   }
   auto op = std::unique_ptr<HistogramTopK>(new HistogramTopK(options));
   op->resumed_ = true;
+  ObsScope obs_scope(options.obs);
   TraceSpan span("topk.resume_from_manifest", "topk");
   TOPK_ASSIGN_OR_RETURN(
       op->spill_,

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/obs_context.h"
 #include "obs/trace.h"
 #include "sort/merge_planner.h"
 #include "sort/merger.h"
@@ -80,6 +81,7 @@ Status OptimizedExternalTopK::SwitchToExternal() {
                                              options_.io_pipeline()));
   observer_ =
       std::make_unique<KthKeyObserver>(this, options_.output_rows());
+  PhaseScope phase("switch_to_external");
   RunGeneratorOptions gen_options;
   gen_options.memory_limit_bytes = options_.memory_limit_bytes;
   if (options_.limit_run_size_to_output) {
@@ -112,6 +114,7 @@ Status OptimizedExternalTopK::MaybeEarlyMerge() {
   if (cutoff_.has_value()) return Status::OK();
   if (spill_->run_count() < options_.early_merge_fan_in) return Status::OK();
 
+  PhaseScope phase("merge.early");
   TraceSpan span("merge.early", "topk",
                  {TraceArg("runs", spill_->run_count())});
   std::vector<RunMeta> inputs = spill_->runs();
@@ -162,6 +165,7 @@ Status OptimizedExternalTopK::Consume(Row row) {
   if (finished_) {
     return Status::FailedPrecondition("Consume after Finish");
   }
+  ObsScope obs_scope(options_.obs);
   Stopwatch watch;
   ++stats_.rows_consumed;
   if (EliminateAtInput(row)) {
@@ -192,6 +196,7 @@ Result<std::vector<Row>> OptimizedExternalTopK::Finish() {
     return Status::FailedPrecondition("Finish called twice");
   }
   finished_ = true;
+  ObsScope obs_scope(options_.obs);
   Stopwatch watch;
   std::vector<Row> result;
 
@@ -207,10 +212,14 @@ Result<std::vector<Row>> OptimizedExternalTopK::Finish() {
                   std::make_move_iterator(buffer_.begin() + end));
     buffer_.clear();
     stats_.finish_nanos = watch.ElapsedNanos();
+    if (options_.obs != nullptr) {
+      options_.obs->NoteMemoryBytes(stats_.peak_memory_bytes);
+    }
     return result;
   }
 
   {
+    PhaseScope flush_phase("rungen.flush");
     TraceSpan flush_span("rungen.flush", "topk");
     TOPK_RETURN_NOT_OK(generator_->Flush());
   }
@@ -241,19 +250,25 @@ Result<std::vector<Row>> OptimizedExternalTopK::Finish() {
   merge_options.with_ties = options_.with_ties;
   merge_options.use_ovc = options_.use_ovc;
   MergeStats merge_stats;
-  TraceSpan merge_span("merge.final", "topk",
-                       {TraceArg("runs", final_runs.size())});
-  TOPK_ASSIGN_OR_RETURN(merge_stats,
-                        MergeRuns(spill_.get(), final_runs, comparator_,
-                                  merge_options, [&](Row&& row) {
-                                    result.push_back(std::move(row));
-                                    return Status::OK();
-                                  }));
-  merge_span.End();
+  {
+    PhaseScope merge_phase("merge.final");
+    TraceSpan merge_span("merge.final", "topk",
+                         {TraceArg("runs", final_runs.size())});
+    TOPK_ASSIGN_OR_RETURN(merge_stats,
+                          MergeRuns(spill_.get(), final_runs, comparator_,
+                                    merge_options, [&](Row&& row) {
+                                      result.push_back(std::move(row));
+                                      return Status::OK();
+                                    }));
+    merge_span.End();
+  }
   stats_.merge_rows_read +=
       plan_stats.intermediate_rows_read + merge_stats.rows_read;
   stats_.bytes_spilled = spill_->total_bytes_spilled();
   stats_.finish_nanos = watch.ElapsedNanos();
+  if (options_.obs != nullptr) {
+    options_.obs->NoteMemoryBytes(stats_.peak_memory_bytes);
+  }
   return result;
 }
 

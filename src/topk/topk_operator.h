@@ -12,6 +12,7 @@
 #include "common/stopwatch.h"
 #include "io/async_io.h"
 #include "io/storage_env.h"
+#include "obs/obs_context.h"
 #include "row/row.h"
 #include "sort/merge_planner.h"
 #include "sort/run_generation.h"
@@ -165,6 +166,13 @@ struct TopKOptions {
   /// of failing (used by the Figure 6 cost study where the in-memory
   /// operator is deliberately granted output-sized memory).
   bool allow_unbounded_memory = false;
+
+  /// Per-query observability context (obs_context.h). When set, the
+  /// operator installs it for the duration of every entry point, so all
+  /// metrics/trace/phase instrumentation — including background pool work
+  /// it schedules — is attributed to this query in addition to the global
+  /// registry. Null (the default) records globally only.
+  std::shared_ptr<ObsContext> obs;
 
   /// Total rows the operator must keep to answer the query.
   uint64_t output_rows() const { return k + offset; }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/obs_context.h"
 #include "obs/trace.h"
 #include "sort/merge_planner.h"
 #include "sort/merger.h"
@@ -20,6 +21,7 @@ Result<std::unique_ptr<TraditionalExternalTopK>> TraditionalExternalTopK::Make(
 }
 
 Status TraditionalExternalTopK::SwitchToExternal() {
+  PhaseScope phase("switch_to_external");
   TOPK_ASSIGN_OR_RETURN(spill_,
                         SpillManager::Create(options_.env, options_.spill_dir,
                                              options_.io_pipeline()));
@@ -47,6 +49,7 @@ Status TraditionalExternalTopK::SwitchToExternal() {
 }
 
 Status TraditionalExternalTopK::Consume(Row row) {
+  ObsScope obs_scope(options_.obs);
   if (finished_) {
     return Status::FailedPrecondition("Consume after Finish");
   }
@@ -74,6 +77,7 @@ Status TraditionalExternalTopK::Consume(Row row) {
 }
 
 Result<std::vector<Row>> TraditionalExternalTopK::Finish() {
+  ObsScope obs_scope(options_.obs);
   if (finished_) {
     return Status::FailedPrecondition("Finish called twice");
   }
@@ -102,6 +106,7 @@ Result<std::vector<Row>> TraditionalExternalTopK::Finish() {
     stats_.runs_created = spill_->total_runs_created();
   } else {
     {
+      PhaseScope flush_phase("rungen.flush");
       TraceSpan flush_span("rungen.flush", "topk");
       TOPK_RETURN_NOT_OK(generator_->Flush());
     }
@@ -129,6 +134,7 @@ Result<std::vector<Row>> TraditionalExternalTopK::Finish() {
     merge_options.skip = options_.offset;
     merge_options.with_ties = options_.with_ties;
     merge_options.use_ovc = options_.use_ovc;
+    PhaseScope merge_phase_scope("merge.final");
     TraceSpan merge_span("merge.final", "topk",
                          {TraceArg("runs", final_runs.size())});
     TOPK_ASSIGN_OR_RETURN(merge_stats,
@@ -153,10 +159,14 @@ Result<std::vector<Row>> TraditionalExternalTopK::Finish() {
       plan_stats.intermediate_rows_read + merge_stats.rows_read;
   stats_.bytes_spilled = spill_->total_bytes_spilled();
   stats_.finish_nanos = watch.ElapsedNanos();
+  if (options_.obs != nullptr) {
+    options_.obs->NoteMemoryBytes(stats_.peak_memory_bytes);
+  }
   return result;
 }
 
 Status TraditionalExternalTopK::Suspend() {
+  ObsScope obs_scope(options_.obs);
   if (finished_) {
     return Status::FailedPrecondition("Suspend after Finish");
   }
@@ -193,6 +203,7 @@ TraditionalExternalTopK::ResumeFromManifest(const TopKOptions& options,
   auto op = std::unique_ptr<TraditionalExternalTopK>(
       new TraditionalExternalTopK(options));
   op->resumed_ = true;
+  ObsScope obs_scope(options.obs);
   TraceSpan span("topk.resume_from_manifest", "topk");
   TOPK_ASSIGN_OR_RETURN(
       op->spill_,

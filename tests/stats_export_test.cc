@@ -7,6 +7,7 @@
 
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/obs_context.h"
 
 namespace topk {
 namespace {
@@ -116,6 +117,91 @@ TEST(StatsExportTest, MetricsSectionMirrorsRegistry) {
     EXPECT_NE(hist->Find(key), nullptr) << "missing histogram field " << key;
   }
   EXPECT_EQ(hist->Find("count")->number_value(), 1.0);
+}
+
+TEST(StatsExportTest, SchemaVersionIsPinned) {
+  // The profile section and snapshot-backed metrics are schema v2. Bump
+  // this expectation ONLY together with a deliberate schema change — every
+  // JSONL consumer keys on it.
+  EXPECT_EQ(StatsExport::kSchemaVersion, 2);
+}
+
+TEST(StatsExportTest, SnapshotBackedMetricsTakePrecedence) {
+  MetricsRegistry live;
+  live.GetCounter("io.flush.blocks")->Add(999);
+
+  MetricsRegistry scoped;
+  scoped.GetCounter("io.flush.blocks")->Add(24);
+
+  StatsExport exported = SampleExport();
+  exported.registry = &live;
+  exported.metrics = scoped.TakeSnapshot();
+  auto parsed = JsonValue::Parse(FormatStatsJson(exported));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+
+  // The pre-taken snapshot wins over the live registry: per-query exports
+  // must never leak another query's numbers through the global registry.
+  const JsonValue* counters = parsed->Find("metrics")->Find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_EQ(counters->Find("io.flush.blocks")->number_value(), 24.0);
+}
+
+TEST(StatsExportTest, ProfileSectionGoldenKeys) {
+  auto obs = ObsContext::Create("golden");
+  {
+    ObsScope scope(obs);
+    PhaseScope consume("consume");
+    ObsRecordStorageWrite(4096, 1000);
+    obs->NoteMemoryBytes(1 << 20);
+    ObsContext::CutoffEvent event;
+    event.cutoff = 0.5;
+    event.rows_consumed = 100;
+    obs->RecordCutoffEvent(event);
+  }
+  obs->MarkQueryComplete();
+
+  StatsExport exported = SampleExport();
+  exported.obs = obs.get();
+  auto parsed = JsonValue::Parse(FormatStatsJson(exported));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+
+  // The profile schema: downstream readers (docs/operations.md documents
+  // these names) key on every one of them.
+  const JsonValue* profile = parsed->Find("profile");
+  ASSERT_NE(profile, nullptr);
+  for (const char* key :
+       {"label", "total_wall_nanos", "phases", "background",
+        "cutoff_events", "cutoff_events_dropped", "peak_memory_bytes",
+        "peak_spill_bytes", "trace_events_dropped"}) {
+    EXPECT_NE(profile->Find(key), nullptr) << "missing profile." << key;
+  }
+  EXPECT_EQ(profile->Find("label")->string_value(), "golden");
+  EXPECT_EQ(profile->Find("peak_memory_bytes")->number_value(),
+            static_cast<double>(1 << 20));
+
+  const JsonValue* root = profile->Find("phases");
+  for (const char* key :
+       {"name", "wall_nanos", "self_nanos", "io_wait_nanos", "bytes_read",
+        "bytes_written", "entered", "children"}) {
+    EXPECT_NE(root->Find(key), nullptr) << "missing phase field " << key;
+  }
+  EXPECT_EQ(root->Find("name")->string_value(), "query");
+  const JsonValue* children = root->Find("children");
+  ASSERT_NE(children, nullptr);
+  ASSERT_EQ(children->array().size(), 1u);
+  const JsonValue& consume_phase = children->array()[0];
+  EXPECT_EQ(consume_phase.Find("name")->string_value(), "consume");
+  EXPECT_EQ(consume_phase.Find("bytes_written")->number_value(), 4096.0);
+  EXPECT_EQ(consume_phase.Find("io_wait_nanos")->number_value(), 1000.0);
+
+  const JsonValue* events = profile->Find("cutoff_events");
+  ASSERT_EQ(events->array().size(), 1u);
+  for (const char* key : {"at_nanos", "cutoff", "tightened", "rows_consumed",
+                          "rows_eliminated_input"}) {
+    EXPECT_NE(events->array()[0].Find(key), nullptr)
+        << "missing cutoff event field " << key;
+  }
+  EXPECT_EQ(events->array()[0].Find("cutoff")->number_value(), 0.5);
 }
 
 TEST(StatsExportTest, OperatorNameIsEscaped) {

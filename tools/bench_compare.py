@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Compares two bench snapshots produced by `bench_runner.py`.
+
+Usage:
+    tools/bench_compare.py BASELINE.json CANDIDATE.json
+                           [--threshold=0.10] [--min-nanos=1000000]
+                           [--warn-only]
+
+Every metric in a snapshot is a cost (wall/cpu nanoseconds, bytes, work
+counters), so "higher than baseline" is a regression. A metric regresses
+when it exceeds the baseline by more than --threshold (relative). Timing
+metrics below --min-nanos in the baseline are skipped — sub-millisecond
+measurements are dominated by noise at any threshold.
+
+Exit status: 0 when no metric regresses (or --warn-only), 1 otherwise.
+Improvements and metrics present in only one snapshot are reported but
+never fail the comparison.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        return json.load(f)
+
+
+def is_timing(key):
+    return key.endswith("_nanos") or key.endswith("/real_nanos") or \
+        key.endswith("/cpu_nanos")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline")
+    parser.add_argument("candidate")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="relative regression threshold (default 0.10)")
+    parser.add_argument("--min-nanos", type=float, default=1e6,
+                        help="ignore timing metrics whose baseline is below "
+                             "this many nanoseconds (default 1e6)")
+    parser.add_argument("--warn-only", action="store_true",
+                        help="report regressions but always exit 0")
+    args = parser.parse_args()
+
+    try:
+        baseline = load(args.baseline)
+        candidate = load(args.candidate)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+
+    base_env = baseline.get("environment", {})
+    cand_env = candidate.get("environment", {})
+    for field in ("cpu", "cores", "bench_scale"):
+        if base_env.get(field) != cand_env.get(field):
+            print(f"warning: environment mismatch on '{field}': "
+                  f"{base_env.get(field)!r} vs {cand_env.get(field)!r} — "
+                  f"timing comparisons may not be meaningful")
+
+    base_metrics = baseline.get("metrics", {})
+    cand_metrics = candidate.get("metrics", {})
+    regressions = []
+    improvements = []
+    skipped_noise = 0
+    for key in sorted(base_metrics):
+        if key not in cand_metrics:
+            print(f"note: metric only in baseline: {key}")
+            continue
+        base_val = base_metrics[key]
+        cand_val = cand_metrics[key]
+        if not isinstance(base_val, (int, float)) or \
+                not isinstance(cand_val, (int, float)):
+            continue
+        if is_timing(key) and base_val < args.min_nanos:
+            skipped_noise += 1
+            continue
+        if base_val <= 0:
+            if cand_val > 0 and not is_timing(key):
+                regressions.append((key, base_val, cand_val, float("inf")))
+            continue
+        change = (cand_val - base_val) / base_val
+        if change > args.threshold:
+            regressions.append((key, base_val, cand_val, change))
+        elif change < -args.threshold:
+            improvements.append((key, base_val, cand_val, change))
+    for key in sorted(set(cand_metrics) - set(base_metrics)):
+        print(f"note: metric only in candidate: {key}")
+
+    if skipped_noise:
+        print(f"({skipped_noise} sub-threshold timing metrics skipped as "
+              f"noise; lower --min-nanos to include them)")
+    for key, base_val, cand_val, change in improvements:
+        print(f"improved   {key}: {base_val:g} -> {cand_val:g} "
+              f"({change:+.1%})")
+    for key, base_val, cand_val, change in regressions:
+        pct = "new" if change == float("inf") else f"{change:+.1%}"
+        print(f"REGRESSION {key}: {base_val:g} -> {cand_val:g} ({pct})")
+
+    compared = len(set(base_metrics) & set(cand_metrics))
+    print(f"\n{compared} metrics compared, {len(regressions)} regressions, "
+          f"{len(improvements)} improvements "
+          f"(threshold {args.threshold:.0%})")
+    if regressions and not args.warn_only:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

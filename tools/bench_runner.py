@@ -1,0 +1,197 @@
+#!/usr/bin/env python3
+"""Continuous-benchmark runner: executes a curated bench subset and writes
+one machine-comparable snapshot, `BENCH_<label>.json`.
+
+Usage:
+    tools/bench_runner.py --label=ci [--build-dir=build] [--scale=0.25]
+                          [--benches=io_pipeline,micro_components,fig2_vary_output]
+                          [--out=BENCH_ci.json]
+
+Per bench it collects:
+  - `io_pipeline`, `fig2_vary_output`: every measured execution's unified
+    stats document (via TOPK_STATS_JSONL) reduced to cost metrics — wall
+    seconds, rows spilled, bytes written/read, comparison counts. Documents
+    are keyed `<bench>/<index>:<operator>` in execution order, which is
+    deterministic for a fixed scale.
+  - `micro_components`: Google-benchmark JSON (`--benchmark_out`), keyed by
+    benchmark name with real/cpu nanoseconds.
+
+The snapshot embeds an environment fingerprint (host, CPU, core count, git
+revision, scale) so `bench_compare.py` can warn when two snapshots were not
+taken on comparable hardware. Compare snapshots with:
+
+    tools/bench_compare.py BENCH_seed.json BENCH_ci.json --threshold=0.10
+"""
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import sys
+import tempfile
+
+DEFAULT_BENCHES = "io_pipeline,micro_components,fig2_vary_output"
+
+# Cost metrics lifted from each stats JSONL document. All are
+# "higher is worse": times, I/O traffic, and work counters.
+OPERATOR_STAT_KEYS = (
+    "rows_spilled",
+    "runs_created",
+    "bytes_spilled",
+    "merge_rows_written",
+    "merge_rows_read",
+    "consume_nanos",
+    "finish_nanos",
+)
+IO_STAT_KEYS = ("bytes_written", "bytes_read", "write_calls", "read_calls")
+COUNTER_KEYS = ("sort.compare.count", "io.prefetch.blocks")
+
+
+def cpu_model():
+    try:
+        with open("/proc/cpuinfo", "r", encoding="utf-8") as f:
+            for line in f:
+                if line.startswith("model name"):
+                    return line.split(":", 1)[1].strip()
+    except OSError:
+        pass
+    return platform.processor() or "unknown"
+
+
+def git_revision():
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"], capture_output=True, text=True,
+            check=True, cwd=os.path.dirname(os.path.abspath(__file__)))
+        return out.stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def fingerprint(scale):
+    return {
+        "host": platform.node(),
+        "os": platform.platform(),
+        "cpu": cpu_model(),
+        "cores": os.cpu_count(),
+        "git_revision": git_revision(),
+        "bench_scale": scale,
+    }
+
+
+def run_stats_bench(binary, bench_name, scale, metrics):
+    """Runs a bench_util-based bench, reduces its stats JSONL to metrics."""
+    with tempfile.NamedTemporaryFile(suffix=".jsonl", delete=False) as tmp:
+        jsonl_path = tmp.name
+    try:
+        env = dict(os.environ)
+        env["TOPK_BENCH_SCALE"] = str(scale)
+        env["TOPK_STATS_JSONL"] = jsonl_path
+        proc = subprocess.run([binary], env=env, capture_output=True,
+                              text=True)
+        if proc.returncode != 0:
+            print(f"error: {bench_name} exited {proc.returncode}:\n"
+                  f"{proc.stderr}", file=sys.stderr)
+            return False
+        with open(jsonl_path, "r", encoding="utf-8") as f:
+            docs = [json.loads(line) for line in f if line.strip()]
+    finally:
+        os.unlink(jsonl_path)
+    if not docs:
+        print(f"error: {bench_name} produced no stats documents",
+              file=sys.stderr)
+        return False
+    for index, doc in enumerate(docs):
+        key_base = f"{bench_name}/{index}:{doc.get('operator', '?')}"
+        stats = doc.get("operator_stats", {})
+        for stat in OPERATOR_STAT_KEYS:
+            if stat in stats:
+                metrics[f"{key_base}/{stat}"] = stats[stat]
+        io = doc.get("io") or {}
+        for stat in IO_STAT_KEYS:
+            if stat in io:
+                metrics[f"{key_base}/io.{stat}"] = io[stat]
+        counters = (doc.get("metrics") or {}).get("counters", {})
+        for counter in COUNTER_KEYS:
+            if counter in counters:
+                metrics[f"{key_base}/{counter}"] = counters[counter]
+    return True
+
+
+def run_google_bench(binary, bench_name, metrics):
+    """Runs a Google-benchmark binary, keeps real/cpu time per case."""
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+        out_path = tmp.name
+    try:
+        proc = subprocess.run(
+            [binary, f"--benchmark_out={out_path}",
+             "--benchmark_out_format=json",
+             "--benchmark_min_time=0.05"],
+            capture_output=True, text=True)
+        if proc.returncode != 0:
+            print(f"error: {bench_name} exited {proc.returncode}:\n"
+                  f"{proc.stderr}", file=sys.stderr)
+            return False
+        with open(out_path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    finally:
+        os.unlink(out_path)
+    for case in doc.get("benchmarks", []):
+        if case.get("run_type") == "aggregate":
+            continue
+        name = case.get("name", "?")
+        metrics[f"{bench_name}/{name}/real_nanos"] = case.get("real_time", 0)
+        metrics[f"{bench_name}/{name}/cpu_nanos"] = case.get("cpu_time", 0)
+    return True
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--label", required=True,
+                        help="snapshot label, e.g. 'seed' or 'ci'")
+    parser.add_argument("--build-dir", default="build")
+    parser.add_argument("--scale", type=float, default=0.25,
+                        help="TOPK_BENCH_SCALE for stats benches")
+    parser.add_argument("--benches", default=DEFAULT_BENCHES,
+                        help="comma-separated bench binary names")
+    parser.add_argument("--out", default=None,
+                        help="output path (default BENCH_<label>.json)")
+    args = parser.parse_args()
+
+    metrics = {}
+    ok = True
+    for bench_name in [b for b in args.benches.split(",") if b]:
+        binary = os.path.join(args.build_dir, "bench", bench_name)
+        if not os.path.exists(binary):
+            print(f"error: bench binary not found: {binary} "
+                  f"(build with: cmake --build {args.build_dir})",
+                  file=sys.stderr)
+            ok = False
+            continue
+        print(f"running {bench_name} ...", flush=True)
+        if bench_name == "micro_components":
+            ok = run_google_bench(binary, bench_name, metrics) and ok
+        else:
+            ok = run_stats_bench(binary, bench_name, args.scale,
+                                 metrics) and ok
+    if not metrics:
+        print("error: no metrics collected", file=sys.stderr)
+        return 1
+
+    snapshot = {
+        "bench_schema_version": 1,
+        "label": args.label,
+        "environment": fingerprint(args.scale),
+        "metrics": metrics,
+    }
+    out_path = args.out or f"BENCH_{args.label}.json"
+    with open(out_path, "w", encoding="utf-8") as f:
+        json.dump(snapshot, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"{len(metrics)} metrics written to {out_path}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -63,7 +63,10 @@
 ///   --trace-out   write a Chrome trace-event JSON of the execution to FILE
 ///                 (open in Perfetto / chrome://tracing)
 ///   --metrics-json  write the unified stats document (operator stats +
-///                 storage traffic + metrics registry) to FILE
+///                 storage traffic + scoped metrics + profile) to FILE
+///   --profile     print an EXPLAIN ANALYZE-style profile report after the
+///                 query: phase tree with wall/self/I/O-wait time, bytes,
+///                 cutoff-filter evolution, I/O event highlights (false)
 ///   --progress    print a progress line every ~5% of the input (false)
 
 #include <unistd.h>
@@ -77,6 +80,8 @@
 #include "common/flags.h"
 #include "gen/generator.h"
 #include "obs/metrics.h"
+#include "obs/obs_context.h"
+#include "obs/profile.h"
 #include "obs/stats_export.h"
 #include "obs/trace.h"
 #include "topk/operator_factory.h"
@@ -138,6 +143,7 @@ int main(int argc, char** argv) {
   double hedge_multiplier = 3.0, spill_quota_mb = 0;
   bool early_merge = true, verify = false, prefetch = true, progress = false;
   bool suspend_before_merge = false, hedge = false, storage_breaker = false;
+  bool profile = false;
   bool use_ovc = DefaultOvcEnabled();
   {
     auto status = [&]() -> Status {
@@ -199,6 +205,7 @@ int main(int argc, char** argv) {
         return Status::InvalidArgument("--spill-quota-mb must be >= 0");
       }
       TOPK_ASSIGN_OR_RETURN(verify, flags.GetBool("verify", false));
+      TOPK_ASSIGN_OR_RETURN(profile, flags.GetBool("profile", false));
       TOPK_ASSIGN_OR_RETURN(progress, flags.GetBool("progress", false));
       TOPK_ASSIGN_OR_RETURN(suspend_before_merge,
                             flags.GetBool("suspend-before-merge", false));
@@ -298,6 +305,14 @@ int main(int argc, char** argv) {
     options.allow_unbounded_memory = true;
   }
 
+  // One observability scope for the whole query: every metric recorded
+  // below lands in both the global registry and this query's own registry,
+  // and phase scopes hang off its timeline. In this single-query process
+  // the scoped snapshot matches the global registry's deltas.
+  std::shared_ptr<ObsContext> obs = ObsContext::Create(algorithm_name);
+  options.obs = obs;
+  ObsScope main_scope(obs);
+
   if (!trace_out.empty()) {
     GlobalTracer().Start();
   }
@@ -356,6 +371,7 @@ int main(int argc, char** argv) {
   Row row;
   Stopwatch watch;
   if (resume_from.empty()) {
+    PhaseScope consume_phase("consume");
     if (!trace_keys.empty()) {
       const std::string fill(static_cast<size_t>(payload), 'p');
       for (size_t i = 0; i < trace_keys.size(); ++i) {
@@ -375,8 +391,12 @@ int main(int argc, char** argv) {
     }
   }
   if (suspend_before_merge) {
-    Status status = (*op)->Suspend();
+    Status status = [&] {
+      PhaseScope suspend_phase("suspend");
+      return (*op)->Suspend();
+    }();
     if (!status.ok()) return Fail(status);
+    obs->MarkQueryComplete();
     std::printf(
         "suspended after %llu rows: runs and manifest '%s' left in %s\n"
         "resume with --resume-from=%s --spill-dir=%s\n",
@@ -395,7 +415,8 @@ int main(int argc, char** argv) {
       exported.operator_name = (*op)->name();
       exported.operator_stats = (*op)->stats();
       exported.io = env.stats()->snapshot();
-      exported.registry = &GlobalMetrics();
+      exported.metrics = obs->metrics().TakeSnapshot();
+      exported.obs = obs.get();
       std::ofstream out(metrics_json, std::ios::binary | std::ios::trunc);
       if (!out) {
         return Fail(Status::IoError("cannot open --metrics-json file " +
@@ -404,13 +425,18 @@ int main(int argc, char** argv) {
       out << FormatStatsJson(exported) << "\n";
       std::printf("metrics written to %s\n", metrics_json.c_str());
     }
+    if (profile) {
+      std::printf("\n%s", FormatProfileText(BuildProfileReport(*obs)).c_str());
+    }
     return 0;
   }
   Result<std::vector<Row>> result = [&]() {
+    PhaseScope finish_phase("finish");
     TraceSpan finish_span("topk.finish", "topk");
     return (*op)->Finish();
   }();
   if (!result.ok()) return Fail(result.status());
+  obs->MarkQueryComplete();
   const double seconds = watch.ElapsedSeconds();
 
   if (!trace_out.empty()) {
@@ -425,7 +451,8 @@ int main(int argc, char** argv) {
     exported.operator_name = (*op)->name();
     exported.operator_stats = (*op)->stats();
     exported.io = env.stats()->snapshot();
-    exported.registry = &GlobalMetrics();
+    exported.metrics = obs->metrics().TakeSnapshot();
+    exported.obs = obs.get();
     std::ofstream out(metrics_json, std::ios::binary | std::ios::trunc);
     if (!out) {
       return Fail(Status::IoError("cannot open --metrics-json file " +
@@ -446,6 +473,9 @@ int main(int argc, char** argv) {
   std::printf("\n\n%s", FormatOperatorStats((*op)->stats()).c_str());
   std::printf("  %-28s %s\n", "storage traffic",
               env.stats()->ToString().c_str());
+  if (profile) {
+    std::printf("\n%s", FormatProfileText(BuildProfileReport(*obs)).c_str());
+  }
 
   if (verify) {
     std::vector<Row> all;

@@ -17,11 +17,48 @@ import sys
 from collections import defaultdict
 
 
+def salvage_events(text):
+    """Recovers complete event objects from a truncated trace file.
+
+    A process that dies mid-write leaves `{"traceEvents": [{...}, {...}, {"na`
+    — everything before the cut is still valid JSON objects. Decode them one
+    by one until the first undecodable tail and analyse what survived.
+    """
+    start = text.find("[")
+    if start < 0:
+        return []
+    decoder = json.JSONDecoder()
+    events = []
+    pos = start + 1
+    while True:
+        # Skip whitespace and the comma between array elements.
+        while pos < len(text) and text[pos] in " \t\r\n,":
+            pos += 1
+        if pos >= len(text) or text[pos] != "{":
+            break
+        try:
+            obj, pos = decoder.raw_decode(text, pos)
+        except json.JSONDecodeError:
+            break
+        if isinstance(obj, dict):
+            events.append(obj)
+    return events
+
+
 def load_events(path):
     with open(path, "r", encoding="utf-8") as f:
-        doc = json.load(f)
-    events = doc.get("traceEvents", doc if isinstance(doc, list) else [])
-    spans = [e for e in events if e.get("ph") == "X"]
+        text = f.read()
+    try:
+        doc = json.loads(text)
+        events = doc.get("traceEvents", doc if isinstance(doc, list) else [])
+    except json.JSONDecodeError:
+        events = salvage_events(text)
+        if not events:
+            raise
+        print(f"warning: {path} is truncated or malformed JSON; "
+              f"salvaged {len(events)} complete events", file=sys.stderr)
+    spans = [e for e in events
+             if e.get("ph") == "X" and isinstance(e.get("ts"), (int, float))]
     instants = [e for e in events if e.get("ph") == "i"]
     return spans, instants
 
