@@ -9,6 +9,7 @@
 
 #include "common/crc32.h"
 #include "common/logging.h"
+#include "common/query_control.h"
 #include "common/random.h"
 #include "histogram/cutoff_filter.h"
 #include "io/spill_manager.h"
@@ -202,6 +203,25 @@ void BM_MergeSixRunsOvc(benchmark::State& state) {
   std::filesystem::remove_all(dir);
 }
 BENCHMARK(BM_MergeSixRunsOvc)->Arg(0)->Arg(1);
+
+/// The cancellation poll every operator runs on its row hot path: a null
+/// check plus one relaxed atomic load when a token is installed. Arg(0) is
+/// the non-cancellable query (null token, branch only), Arg(1) a live
+/// token. Both must price out as ~1 ns/row — bench_compare against the
+/// committed baseline guards the surrounding row-work benches
+/// (ReplacementSelectionAdd, RunWriterAppend) against the poll leaking
+/// real cost into them.
+void BM_CancelTokenPoll(benchmark::State& state) {
+  CancellationToken token;
+  const CancellationToken* cancel = state.range(0) != 0 ? &token : nullptr;
+  bool stop = false;
+  for (auto _ : state) {
+    stop = cancel != nullptr && cancel->ShouldStop();
+    benchmark::DoNotOptimize(stop);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CancelTokenPoll)->Arg(0)->Arg(1);
 
 void BM_Crc32c(benchmark::State& state) {
   std::string data(static_cast<size_t>(state.range(0)), 'd');

@@ -20,6 +20,10 @@ enum class StatusCode {
   kCorruption,
   kResourceExhausted,
   kCancelled,
+  /// The query's own deadline expired (query_control.h). Like kCancelled
+  /// this is caller-initiated: never retried, never a storage-health
+  /// signal.
+  kDeadlineExceeded,
   /// Transient failure (storage glitch, dropped round trip): the operation
   /// did not happen but is expected to succeed on retry. The only code the
   /// I/O retry layer (io/retry.h) treats as retryable.
@@ -64,6 +68,9 @@ class Status {
   }
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));

@@ -579,6 +579,14 @@ Status PrefetchingBlockReader::Read(size_t n, char* scratch,
           return Status::IoError("prefetch pipeline has no readable handle");
         }
       }
+      if (tuning_.cancel != nullptr && tuning_.cancel->ShouldStop()) {
+        // Caller-initiated: surface promptly without waiting for the
+        // in-flight fetch, and do NOT latch it as a stream error — the
+        // pool-thread completion still lands in the ring and is released
+        // (blocks_cancelled) at teardown.
+        ObsRecordIoWait(wait_watch.ElapsedNanos());
+        return tuning_.cancel->status();
+      }
       const auto pred = [this] {
         return (!ring_.empty() && ring_.begin()->first == consume_offset_) ||
                inflight_ == 0 || consume_offset_ >= eof_offset_;
@@ -591,13 +599,14 @@ Status PrefetchingBlockReader::Read(size_t n, char* scratch,
           tuning_.hedge_reads && reopen_ != nullptr &&
           hedged_.count(consume_offset_) == 0 &&
           inflight_by_offset_.count(consume_offset_) > 0;
-      int64_t wait_nanos = -1;
+      int64_t hedge_wait_nanos = -1;
       if (hedge_eligible) {
-        wait_nanos = std::max<int64_t>(
+        hedge_wait_nanos = std::max<int64_t>(
             tuning_.hedge_min_nanos,
             static_cast<int64_t>(tuning_.hedge_latency_multiplier *
                                  rtt_ewma_nanos_));
       }
+      int64_t wait_nanos = hedge_wait_nanos;
       if (tuning_.read_deadline_nanos > 0) {
         const int64_t remaining =
             tuning_.read_deadline_nanos - wait_watch.ElapsedNanos();
@@ -613,13 +622,24 @@ Status PrefetchingBlockReader::Read(size_t n, char* scratch,
         wait_nanos =
             wait_nanos < 0 ? remaining : std::min(wait_nanos, remaining);
       }
+      if (tuning_.cancel != nullptr) {
+        // With a cancellation token armed, never park indefinitely: wait
+        // in bounded slices so the top-of-loop poll observes a cancel
+        // within one slice even when storage has hung.
+        constexpr int64_t kCancelPollNanos = 10'000'000;  // 10 ms
+        wait_nanos = wait_nanos < 0 ? kCancelPollNanos
+                                    : std::min(wait_nanos, kCancelPollNanos);
+      }
       if (wait_nanos < 0) {
         cv_.wait(lock, pred);
       } else if (!cv_.wait_for(lock, std::chrono::nanoseconds(wait_nanos),
                                pred)) {
-        if (hedge_eligible &&
+        if (hedge_eligible && hedge_wait_nanos >= 0 &&
+            wait_watch.ElapsedNanos() >= hedge_wait_nanos &&
             hedged_.count(consume_offset_) == 0 &&
             inflight_by_offset_.count(consume_offset_) > 0) {
+          // Only hedge once the full hedge threshold has elapsed — a
+          // cancel-poll slice waking early must not duplicate the fetch.
           IssueHedgeLocked();
         }
         // A deadline overrun is caught by the remaining-time check above

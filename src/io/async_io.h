@@ -46,6 +46,13 @@ struct PrefetchTuning {
   /// sibling readers finish and live_readers() shrinks, inheriting freed
   /// budget without waiting for the next merge step.
   bool reapportion_depth = false;
+  /// Optional query cancellation token (query_control.h). When set, the
+  /// consumer wait in Read() polls it (bounded wait slices instead of an
+  /// indefinite block) and returns the token's status promptly even with
+  /// the fetch still in flight on a pool thread — the reader stays valid
+  /// and the in-flight block is accounted via io.prefetch.blocks_cancelled
+  /// when the stream is torn down. Not owned.
+  const CancellationToken* cancel = nullptr;
 };
 
 /// Background I/O pipeline configuration. On disaggregated storage every

@@ -2,6 +2,7 @@
 
 #include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <map>
 #include <sstream>
@@ -13,6 +14,7 @@ namespace topk {
 namespace {
 
 constexpr char kHeader[] = "topk-manifest v2";
+constexpr char kHeaderV3[] = "topk-manifest v3";
 
 void AppendRunLine(const RunMeta& run, std::string* out) {
   char buf[512];
@@ -41,9 +43,24 @@ void AppendRunLine(const RunMeta& run, std::string* out) {
 
 Status WriteManifest(StorageEnv* env, const std::string& path,
                      const std::vector<RunMeta>& runs,
-                     const RetryPolicy& retry) {
-  std::string content(kHeader);
+                     const RetryPolicy& retry,
+                     const ManifestCheckpoint* checkpoint) {
+  // v2 when no checkpoint: byte-for-byte the format every pre-checkpoint
+  // reader (and golden test) expects; v3 only when there is new state.
+  std::string content(checkpoint == nullptr ? kHeader : kHeaderV3);
   content += '\n';
+  if (checkpoint != nullptr) {
+    char buf[128];
+    if (checkpoint->has_cutoff) {
+      std::snprintf(buf, sizeof(buf), "ckpt %" PRIu64 " %" PRIu64 " %.17g\n",
+                    checkpoint->input_rows_consumed, checkpoint->run_id_bound,
+                    checkpoint->cutoff);
+    } else {
+      std::snprintf(buf, sizeof(buf), "ckpt %" PRIu64 " %" PRIu64 " none\n",
+                    checkpoint->input_rows_consumed, checkpoint->run_id_bound);
+    }
+    content += buf;
+  }
   for (const RunMeta& run : runs) {
     if (run.path.find_first_of(" \n") != std::string::npos) {
       return Status::InvalidArgument("run path contains whitespace: " +
@@ -68,7 +85,10 @@ Status WriteManifest(StorageEnv* env, const std::string& path,
 
 Result<std::vector<RunMeta>> ReadManifest(StorageEnv* env,
                                           const std::string& path,
-                                          const RetryPolicy& retry) {
+                                          const RetryPolicy& retry,
+                                          ManifestCheckpoint* checkpoint,
+                                          bool* has_checkpoint) {
+  if (has_checkpoint != nullptr) *has_checkpoint = false;
   std::unique_ptr<SequentialFile> file;
   TOPK_ASSIGN_OR_RETURN(file, env->NewSequentialFile(path));
   file = MaybeWrapWithRetries(std::move(file), path, retry);
@@ -98,13 +118,16 @@ Result<std::vector<RunMeta>> ReadManifest(StorageEnv* env,
 
   std::string line;
   size_t line_start = 0;
-  if (!next_line(&line, &line_start) || line != kHeader) {
+  if (!next_line(&line, &line_start) ||
+      (line != kHeader && line != kHeaderV3)) {
     return Status::Corruption("not a topk manifest: " + path);
   }
+  const bool v3 = line == kHeaderV3;
 
   std::vector<RunMeta> runs;
   std::map<uint64_t, size_t> run_position;
   bool saw_end = false;
+  bool saw_ckpt = false;
   uint64_t declared_count = 0;
   while (next_line(&line, &line_start)) {
     if (line.empty()) continue;
@@ -153,6 +176,34 @@ Result<std::vector<RunMeta>> ReadManifest(StorageEnv* env,
         }
         runs[it->second].index.push_back(entry);
       }
+    } else if (kind == "ckpt") {
+      if (!v3) {
+        return Status::Corruption("ckpt record in a v2 manifest at line " +
+                                  std::to_string(line_number));
+      }
+      if (saw_ckpt) {
+        return Status::Corruption("duplicate ckpt record at line " +
+                                  std::to_string(line_number));
+      }
+      ManifestCheckpoint ckpt;
+      std::string cutoff_field;
+      fields >> ckpt.input_rows_consumed >> ckpt.run_id_bound >> cutoff_field;
+      if (fields.fail() || cutoff_field.empty()) {
+        return Status::Corruption("malformed ckpt record at line " +
+                                  std::to_string(line_number));
+      }
+      if (cutoff_field != "none") {
+        char* parse_end = nullptr;
+        ckpt.cutoff = std::strtod(cutoff_field.c_str(), &parse_end);
+        if (parse_end == nullptr || *parse_end != '\0') {
+          return Status::Corruption("malformed ckpt cutoff at line " +
+                                    std::to_string(line_number));
+        }
+        ckpt.has_cutoff = true;
+      }
+      saw_ckpt = true;
+      if (checkpoint != nullptr) *checkpoint = ckpt;
+      if (has_checkpoint != nullptr) *has_checkpoint = true;
     } else if (kind == "end") {
       uint32_t declared_crc = 0;
       fields >> declared_count >> declared_crc;

@@ -21,7 +21,8 @@ namespace topk {
 /// the merge phase after a crash without regenerating runs.
 ///
 /// Format (text, one record per line):
-///   topk-manifest v2
+///   topk-manifest v2            (v3 when a ckpt record is present)
+///   ckpt <rows_consumed> <run_id_bound> <cutoff|none>   (v3 only)
 ///   run <id> <rows> <bytes> <first_key> <last_key> <crc32c> <path>
 ///   hist <id> <boundary> <count>
 ///   index <id> <key> <rows> <bytes>
@@ -30,20 +31,51 @@ namespace topk {
 /// CRC-32C covers every byte of the file before the end line, so any
 /// truncation or bit flip — even one that keeps a field syntactically
 /// valid, like a flipped digit in a row count — is detected as Corruption.
+///
+/// The v3 `ckpt` record is the input-offset bookkeeping that makes the
+/// optimized baseline resumable: its early merges interleave with input
+/// consumption, so run metadata alone cannot say *where in the input* the
+/// crash happened. A checkpoint records how many input rows the durable
+/// run set covers, the run-id frontier it covers (later runs hold rows the
+/// resumed query will replay and must be dropped), and the cutoff the
+/// filter had earned. A v2 manifest (no checkpoint) still parses; a v3
+/// manifest read by code that ignores checkpoints just yields its runs.
+
+/// Input-consumption checkpoint persisted in a v3 manifest.
+struct ManifestCheckpoint {
+  /// Input rows consumed when the checkpoint was taken; the durable runs
+  /// with id < run_id_bound conservatively cover exactly this prefix.
+  uint64_t input_rows_consumed = 0;
+  /// Exclusive upper bound on the run ids the checkpoint covers (run ids
+  /// are 0-based, so 0 means "no runs yet"). Runs with id >= run_id_bound
+  /// were written after the checkpoint and duplicate rows the resume
+  /// replay re-consumes — the resume path deletes them.
+  uint64_t run_id_bound = 0;
+  /// The input-filter cutoff in force at the checkpoint (optimized path).
+  bool has_cutoff = false;
+  double cutoff = 0.0;
+};
 
 /// Writes `runs` as a manifest file at `path`. `retry` governs
-/// transient-failure retries of the underlying storage calls.
+/// transient-failure retries of the underlying storage calls. A non-null
+/// `checkpoint` upgrades the file to v3 and embeds it as a ckpt record.
 Status WriteManifest(StorageEnv* env, const std::string& path,
                      const std::vector<RunMeta>& runs,
-                     const RetryPolicy& retry = RetryPolicy());
+                     const RetryPolicy& retry = RetryPolicy(),
+                     const ManifestCheckpoint* checkpoint = nullptr);
 
-/// Parses a manifest. Fails with Corruption on any malformed, truncated,
-/// or checksum-mismatched content (including a missing `end` record or
-/// run-count mismatch) — never a crash, never partial data.
+/// Parses a manifest (v2 or v3). Fails with Corruption on any malformed,
+/// truncated, or checksum-mismatched content (including a missing `end`
+/// record or run-count mismatch) — never a crash, never partial data.
+/// When `checkpoint` is non-null, *checkpoint reports the ckpt record
+/// (`has_checkpoint` distinguishes "no record" from a zero checkpoint).
 Result<std::vector<RunMeta>> ReadManifest(StorageEnv* env,
                                           const std::string& path,
                                           const RetryPolicy& retry =
-                                              RetryPolicy());
+                                              RetryPolicy(),
+                                          ManifestCheckpoint* checkpoint =
+                                              nullptr,
+                                          bool* has_checkpoint = nullptr);
 
 }  // namespace topk
 

@@ -38,6 +38,10 @@ ObsHistogram& RetryBackoffHistogram() {
   static ObsHistogram histogram("io.retry.backoff_nanos");
   return histogram;
 }
+ObsCounter& CancelledOpsCounter() {
+  static ObsCounter counter("io.cancelled_ops");
+  return counter;
+}
 
 Status WithAttempts(const Status& status, const std::string& op_name,
                     int attempts) {
@@ -84,6 +88,10 @@ RetryBudget* GlobalRetryBudget() {
 }
 
 bool IsRetryable(const Status& status) {
+  // Only Unavailable. Cancelled/DeadlineExceeded are caller-initiated
+  // (the query gave up, not the storage) and are permanent by design:
+  // retrying them would spend attempts, budget tokens, and backoff sleeps
+  // on a query nobody is waiting for.
   return status.code() == StatusCode::kUnavailable;
 }
 
@@ -115,6 +123,12 @@ Status RetryOp(const RetryPolicy& policy, const std::string& op_name,
                Random* jitter_rng, const std::function<Status()>& op) {
   const int max_attempts = std::max(1, policy.max_attempts);
   if (jitter_rng == nullptr) jitter_rng = PerThreadJitterRng(policy.jitter_seed);
+  // A cancelled query's ops fail fast before touching storage: no attempt,
+  // no budget withdrawal, no health-window signal.
+  if (policy.cancel != nullptr && policy.cancel->ShouldStop()) {
+    CancelledOpsCounter().Add(1);
+    return policy.cancel->status();
+  }
   Stopwatch deadline_watch;
   Status status;
   for (int attempt = 1;; ++attempt) {
@@ -124,6 +138,13 @@ Status RetryOp(const RetryPolicy& policy, const std::string& op_name,
       return status;
     }
     if (!IsRetryable(status)) return status;
+    // The op failed with a retryable error, but if the query has been
+    // cancelled in the meantime the retry belongs to nobody: surface the
+    // cancellation instead of the transient error.
+    if (policy.cancel != nullptr && policy.cancel->ShouldStop()) {
+      CancelledOpsCounter().Add(1);
+      return policy.cancel->status();
+    }
     if (attempt >= max_attempts) {
       RetryExhaustedCounter().Add(1);
       return WithAttempts(status, op_name, attempt);
@@ -162,7 +183,16 @@ Status RetryOp(const RetryPolicy& policy, const std::string& op_name,
                     TraceArg("backoff_nanos", backoff)});
     }
     if (backoff > 0) {
-      std::this_thread::sleep_for(std::chrono::nanoseconds(backoff));
+      if (policy.cancel != nullptr) {
+        // Interruptible backoff: a RequestCancel during the sleep wakes
+        // the retrier immediately instead of after up to max_backoff.
+        if (!policy.cancel->WaitFor(static_cast<uint64_t>(backoff))) {
+          CancelledOpsCounter().Add(1);
+          return policy.cancel->status();
+        }
+      } else {
+        std::this_thread::sleep_for(std::chrono::nanoseconds(backoff));
+      }
     }
   }
 }

@@ -7,6 +7,7 @@
 #include <mutex>
 #include <string>
 
+#include "common/query_control.h"
 #include "common/random.h"
 #include "common/status.h"
 #include "io/storage_env.h"
@@ -78,6 +79,12 @@ struct RetryPolicy {
   /// withdraw a token first; an empty bucket converts the retry into an
   /// immediate Unavailable ("retry budget exhausted"). Not owned.
   RetryBudget* retry_budget = nullptr;
+  /// Optional query cancellation token (query_control.h). When set,
+  /// RetryOp checks it before the first attempt and before every retry,
+  /// and backs off with an interruptible wait: a cancelled query stops
+  /// burning attempts (and budget tokens) immediately and surfaces the
+  /// token's Cancelled/DeadlineExceeded status. Not owned.
+  const CancellationToken* cancel = nullptr;
 
   static RetryPolicy NoRetries() {
     RetryPolicy policy;

@@ -76,9 +76,12 @@ Result<std::unique_ptr<SpillManager>> SpillManager::Restore(
   // A failed restore must leave the directory intact for another attempt.
   manager->owns_dir_ = false;
   std::vector<RunMeta> runs;
+  ManifestCheckpoint ckpt;
+  bool has_ckpt = false;
   TOPK_ASSIGN_OR_RETURN(
       runs, ReadManifest(env, manager->dir_ + "/" + manifest_filename,
-                         io.retry));
+                         io.retry, &ckpt, &has_ckpt));
+  if (has_ckpt) manager->SetManifestCheckpoint(ckpt);
   uint64_t max_id = 0;
   for (RunMeta& run : runs) {
     if (verify_runs) {
@@ -89,7 +92,12 @@ Result<std::unique_ptr<SpillManager>> SpillManager::Restore(
   }
   {
     std::lock_guard<std::mutex> lock(manager->mu_);
-    manager->next_run_id_ = runs.empty() ? 0 : max_id + 1;
+    // Also advance past the checkpoint's run-id frontier: runs above it
+    // may have been deleted by a resume, and replay output must not reuse
+    // their ids (a second crash would mistake it for covered state).
+    manager->next_run_id_ =
+        std::max(runs.empty() ? 0 : max_id + 1,
+                 has_ckpt ? ckpt.run_id_bound : 0);
   }
   manager->owns_dir_ = true;  // restored successfully: normal lifecycle
   return manager;
@@ -104,9 +112,12 @@ Result<std::unique_ptr<SpillManager>> SpillManager::OpenExisting(
   // A failed open must leave the crashed operator's state on disk.
   manager->owns_dir_ = false;
   std::vector<RunMeta> runs;
+  ManifestCheckpoint ckpt;
+  bool has_ckpt = false;
   TOPK_ASSIGN_OR_RETURN(
       runs, ReadManifest(env, manager->dir_ + "/" + manifest_filename,
-                         io.retry));
+                         io.retry, &ckpt, &has_ckpt));
+  if (has_ckpt) manager->SetManifestCheckpoint(ckpt);
   uint64_t max_id = 0;
   for (RunMeta& run : runs) {
     // Ids of quarantined runs count too: merge output written after the
@@ -129,7 +140,12 @@ Result<std::unique_ptr<SpillManager>> SpillManager::OpenExisting(
   }
   {
     std::lock_guard<std::mutex> lock(manager->mu_);
-    manager->next_run_id_ = runs.empty() ? 0 : max_id + 1;
+    // Also advance past the checkpoint's run-id frontier: runs above it
+    // may have been deleted by a resume, and replay output must not reuse
+    // their ids (a second crash would mistake it for covered state).
+    manager->next_run_id_ =
+        std::max(runs.empty() ? 0 : max_id + 1,
+                 has_ckpt ? ckpt.run_id_bound : 0);
   }
   manager->owns_dir_ = true;
   return manager;
@@ -137,15 +153,24 @@ Result<std::unique_ptr<SpillManager>> SpillManager::OpenExisting(
 
 Status SpillManager::SaveManifest(const std::string& manifest_filename) const {
   const std::string path = dir_ + "/" + manifest_filename;
+  // Snapshot registry + checkpoint together under one lock so a manifest
+  // never pairs a new checkpoint with an older run set (or vice versa).
+  std::vector<RunMeta> snapshot;
+  std::optional<ManifestCheckpoint> ckpt;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snapshot = runs_;
+    ckpt = manifest_checkpoint_;
+  }
   if (io_pool_ == nullptr) {
     TraceSpan span("manifest.save", "io");
-    return WriteManifest(env_, path, runs(), io_options_.retry);
+    return WriteManifest(env_, path, snapshot, io_options_.retry,
+                         ckpt.has_value() ? &*ckpt : nullptr);
   }
-  // Snapshot the registry now (the manifest reflects the state at the call),
-  // then ship the storage round trip to the pool. One write in flight at a
-  // time keeps manifests ordered; a burst of saves degrades to the previous
-  // synchronous behaviour rather than queueing stale snapshots.
-  std::vector<RunMeta> snapshot = runs();
+  // The manifest reflects the state at the call; the storage round trip
+  // rides the pool. One write in flight at a time keeps manifests ordered;
+  // a burst of saves degrades to the previous synchronous behaviour rather
+  // than queueing stale snapshots.
   std::unique_lock<std::mutex> lock(manifest_mu_);
   manifest_cv_.wait(lock, [this] { return !manifest_inflight_; });
   if (!manifest_latched_.ok()) {
@@ -154,10 +179,12 @@ Status SpillManager::SaveManifest(const std::string& manifest_filename) const {
     return latched;
   }
   manifest_inflight_ = true;
-  io_pool_->Schedule([this, path, snapshot = std::move(snapshot)] {
+  io_pool_->Schedule([this, path, snapshot = std::move(snapshot),
+                      ckpt = std::move(ckpt)] {
     TraceSpan span("manifest.save", "io.bg",
                    {TraceArg("runs", snapshot.size())});
-    Status status = WriteManifest(env_, path, snapshot, io_options_.retry);
+    Status status = WriteManifest(env_, path, snapshot, io_options_.retry,
+                                  ckpt.has_value() ? &*ckpt : nullptr);
     std::lock_guard<std::mutex> inner(manifest_mu_);
     if (!status.ok() && manifest_latched_.ok()) manifest_latched_ = status;
     manifest_inflight_ = false;
@@ -287,6 +314,26 @@ Status SpillManager::CheckpointManifest() {
   return status;
 }
 
+void SpillManager::SetManifestCheckpoint(const ManifestCheckpoint& checkpoint) {
+  std::lock_guard<std::mutex> lock(mu_);
+  manifest_checkpoint_ = checkpoint;
+}
+
+std::optional<ManifestCheckpoint> SpillManager::manifest_checkpoint() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return manifest_checkpoint_;
+}
+
+void SpillManager::ClearManifestCheckpoint() {
+  std::lock_guard<std::mutex> lock(mu_);
+  manifest_checkpoint_.reset();
+}
+
+uint64_t SpillManager::run_id_bound() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_run_id_;
+}
+
 void SpillManager::DisownDir() {
   std::lock_guard<std::mutex> lock(mu_);
   owns_dir_ = false;
@@ -308,6 +355,7 @@ Result<std::unique_ptr<RunReader>> SpillManager::OpenRun(
   tuning.hedge_latency_multiplier = io_options_.hedge_latency_multiplier;
   tuning.hedge_min_nanos = io_options_.hedge_min_nanos;
   tuning.read_deadline_nanos = io_options_.retry.deadline_nanos;
+  tuning.cancel = io_options_.retry.cancel;
   if (prefetch_depth_cap == 0) {
     // No plan-time cap from the caller: assume every registered run may be
     // read concurrently and split the budget evenly. Such apportioned caps

@@ -8,10 +8,13 @@
 #include <string>
 #include <vector>
 
+#include <optional>
+
 #include "common/result.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "io/async_io.h"
+#include "io/manifest.h"
 #include "io/run_file.h"
 #include "io/spill_quota.h"
 #include "io/storage_env.h"
@@ -141,6 +144,27 @@ class SpillManager {
   /// manifest writes.
   Status CheckpointManifest();
 
+  /// Records an input-consumption checkpoint: every manifest write from
+  /// now on (auto-checkpoints included) embeds it as a v3 ckpt record.
+  /// The caller is responsible for ordering — take the snapshot only once
+  /// every run it covers has been registered via AddRun.
+  void SetManifestCheckpoint(const ManifestCheckpoint& checkpoint);
+
+  /// The checkpoint read back by Restore/OpenExisting (empty if the
+  /// manifest had none), updated by SetManifestCheckpoint.
+  std::optional<ManifestCheckpoint> manifest_checkpoint() const;
+
+  /// Drops the input checkpoint: subsequent manifest writes revert to the
+  /// v2 (run-registry-only) format. The optimized operator clears it once
+  /// the whole input is durable in runs, so merge-phase crashes resume
+  /// from the runs alone instead of replaying input against them.
+  void ClearManifestCheckpoint();
+
+  /// Exclusive upper bound on the run ids allocated so far (the id the
+  /// next NewRun would get). This is the ManifestCheckpoint::run_id_bound
+  /// an input checkpoint taken right now should record.
+  uint64_t run_id_bound() const;
+
   /// Tells the destructor to leave the spill directory (and every file in
   /// it) on disk. Used when suspending an operator whose state a later
   /// process will resume, and after a failed merge whose runs are still
@@ -218,6 +242,9 @@ class SpillManager {
   std::string auto_manifest_;
   uint64_t next_run_id_ = 0;
   std::vector<RunMeta> runs_;
+  /// Input-consumption checkpoint embedded in every manifest write once
+  /// set (guarded by mu_; snapshotted together with the run registry).
+  std::optional<ManifestCheckpoint> manifest_checkpoint_;
   uint64_t total_rows_spilled_ = 0;
   uint64_t total_bytes_spilled_ = 0;
   uint64_t total_runs_created_ = 0;

@@ -28,6 +28,12 @@ ObsCounter& HealthProbesCounter() {
 }
 
 bool IsHealthFailure(const Status& status) {
+  // Only codes the *storage service* caused count against its health.
+  // Caller-initiated outcomes — Cancelled, DeadlineExceeded (the query
+  // gave up), InvalidArgument, Corruption-on-our-own-bytes, quota — say
+  // nothing about whether the service is up, so they must neither trip
+  // the breaker nor pollute the sliding window (RecordOutcome drops them
+  // below).
   return status.code() == StatusCode::kUnavailable ||
          status.code() == StatusCode::kIoError;
 }

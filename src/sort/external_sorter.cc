@@ -32,10 +32,12 @@ Status ExternalSorter::SwitchToExternal() {
   io.background_threads = options_.io_background_threads;
   io.enable_prefetch = options_.enable_io_prefetch;
   io.prefetch_memory_budget = options_.prefetch_memory_budget;
+  io.retry.cancel = options_.cancel;
   TOPK_ASSIGN_OR_RETURN(
       spill_, SpillManager::Create(options_.env, options_.spill_dir, io));
   RunGeneratorOptions gen_options;
   gen_options.memory_limit_bytes = options_.memory_limit_bytes;
+  gen_options.cancel = options_.cancel;
   if (options_.run_generation == RunGenerationKind::kReplacementSelection) {
     generator_ = std::make_unique<ReplacementSelectionRunGenerator>(
         spill_.get(), comparator_, gen_options);
@@ -55,6 +57,9 @@ Status ExternalSorter::SwitchToExternal() {
 Status ExternalSorter::Add(Row row) {
   if (finished_) {
     return Status::FailedPrecondition("Add after Sort");
+  }
+  if (options_.cancel != nullptr && options_.cancel->ShouldStop()) {
+    return options_.cancel->status();
   }
   ObsScope obs_scope(options_.obs);
   ++rows_added_;
@@ -77,6 +82,9 @@ Status ExternalSorter::Sort(const RowSink& sink) {
   }
   ObsScope obs_scope(options_.obs);
   finished_ = true;
+  if (options_.cancel != nullptr && options_.cancel->ShouldStop()) {
+    return options_.cancel->status();
+  }
   if (generator_ == nullptr) {
     std::sort(buffer_.begin(), buffer_.end(), comparator_);
     for (Row& row : buffer_) {
@@ -93,6 +101,7 @@ Status ExternalSorter::Sort(const RowSink& sink) {
   MergePlannerOptions planner_options;
   planner_options.fan_in = options_.merge_fan_in;
   planner_options.policy = MergePolicy::kSmallestRunsFirst;
+  planner_options.cancel = options_.cancel;
   std::vector<RunMeta> final_runs;
   TOPK_ASSIGN_OR_RETURN(
       final_runs,
@@ -100,9 +109,11 @@ Status ExternalSorter::Sort(const RowSink& sink) {
   MergeStats merge_stats;
   {
     PhaseScope merge_phase("merge.final");
+    MergeOptions merge_options;
+    merge_options.cancel = options_.cancel;
     TOPK_ASSIGN_OR_RETURN(merge_stats,
                           MergeRuns(spill_.get(), final_runs, comparator_,
-                                    MergeOptions{}, sink));
+                                    merge_options, sink));
   }
   return Status::OK();
 }

@@ -38,6 +38,10 @@ class ExternalSorter {
     /// Per-query observability scope (see TopKOptions::obs). Null = record
     /// into the global registry only.
     std::shared_ptr<ObsContext> obs;
+    /// Optional cancellation token (see TopKOptions::cancel); observed by
+    /// run generation, spills, and the merge. Not owned; must outlive the
+    /// sorter. Null = never cancelled.
+    const CancellationToken* cancel = nullptr;
   };
 
   static Result<std::unique_ptr<ExternalSorter>> Make(const Options& options);

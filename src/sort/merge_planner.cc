@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/query_control.h"
 #include "obs/obs_context.h"
 #include "obs/trace.h"
 #include "sort/merger.h"
@@ -44,7 +45,14 @@ Result<std::vector<RunMeta>> ReduceRunsForFinalMerge(
   }
   std::vector<RunMeta> runs = spill->runs();
   while (runs.size() > options.fan_in) {
+    // Between steps is the cheapest place to stop: the previous step is
+    // fully committed (manifest flushed, inputs deleted), so cancellation
+    // here leaves a cleanly resumable run set.
+    TOPK_RETURN_IF_CANCELLED(options.cancel);
     OrderRunsForMerge(&runs, comparator, options.policy);
+    // Crash point: the ordered plan exists only in memory; everything
+    // durable is the previous step's committed state.
+    HitCrashPoint("pre-merge-step");
     // Merge enough runs that the final pass can cover the rest: prefer the
     // largest useful step (full fan-in) unless fewer suffice.
     const size_t excess = runs.size() - options.fan_in;
@@ -72,6 +80,7 @@ Result<std::vector<RunMeta>> ReduceRunsForFinalMerge(
     merge_options.refine_filter = options.filter;
     merge_options.prefetch_depth_cap = prefetch_depth_cap;
     merge_options.use_ovc = options.use_ovc;
+    merge_options.cancel = options.cancel;
     MergeStats merge_stats;
     TOPK_ASSIGN_OR_RETURN(
         merge_stats,
@@ -106,6 +115,9 @@ Result<std::vector<RunMeta>> ReduceRunsForFinalMerge(
     for (const std::string& path : consumed_paths) {
       TOPK_RETURN_NOT_OK(spill->DeleteSpillFile(path));
     }
+    // Crash point: the step is fully committed — output registered,
+    // manifest durable, inputs gone.
+    HitCrashPoint("post-merge-step");
     if (stats != nullptr) {
       ++stats->intermediate_steps;
       stats->intermediate_rows_written += merge_stats.rows_emitted;

@@ -40,6 +40,11 @@ struct MergePlannerOptions {
   /// Offset-value coding on each intermediate step's loser tree (see
   /// MergeOptions::use_ovc).
   bool use_ovc = DefaultOvcEnabled();
+  /// Optional query cancellation token: polled before each intermediate
+  /// step and per-row inside it (forwarded to MergeOptions::cancel). A
+  /// completed step is durable before the next poll, so cancellation
+  /// never strands a half-committed step. Not owned.
+  const CancellationToken* cancel = nullptr;
 };
 
 struct MergePlanStats {

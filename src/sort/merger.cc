@@ -192,6 +192,10 @@ Result<MergeStats> MergeRuns(SpillManager* spill,
   uint64_t produced = 0;  // skipped + emitted
   uint64_t last_key_norm = 0;
   for (;;) {
+    // One relaxed load per merged row: a cancelled query's merge unwinds
+    // within a single row step, and the PrefetchCancelGuard above cancels
+    // every way's in-flight prefetch on the way out.
+    TOPK_RETURN_IF_CANCELLED(options.cancel);
     const size_t w = tree.winner();
     if (produced >= target) {
       // Limit reached; only key-ties of the last emitted row may follow.

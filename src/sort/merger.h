@@ -64,6 +64,11 @@ struct MergeOptions {
   /// exists for the CI equivalence matrix and A/B benchmarks
   /// (sort.compare.count / sort.compare.ovc_hits quantify the win).
   bool use_ovc = DefaultOvcEnabled();
+
+  /// Optional query cancellation token, polled once per merged row (one
+  /// relaxed load): a cancelled merge unwinds within one row, cancelling
+  /// its readers' in-flight prefetches on the way out. Not owned.
+  const CancellationToken* cancel = nullptr;
 };
 
 struct MergeStats {

@@ -53,6 +53,7 @@ Status QuicksortRunGenerator::SortAndSpill() {
   std::unique_ptr<RunWriter> writer;
   uint64_t rows_in_run = 0;
   for (const auto& [norm, index] : order) {
+    TOPK_RETURN_IF_CANCELLED(options_.cancel);
     Row& row = buffer_[index];
     if (options_.observer != nullptr &&
         options_.observer->EliminateAtSpill(row)) {

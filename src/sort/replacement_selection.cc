@@ -31,6 +31,7 @@ Status ReplacementSelectionRunGenerator::Add(Row row) {
   stats_.peak_memory_bytes =
       std::max(stats_.peak_memory_bytes, buffered_bytes_);
   while (buffered_bytes_ > options_.memory_limit_bytes && heap_.size() > 1) {
+    TOPK_RETURN_IF_CANCELLED(options_.cancel);
     TOPK_RETURN_NOT_OK(SpillOne());
   }
   stats_.rows_in_memory = heap_.size();
@@ -98,6 +99,7 @@ Status ReplacementSelectionRunGenerator::CloseRun() {
 
 Status ReplacementSelectionRunGenerator::Flush() {
   while (!heap_.empty()) {
+    TOPK_RETURN_IF_CANCELLED(options_.cancel);
     TOPK_RETURN_NOT_OK(SpillOne());
   }
   TOPK_RETURN_NOT_OK(CloseRun());

@@ -33,6 +33,9 @@ class ReplacementSelectionRunGenerator : public RunGenerator {
 
   Status Add(Row row) override;
   Status Flush() override;
+  void SetCancel(const CancellationToken* cancel) override {
+    options_.cancel = cancel;
+  }
   const RunGeneratorStats& stats() const override { return stats_; }
 
   /// Logical run sequence currently being written (for tests).

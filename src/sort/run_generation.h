@@ -53,6 +53,10 @@ struct RunGeneratorOptions {
   SpillObserver* observer = nullptr;
   /// Seek-index granularity of produced runs (rows per RunIndexEntry).
   uint64_t run_index_stride = kDefaultIndexStride;
+  /// Optional query cancellation token, polled per spilled row: a spill
+  /// of a whole memory load (potentially seconds on slow storage) unwinds
+  /// within one row of a cancel. Not owned.
+  const CancellationToken* cancel = nullptr;
 };
 
 struct RunGeneratorStats {
@@ -77,7 +81,14 @@ class RunGenerator {
 
   /// Ends the input: spills everything still buffered and closes the last
   /// run. After Flush() the SpillManager holds the complete set of runs.
+  /// Safe to keep Add()ing afterwards (a new run set begins) — the
+  /// optimized operator's input checkpoints rely on this.
   virtual Status Flush() = 0;
+
+  /// Replaces the cancellation token polled by the spill loops (nullptr
+  /// detaches). The keep-for-resume cancel unwind detaches it so the
+  /// final checkpoint flush completes even though the token has tripped.
+  virtual void SetCancel(const CancellationToken* cancel) = 0;
 
   virtual const RunGeneratorStats& stats() const = 0;
 };
@@ -93,6 +104,9 @@ class QuicksortRunGenerator : public RunGenerator {
 
   Status Add(Row row) override;
   Status Flush() override;
+  void SetCancel(const CancellationToken* cancel) override {
+    options_.cancel = cancel;
+  }
   const RunGeneratorStats& stats() const override { return stats_; }
 
  private:

@@ -31,6 +31,11 @@ Status HeapTopK::Consume(Row row) {
   if (finished_) {
     return Status::FailedPrecondition("Consume after Finish");
   }
+  if (options_.cancel != nullptr && options_.cancel->ShouldStop()) {
+    // Purely in-memory: nothing to persist, so cancellation is just an
+    // early return (one relaxed load when the token is quiet).
+    return options_.cancel->status();
+  }
   ObsScope obs_scope(options_.obs);
   Stopwatch watch;
   TOPK_RETURN_NOT_OK(ValidateRowPayload(row));
@@ -97,6 +102,9 @@ Result<std::vector<Row>> HeapTopK::Finish() {
     return Status::FailedPrecondition("Finish called twice");
   }
   finished_ = true;
+  if (options_.cancel != nullptr && options_.cancel->ShouldStop()) {
+    return options_.cancel->status();
+  }
   ObsScope obs_scope(options_.obs);
   Stopwatch watch;
   stats_.final_cutoff = cutoff();

@@ -150,6 +150,7 @@ Status HistogramTopK::SwitchToExternal() {
     gen_options.run_row_limit = options_.output_rows();
   }
   gen_options.observer = observer_.get();
+  gen_options.cancel = options_.cancel.get();
   // Index granularity that yields ~64 seek points per run even when runs
   // are small (offset skips need entries inside every run).
   gen_options.run_index_stride = std::max<uint64_t>(16, expected_run_rows / 64);
@@ -220,6 +221,7 @@ Status HistogramTopK::ConsolidateSpillForQuota() {
   merge_options.stop_filter = filter_.get();
   merge_options.refine_filter = filter_.get();
   merge_options.use_ovc = options_.use_ovc;
+  merge_options.cancel = options_.cancel.get();
   MergeStats merge_stats;
   TOPK_ASSIGN_OR_RETURN(
       merge_stats, MergeRuns(spill_.get(), inputs, comparator_, merge_options,
@@ -253,6 +255,40 @@ Status HistogramTopK::ConsolidateSpillForQuota() {
   return Status::OK();
 }
 
+Status HistogramTopK::CheckCancel() {
+  if (options_.cancel == nullptr || !options_.cancel->ShouldStop()) {
+    return Status::OK();
+  }
+  return OnCancelStatus(options_.cancel->status());
+}
+
+Status HistogramTopK::OnCancelStatus(Status cause) {
+  if (!IsCancellation(cause.code())) return cause;
+  if (options_.on_cancel != OnCancelPolicy::kKeepForResume ||
+      cancel_unwound_ || spill_ == nullptr ||
+      options_.manifest_filename.empty()) {
+    return cause;
+  }
+  // Preempted-but-resumable: perform Suspend's durable handoff before
+  // surfacing the cancellation, so the runs this query already paid for
+  // survive for ResumeFromManifest instead of being released.
+  cancel_unwound_ = true;
+  finished_ = true;
+  TraceSpan span("topk.cancel_keep_for_resume", "topk");
+  // The token has tripped; shield it (and detach it from the generator's
+  // spill loops) so the handoff's own flush and manifest I/O complete
+  // instead of re-observing the cancellation at every layer.
+  CancelShield shield(options_.cancel.get());
+  if (generator_ != nullptr) {
+    generator_->SetCancel(nullptr);
+    TOPK_RETURN_NOT_OK(generator_->Flush());
+  }
+  TOPK_RETURN_NOT_OK(spill_->CheckpointManifest());
+  TOPK_RETURN_NOT_OK(spill_->FlushManifest());
+  spill_->DisownDir();
+  return cause;
+}
+
 Status HistogramTopK::Consume(Row row) {
   // No-op when the caller (CLI, test harness) already installed the same
   // context around its consume loop — the per-row cost is then one TLS
@@ -265,6 +301,15 @@ Status HistogramTopK::Consume(Row row) {
     return Status::FailedPrecondition(
         "a resumed operator accepts no input; its runs are already on disk");
   }
+  Status status = ConsumeImpl(std::move(row));
+  if (!status.ok() && !IsCancellation(status.code()) && first_error_.ok()) {
+    first_error_ = status;
+  }
+  return status;
+}
+
+Status HistogramTopK::ConsumeImpl(Row row) {
+  TOPK_RETURN_NOT_OK(CheckCancel());
   Stopwatch watch;
   TOPK_RETURN_NOT_OK(ValidateRowPayload(row));
   ++stats_.rows_consumed;
@@ -276,8 +321,9 @@ Status HistogramTopK::Consume(Row row) {
     } else {
       // Reclaim disk headroom *before* handing over the row: Add takes it
       // by value, so a quota breach inside run generation would lose it.
-      TOPK_RETURN_NOT_OK(MaybeConsolidateForQuota());
-      TOPK_RETURN_NOT_OK(generator_->Add(std::move(row)));
+      Status pushed = MaybeConsolidateForQuota();
+      if (pushed.ok()) pushed = generator_->Add(std::move(row));
+      if (!pushed.ok()) return OnCancelStatus(std::move(pushed));
     }
     stats_.consume_nanos += watch.ElapsedNanos();
     return Status::OK();
@@ -351,7 +397,8 @@ Status HistogramTopK::Consume(Row row) {
     // does not fit, switch to the external algorithm.
   }
   TOPK_RETURN_NOT_OK(SwitchToExternal());
-  TOPK_RETURN_NOT_OK(generator_->Add(std::move(row)));
+  Status added = generator_->Add(std::move(row));
+  if (!added.ok()) return OnCancelStatus(std::move(added));
   stats_.consume_nanos += watch.ElapsedNanos();
   return Status::OK();
 }
@@ -362,6 +409,16 @@ Result<std::vector<Row>> HistogramTopK::Finish() {
     return Status::FailedPrecondition("Finish called twice");
   }
   finished_ = true;
+  Result<std::vector<Row>> result = FinishImpl();
+  if (!result.ok() && !IsCancellation(result.status().code()) &&
+      first_error_.ok()) {
+    first_error_ = result.status();
+  }
+  return result;
+}
+
+Result<std::vector<Row>> HistogramTopK::FinishImpl() {
+  TOPK_RETURN_NOT_OK(CheckCancel());
   Stopwatch watch;
   std::vector<Row> result;
 
@@ -405,7 +462,8 @@ Result<std::vector<Row>> HistogramTopK::Finish() {
     {
       PhaseScope flush_phase("rungen.flush");
       TraceSpan flush_span("rungen.flush", "topk");
-      TOPK_RETURN_NOT_OK(generator_->Flush());
+      Status flushed = generator_->Flush();
+      if (!flushed.ok()) return OnCancelStatus(std::move(flushed));
     }
     stats_.rows_eliminated_spill =
         generator_->stats().rows_eliminated_at_spill;
@@ -413,6 +471,13 @@ Result<std::vector<Row>> HistogramTopK::Finish() {
     stats_.runs_created = spill_->total_runs_created();
     stats_.peak_memory_bytes = std::max(
         stats_.peak_memory_bytes, generator_->stats().peak_memory_bytes);
+    if (spill_->auto_manifest_enabled()) {
+      // Every run is registered and checkpointed; make the manifest
+      // durable so the crash point below (and any real crash between
+      // run generation and the merge) finds a resumable state.
+      TOPK_RETURN_NOT_OK(spill_->FlushManifest());
+      HitCrashPoint("post-run-flush");
+    }
   }
 
   MergePlanStats plan_stats;
@@ -425,6 +490,7 @@ Result<std::vector<Row>> HistogramTopK::Finish() {
     planner_options.with_ties = options_.with_ties;
     planner_options.filter = filter_.get();
     planner_options.use_ovc = options_.use_ovc;
+    planner_options.cancel = options_.cancel.get();
     std::vector<RunMeta> final_runs;
     {
       TraceSpan plan_span("merge.reduce_runs", "topk",
@@ -440,6 +506,7 @@ Result<std::vector<Row>> HistogramTopK::Finish() {
     merge_options.skip = options_.offset;
     merge_options.with_ties = options_.with_ties;
     merge_options.use_ovc = options_.use_ovc;
+    merge_options.cancel = options_.cancel.get();
     const RowSink collect = [&](Row&& row) {
       result.push_back(std::move(row));
       return Status::OK();
@@ -469,6 +536,9 @@ Result<std::vector<Row>> HistogramTopK::Finish() {
       // The merge failed, but the manifest still describes a consistent run
       // set on disk (the planner deletes inputs only after checkpointing).
       // Keep the directory so ResumeFromManifest can pick the query up.
+      // This also covers a cancellation that surfaced mid-merge, whatever
+      // the on_cancel policy: the runs are already durable, releasing them
+      // would only destroy a valid manifest's backing files.
       (void)spill_->FlushManifest();
       spill_->DisownDir();
     }
@@ -489,6 +559,11 @@ Result<std::vector<Row>> HistogramTopK::Finish() {
 
 Status HistogramTopK::Suspend() {
   ObsScope obs_scope(options_.obs);
+  if (!first_error_.ok()) {
+    // A prior entry point already failed; the real cause of the
+    // operator's demise beats a generic precondition complaint.
+    return first_error_;
+  }
   if (finished_) {
     return Status::FailedPrecondition("Suspend after Finish");
   }
@@ -501,11 +576,16 @@ Status HistogramTopK::Suspend() {
   }
   finished_ = true;
   TraceSpan span("topk.suspend", "topk");
+  // An explicit Suspend overrides a tripped cancellation token: it IS the
+  // orderly way to stop this query, so the spill and manifest work below
+  // must not be interrupted by the very cancellation that prompted it.
+  CancelShield shield(options_.cancel.get());
   // Everything still buffered in memory must reach a run on disk — an
   // in-memory operator spills via the normal external switch.
   if (generator_ == nullptr) {
     TOPK_RETURN_NOT_OK(SwitchToExternal());
   }
+  generator_->SetCancel(nullptr);
   TOPK_RETURN_NOT_OK(generator_->Flush());
   TOPK_RETURN_NOT_OK(spill_->CheckpointManifest());
   TOPK_RETURN_NOT_OK(spill_->FlushManifest());
@@ -513,6 +593,7 @@ Status HistogramTopK::Suspend() {
   stats_.rows_spilled = generator_->stats().rows_spilled;
   stats_.runs_created = spill_->total_runs_created();
   stats_.bytes_spilled = spill_->total_bytes_spilled();
+  HitCrashPoint("post-manifest-checkpoint");
   spill_->DisownDir();
   return Status::OK();
 }

@@ -83,6 +83,19 @@ class HistogramTopK : public TopKOperator {
   Status SwitchToExternal();
   CutoffFilter::Options MakeFilterOptions(uint64_t expected_run_rows);
 
+  Status ConsumeImpl(Row row);
+  Result<std::vector<Row>> FinishImpl();
+
+  /// Entry-point poll of options_.cancel; a tripped token is routed
+  /// through OnCancelStatus so the on_cancel policy applies.
+  Status CheckCancel();
+  /// Passes `cause` through, but when it is the cancellation token
+  /// tripping and on_cancel is kKeepForResume, first performs Suspend's
+  /// durable handoff (flush, checkpoint, disown) so the spilled runs
+  /// survive for ResumeFromManifest. A storage error during the handoff
+  /// wins over the cancellation.
+  Status OnCancelStatus(Status cause);
+
   /// Consolidates spilled runs early when the spill quota is nearly full
   /// (checked before every row handed to run generation): merges up to
   /// merge_fan_in registered runs — lowest keys first, stopping at the
@@ -114,6 +127,12 @@ class HistogramTopK : public TopKOperator {
   /// Built by ResumeFromManifest: runs come from a restored spill manager,
   /// there is no run generator, and Consume is rejected.
   bool resumed_ = false;
+  /// First non-cancellation error any entry point surfaced. Suspend
+  /// returns it instead of a generic precondition failure: the real cause
+  /// of the operator's demise beats "Suspend after Finish".
+  Status first_error_;
+  /// The keep-for-resume cancel handoff ran (it must run at most once).
+  bool cancel_unwound_ = false;
   /// total_runs_created() at the last quota consolidation attempt; a new
   /// attempt waits for at least one new run so a consolidation that could
   /// not free enough space is not retried on every row.

@@ -79,12 +79,19 @@ Result<std::unique_ptr<TopKOperator>> ResumeTopKOperator(
           op, TraditionalExternalTopK::ResumeFromManifest(options, report));
       return std::unique_ptr<TopKOperator>(std::move(op));
     }
+    case TopKAlgorithm::kOptimizedExternal: {
+      std::unique_ptr<OptimizedExternalTopK> op;
+      TOPK_ASSIGN_OR_RETURN(
+          op, OptimizedExternalTopK::ResumeFromManifest(options, report));
+      return std::unique_ptr<TopKOperator>(std::move(op));
+    }
     case TopKAlgorithm::kHeap:
-    case TopKAlgorithm::kOptimizedExternal:
       break;
   }
-  return Status::InvalidArgument("algorithm " + TopKAlgorithmName(algorithm) +
-                                 " does not support manifest resume");
+  return Status::InvalidArgument(
+      "algorithm " + TopKAlgorithmName(algorithm) +
+      " does not support manifest resume (supported: histogram, "
+      "traditional-external, optimized-external)");
 }
 
 }  // namespace topk

@@ -27,9 +27,13 @@ Result<std::unique_ptr<TopKOperator>> MakeTopKOperator(
 
 /// Resumes a suspended or crashed execution from the manifest named by
 /// `options.manifest_filename` inside `options.spill_dir`. Supported for
-/// the spilling algorithms (kHistogram, kTraditionalExternal); the resumed
-/// operator accepts no further input — call Finish() for the result. Runs
-/// failing verification are quarantined and recorded in `report`.
+/// the spilling algorithms (kHistogram, kTraditionalExternal,
+/// kOptimizedExternal). Most resumed operators accept no further input —
+/// call Finish() for the result. The exception is an optimized-external
+/// execution restored from a mid-input checkpoint: there
+/// resume_accepts_input() is true and the caller must replay the input
+/// from resume_input_offset() before Finish(). Runs failing verification
+/// are quarantined and recorded in `report`.
 Result<std::unique_ptr<TopKOperator>> ResumeTopKOperator(
     TopKAlgorithm algorithm, const TopKOptions& options,
     RestoreReport* report = nullptr);

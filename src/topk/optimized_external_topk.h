@@ -35,14 +35,55 @@ class OptimizedExternalTopK : public TopKOperator {
   static Result<std::unique_ptr<OptimizedExternalTopK>> Make(
       const TopKOptions& options);
 
+  /// Reconstructs a suspended or crashed execution from the manifest in
+  /// `options.manifest_filename`. Two shapes, decided by the manifest:
+  ///
+  ///  * It holds an input checkpoint (ckpt record): the crash happened
+  ///    mid-input. Runs past the checkpoint's run-id frontier are deleted
+  ///    (the replay re-delivers their rows), the cutoff is restored, and
+  ///    the resumed operator ACCEPTS INPUT — resume_accepts_input() is
+  ///    true and the caller must replay the input stream starting at
+  ///    resume_input_offset(), then call Finish().
+  ///
+  ///  * No checkpoint: the input had been fully flushed into runs before
+  ///    the crash (Finish clears the checkpoint at that boundary). The
+  ///    resumed operator accepts no input; Finish() merges the runs.
+  ///
+  /// Note: without checkpoint_input_every_rows, a manifest written
+  /// mid-input has no ckpt record and is indistinguishable from the
+  /// post-input state — only crashes after run generation completed are
+  /// then safely resumable. Enable input checkpointing when optimized
+  /// executions must survive mid-input crashes.
+  static Result<std::unique_ptr<OptimizedExternalTopK>> ResumeFromManifest(
+      const TopKOptions& options, RestoreReport* report = nullptr);
+
   ~OptimizedExternalTopK() override;  // out-of-line: KthKeyObserver is
                                       // incomplete here
 
   Status Consume(Row row) override;
   Result<std::vector<Row>> Finish() override;
+
+  /// Flushes buffered rows into runs, records an input checkpoint (rows
+  /// consumed, run-id frontier, cutoff), makes the manifest durable, and
+  /// leaves the spill directory for a later ResumeFromManifest — which
+  /// will accept the input tail this execution never saw. Requires
+  /// options.manifest_filename. Also legal on an input-accepting resumed
+  /// operator (a resumed query can be preempted again).
+  Status Suspend() override;
+
   std::string name() const override { return "optimized-external"; }
 
+  bool resume_accepts_input() const override {
+    return resumed_ && generator_ != nullptr;
+  }
+  uint64_t resume_input_offset() const override {
+    return resume_input_offset_;
+  }
+
   std::optional<double> cutoff() const { return cutoff_; }
+
+  /// True for an operator reconstructed by ResumeFromManifest.
+  bool is_resumed() const { return resumed_; }
 
  private:
   class KthKeyObserver;
@@ -50,9 +91,31 @@ class OptimizedExternalTopK : public TopKOperator {
   explicit OptimizedExternalTopK(const TopKOptions& options);
 
   Status SwitchToExternal();
+  /// Builds observer_ + generator_ against the existing spill_ (shared by
+  /// the external switch and the mid-input resume path).
+  Status CreateGenerator();
   Status MaybeEarlyMerge();
   bool EliminateAtInput(const Row& row) const;
   void ProposeCutoff(double key);
+
+  /// Closes the current run set and makes an input checkpoint durable;
+  /// the "optimized.mid-input" crash point fires once it is.
+  Status CheckpointInput();
+  /// Records (rows consumed, run-id frontier, cutoff) in the manifest and
+  /// flushes it; advances the early-merge pin.
+  Status WriteInputCheckpoint();
+
+  Status ConsumeImpl(Row row);
+  Result<std::vector<Row>> FinishImpl();
+
+  /// Entry-point poll of options_.cancel; a tripped token is routed
+  /// through OnCancelStatus.
+  Status CheckCancel();
+  /// Passes `cause` through, but when it is the cancellation token
+  /// tripping and on_cancel is kKeepForResume, first performs Suspend's
+  /// durable handoff (checkpoint included) so the query resumes from
+  /// where the cancel caught it.
+  Status OnCancelStatus(Status cause);
 
   TopKOptions options_;
   RowComparator comparator_;
@@ -71,6 +134,25 @@ class OptimizedExternalTopK : public TopKOperator {
   uint64_t early_merge_runs_registered_ = 0;
 
   bool finished_ = false;
+  /// Built by ResumeFromManifest. With a generator the operator accepts
+  /// the replayed input tail; without one it is merge-phase only.
+  bool resumed_ = false;
+  /// Input rows the restored state already covers (resume replays from
+  /// here).
+  uint64_t resume_input_offset_ = 0;
+  /// Rows consumed since the last input checkpoint.
+  uint64_t rows_since_checkpoint_ = 0;
+  /// Run ids below this bound are covered by the last durable input
+  /// checkpoint. Early merges must not consume them: their merged
+  /// replacement would get a higher id — which the resume path deletes as
+  /// replay-duplicated — while the replay never re-delivers the
+  /// pre-checkpoint rows it absorbed.
+  uint64_t pinned_run_id_bound_ = 0;
+  /// First non-cancellation error any entry point surfaced; Suspend
+  /// returns it instead of a generic precondition failure.
+  Status first_error_;
+  /// The keep-for-resume cancel handoff ran (it must run at most once).
+  bool cancel_unwound_ = false;
 };
 
 }  // namespace topk

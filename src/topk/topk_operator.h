@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/query_control.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "common/stopwatch.h"
@@ -18,6 +19,20 @@
 #include "sort/run_generation.h"
 
 namespace topk {
+
+/// What a cancelled external operator does with spilled state it already
+/// paid for (query_control.h; in-memory operators have nothing to keep).
+enum class OnCancelPolicy {
+  /// Release everything: the spill directory is removed as usual when the
+  /// operator is destroyed. The default — a cancelled query is garbage.
+  kReleaseSpill,
+  /// Keep the runs for a later ResumeFromManifest: before surfacing the
+  /// cancellation the operator flushes in-flight run state, checkpoints
+  /// the manifest, and disowns the spill directory — the same durable
+  /// handoff Suspend() performs. Requires manifest_filename; preempted
+  /// queries restart from their runs instead of from row zero.
+  kKeepForResume,
+};
 
 /// Configuration shared by every top-k operator. Mirrors the paper's
 /// experimental knobs (Sec 5.1.2): memory budget, histogram sizing, run-size
@@ -137,12 +152,34 @@ struct TopKOptions {
   /// crash-recovery contract behind ResumeFromManifest.
   std::string manifest_filename;
 
+  /// Query lifecycle control (query_control.h). When set, every operator
+  /// entry point, run-generation spill loop, merge row loop, retry
+  /// backoff, and prefetch consumer wait polls this token, so the query
+  /// observes RequestCancel/SetDeadline within a bounded number of
+  /// row/block steps and unwinds with Cancelled/DeadlineExceeded. The
+  /// shared_ptr keeps the token alive for background work; operators also
+  /// thread it into io_retry (and thus the whole I/O pipeline).
+  std::shared_ptr<CancellationToken> cancel;
+  /// What a cancelled external operator does with its spilled runs.
+  OnCancelPolicy on_cancel = OnCancelPolicy::kReleaseSpill;
+
+  /// OptimizedExternalTopK: checkpoint input consumption every N consumed
+  /// rows (0 = off). Each checkpoint flushes the current run, records
+  /// (rows consumed, last run id, cutoff) in the manifest as a v3 ckpt
+  /// record, and makes it durable — a crash between checkpoints replays
+  /// at most N input rows on resume. Requires manifest_filename.
+  uint64_t checkpoint_input_every_rows = 0;
+
   /// The spill pipeline configuration derived from the knobs above.
   IoPipelineOptions io_pipeline() const {
     IoPipelineOptions io;
     io.background_threads = io_background_threads;
     io.enable_prefetch = enable_io_prefetch;
     io.retry = io_retry;
+    // The token rides inside the retry policy: RetryOp checks it before
+    // attempts and during backoff, SpillManager::OpenRun copies it into
+    // each reader's PrefetchTuning for the consumer wait.
+    if (io.retry.cancel == nullptr) io.retry.cancel = cancel.get();
     io.verify_read_checksums = verify_spill_checksums;
     io.prefetch_memory_budget = prefetch_memory_budget;
     io.hedge_reads = io_hedge_reads;
@@ -249,8 +286,23 @@ class TopKOperator {
   /// exclusive with Finish). Only the spilling operators that support
   /// ResumeFromManifest implement this.
   virtual Status Suspend() {
-    return Status::FailedPrecondition(name() + " does not support Suspend");
+    return Status::FailedPrecondition(
+        name() +
+        " does not support Suspend; suspend/resume is supported by the "
+        "histogram, traditional-external, and optimized-external operators");
   }
+
+  /// True when a manifest-resumed instance of this operator still accepts
+  /// Consume(): the optimized operator checkpoints mid-input, so its
+  /// resume replays the input tail from resume_input_offset(). The
+  /// merge-phase resumers (histogram, traditional) return false — their
+  /// runs already hold every surviving row.
+  virtual bool resume_accepts_input() const { return false; }
+
+  /// Number of input rows the resumed state already covers; the caller
+  /// replays the input stream starting at this row (0-based). Meaningful
+  /// only when resume_accepts_input() is true.
+  virtual uint64_t resume_input_offset() const { return 0; }
 
   virtual std::string name() const = 0;
   const OperatorStats& stats() const { return stats_; }

@@ -31,6 +31,7 @@ Status TraditionalExternalTopK::SwitchToExternal() {
   }
   RunGeneratorOptions gen_options;
   gen_options.memory_limit_bytes = options_.memory_limit_bytes;
+  gen_options.cancel = options_.cancel.get();
   // Vanilla sort: no run-size limit, no filtering.
   if (options_.run_generation == RunGenerationKind::kReplacementSelection) {
     generator_ = std::make_unique<ReplacementSelectionRunGenerator>(
@@ -48,6 +49,36 @@ Status TraditionalExternalTopK::SwitchToExternal() {
   return Status::OK();
 }
 
+Status TraditionalExternalTopK::CheckCancel() {
+  if (options_.cancel == nullptr || !options_.cancel->ShouldStop()) {
+    return Status::OK();
+  }
+  return OnCancelStatus(options_.cancel->status());
+}
+
+Status TraditionalExternalTopK::OnCancelStatus(Status cause) {
+  if (!IsCancellation(cause.code())) return cause;
+  if (options_.on_cancel != OnCancelPolicy::kKeepForResume ||
+      cancel_unwound_ || spill_ == nullptr ||
+      options_.manifest_filename.empty()) {
+    return cause;
+  }
+  // Preempted-but-resumable: perform Suspend's durable handoff before
+  // surfacing the cancellation (see HistogramTopK::OnCancelStatus).
+  cancel_unwound_ = true;
+  finished_ = true;
+  TraceSpan span("topk.cancel_keep_for_resume", "topk");
+  CancelShield shield(options_.cancel.get());
+  if (generator_ != nullptr) {
+    generator_->SetCancel(nullptr);
+    TOPK_RETURN_NOT_OK(generator_->Flush());
+  }
+  TOPK_RETURN_NOT_OK(spill_->CheckpointManifest());
+  TOPK_RETURN_NOT_OK(spill_->FlushManifest());
+  spill_->DisownDir();
+  return cause;
+}
+
 Status TraditionalExternalTopK::Consume(Row row) {
   ObsScope obs_scope(options_.obs);
   if (finished_) {
@@ -57,6 +88,15 @@ Status TraditionalExternalTopK::Consume(Row row) {
     return Status::FailedPrecondition(
         "a resumed operator accepts no input; its runs are already on disk");
   }
+  Status status = ConsumeImpl(std::move(row));
+  if (!status.ok() && !IsCancellation(status.code()) && first_error_.ok()) {
+    first_error_ = status;
+  }
+  return status;
+}
+
+Status TraditionalExternalTopK::ConsumeImpl(Row row) {
+  TOPK_RETURN_NOT_OK(CheckCancel());
   Stopwatch watch;
   ++stats_.rows_consumed;
   if (generator_ == nullptr) {
@@ -72,8 +112,9 @@ Status TraditionalExternalTopK::Consume(Row row) {
     TOPK_RETURN_NOT_OK(SwitchToExternal());
   }
   Status status = generator_->Add(std::move(row));
+  if (!status.ok()) return OnCancelStatus(std::move(status));
   stats_.consume_nanos += watch.ElapsedNanos();
-  return status;
+  return Status::OK();
 }
 
 Result<std::vector<Row>> TraditionalExternalTopK::Finish() {
@@ -82,6 +123,16 @@ Result<std::vector<Row>> TraditionalExternalTopK::Finish() {
     return Status::FailedPrecondition("Finish called twice");
   }
   finished_ = true;
+  Result<std::vector<Row>> result = FinishImpl();
+  if (!result.ok() && !IsCancellation(result.status().code()) &&
+      first_error_.ok()) {
+    first_error_ = result.status();
+  }
+  return result;
+}
+
+Result<std::vector<Row>> TraditionalExternalTopK::FinishImpl() {
+  TOPK_RETURN_NOT_OK(CheckCancel());
   Stopwatch watch;
   std::vector<Row> result;
 
@@ -108,12 +159,19 @@ Result<std::vector<Row>> TraditionalExternalTopK::Finish() {
     {
       PhaseScope flush_phase("rungen.flush");
       TraceSpan flush_span("rungen.flush", "topk");
-      TOPK_RETURN_NOT_OK(generator_->Flush());
+      Status flushed = generator_->Flush();
+      if (!flushed.ok()) return OnCancelStatus(std::move(flushed));
     }
     stats_.rows_spilled = generator_->stats().rows_spilled;
     stats_.runs_created = spill_->total_runs_created();
     stats_.peak_memory_bytes = std::max(
         stats_.peak_memory_bytes, generator_->stats().peak_memory_bytes);
+    if (spill_->auto_manifest_enabled()) {
+      // Make the complete run set durable so the crash point below (and
+      // any real crash before the merge) finds a resumable state.
+      TOPK_RETURN_NOT_OK(spill_->FlushManifest());
+      HitCrashPoint("post-run-flush");
+    }
   }
 
   MergePlanStats plan_stats;
@@ -123,6 +181,7 @@ Result<std::vector<Row>> TraditionalExternalTopK::Finish() {
     planner_options.fan_in = options_.merge_fan_in;
     planner_options.policy = MergePolicy::kSmallestRunsFirst;
     planner_options.use_ovc = options_.use_ovc;
+    planner_options.cancel = options_.cancel.get();
     std::vector<RunMeta> final_runs;
     TOPK_ASSIGN_OR_RETURN(
         final_runs, ReduceRunsForFinalMerge(spill_.get(), comparator_,
@@ -134,6 +193,7 @@ Result<std::vector<Row>> TraditionalExternalTopK::Finish() {
     merge_options.skip = options_.offset;
     merge_options.with_ties = options_.with_ties;
     merge_options.use_ovc = options_.use_ovc;
+    merge_options.cancel = options_.cancel.get();
     PhaseScope merge_phase_scope("merge.final");
     TraceSpan merge_span("merge.final", "topk",
                          {TraceArg("runs", final_runs.size())});
@@ -167,6 +227,11 @@ Result<std::vector<Row>> TraditionalExternalTopK::Finish() {
 
 Status TraditionalExternalTopK::Suspend() {
   ObsScope obs_scope(options_.obs);
+  if (!first_error_.ok()) {
+    // A prior entry point already failed; the real cause of the
+    // operator's demise beats a generic precondition complaint.
+    return first_error_;
+  }
   if (finished_) {
     return Status::FailedPrecondition("Suspend after Finish");
   }
@@ -179,15 +244,20 @@ Status TraditionalExternalTopK::Suspend() {
   }
   finished_ = true;
   TraceSpan span("topk.suspend", "topk");
+  // An explicit Suspend overrides a tripped cancellation token (see
+  // HistogramTopK::Suspend).
+  CancelShield shield(options_.cancel.get());
   if (generator_ == nullptr) {
     TOPK_RETURN_NOT_OK(SwitchToExternal());
   }
+  generator_->SetCancel(nullptr);
   TOPK_RETURN_NOT_OK(generator_->Flush());
   TOPK_RETURN_NOT_OK(spill_->CheckpointManifest());
   TOPK_RETURN_NOT_OK(spill_->FlushManifest());
   stats_.rows_spilled = generator_->stats().rows_spilled;
   stats_.runs_created = spill_->total_runs_created();
   stats_.bytes_spilled = spill_->total_bytes_spilled();
+  HitCrashPoint("post-manifest-checkpoint");
   spill_->DisownDir();
   return Status::OK();
 }

@@ -46,6 +46,17 @@ class TraditionalExternalTopK : public TopKOperator {
 
   Status SwitchToExternal();
 
+  Status ConsumeImpl(Row row);
+  Result<std::vector<Row>> FinishImpl();
+
+  /// Entry-point poll of options_.cancel; a tripped token is routed
+  /// through OnCancelStatus.
+  Status CheckCancel();
+  /// Passes `cause` through, but when it is the cancellation token
+  /// tripping and on_cancel is kKeepForResume, first performs Suspend's
+  /// durable handoff so the spilled runs survive for ResumeFromManifest.
+  Status OnCancelStatus(Status cause);
+
   TopKOptions options_;
   RowComparator comparator_;
 
@@ -61,6 +72,11 @@ class TraditionalExternalTopK : public TopKOperator {
   /// Built by ResumeFromManifest: runs come from a restored spill manager,
   /// there is no run generator, and Consume is rejected.
   bool resumed_ = false;
+  /// First non-cancellation error any entry point surfaced; Suspend
+  /// returns it instead of a generic precondition failure.
+  Status first_error_;
+  /// The keep-for-resume cancel handoff ran (it must run at most once).
+  bool cancel_unwound_ = false;
 };
 
 }  // namespace topk

@@ -498,9 +498,21 @@ TEST(SuspendResumeTest, ResumeUnsupportedAlgorithmsRejected) {
   TopKOptions options = SmallOptions(&env, scratch.str());
   options.manifest_filename = kManifest;
   options.allow_unbounded_memory = true;
-  EXPECT_FALSE(ResumeTopKOperator(TopKAlgorithm::kHeap, options).ok());
-  EXPECT_FALSE(
-      ResumeTopKOperator(TopKAlgorithm::kOptimizedExternal, options).ok());
+  auto heap = ResumeTopKOperator(TopKAlgorithm::kHeap, options);
+  ASSERT_FALSE(heap.ok());
+  EXPECT_EQ(heap.status().code(), StatusCode::kInvalidArgument);
+  // The rejection names the algorithms that DO support resume.
+  EXPECT_NE(heap.status().message().find("histogram"), std::string::npos);
+  EXPECT_NE(heap.status().message().find("traditional-external"),
+            std::string::npos);
+  EXPECT_NE(heap.status().message().find("optimized-external"),
+            std::string::npos);
+  // optimized-external supports resume now; with no manifest on disk the
+  // attempt fails, but as an I/O problem rather than "unsupported".
+  auto optimized =
+      ResumeTopKOperator(TopKAlgorithm::kOptimizedExternal, options);
+  ASSERT_FALSE(optimized.ok());
+  EXPECT_NE(optimized.status().code(), StatusCode::kInvalidArgument);
 }
 
 TEST(SuspendResumeTest, SuspendRequiresManifest) {

@@ -26,6 +26,8 @@ TEST(StatusTest, FactoryFunctionsSetCodeAndMessage) {
   EXPECT_EQ(Status::ResourceExhausted("r").code(),
             StatusCode::kResourceExhausted);
   EXPECT_EQ(Status::Cancelled("c").code(), StatusCode::kCancelled);
+  EXPECT_EQ(Status::DeadlineExceeded("late").code(),
+            StatusCode::kDeadlineExceeded);
   EXPECT_EQ(Status::Unknown("u").code(), StatusCode::kUnknown);
   EXPECT_EQ(Status::Unavailable("hiccup").code(), StatusCode::kUnavailable);
   EXPECT_EQ(Status::IoError("disk").message(), "disk");
@@ -36,6 +38,10 @@ TEST(StatusTest, ToStringIncludesCodeName) {
   // Unavailable is the transient (retryable) class — distinct from the
   // permanent IoError in name as well as code.
   EXPECT_EQ(Status::Unavailable("blip").ToString(), "Unavailable: blip");
+  // The two caller-initiated terminal codes of a cancelled query.
+  EXPECT_EQ(Status::Cancelled("stop").ToString(), "Cancelled: stop");
+  EXPECT_EQ(Status::DeadlineExceeded("late").ToString(),
+            "DeadlineExceeded: late");
 }
 
 TEST(StatusTest, EqualityComparesCodeAndMessage) {

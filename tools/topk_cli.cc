@@ -53,8 +53,26 @@
 ///   --suspend-before-merge  consume the input, persist the runs + manifest,
 ///                 and exit without merging — the crash/suspend half of a
 ///                 resume exercise (false)
-///   --resume-from=NAME  resume the merge phase from manifest NAME inside
-///                 --spill-dir instead of consuming input (off)
+///   --resume-from=NAME  resume from manifest NAME inside --spill-dir. A
+///                 merge-phase manifest resumes straight into the merge; an
+///                 optimized-external manifest with a mid-input checkpoint
+///                 makes the CLI regenerate the input and replay it from the
+///                 checkpointed row before finishing (off)
+///   --cancel-after-ms  trip the query's cancellation token from a control
+///                 thread after this many milliseconds; the query unwinds
+///                 with CANCELLED (0 = never)
+///   --query-deadline-ms  arm a query-wide deadline; past it the query
+///                 unwinds with DEADLINE_EXCEEDED (0 = none)
+///   --on-cancel   release | keep — what a cancelled query does with its
+///                 spill state: delete it, or checkpoint the manifest and
+///                 keep the directory for --resume-from (release)
+///   --checkpoint-every-rows  optimized baseline: make a durable input
+///                 checkpoint every N consumed rows so mid-input crashes
+///                 resume with replay from the last checkpoint; requires
+///                 --manifest (0 = off)
+///   --crash-at=POINT  arm a deterministic crash point; the process exits
+///                 with code 42 when execution reaches it (also available
+///                 as the TOPK_CRASH_AT environment variable)
 ///   --seed        RNG seed (42)
 ///   --spill-dir   run directory (under $TMPDIR)
 ///   --verify      cross-check against the in-memory reference (false)
@@ -74,8 +92,11 @@
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
+#include <thread>
 
 #include <fstream>
+
+#include "common/query_control.h"
 
 #include "common/flags.h"
 #include "gen/generator.h"
@@ -139,6 +160,8 @@ int main(int argc, char** argv) {
           seed = 0;
   int64_t io_threads = 0, io_latency_us = 0, io_retry_attempts = 0;
   int64_t io_deadline_ms = 0, io_retry_budget = 0;
+  int64_t cancel_after_ms = 0, query_deadline_ms = 0;
+  int64_t checkpoint_every_rows = 0;
   double memory_mb = 0, shape = 0, prefetch_budget_mb = 8.0;
   double hedge_multiplier = 3.0, spill_quota_mb = 0;
   bool early_merge = true, verify = false, prefetch = true, progress = false;
@@ -204,6 +227,22 @@ int main(int argc, char** argv) {
       if (spill_quota_mb < 0) {
         return Status::InvalidArgument("--spill-quota-mb must be >= 0");
       }
+      TOPK_ASSIGN_OR_RETURN(cancel_after_ms,
+                            flags.GetInt("cancel-after-ms", 0));
+      if (cancel_after_ms < 0) {
+        return Status::InvalidArgument("--cancel-after-ms must be >= 0");
+      }
+      TOPK_ASSIGN_OR_RETURN(query_deadline_ms,
+                            flags.GetInt("query-deadline-ms", 0));
+      if (query_deadline_ms < 0) {
+        return Status::InvalidArgument("--query-deadline-ms must be >= 0");
+      }
+      TOPK_ASSIGN_OR_RETURN(checkpoint_every_rows,
+                            flags.GetInt("checkpoint-every-rows", 0));
+      if (checkpoint_every_rows < 0) {
+        return Status::InvalidArgument(
+            "--checkpoint-every-rows must be >= 0");
+      }
       TOPK_ASSIGN_OR_RETURN(verify, flags.GetBool("verify", false));
       TOPK_ASSIGN_OR_RETURN(profile, flags.GetBool("profile", false));
       TOPK_ASSIGN_OR_RETURN(progress, flags.GetBool("progress", false));
@@ -226,6 +265,8 @@ int main(int argc, char** argv) {
   const std::string fault_profile_spec = flags.GetString("fault-profile", "");
   const std::string manifest_name = flags.GetString("manifest", "");
   const std::string resume_from = flags.GetString("resume-from", "");
+  const std::string crash_at = flags.GetString("crash-at", "");
+  const std::string on_cancel_name = flags.GetString("on-cancel", "release");
   const std::string spill_dir = flags.GetString(
       "spill-dir", (std::filesystem::temp_directory_path() /
                     ("topk_cli_" + std::to_string(::getpid())))
@@ -256,6 +297,18 @@ int main(int argc, char** argv) {
   if (!resume_from.empty() && suspend_before_merge) {
     return Fail(Status::InvalidArgument(
         "--resume-from and --suspend-before-merge are mutually exclusive"));
+  }
+  if (checkpoint_every_rows > 0 && manifest_name.empty() &&
+      resume_from.empty()) {
+    return Fail(Status::InvalidArgument(
+        "--checkpoint-every-rows requires --manifest"));
+  }
+  if (on_cancel_name != "release" && on_cancel_name != "keep") {
+    return Fail(Status::InvalidArgument("--on-cancel must be release|keep"));
+  }
+  if (!crash_at.empty()) {
+    Status armed = ArmCrashPoint(crash_at);
+    if (!armed.ok()) return Fail(armed);
   }
 
   StorageEnv::Options env_options;
@@ -301,8 +354,44 @@ int main(int argc, char** argv) {
       resume_from.empty() ? manifest_name : resume_from;
   options.env = &env;
   options.spill_dir = spill_dir;
+  options.checkpoint_input_every_rows =
+      static_cast<uint64_t>(checkpoint_every_rows);
+  options.on_cancel = on_cancel_name == "keep" ? OnCancelPolicy::kKeepForResume
+                                               : OnCancelPolicy::kReleaseSpill;
   if (algorithm == TopKAlgorithm::kHeap) {
     options.allow_unbounded_memory = true;
+  }
+
+  // Query lifecycle control: one token shared by the query and (when
+  // --cancel-after-ms asks for it) a controller thread that trips it.
+  std::thread canceller;
+  CancellationToken canceller_quit;
+  struct CancellerJoin {
+    CancellationToken* quit;
+    std::thread* thread;
+    ~CancellerJoin() {
+      if (thread->joinable()) {
+        quit->RequestCancel();
+        thread->join();
+      }
+    }
+  } canceller_join{&canceller_quit, &canceller};
+  if (cancel_after_ms > 0 || query_deadline_ms > 0) {
+    options.cancel = std::make_shared<CancellationToken>();
+    if (query_deadline_ms > 0) {
+      options.cancel->SetDeadline(
+          static_cast<uint64_t>(query_deadline_ms) * 1'000'000);
+    }
+    if (cancel_after_ms > 0) {
+      canceller = std::thread([token = options.cancel, &canceller_quit,
+                               cancel_after_ms] {
+        if (canceller_quit.WaitFor(
+                static_cast<uint64_t>(cancel_after_ms) * 1'000'000)) {
+          token->RequestCancel("--cancel-after-ms=" +
+                               std::to_string(cancel_after_ms));
+        }
+      });
+    }
   }
 
   // One observability scope for the whole query: every metric recorded
@@ -370,11 +459,22 @@ int main(int argc, char** argv) {
 
   Row row;
   Stopwatch watch;
-  if (resume_from.empty()) {
+  // A resumed operator normally rejects input, but an optimized-external
+  // execution restored from a mid-input checkpoint wants the input tail
+  // replayed: regenerate the deterministic input and skip the rows the
+  // checkpoint already covers.
+  const bool replay_input = !resume_from.empty() && (*op)->resume_accepts_input();
+  const uint64_t replay_skip = replay_input ? (*op)->resume_input_offset() : 0;
+  if (replay_input) {
+    std::printf("  mid-input checkpoint: replaying input from row %llu\n",
+                static_cast<unsigned long long>(replay_skip));
+  }
+  if (resume_from.empty() || replay_input) {
     PhaseScope consume_phase("consume");
     if (!trace_keys.empty()) {
       const std::string fill(static_cast<size_t>(payload), 'p');
       for (size_t i = 0; i < trace_keys.size(); ++i) {
+        if (i < replay_skip) continue;
         Status status = (*op)->Consume(Row(trace_keys[i], i, fill));
         if (!status.ok()) return Fail(status);
         ++consumed;
@@ -382,7 +482,9 @@ int main(int argc, char** argv) {
       }
     } else {
       RowGenerator gen(spec);
+      uint64_t index = 0;
       while (gen.Next(&row)) {
+        if (index++ < replay_skip) continue;
         Status status = (*op)->Consume(std::move(row));
         if (!status.ok()) return Fail(status);
         ++consumed;
