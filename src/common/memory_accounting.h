@@ -1,0 +1,19 @@
+#ifndef TOPK_COMMON_MEMORY_ACCOUNTING_H_
+#define TOPK_COMMON_MEMORY_ACCOUNTING_H_
+
+#include <cstddef>
+
+namespace topk {
+
+/// Fixed extra bytes charged per buffered row against any memory budget
+/// (heap node / vector slot / bookkeeping overhead). Every operator and run
+/// generator must charge the same constant, or the in-memory and external
+/// phases disagree about when memory is full and the adaptive switchover
+/// point drifts between operators. Historically this constant was
+/// duplicated in four translation units; it lives here so accounting cannot
+/// drift again.
+inline constexpr size_t kPerRowOverheadBytes = 32;
+
+}  // namespace topk
+
+#endif  // TOPK_COMMON_MEMORY_ACCOUNTING_H_

@@ -77,12 +77,45 @@ ObsCounter& ReadDeadlineCounter() {
   static ObsCounter counter("io.prefetch.deadline_exceeded");
   return counter;
 }
+/// Times a reader's depth cap was halved because the memory arbiter
+/// reported soft pressure — the prefetch rung of the degradation ladder.
+ObsCounter& PrefetchShrunkCounter() {
+  static ObsCounter counter("mem.arbiter.prefetch_shrunk");
+  return counter;
+}
+/// Appends that degraded to synchronous write-through because the arbiter
+/// refused to lease the in-flight block copy.
+ObsCounter& WriterSyncFallbackCounter() {
+  static ObsCounter counter("mem.arbiter.writer_sync_fallback");
+  return counter;
+}
 
 }  // namespace
+
+void PrefetchBudget::AttachArbiter(MemoryArbiter* arbiter) {
+  std::lock_guard<std::mutex> lock(mu_);
+  arbiter_ = arbiter;
+  lease_.Release();
+}
 
 bool PrefetchBudget::TryAcquire(size_t bytes) {
   std::lock_guard<std::mutex> lock(mu_);
   if (acquired_ + bytes > total_) return false;
+  if (arbiter_ != nullptr) {
+    // A refused (or fault-injected) grant is not an error here: the window
+    // simply stops growing. Contain mode=throw injections too — TryAcquire
+    // runs on pool threads where an escaping bad_alloc would abort.
+    try {
+      if (!lease_.attached()) {
+        auto acquired = arbiter_->Acquire("prefetch-budget", 0);
+        if (!acquired.ok()) return false;
+        lease_ = std::move(acquired).value();
+      }
+      if (!lease_.EnsureAtLeast(acquired_ + bytes).ok()) return false;
+    } catch (const std::bad_alloc&) {
+      return false;
+    }
+  }
   acquired_ += bytes;
   return true;
 }
@@ -90,6 +123,7 @@ bool PrefetchBudget::TryAcquire(size_t bytes) {
 void PrefetchBudget::Release(size_t bytes) {
   std::lock_guard<std::mutex> lock(mu_);
   acquired_ = bytes > acquired_ ? 0 : acquired_ - bytes;
+  lease_.ShrinkTo(acquired_);
 }
 
 size_t PrefetchBudget::acquired() const {
@@ -126,8 +160,9 @@ size_t ApportionPrefetchDepth(size_t budget_bytes, size_t live_runs,
 }
 
 DoubleBufferedWriter::DoubleBufferedWriter(std::unique_ptr<WritableFile> base,
-                                           ThreadPool* pool)
-    : base_(std::move(base)), pool_(pool) {
+                                           ThreadPool* pool,
+                                           MemoryArbiter* arbiter)
+    : base_(std::move(base)), pool_(pool), arbiter_(arbiter) {
   TOPK_CHECK(pool_ != nullptr) << "DoubleBufferedWriter needs a thread pool";
 }
 
@@ -161,6 +196,30 @@ Status DoubleBufferedWriter::Append(std::string_view data) {
   if (!latched.ok()) {
     error_observed_ = true;
     return latched;
+  }
+  if (arbiter_ != nullptr && !sync_fallback_) {
+    // Lease the in-flight block copy. A refused grant (hard pressure,
+    // budget exhausted, injected fault) degrades this writer to synchronous
+    // write-through for good: the caller's buffer is written directly, no
+    // copy is held, output stays byte-identical — just unoverlapped.
+    bool leased = false;
+    try {
+      if (!lease_.attached()) {
+        auto acquired = arbiter_->Acquire("double-buffered-writer", 0);
+        if (acquired.ok()) lease_ = std::move(acquired).value();
+      }
+      leased = lease_.attached() && lease_.EnsureAtLeast(data.size()).ok();
+    } catch (const std::bad_alloc&) {
+      leased = false;
+    }
+    if (!leased) {
+      sync_fallback_ = true;
+      lease_.Release();
+      WriterSyncFallbackCounter().Add(1);
+    }
+  }
+  if (sync_fallback_) {
+    return base_->Append(data);
   }
   writing_.assign(data.data(), data.size());
   {
@@ -277,15 +336,25 @@ void PrefetchingBlockReader::DeregisterLocked() {
 }
 
 size_t PrefetchingBlockReader::DynamicDepthCapLocked() const {
-  if (budget_ == nullptr || !tuning_.reapportion_depth) return depth_cap_;
-  // The cap was apportioned over the merge step's live runs at open time;
-  // re-apportion over whoever is still alive so freed budget is inherited
-  // immediately. Never below the opening cap — shrinking mid-run would
-  // strand already-reserved slots.
-  const size_t apportioned = ApportionPrefetchDepth(
-      budget_->total(), budget_->live_readers(), block_bytes_);
-  return std::clamp<size_t>(std::max(depth_cap_, apportioned), 1,
-                            kMaxPrefetchDepth);
+  size_t cap = depth_cap_;
+  if (budget_ != nullptr && tuning_.reapportion_depth) {
+    // The cap was apportioned over the merge step's live runs at open time;
+    // re-apportion over whoever is still alive so freed budget is inherited
+    // immediately. Never below the opening cap — shrinking mid-run would
+    // strand already-reserved slots.
+    const size_t apportioned = ApportionPrefetchDepth(
+        budget_->total(), budget_->live_readers(), block_bytes_);
+    cap = std::clamp<size_t>(std::max(depth_cap_, apportioned), 1,
+                             kMaxPrefetchDepth);
+  }
+  if (budget_ != nullptr && budget_->pressure_shrink() && cap > 1) {
+    // Memory-arbiter soft pressure: halve the lookahead this reader may
+    // target, reusing the same re-apportioning machinery. Excess slots
+    // drain back to the budget (and its lease) via ReleaseExcessLocked.
+    cap = std::max<size_t>(1, cap / 2);
+    PrefetchShrunkCounter().Add(1);
+  }
+  return cap;
 }
 
 size_t PrefetchingBlockReader::target_depth() const {

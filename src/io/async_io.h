@@ -1,6 +1,7 @@
 #ifndef TOPK_IO_ASYNC_IO_H_
 #define TOPK_IO_ASYNC_IO_H_
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
@@ -14,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "common/resource_arbiter.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "io/retry.h"
@@ -97,6 +99,10 @@ struct IoPipelineOptions {
   /// run files may occupy (0 = unlimited). Breaches surface as
   /// ResourceExhausted naming spill_quota_bytes.
   uint64_t spill_quota_bytes = 0;
+  /// Memory arbiter the pipeline's buffers are leased from (prefetch
+  /// windows through the PrefetchBudget, double-buffered writer blocks).
+  /// Null = unaccounted, the legacy behaviour. Not owned.
+  MemoryArbiter* arbiter = nullptr;
 };
 
 /// Thread-safe byte pool bounding the total prefetch lookahead of one
@@ -110,6 +116,22 @@ class PrefetchBudget {
 
   PrefetchBudget(const PrefetchBudget&) = delete;
   PrefetchBudget& operator=(const PrefetchBudget&) = delete;
+
+  /// Attaches a memory arbiter: every reservation is additionally leased
+  /// from it (a refused grant just stops window growth — graceful), and
+  /// arbiter soft pressure halves the depth caps readers derive from this
+  /// budget (SetPressureShrink, flipped by the owning SpillManager's
+  /// pressure responder). Call before readers share the budget.
+  void AttachArbiter(MemoryArbiter* arbiter);
+
+  /// Degradation-ladder flag: while set, DynamicDepthCapLocked-style
+  /// apportionments over this budget are halved. Lock-free.
+  void SetPressureShrink(bool shrink) {
+    pressure_shrink_.store(shrink, std::memory_order_relaxed);
+  }
+  bool pressure_shrink() const {
+    return pressure_shrink_.load(std::memory_order_relaxed);
+  }
 
   /// Reserves `bytes`; false when the pool is exhausted (the caller keeps
   /// its current window instead of growing).
@@ -132,9 +154,14 @@ class PrefetchBudget {
 
  private:
   const size_t total_;
+  std::atomic<bool> pressure_shrink_{false};
   mutable std::mutex mu_;
   size_t acquired_ = 0;
   size_t live_readers_ = 0;
+  /// Optional arbiter backing: reservations grow lease_ and a refused
+  /// grant fails the TryAcquire (the window simply stops growing).
+  MemoryArbiter* arbiter_ = nullptr;
+  MemoryLease lease_;
 };
 
 /// How many blocks of lookahead one reader may use when `budget_bytes` of
@@ -155,7 +182,13 @@ size_t ApportionPrefetchDepth(size_t budget_bytes, size_t live_runs,
 /// further data is written.
 class DoubleBufferedWriter : public WritableFile {
  public:
-  DoubleBufferedWriter(std::unique_ptr<WritableFile> base, ThreadPool* pool);
+  /// A non-null `arbiter` leases the in-flight block copy; when the lease
+  /// is refused (hard pressure / budget exhausted) the writer degrades to
+  /// synchronous write-through on the caller's thread instead of failing —
+  /// slower, but no extra memory and byte-identical output (counted under
+  /// mem.arbiter.writer_sync_fallback).
+  DoubleBufferedWriter(std::unique_ptr<WritableFile> base, ThreadPool* pool,
+                       MemoryArbiter* arbiter = nullptr);
 
   /// Waits for the in-flight block. A latched error that was never
   /// observed through Append/Flush/Close is logged at WARNING (the
@@ -172,6 +205,13 @@ class DoubleBufferedWriter : public WritableFile {
 
   std::unique_ptr<WritableFile> base_;
   ThreadPool* pool_;
+  MemoryArbiter* arbiter_;
+  /// Lease over the in-flight block copy (detached without an arbiter or
+  /// after a refused grant put the writer in write-through mode).
+  MemoryLease lease_;
+  /// Latched once a lease was refused: all later Appends write through
+  /// synchronously (no flapping back to buffered mode under pressure).
+  bool sync_fallback_ = false;
 
   std::mutex mu_;
   std::condition_variable cv_;

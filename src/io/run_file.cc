@@ -24,7 +24,7 @@ Result<std::unique_ptr<RunWriter>> RunWriter::Create(
     StorageEnv* env, std::string path, uint64_t run_id,
     const RowComparator& comparator, size_t block_bytes,
     uint64_t index_stride, ThreadPool* io_pool, const RetryPolicy& retry,
-    SpillQuota* quota) {
+    SpillQuota* quota, MemoryArbiter* arbiter) {
   std::unique_ptr<WritableFile> file;
   TOPK_ASSIGN_OR_RETURN(file, env->NewWritableFile(path));
   // Stack: base -> retry -> quota -> double buffer. Background flushes
@@ -39,7 +39,8 @@ Result<std::unique_ptr<RunWriter>> RunWriter::Create(
                                                        quota);
   }
   if (io_pool != nullptr) {
-    file = std::make_unique<DoubleBufferedWriter>(std::move(file), io_pool);
+    file = std::make_unique<DoubleBufferedWriter>(std::move(file), io_pool,
+                                                  arbiter);
   }
   auto block_writer =
       std::make_unique<BlockWriter>(std::move(file), block_bytes);

@@ -69,7 +69,9 @@ class RunWriter {
   /// runs on the pool thread). A non-null `quota` charges every block
   /// against the spill disk-space quota before it is written (above the
   /// retry layer: a quota breach is permanent ResourceExhausted, never
-  /// retried).
+  /// retried). A non-null `arbiter` leases the double buffer's in-flight
+  /// block copy; a refused lease degrades that writer to synchronous
+  /// write-through instead of failing the run.
   static Result<std::unique_ptr<RunWriter>> Create(
       StorageEnv* env, std::string path, uint64_t run_id,
       const RowComparator& comparator,
@@ -77,7 +79,8 @@ class RunWriter {
       uint64_t index_stride = kDefaultIndexStride,
       ThreadPool* io_pool = nullptr,
       const RetryPolicy& retry = RetryPolicy(),
-      SpillQuota* quota = nullptr);
+      SpillQuota* quota = nullptr,
+      MemoryArbiter* arbiter = nullptr);
 
   Status Append(const Row& row);
 

@@ -37,9 +37,26 @@ SpillManager::SpillManager(StorageEnv* env, std::string dir,
   if (io_options_.background_threads > 0) {
     io_pool_ = std::make_unique<ThreadPool>(io_options_.background_threads);
   }
+  if (io_options_.arbiter != nullptr) {
+    prefetch_budget_.AttachArbiter(io_options_.arbiter);
+    // The push half of the degradation ladder: on a soft-pressure
+    // transition, tell every reader sharing this manager's prefetch budget
+    // to halve its lookahead. The responder only flips an atomic flag —
+    // no locks, safe from any grant/release thread.
+    pressure_responder_ = io_options_.arbiter->AddPressureResponder(
+        [this](MemoryPressure level) {
+          prefetch_budget_.SetPressureShrink(level >= MemoryPressure::kSoft);
+        });
+    // Transitions before this manager existed still apply.
+    prefetch_budget_.SetPressureShrink(io_options_.arbiter->pressure() >=
+                                       MemoryPressure::kSoft);
+  }
 }
 
 SpillManager::~SpillManager() {
+  if (io_options_.arbiter != nullptr && pressure_responder_ != 0) {
+    io_options_.arbiter->RemovePressureResponder(pressure_responder_);
+  }
   // An async manifest write may still reference env_ and the directory;
   // let it land (or fail) before tearing anything down.
   {
@@ -226,7 +243,8 @@ Result<std::unique_ptr<RunWriter>> SpillManager::NewRun(
   return RunWriter::Create(env_, std::move(path), id, comparator,
                            kDefaultBlockBytes, index_stride, io_pool_.get(),
                            io_options_.retry,
-                           spill_quota_.enabled() ? &spill_quota_ : nullptr);
+                           spill_quota_.enabled() ? &spill_quota_ : nullptr,
+                           io_options_.arbiter);
 }
 
 Status SpillManager::AddRun(RunMeta meta) {

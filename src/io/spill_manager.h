@@ -232,6 +232,10 @@ class SpillManager {
   /// Caps the bytes this manager may hold on disk at once (see
   /// IoPipelineOptions::spill_quota_bytes; 0 disables enforcement).
   mutable SpillQuota spill_quota_;
+  /// Registration of this manager's degradation-ladder responder with
+  /// io_options_.arbiter (0 = none): soft pressure flips the prefetch
+  /// budget's shrink flag so readers halve their lookahead windows.
+  MemoryArbiter::ResponderId pressure_responder_ = 0;
   /// Whether the destructor removes the directory. Cleared while Restore
   /// is still loading so a failed restore never destroys the on-disk state
   /// it was asked to recover.

@@ -21,9 +21,11 @@ AnalyticModelResult RunAnalyticModel(const AnalyticModelConfig& config) {
   filter_options.direction = SortDirection::kAscending;
   filter_options.target_buckets_per_run = config.buckets_per_run;
   filter_options.target_run_rows = config.memory_rows;
-  // The model never consolidates: give the queue ample room so the numbers
-  // depend only on the sizing policy, like the paper's analysis.
-  filter_options.memory_limit_bytes = 1 << 30;
+  // Configurable (default ample — the paper's analysis never
+  // consolidates) so a model run can mirror a real operator's
+  // histogram_memory_limit_bytes instead of assuming unlimited filter
+  // memory.
+  filter_options.memory_limit_bytes = config.histogram_memory_limit_bytes;
   CutoffFilter filter(filter_options);
 
   const uint64_t capacity = config.memory_rows;

@@ -27,6 +27,13 @@ struct AnalyticModelConfig {
   /// Histogram buckets per run; 0 = no filtering (traditional sort), 1 =
   /// run median, 9 = deciles (the Table 1 configuration).
   uint64_t buckets_per_run = 9;
+  /// Byte budget handed to the simulated CutoffFilter's bucket queue —
+  /// the same knob as TopKOptions::histogram_memory_limit_bytes, so a
+  /// model run can mirror a real operator configuration instead of
+  /// assuming unlimited filter memory. The default is deliberately ample
+  /// (the paper's analysis never consolidates): at 48 bytes per tracked
+  /// bucket it admits ~350k buckets.
+  size_t histogram_memory_limit_bytes = 16u << 20;
 };
 
 /// Per-run trace entry (one row of Table 1).

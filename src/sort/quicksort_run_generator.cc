@@ -1,10 +1,21 @@
 #include <algorithm>
 
+#include "obs/obs_context.h"
 #include "obs/trace.h"
 #include "row/serialization.h"
 #include "sort/run_generation.h"
 
 namespace topk {
+
+namespace {
+/// Spills forced by arbiter soft pressure before the generator's own
+/// memory limit was reached (shared name with replacement selection — one
+/// ladder rung, two generators).
+ObsCounter& EarlySpillsCounter() {
+  static ObsCounter counter("mem.arbiter.early_spills");
+  return counter;
+}
+}  // namespace
 
 QuicksortRunGenerator::QuicksortRunGenerator(
     SpillManager* spill, const RowComparator& comparator,
@@ -14,11 +25,25 @@ QuicksortRunGenerator::QuicksortRunGenerator(
 Status QuicksortRunGenerator::Add(Row row) {
   TOPK_RETURN_NOT_OK(ValidateRowPayload(row));
   const size_t cost = row.MemoryFootprint() + kPerRowOverheadBytes;
-  if (buffered_bytes_ + cost > options_.memory_limit_bytes &&
-      !buffer_.empty()) {
+  // Under arbiter soft pressure the buffer flushes at half its configured
+  // budget: shorter runs, but memory drains while headroom remains.
+  size_t effective_limit = options_.memory_limit_bytes;
+  if (options_.arbiter != nullptr &&
+      options_.arbiter->pressure() >= MemoryPressure::kSoft) {
+    effective_limit = std::max<size_t>(1, effective_limit / 2);
+  }
+  if (buffered_bytes_ + cost > effective_limit && !buffer_.empty()) {
+    if (buffered_bytes_ + cost <= options_.memory_limit_bytes) {
+      EarlySpillsCounter().Add(1);
+    }
     TOPK_RETURN_NOT_OK(SortAndSpill());
   }
   buffered_bytes_ += cost;
+  if (options_.arbiter != nullptr && !lease_.attached()) {
+    TOPK_ASSIGN_OR_RETURN(lease_,
+                          options_.arbiter->Acquire("run-generation", 0));
+  }
+  TOPK_RETURN_NOT_OK(lease_.EnsureAtLeast(buffered_bytes_));
   buffer_.push_back(std::move(row));
   ++stats_.rows_added;
   stats_.rows_in_memory = buffer_.size();
@@ -92,6 +117,7 @@ Status QuicksortRunGenerator::SortAndSpill() {
   }
   buffer_.clear();
   buffered_bytes_ = 0;
+  lease_.ShrinkTo(0);
   stats_.rows_in_memory = 0;
   return Status::OK();
 }

@@ -2,10 +2,20 @@
 
 #include <algorithm>
 
+#include "obs/obs_context.h"
 #include "obs/trace.h"
 #include "row/serialization.h"
 
 namespace topk {
+
+namespace {
+/// Spills forced by arbiter soft pressure before the generator's own
+/// memory limit was reached — the degradation ladder's run-generation rung.
+ObsCounter& EarlySpillsCounter() {
+  static ObsCounter counter("mem.arbiter.early_spills");
+  return counter;
+}
+}  // namespace
 
 ReplacementSelectionRunGenerator::ReplacementSelectionRunGenerator(
     SpillManager* spill, const RowComparator& comparator,
@@ -25,15 +35,35 @@ Status ReplacementSelectionRunGenerator::Add(Row row) {
   }
   const size_t cost = row.MemoryFootprint() + kPerRowOverheadBytes;
   buffered_bytes_ += cost;
+  if (options_.arbiter != nullptr && !lease_.attached()) {
+    TOPK_ASSIGN_OR_RETURN(lease_,
+                          options_.arbiter->Acquire("run-generation", 0));
+  }
+  TOPK_RETURN_NOT_OK(lease_.EnsureAtLeast(buffered_bytes_));
   heap_.push(Entry{seq, norm, std::move(row)});
   ++stats_.rows_added;
   stats_.rows_in_memory = heap_.size();
   stats_.peak_memory_bytes =
       std::max(stats_.peak_memory_bytes, buffered_bytes_);
-  while (buffered_bytes_ > options_.memory_limit_bytes && heap_.size() > 1) {
+  // Under arbiter soft pressure the selection heap drains at half its
+  // configured budget: runs get shorter, but buffered bytes flow to disk
+  // while the process still has headroom (the early-spill rung of the
+  // degradation ladder).
+  size_t effective_limit = options_.memory_limit_bytes;
+  if (options_.arbiter != nullptr &&
+      options_.arbiter->pressure() >= MemoryPressure::kSoft) {
+    effective_limit = std::max<size_t>(1, effective_limit / 2);
+  }
+  bool early = false;
+  while (buffered_bytes_ > effective_limit && heap_.size() > 1) {
     TOPK_RETURN_IF_CANCELLED(options_.cancel);
+    if (!early && buffered_bytes_ <= options_.memory_limit_bytes) {
+      early = true;
+      EarlySpillsCounter().Add(1);
+    }
     TOPK_RETURN_NOT_OK(SpillOne());
   }
+  lease_.ShrinkTo(buffered_bytes_);
   stats_.rows_in_memory = heap_.size();
   return Status::OK();
 }
@@ -104,6 +134,7 @@ Status ReplacementSelectionRunGenerator::Flush() {
   }
   TOPK_RETURN_NOT_OK(CloseRun());
   buffered_bytes_ = 0;
+  lease_.Release();
   stats_.rows_in_memory = 0;
   return Status::OK();
 }

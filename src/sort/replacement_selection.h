@@ -73,6 +73,8 @@ class ReplacementSelectionRunGenerator : public RunGenerator {
 
   std::priority_queue<Entry, std::vector<Entry>, EntryGreater> heap_;
   size_t buffered_bytes_ = 0;
+  /// Lease covering buffered_bytes_ (detached without an arbiter).
+  MemoryLease lease_;
 
   uint64_t current_seq_ = 0;
   bool has_last_spilled_ = false;

@@ -5,6 +5,8 @@
 #include <limits>
 #include <vector>
 
+#include "common/memory_accounting.h"
+#include "common/resource_arbiter.h"
 #include "common/status.h"
 #include "histogram/bucket.h"
 #include "io/spill_manager.h"
@@ -57,6 +59,11 @@ struct RunGeneratorOptions {
   /// of a whole memory load (potentially seconds on slow storage) unwinds
   /// within one row of a cancel. Not owned.
   const CancellationToken* cancel = nullptr;
+  /// Memory arbiter the generator leases its row buffer from (not owned;
+  /// nullptr = unaccounted, the legacy behaviour). Under soft pressure the
+  /// generator spills early — at half its configured memory limit — so
+  /// buffered rows drain while the process still has headroom.
+  MemoryArbiter* arbiter = nullptr;
 };
 
 struct RunGeneratorStats {
@@ -68,8 +75,8 @@ struct RunGeneratorStats {
   uint64_t rows_in_memory = 0;
 };
 
-/// Fixed extra bytes charged per buffered row (heap/bookkeeping overhead).
-inline constexpr size_t kPerRowOverheadBytes = 32;
+// kPerRowOverheadBytes — the fixed extra bytes charged per buffered row —
+// now lives in common/memory_accounting.h, shared with the operators.
 
 /// Produces sorted runs in a SpillManager from an unsorted row stream.
 class RunGenerator {
@@ -118,6 +125,8 @@ class QuicksortRunGenerator : public RunGenerator {
   RunGeneratorStats stats_;
   std::vector<Row> buffer_;
   size_t buffered_bytes_ = 0;
+  /// Lease covering buffered_bytes_ (detached without an arbiter).
+  MemoryLease lease_;
 };
 
 }  // namespace topk

@@ -2,15 +2,11 @@
 
 #include <algorithm>
 
+#include "common/memory_accounting.h"
 #include "obs/obs_context.h"
 #include "row/serialization.h"
 
 namespace topk {
-
-namespace {
-/// Bookkeeping bytes charged per heap entry against the memory budget.
-constexpr size_t kHeapPerRowOverhead = 32;
-}  // namespace
 
 HeapTopK::HeapTopK(const TopKOptions& options)
     : options_(options),
@@ -28,6 +24,11 @@ std::optional<double> HeapTopK::cutoff() const {
 }
 
 Status HeapTopK::Consume(Row row) {
+  return RunWithAllocGuard("heap.Consume",
+                           [&] { return ConsumeImpl(std::move(row)); });
+}
+
+Status HeapTopK::ConsumeImpl(Row row) {
   if (finished_) {
     return Status::FailedPrecondition("Consume after Finish");
   }
@@ -39,8 +40,12 @@ Status HeapTopK::Consume(Row row) {
   ObsScope obs_scope(options_.obs);
   Stopwatch watch;
   TOPK_RETURN_NOT_OK(ValidateRowPayload(row));
+  MemoryArbiter* arbiter = options_.effective_arbiter();
+  if (arbiter != nullptr && !lease_.attached()) {
+    TOPK_ASSIGN_OR_RETURN(lease_, arbiter->Acquire("heap-topk", 0));
+  }
   ++stats_.rows_consumed;
-  const size_t cost = row.MemoryFootprint() + kHeapPerRowOverhead;
+  const size_t cost = row.MemoryFootprint() + kPerRowOverheadBytes;
   if (heap_.size() < options_.output_rows()) {
     heap_bytes_ += cost;
     if (heap_bytes_ > options_.memory_limit_bytes &&
@@ -50,6 +55,7 @@ Status HeapTopK::Consume(Row row) {
           std::to_string(heap_.size()) + " rows buffered); an external "
           "top-k operator is required");
     }
+    TOPK_RETURN_NOT_OK(lease_.EnsureAtLeast(heap_bytes_));
     heap_.push(std::move(row));
   } else if (options_.with_ties && row.key == heap_.top().key) {
     // A key-tie of the current boundary row must be retained: the number
@@ -62,6 +68,7 @@ Status HeapTopK::Consume(Row row) {
           "WITH TIES duplicates of the boundary key exceed operator "
           "memory; an external top-k operator is required");
     }
+    TOPK_RETURN_NOT_OK(lease_.EnsureAtLeast(heap_bytes_));
     ties_.push_back(std::move(row));
   } else if (comparator_.Less(row, heap_.top())) {
     Row evicted = heap_.top();
@@ -77,17 +84,19 @@ Status HeapTopK::Consume(Row row) {
             "WITH TIES duplicates of the boundary key exceed operator "
             "memory; an external top-k operator is required");
       }
+      TOPK_RETURN_NOT_OK(lease_.EnsureAtLeast(heap_bytes_));
     } else {
-      heap_bytes_ -= evicted.MemoryFootprint() + kHeapPerRowOverhead;
+      heap_bytes_ -= evicted.MemoryFootprint() + kPerRowOverheadBytes;
       if (options_.with_ties && !ties_.empty()) {
         // The boundary key just became sharper: retained ties of the old
         // boundary are all beyond the output now.
         for (const Row& tie : ties_) {
-          heap_bytes_ -= tie.MemoryFootprint() + kHeapPerRowOverhead;
+          heap_bytes_ -= tie.MemoryFootprint() + kPerRowOverheadBytes;
         }
         stats_.rows_eliminated_input += ties_.size();
         ties_.clear();
       }
+      lease_.ShrinkTo(heap_bytes_);
     }
   } else {
     ++stats_.rows_eliminated_input;
@@ -98,6 +107,10 @@ Status HeapTopK::Consume(Row row) {
 }
 
 Result<std::vector<Row>> HeapTopK::Finish() {
+  return RunWithAllocGuard("heap.Finish", [&] { return FinishImpl(); });
+}
+
+Result<std::vector<Row>> HeapTopK::FinishImpl() {
   if (finished_) {
     return Status::FailedPrecondition("Finish called twice");
   }
@@ -136,6 +149,7 @@ Result<std::vector<Row>> HeapTopK::Finish() {
     }
     rows.resize(end);
   }
+  lease_.Release();
   stats_.finish_nanos = watch.ElapsedNanos();
   if (options_.obs != nullptr) {
     options_.obs->NoteMemoryBytes(stats_.peak_memory_bytes);

@@ -32,6 +32,9 @@ class HeapTopK : public TopKOperator {
  private:
   explicit HeapTopK(const TopKOptions& options);
 
+  Status ConsumeImpl(Row row);
+  Result<std::vector<Row>> FinishImpl();
+
   TopKOptions options_;
   RowComparator comparator_;
   /// Query-order max-heap: top is the worst retained row.
@@ -41,6 +44,9 @@ class HeapTopK : public TopKOperator {
   /// is charged against the memory budget like heap rows.
   std::vector<Row> ties_;
   size_t heap_bytes_ = 0;
+  /// Arbiter lease covering heap_bytes_ (detached when the effective
+  /// arbiter is the unlimited global one — it still accounts).
+  MemoryLease lease_;
   bool finished_ = false;
 };
 

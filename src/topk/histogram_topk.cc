@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/memory_accounting.h"
 #include "extensions/offset_skip.h"
 #include "obs/metrics.h"
 #include "obs/obs_context.h"
@@ -14,8 +15,6 @@
 namespace topk {
 
 namespace {
-constexpr size_t kHeapPerRowOverhead = 32;
-
 ObsCounter& CutoffUpdatesCounter() {
   static ObsCounter counter("filter.cutoff_updates");
   return counter;
@@ -121,6 +120,16 @@ Status HistogramTopK::SwitchToExternal() {
   PhaseScope phase("switch_to_external");
   TraceSpan span("topk.switch_to_external", "topk",
                  {TraceArg("buffered_rows", heap_.size() + ties_.size())});
+  // The cutoff filter's bucket queue is a sizable consumer in its own
+  // right: lease its configured budget up front, so the arbiter sees the
+  // external switch's full footprint before the first run is written.
+  MemoryArbiter* arbiter = options_.effective_arbiter();
+  if (arbiter != nullptr && !filter_lease_.attached()) {
+    TOPK_ASSIGN_OR_RETURN(filter_lease_,
+                          arbiter->Acquire("cutoff-filter", 0));
+    TOPK_RETURN_NOT_OK(
+        filter_lease_.EnsureAtLeast(options_.histogram_memory_limit_bytes));
+  }
   TOPK_ASSIGN_OR_RETURN(spill_,
                         SpillManager::Create(options_.env, options_.spill_dir,
                                              options_.io_pipeline()));
@@ -151,6 +160,7 @@ Status HistogramTopK::SwitchToExternal() {
   }
   gen_options.observer = observer_.get();
   gen_options.cancel = options_.cancel.get();
+  gen_options.arbiter = arbiter;
   // Index granularity that yields ~64 seek points per run even when runs
   // are small (offset skips need entries inside every run).
   gen_options.run_index_stride = std::max<uint64_t>(16, expected_run_rows / 64);
@@ -176,16 +186,26 @@ Status HistogramTopK::SwitchToExternal() {
   ties_.clear();
   ties_.shrink_to_fit();
   heap_bytes_ = 0;
+  lease_.ShrinkTo(0);
   return Status::OK();
 }
 
 Status HistogramTopK::MaybeConsolidateForQuota() {
   SpillQuota* quota = spill_->spill_quota();
-  if (!quota->enabled()) return Status::OK();
-  const double charged = static_cast<double>(quota->charged_bytes());
-  if (charged < 0.85 * static_cast<double>(quota->quota_bytes())) {
-    return Status::OK();
+  bool quota_pressed = false;
+  if (quota->enabled()) {
+    const double charged = static_cast<double>(quota->charged_bytes());
+    quota_pressed = charged >= 0.85 * static_cast<double>(quota->quota_bytes());
   }
+  // Memory-arbiter soft pressure reuses the same response as a near-full
+  // spill quota: consolidating the lowest-key runs shrinks the registry
+  // (fewer open readers and histogram buckets later) while the cutoff
+  // filter drops rows for free. The runs-created guard below keeps a
+  // persistent soft level from consolidating more than once per new run.
+  MemoryArbiter* arbiter = options_.effective_arbiter();
+  const bool mem_pressed =
+      arbiter != nullptr && arbiter->pressure() >= MemoryPressure::kSoft;
+  if (!quota_pressed && !mem_pressed) return Status::OK();
   if (spill_->run_count() < 2) return Status::OK();
   if (spill_->total_runs_created() == runs_created_at_last_quota_merge_) {
     return Status::OK();
@@ -301,7 +321,8 @@ Status HistogramTopK::Consume(Row row) {
     return Status::FailedPrecondition(
         "a resumed operator accepts no input; its runs are already on disk");
   }
-  Status status = ConsumeImpl(std::move(row));
+  Status status = RunWithAllocGuard(
+      "histogram.Consume", [&] { return ConsumeImpl(std::move(row)); });
   if (!status.ok() && !IsCancellation(status.code()) && first_error_.ok()) {
     first_error_ = status;
   }
@@ -330,14 +351,19 @@ Status HistogramTopK::ConsumeImpl(Row row) {
   }
 
   // In-memory mode: behave exactly like the priority-queue algorithm.
+  MemoryArbiter* arbiter = options_.effective_arbiter();
+  if (arbiter != nullptr && !lease_.attached()) {
+    TOPK_ASSIGN_OR_RETURN(lease_, arbiter->Acquire("histogram-topk", 0));
+  }
   if (heap_saturated_) {
     if (options_.with_ties && row.key == heap_.top().key) {
       // Boundary-key duplicate: must be retained (Sec 2.3's hazard). When
       // the duplicates overflow memory we — unlike the bare in-memory
       // algorithm — simply switch to the external algorithm below.
-      const size_t cost = row.MemoryFootprint() + kHeapPerRowOverhead;
+      const size_t cost = row.MemoryFootprint() + kPerRowOverheadBytes;
       if (heap_bytes_ + cost <= options_.memory_limit_bytes) {
         heap_bytes_ += cost;
+        TOPK_RETURN_NOT_OK(lease_.EnsureAtLeast(heap_bytes_));
         ties_.push_back(std::move(row));
         stats_.peak_memory_bytes =
             std::max(stats_.peak_memory_bytes, heap_bytes_);
@@ -350,9 +376,9 @@ Status HistogramTopK::ConsumeImpl(Row row) {
       stats_.consume_nanos += watch.ElapsedNanos();
       return Status::OK();
     } else {
-      const size_t new_cost = row.MemoryFootprint() + kHeapPerRowOverhead;
+      const size_t new_cost = row.MemoryFootprint() + kPerRowOverheadBytes;
       const size_t old_cost =
-          heap_.top().MemoryFootprint() + kHeapPerRowOverhead;
+          heap_.top().MemoryFootprint() + kPerRowOverheadBytes;
       if (heap_bytes_ - old_cost + new_cost <=
           options_.memory_limit_bytes) {
         Row evicted = heap_.top();
@@ -370,11 +396,12 @@ Status HistogramTopK::ConsumeImpl(Row row) {
         } else if (options_.with_ties && !ties_.empty()) {
           // Boundary sharpened: old boundary ties fell out of the output.
           for (const Row& tie : ties_) {
-            heap_bytes_ -= tie.MemoryFootprint() + kHeapPerRowOverhead;
+            heap_bytes_ -= tie.MemoryFootprint() + kPerRowOverheadBytes;
           }
           stats_.rows_eliminated_input += ties_.size();
           ties_.clear();
         }
+        TOPK_RETURN_NOT_OK(lease_.EnsureAtLeast(heap_bytes_));
         stats_.peak_memory_bytes =
             std::max(stats_.peak_memory_bytes, heap_bytes_);
         stats_.consume_nanos += watch.ElapsedNanos();
@@ -383,9 +410,10 @@ Status HistogramTopK::ConsumeImpl(Row row) {
       // Replacement row does not fit (variable-size rows): spill.
     }
   } else {
-    const size_t cost = row.MemoryFootprint() + kHeapPerRowOverhead;
+    const size_t cost = row.MemoryFootprint() + kPerRowOverheadBytes;
     if (heap_bytes_ + cost <= options_.memory_limit_bytes) {
       heap_bytes_ += cost;
+      TOPK_RETURN_NOT_OK(lease_.EnsureAtLeast(heap_bytes_));
       heap_.push(std::move(row));
       heap_saturated_ = heap_.size() >= options_.output_rows();
       stats_.peak_memory_bytes =
@@ -409,7 +437,8 @@ Result<std::vector<Row>> HistogramTopK::Finish() {
     return Status::FailedPrecondition("Finish called twice");
   }
   finished_ = true;
-  Result<std::vector<Row>> result = FinishImpl();
+  Result<std::vector<Row>> result =
+      RunWithAllocGuard("histogram.Finish", [&] { return FinishImpl(); });
   if (!result.ok() && !IsCancellation(result.status().code()) &&
       first_error_.ok()) {
     first_error_ = result.status();
@@ -558,6 +587,10 @@ Result<std::vector<Row>> HistogramTopK::FinishImpl() {
 }
 
 Status HistogramTopK::Suspend() {
+  return RunWithAllocGuard("histogram.Suspend", [&] { return SuspendImpl(); });
+}
+
+Status HistogramTopK::SuspendImpl() {
   ObsScope obs_scope(options_.obs);
   if (!first_error_.ok()) {
     // A prior entry point already failed; the real cause of the

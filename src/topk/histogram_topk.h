@@ -85,6 +85,7 @@ class HistogramTopK : public TopKOperator {
 
   Status ConsumeImpl(Row row);
   Result<std::vector<Row>> FinishImpl();
+  Status SuspendImpl();
 
   /// Entry-point poll of options_.cancel; a tripped token is routed
   /// through OnCancelStatus so the on_cancel policy applies.
@@ -116,6 +117,11 @@ class HistogramTopK : public TopKOperator {
   std::vector<Row> ties_;
   size_t heap_bytes_ = 0;
   bool heap_saturated_ = false;  // holds k+offset rows; acts as HeapTopK
+  /// Arbiter lease covering heap_bytes_ (in-memory phase).
+  MemoryLease lease_;
+  /// Arbiter lease covering the cutoff filter's bucket-queue budget,
+  /// acquired at the external switch.
+  MemoryLease filter_lease_;
 
   /// External phase.
   std::unique_ptr<SpillManager> spill_;

@@ -85,6 +85,7 @@ Status OptimizedExternalTopK::CreateGenerator() {
   }
   gen_options.observer = observer_.get();
   gen_options.cancel = options_.cancel.get();
+  gen_options.arbiter = options_.effective_arbiter();
   if (options_.run_generation == RunGenerationKind::kReplacementSelection) {
     generator_ = std::make_unique<ReplacementSelectionRunGenerator>(
         spill_.get(), comparator_, gen_options);
@@ -113,6 +114,7 @@ Status OptimizedExternalTopK::SwitchToExternal() {
   buffer_.clear();
   buffer_.shrink_to_fit();
   buffered_bytes_ = 0;
+  lease_.ShrinkTo(0);
   return Status::OK();
 }
 
@@ -252,7 +254,8 @@ Status OptimizedExternalTopK::Consume(Row row) {
         "already hold the whole input");
   }
   ObsScope obs_scope(options_.obs);
-  Status status = ConsumeImpl(std::move(row));
+  Status status = RunWithAllocGuard(
+      "optimized.Consume", [&] { return ConsumeImpl(std::move(row)); });
   if (!status.ok() && !IsCancellation(status.code()) && first_error_.ok()) {
     first_error_ = status;
   }
@@ -267,9 +270,14 @@ Status OptimizedExternalTopK::ConsumeImpl(Row row) {
     ++stats_.rows_eliminated_input;
   } else {
     if (generator_ == nullptr) {
+      MemoryArbiter* arbiter = options_.effective_arbiter();
+      if (arbiter != nullptr && !lease_.attached()) {
+        TOPK_ASSIGN_OR_RETURN(lease_, arbiter->Acquire("optimized-topk", 0));
+      }
       const size_t cost = row.MemoryFootprint() + kPerRowOverheadBytes;
       if (buffered_bytes_ + cost <= options_.memory_limit_bytes) {
         buffered_bytes_ += cost;
+        TOPK_RETURN_NOT_OK(lease_.EnsureAtLeast(buffered_bytes_));
         stats_.peak_memory_bytes =
             std::max(stats_.peak_memory_bytes, buffered_bytes_);
         buffer_.push_back(std::move(row));
@@ -301,7 +309,8 @@ Result<std::vector<Row>> OptimizedExternalTopK::Finish() {
   }
   finished_ = true;
   ObsScope obs_scope(options_.obs);
-  Result<std::vector<Row>> result = FinishImpl();
+  Result<std::vector<Row>> result =
+      RunWithAllocGuard("optimized.Finish", [&] { return FinishImpl(); });
   if (!result.ok() && !IsCancellation(result.status().code()) &&
       first_error_.ok()) {
     first_error_ = result.status();
@@ -325,6 +334,7 @@ Result<std::vector<Row>> OptimizedExternalTopK::FinishImpl() {
     result.assign(std::make_move_iterator(buffer_.begin() + begin),
                   std::make_move_iterator(buffer_.begin() + end));
     buffer_.clear();
+    lease_.Release();
     stats_.finish_nanos = watch.ElapsedNanos();
     if (options_.obs != nullptr) {
       options_.obs->NoteMemoryBytes(stats_.peak_memory_bytes);
@@ -426,6 +436,10 @@ Result<std::vector<Row>> OptimizedExternalTopK::FinishImpl() {
 }
 
 Status OptimizedExternalTopK::Suspend() {
+  return RunWithAllocGuard("optimized.Suspend", [&] { return SuspendImpl(); });
+}
+
+Status OptimizedExternalTopK::SuspendImpl() {
   ObsScope obs_scope(options_.obs);
   if (!first_error_.ok()) {
     // A prior entry point already failed; the real cause of the

@@ -107,6 +107,7 @@ class OptimizedExternalTopK : public TopKOperator {
 
   Status ConsumeImpl(Row row);
   Result<std::vector<Row>> FinishImpl();
+  Status SuspendImpl();
 
   /// Entry-point poll of options_.cancel; a tripped token is routed
   /// through OnCancelStatus.
@@ -123,6 +124,8 @@ class OptimizedExternalTopK : public TopKOperator {
   /// In-memory phase buffer.
   std::vector<Row> buffer_;
   size_t buffered_bytes_ = 0;
+  /// Arbiter lease covering buffered_bytes_.
+  MemoryLease lease_;
 
   /// External phase.
   std::unique_ptr<SpillManager> spill_;

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/query_control.h"
+#include "common/resource_arbiter.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "common/stopwatch.h"
@@ -185,6 +186,7 @@ struct TopKOptions {
     io.hedge_reads = io_hedge_reads;
     io.hedge_latency_multiplier = io_hedge_latency_multiplier;
     io.spill_quota_bytes = spill_quota_bytes;
+    io.arbiter = effective_arbiter();
     return io;
   }
 
@@ -211,9 +213,35 @@ struct TopKOptions {
   /// registry. Null (the default) records globally only.
   std::shared_ptr<ObsContext> obs;
 
+  /// Memory arbiter the operator leases its heap/buffer/filter/prefetch
+  /// memory from (common/resource_arbiter.h). Null falls back to the
+  /// process-wide GlobalMemoryArbiter() — unlimited until a budget is
+  /// configured (--mem-budget-mb), so accounting is always on but
+  /// admission control is opt-in. Not owned.
+  MemoryArbiter* arbiter = nullptr;
+
+  /// The arbiter every consumer of these options actually uses.
+  MemoryArbiter* effective_arbiter() const {
+    return arbiter != nullptr ? arbiter : GlobalMemoryArbiter();
+  }
+
   /// Total rows the operator must keep to answer the query.
   uint64_t output_rows() const { return k + offset; }
 };
+
+/// Runs an operator entry-point body and contains std::bad_alloc — real or
+/// injected (MemFaultProfile mode=throw) — as Status::OutOfMemory, so an
+/// allocation failure surfaces as a failed query, never a crash. `where`
+/// names the boundary in the message.
+template <typename Fn>
+auto RunWithAllocGuard(std::string_view where, Fn&& fn) -> decltype(fn()) {
+  try {
+    return fn();
+  } catch (const std::bad_alloc&) {
+    return Status::OutOfMemory("allocation failure contained at " +
+                               std::string(where));
+  }
+}
 
 /// Uniform observability across operators; the evaluation (Sec 5) is driven
 /// entirely off these counters.

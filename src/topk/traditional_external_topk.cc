@@ -32,6 +32,7 @@ Status TraditionalExternalTopK::SwitchToExternal() {
   RunGeneratorOptions gen_options;
   gen_options.memory_limit_bytes = options_.memory_limit_bytes;
   gen_options.cancel = options_.cancel.get();
+  gen_options.arbiter = options_.effective_arbiter();
   // Vanilla sort: no run-size limit, no filtering.
   if (options_.run_generation == RunGenerationKind::kReplacementSelection) {
     generator_ = std::make_unique<ReplacementSelectionRunGenerator>(
@@ -46,6 +47,7 @@ Status TraditionalExternalTopK::SwitchToExternal() {
   buffer_.clear();
   buffer_.shrink_to_fit();
   buffered_bytes_ = 0;
+  lease_.ShrinkTo(0);
   return Status::OK();
 }
 
@@ -88,7 +90,8 @@ Status TraditionalExternalTopK::Consume(Row row) {
     return Status::FailedPrecondition(
         "a resumed operator accepts no input; its runs are already on disk");
   }
-  Status status = ConsumeImpl(std::move(row));
+  Status status = RunWithAllocGuard(
+      "traditional.Consume", [&] { return ConsumeImpl(std::move(row)); });
   if (!status.ok() && !IsCancellation(status.code()) && first_error_.ok()) {
     first_error_ = status;
   }
@@ -100,9 +103,14 @@ Status TraditionalExternalTopK::ConsumeImpl(Row row) {
   Stopwatch watch;
   ++stats_.rows_consumed;
   if (generator_ == nullptr) {
+    MemoryArbiter* arbiter = options_.effective_arbiter();
+    if (arbiter != nullptr && !lease_.attached()) {
+      TOPK_ASSIGN_OR_RETURN(lease_, arbiter->Acquire("traditional-topk", 0));
+    }
     const size_t cost = row.MemoryFootprint() + kPerRowOverheadBytes;
     if (buffered_bytes_ + cost <= options_.memory_limit_bytes) {
       buffered_bytes_ += cost;
+      TOPK_RETURN_NOT_OK(lease_.EnsureAtLeast(buffered_bytes_));
       stats_.peak_memory_bytes =
           std::max(stats_.peak_memory_bytes, buffered_bytes_);
       buffer_.push_back(std::move(row));
@@ -123,7 +131,8 @@ Result<std::vector<Row>> TraditionalExternalTopK::Finish() {
     return Status::FailedPrecondition("Finish called twice");
   }
   finished_ = true;
-  Result<std::vector<Row>> result = FinishImpl();
+  Result<std::vector<Row>> result =
+      RunWithAllocGuard("traditional.Finish", [&] { return FinishImpl(); });
   if (!result.ok() && !IsCancellation(result.status().code()) &&
       first_error_.ok()) {
     first_error_ = result.status();
@@ -148,6 +157,7 @@ Result<std::vector<Row>> TraditionalExternalTopK::FinishImpl() {
     result.assign(std::make_move_iterator(buffer_.begin() + begin),
                   std::make_move_iterator(buffer_.begin() + end));
     buffer_.clear();
+    lease_.Release();
     stats_.finish_nanos = watch.ElapsedNanos();
     return result;
   }
@@ -226,6 +236,11 @@ Result<std::vector<Row>> TraditionalExternalTopK::FinishImpl() {
 }
 
 Status TraditionalExternalTopK::Suspend() {
+  return RunWithAllocGuard("traditional.Suspend",
+                           [&] { return SuspendImpl(); });
+}
+
+Status TraditionalExternalTopK::SuspendImpl() {
   ObsScope obs_scope(options_.obs);
   if (!first_error_.ok()) {
     // A prior entry point already failed; the real cause of the

@@ -48,6 +48,7 @@ class TraditionalExternalTopK : public TopKOperator {
 
   Status ConsumeImpl(Row row);
   Result<std::vector<Row>> FinishImpl();
+  Status SuspendImpl();
 
   /// Entry-point poll of options_.cancel; a tripped token is routed
   /// through OnCancelStatus.
@@ -63,6 +64,8 @@ class TraditionalExternalTopK : public TopKOperator {
   /// In-memory phase.
   std::vector<Row> buffer_;
   size_t buffered_bytes_ = 0;
+  /// Arbiter lease covering buffered_bytes_.
+  MemoryLease lease_;
 
   /// External phase (created on first overflow).
   std::unique_ptr<SpillManager> spill_;

@@ -48,6 +48,15 @@
 ///   --spill-quota-mb  cap on spill bytes on disk at once; the histogram
 ///                 operator consolidates runs before giving up; 0 =
 ///                 unlimited (0)
+///   --mem-budget-mb  process-wide memory-arbiter budget in MiB; consumers
+///                 degrade (smaller prefetch windows, early spills, run
+///                 consolidation, synchronous writes) under soft pressure
+///                 and new grants fail with RESOURCE_EXHAUSTED (exit 3)
+///                 under hard pressure; 0 = accounting only (0)
+///   --mem-fault-profile  inject allocation failures at the memory
+///                 arbiter, e.g. "deny=0.01,seed=7,mode=status" or
+///                 "nth=25,mode=throw" (also available as the
+///                 TOPK_MEM_FAULT environment variable) (off)
 ///   --manifest    keep a spill manifest of this name checkpointed inside
 ///                 --spill-dir, enabling crash recovery (off)
 ///   --suspend-before-merge  consume the input, persist the runs + manifest,
@@ -99,6 +108,7 @@
 #include "common/query_control.h"
 
 #include "common/flags.h"
+#include "common/resource_arbiter.h"
 #include "gen/generator.h"
 #include "obs/metrics.h"
 #include "obs/obs_context.h"
@@ -112,6 +122,12 @@ namespace {
 
 int Fail(const topk::Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  // Memory exhaustion gets a distinct exit status so harnesses can tell a
+  // clean arbiter denial from any other failure (and from a crash).
+  if (status.code() == topk::StatusCode::kResourceExhausted ||
+      status.code() == topk::StatusCode::kOutOfMemory) {
+    return 3;
+  }
   return 1;
 }
 
@@ -163,7 +179,7 @@ int main(int argc, char** argv) {
   int64_t cancel_after_ms = 0, query_deadline_ms = 0;
   int64_t checkpoint_every_rows = 0;
   double memory_mb = 0, shape = 0, prefetch_budget_mb = 8.0;
-  double hedge_multiplier = 3.0, spill_quota_mb = 0;
+  double hedge_multiplier = 3.0, spill_quota_mb = 0, mem_budget_mb = 0;
   bool early_merge = true, verify = false, prefetch = true, progress = false;
   bool suspend_before_merge = false, hedge = false, storage_breaker = false;
   bool profile = false;
@@ -227,6 +243,11 @@ int main(int argc, char** argv) {
       if (spill_quota_mb < 0) {
         return Status::InvalidArgument("--spill-quota-mb must be >= 0");
       }
+      TOPK_ASSIGN_OR_RETURN(mem_budget_mb,
+                            flags.GetDouble("mem-budget-mb", 0.0));
+      if (mem_budget_mb < 0) {
+        return Status::InvalidArgument("--mem-budget-mb must be >= 0");
+      }
       TOPK_ASSIGN_OR_RETURN(cancel_after_ms,
                             flags.GetInt("cancel-after-ms", 0));
       if (cancel_after_ms < 0) {
@@ -263,6 +284,8 @@ int main(int argc, char** argv) {
   const std::string trace_out = flags.GetString("trace-out", "");
   const std::string metrics_json = flags.GetString("metrics-json", "");
   const std::string fault_profile_spec = flags.GetString("fault-profile", "");
+  const std::string mem_fault_profile_spec =
+      flags.GetString("mem-fault-profile", "");
   const std::string manifest_name = flags.GetString("manifest", "");
   const std::string resume_from = flags.GetString("resume-from", "");
   const std::string crash_at = flags.GetString("crash-at", "");
@@ -323,6 +346,19 @@ int main(int argc, char** argv) {
   }
   if (storage_breaker) {
     env.EnableStorageHealth(StorageHealth::Options());
+  }
+  if (mem_budget_mb > 0) {
+    GlobalMemoryArbiter()->Reset(
+        static_cast<size_t>(mem_budget_mb * 1024.0 * 1024.0));
+    std::printf("memory budget: %.1f MiB (arbiter-enforced)\n",
+                mem_budget_mb);
+  }
+  if (!mem_fault_profile_spec.empty()) {
+    auto mem_profile = MemFaultProfile::Parse(mem_fault_profile_spec);
+    if (!mem_profile.ok()) return Fail(mem_profile.status());
+    GlobalMemoryArbiter()->SetFaultProfile(*mem_profile);
+    std::printf("memory fault profile: %s\n",
+                mem_profile->ToString().c_str());
   }
   TopKOptions options;
   options.k = static_cast<uint64_t>(k);
